@@ -1,0 +1,57 @@
+// Ablation A3: change-rate sweep — where does CON's advantage over EVI
+// come from, and where does it erode? EVI pays a full re-warm per batch;
+// CON only loses the bits the batch actually touched. As batches become
+// very frequent, both degrade towards bare Method M, CON much more
+// slowly.
+
+#include "bench_common.hpp"
+
+using namespace gcp;
+using namespace gcp::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const BenchConfig cfg = BenchConfig::FromFlags(flags);
+  PrintConfig(cfg, "Ablation A3: change-rate sweep (VF2+, ZU)");
+
+  const std::vector<Graph> corpus = BuildCorpus(cfg);
+  const Workload w = BuildWorkload("ZU", corpus, cfg);
+
+  std::printf("\n%10s %10s %12s %12s %12s %12s\n", "batches", "ops/batch",
+              "EVI t-spdup", "CON t-spdup", "EVI n-spdup", "CON n-spdup");
+  struct Point {
+    std::uint32_t batches;
+    std::uint32_t ops;
+  };
+  const std::vector<Point> points = {
+      {0, 0},                          // static dataset
+      {cfg.batches / 2 + 1, cfg.ops_per_batch},
+      {cfg.batches, cfg.ops_per_batch},
+      {cfg.batches * 3, cfg.ops_per_batch},
+      {cfg.batches * 10, cfg.ops_per_batch},
+  };
+  for (const Point p : points) {
+    BenchConfig point_cfg = cfg;
+    point_cfg.batches = p.batches;
+    point_cfg.ops_per_batch = p.ops;
+    const ChangePlan plan = BuildPlan(point_cfg, corpus.size());
+    const RunReport base = RunWorkload(
+        corpus, w, plan,
+        MakeRunnerConfig(RunMode::kMethodM, MatcherKind::kVf2Plus, cfg));
+    const RunReport evi = RunWorkload(
+        corpus, w, plan,
+        MakeRunnerConfig(RunMode::kEvi, MatcherKind::kVf2Plus, cfg));
+    const RunReport con = RunWorkload(
+        corpus, w, plan,
+        MakeRunnerConfig(RunMode::kCon, MatcherKind::kVf2Plus, cfg));
+    std::printf("%10u %10u %11.2fx %11.2fx %11.2fx %11.2fx\n", p.batches,
+                p.ops, QueryTimeSpeedup(base, evi),
+                QueryTimeSpeedup(base, con), SiTestSpeedup(base, evi),
+                SiTestSpeedup(base, con));
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\n# Expected: with no changes EVI == CON; as batches multiply EVI\n"
+      "# collapses towards 1x while CON degrades gracefully.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Ablation A4: workload-skew sweep (Zipf alpha). The paper uses alpha=1.4
+// and notes web popularity corresponds to ~2.4. GC+ claims benefit for
+// both skewed and non-skewed workloads (via sub/supergraph hits); the
+// sweep quantifies that.
+
+#include "bench_common.hpp"
+
+using namespace gcp;
+using namespace gcp::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const BenchConfig cfg = BenchConfig::FromFlags(flags);
+  PrintConfig(cfg, "Ablation A4: Zipf-alpha sweep (CON, VF2+, ZU)");
+
+  const std::vector<Graph> corpus = BuildCorpus(cfg);
+  const ChangePlan plan = BuildPlan(cfg, corpus.size());
+
+  std::printf("\n%8s %14s %14s %10s %10s %12s %12s\n", "alpha",
+              "M avg ms", "CON avg ms", "t-spdup", "n-spdup", "exact hits",
+              "sub+super");
+  for (const double alpha : {0.0, 0.8, 1.4, 2.0, 2.4}) {
+    BenchConfig point_cfg = cfg;
+    point_cfg.zipf_alpha = alpha;
+    const Workload w = BuildWorkload("ZU", corpus, point_cfg);
+    const RunReport base = RunWorkload(
+        corpus, w, plan,
+        MakeRunnerConfig(RunMode::kMethodM, MatcherKind::kVf2Plus, cfg));
+    const RunReport con = RunWorkload(
+        corpus, w, plan,
+        MakeRunnerConfig(RunMode::kCon, MatcherKind::kVf2Plus, cfg));
+    std::printf("%8.1f %14.3f %14.3f %9.2fx %9.2fx %12llu %12llu\n", alpha,
+                base.avg_query_ms(), con.avg_query_ms(),
+                QueryTimeSpeedup(base, con), SiTestSpeedup(base, con),
+                static_cast<unsigned long long>(con.agg.exact_hits),
+                static_cast<unsigned long long>(con.agg.sub_hits +
+                                                con.agg.super_hits));
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\n# Expected: exact-match hits grow with alpha; sub/supergraph hits\n"
+      "# sustain a solid speedup even at alpha=0 (uniform).\n");
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// The paper's testbed (AIDS: 40,000 graphs; 10,000-query workloads; Dell
+// R920, 60 cores / 320 GB) runs for hours. The benches default to a
+// laptop-scale configuration that preserves the paper's *ratios* —
+// cache : window : purge-interval : workload length — so the shape of the
+// results (who wins, by roughly what factor) carries over. Every knob is a
+// flag; `--paper` switches to the full published scale.
+
+#ifndef GCP_BENCH_BENCH_COMMON_HPP_
+#define GCP_BENCH_BENCH_COMMON_HPP_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "dataset/aids_like.hpp"
+#include "dataset/change_plan.hpp"
+#include "workload/runner.hpp"
+#include "workload/type_a.hpp"
+#include "workload/type_b.hpp"
+
+namespace gcp::bench {
+
+/// All experiment knobs, with scaled-down defaults.
+struct BenchConfig {
+  // Corpus (AIDS-like synthetic; see DESIGN.md §4).
+  std::uint32_t graphs = 500;
+  double mean_vertices = 30.0;
+  double stddev_vertices = 12.0;
+  std::uint32_t min_vertices = 5;
+  std::uint32_t max_vertices = 120;
+  std::uint32_t labels = 62;
+
+  // Workload.
+  std::uint32_t queries = 1000;
+  double zipf_alpha = 1.4;
+
+  // Cache (paper: 100 / 20; scaled keeping the 5:1 ratio).
+  std::size_t cache_capacity = 50;
+  std::size_t window_capacity = 10;
+  std::size_t warmup = 10;  ///< One window (paper: one window = 20).
+
+  // Change plan (paper: 100 batches x 20 ops over 10,000 queries — one
+  // batch per ~cache-capacity queries; scaled accordingly).
+  std::uint32_t batches = 20;
+  std::uint32_t ops_per_batch = 10;
+
+  // Per-query caps on verified cache hits (0 = unlimited).
+  std::size_t max_sub_hits = 16;
+  std::size_t max_super_hits = 16;
+
+  std::uint64_t seed = 42;
+  std::size_t verify_threads = 1;
+
+  static BenchConfig FromFlags(const Flags& flags) {
+    BenchConfig c;
+    if (flags.GetBool("paper", false)) {
+      c.graphs = 40000;
+      c.mean_vertices = 45.0;
+      c.stddev_vertices = 22.0;
+      c.max_vertices = 245;
+      c.queries = 10000;
+      c.cache_capacity = 100;
+      c.window_capacity = 20;
+      c.warmup = 20;
+      c.batches = 100;
+      c.ops_per_batch = 20;
+    }
+    if (flags.GetBool("quick", false)) {
+      c.graphs = 150;
+      c.queries = 120;
+      c.cache_capacity = 30;
+      c.window_capacity = 6;
+      c.warmup = 6;
+      c.batches = 3;
+      c.ops_per_batch = 6;
+    }
+    c.graphs = static_cast<std::uint32_t>(flags.GetInt("graphs", c.graphs));
+    c.queries = static_cast<std::uint32_t>(flags.GetInt("queries", c.queries));
+    // Keep the paper's change cadence (one batch per ~50 scaled queries)
+    // when only --queries is overridden.
+    if (flags.Has("queries") && !flags.Has("batches") &&
+        !flags.GetBool("paper", false)) {
+      c.batches = std::max(1u, c.queries / 50);
+    }
+    c.mean_vertices = flags.GetDouble("mean-vertices", c.mean_vertices);
+    c.max_vertices =
+        static_cast<std::uint32_t>(flags.GetInt("max-vertices", c.max_vertices));
+    c.cache_capacity =
+        static_cast<std::size_t>(flags.GetInt("cache", c.cache_capacity));
+    c.window_capacity =
+        static_cast<std::size_t>(flags.GetInt("window", c.window_capacity));
+    c.warmup = static_cast<std::size_t>(flags.GetInt("warmup", c.warmup));
+    c.batches = static_cast<std::uint32_t>(flags.GetInt("batches", c.batches));
+    c.ops_per_batch = static_cast<std::uint32_t>(
+        flags.GetInt("ops-per-batch", c.ops_per_batch));
+    c.zipf_alpha = flags.GetDouble("alpha", c.zipf_alpha);
+    c.max_sub_hits =
+        static_cast<std::size_t>(flags.GetInt("max-sub-hits", c.max_sub_hits));
+    c.max_super_hits = static_cast<std::size_t>(
+        flags.GetInt("max-super-hits", c.max_super_hits));
+    c.seed = static_cast<std::uint64_t>(flags.GetInt("seed", c.seed));
+    c.verify_threads =
+        static_cast<std::size_t>(flags.GetInt("threads", c.verify_threads));
+    return c;
+  }
+
+  AidsLikeOptions CorpusOptions() const {
+    AidsLikeOptions opts;
+    opts.num_graphs = graphs;
+    opts.mean_vertices = mean_vertices;
+    opts.stddev_vertices = stddev_vertices;
+    opts.min_vertices = min_vertices;
+    opts.max_vertices = max_vertices;
+    opts.num_labels = labels;
+    opts.seed = seed;
+    return opts;
+  }
+};
+
+inline std::vector<Graph> BuildCorpus(const BenchConfig& cfg) {
+  return AidsLikeGenerator(cfg.CorpusOptions()).Generate();
+}
+
+/// Builds a workload by its paper name: "ZZ"/"ZU"/"UU" (Type A) or
+/// "0%"/"20%"/"50%" (Type B).
+inline Workload BuildWorkload(const std::string& name,
+                              const std::vector<Graph>& corpus,
+                              const BenchConfig& cfg) {
+  if (name == "ZZ" || name == "ZU" || name == "UU" || name == "UZ") {
+    return GenerateTypeAByName(corpus, name, cfg.queries, cfg.seed + 101,
+                               cfg.zipf_alpha);
+  }
+  TypeBOptions opts;
+  opts.zipf_alpha = cfg.zipf_alpha;
+  opts.num_queries = cfg.queries;
+  opts.seed = cfg.seed + 202;
+  opts.answer_pool_size = cfg.queries;
+  opts.no_answer_pool_size = cfg.queries * 3 / 10;
+  if (name == "0%") {
+    opts.no_answer_prob = 0.0;
+  } else if (name == "20%") {
+    opts.no_answer_prob = 0.2;
+  } else if (name == "50%") {
+    opts.no_answer_prob = 0.5;
+  } else {
+    std::fprintf(stderr, "unknown workload name '%s'\n", name.c_str());
+    std::exit(2);
+  }
+  return GenerateTypeB(corpus, opts);
+}
+
+inline ChangePlan BuildPlan(const BenchConfig& cfg,
+                            std::size_t corpus_size) {
+  Rng rng(cfg.seed + 303);
+  return ChangePlan::Generate(rng, cfg.queries, cfg.batches,
+                              cfg.ops_per_batch,
+                              static_cast<std::uint32_t>(corpus_size));
+}
+
+inline RunnerConfig MakeRunnerConfig(RunMode mode, MatcherKind method,
+                                     const BenchConfig& cfg) {
+  RunnerConfig rc;
+  rc.mode = mode;
+  rc.method = method;
+  rc.cache_capacity = cfg.cache_capacity;
+  rc.window_capacity = cfg.window_capacity;
+  rc.warmup_queries = cfg.warmup;
+  rc.verify_threads = cfg.verify_threads;
+  rc.max_sub_hits = cfg.max_sub_hits;
+  rc.max_super_hits = cfg.max_super_hits;
+  rc.plan_seed = cfg.seed + 404;
+  return rc;
+}
+
+inline void PrintConfig(const BenchConfig& cfg, const char* bench_name) {
+  std::printf("# %s\n", bench_name);
+  std::printf(
+      "# corpus: %u AIDS-like graphs (mean |V| %.0f, max %u) | workload: %u "
+      "queries (Zipf a=%.1f) | cache/window: %zu/%zu | change plan: %u "
+      "batches x %u ops | seed %llu\n",
+      cfg.graphs, cfg.mean_vertices, cfg.max_vertices, cfg.queries,
+      cfg.zipf_alpha, cfg.cache_capacity, cfg.window_capacity, cfg.batches,
+      cfg.ops_per_batch, static_cast<unsigned long long>(cfg.seed));
+}
+
+}  // namespace gcp::bench
+
+#endif  // GCP_BENCH_BENCH_COMMON_HPP_

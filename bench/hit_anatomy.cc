@@ -1,0 +1,67 @@
+// E7 (§7.2 claims): anatomy of cache hits, ZU vs UU.
+//
+// The paper explains why ZU and UU speedups are close despite ZU's skew:
+//   * ZU sees ~2.5x the exact-match hits of UU,
+//   * but only ~4% of ZU's exact-match hits are sub-iso-test-free
+//     (vs ~11% in UU) — an exact hit needs full validity to short-circuit,
+//   * while UU sees ~2x the subgraph/supergraph hits of ZU.
+// This bench reproduces those counters (CON model, VF2+).
+
+#include "bench_common.hpp"
+
+using namespace gcp;
+using namespace gcp::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const BenchConfig cfg = BenchConfig::FromFlags(flags);
+  PrintConfig(cfg, "Hit anatomy (paper §7.2): ZU vs UU");
+
+  const std::vector<Graph> corpus = BuildCorpus(cfg);
+  const ChangePlan plan = BuildPlan(cfg, corpus.size());
+
+  std::printf("\n%-10s %12s %18s %14s %14s %14s\n", "workload", "exact hits",
+              "exact zero-test", "sub hits", "super hits", "empty proofs");
+  struct Cell {
+    std::string name;
+    std::uint64_t exact = 0, exact_zero = 0, sub = 0, super = 0, empty = 0;
+  };
+  std::vector<Cell> cells;
+  for (const std::string& wname : {std::string("ZU"), std::string("UU")}) {
+    const Workload w = BuildWorkload(wname, corpus, cfg);
+    const RunReport r =
+        RunWorkload(corpus, w, plan,
+                    MakeRunnerConfig(RunMode::kCon, MatcherKind::kVf2Plus,
+                                     cfg));
+    Cell c;
+    c.name = wname;
+    c.exact = r.agg.exact_hits;
+    c.exact_zero = r.agg.exact_hits_zero_test;
+    c.sub = r.agg.sub_hits;
+    c.super = r.agg.super_hits;
+    c.empty = r.agg.empty_shortcuts;
+    cells.push_back(c);
+    const double zero_share =
+        c.exact > 0 ? 100.0 * static_cast<double>(c.exact_zero) /
+                          static_cast<double>(c.exact)
+                    : 0.0;
+    std::printf("%-10s %12llu %15llu (%4.1f%%) %11llu %14llu %14llu\n",
+                c.name.c_str(), static_cast<unsigned long long>(c.exact),
+                static_cast<unsigned long long>(c.exact_zero), zero_share,
+                static_cast<unsigned long long>(c.sub),
+                static_cast<unsigned long long>(c.super),
+                static_cast<unsigned long long>(c.empty));
+    std::fflush(stdout);
+  }
+  if (cells.size() == 2 && cells[1].exact > 0) {
+    std::printf("\n# exact-hit ratio ZU/UU: %.2fx (paper: ~2.5x)\n",
+                static_cast<double>(cells[0].exact) /
+                    static_cast<double>(cells[1].exact));
+  }
+  if (cells.size() == 2 && (cells[0].sub + cells[0].super) > 0) {
+    std::printf("# sub+super-hit ratio UU/ZU: %.2fx (paper: ~2x)\n",
+                static_cast<double>(cells[1].sub + cells[1].super) /
+                    static_cast<double>(cells[0].sub + cells[0].super));
+  }
+  return 0;
+}

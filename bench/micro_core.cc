@@ -1,0 +1,153 @@
+// A5: google-benchmark micro-benchmarks of the GC+ primitives — bitset
+// algebra, Algorithm 1 (log analysis), Algorithm 2 (validation), hit
+// discovery and the sub-iso kernels. These quantify the "<1% validation
+// overhead" claim at the operation level.
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_validator.hpp"
+#include "common/bitset.hpp"
+#include "dataset/aids_like.hpp"
+#include "dataset/change_log.hpp"
+#include "dataset/log_analyzer.hpp"
+#include "graph/canonical.hpp"
+#include "graph/features.hpp"
+#include "match/matcher.hpp"
+#include "workload/query_gen.hpp"
+
+namespace gcp {
+namespace {
+
+void BM_BitsetAnd(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  DynamicBitset a(n), b(n);
+  for (std::size_t i = 0; i < n / 3; ++i) {
+    a.Set(rng.UniformBelow(n));
+    b.Set(rng.UniformBelow(n));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DynamicBitset::And(a, b).Count());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BitsetAnd)->Arg(1000)->Arg(40000)->Arg(1000000);
+
+void BM_BitsetCountAnd(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  DynamicBitset a(n), b(n);
+  for (std::size_t i = 0; i < n / 3; ++i) {
+    a.Set(rng.UniformBelow(n));
+    b.Set(rng.UniformBelow(n));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.CountAnd(b));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BitsetCountAnd)->Arg(40000)->Arg(1000000);
+
+// Algorithm 1 throughput: a paper-sized batch (20 ops).
+void BM_LogAnalyzer(benchmark::State& state) {
+  gcp::ChangeLog log;
+  Rng rng(3);
+  for (int i = 0; i < state.range(0); ++i) {
+    log.Append(static_cast<ChangeType>(rng.UniformBelow(4)),
+               static_cast<GraphId>(rng.UniformBelow(40000)));
+  }
+  const std::vector<ChangeRecord> records = log.ExtractSince(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LogAnalyzer::Analyze(records));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LogAnalyzer)->Arg(20)->Arg(2000);
+
+// Algorithm 2 on a paper-scale cache: 120 resident entries, 40,000-graph
+// horizon, one batch of 20 operations.
+void BM_CacheValidatorRefresh(benchmark::State& state) {
+  const std::size_t horizon = 40000;
+  Rng rng(4);
+  std::vector<CachedQuery> entries(120);
+  for (auto& e : entries) {
+    e.answer = DynamicBitset(horizon);
+    for (int i = 0; i < 50; ++i) e.answer.Set(rng.UniformBelow(horizon));
+    e.valid = DynamicBitset(horizon, true);
+  }
+  gcp::ChangeLog log;
+  for (int i = 0; i < 20; ++i) {
+    log.Append(static_cast<ChangeType>(rng.UniformBelow(4)),
+               static_cast<GraphId>(rng.UniformBelow(horizon)));
+  }
+  const ChangeCounters counters = LogAnalyzer::Analyze(log.ExtractSince(0));
+  for (auto _ : state) {
+    for (auto& e : entries) {
+      CacheValidator::RefreshEntry(e, counters, horizon);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(entries.size()));
+}
+BENCHMARK(BM_CacheValidatorRefresh);
+
+void BM_FeatureExtract(benchmark::State& state) {
+  AidsLikeOptions opts;
+  opts.num_graphs = 1;
+  AidsLikeGenerator gen(opts);
+  const Graph g = gen.GenerateOne(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GraphFeatures::Extract(g));
+  }
+}
+BENCHMARK(BM_FeatureExtract)->Arg(20)->Arg(45)->Arg(245);
+
+void BM_WlDigest(benchmark::State& state) {
+  AidsLikeOptions opts;
+  opts.num_graphs = 1;
+  AidsLikeGenerator gen(opts);
+  const Graph g = gen.GenerateOne(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WlDigest(g));
+  }
+}
+BENCHMARK(BM_WlDigest)->Arg(20)->Arg(45);
+
+// Sub-iso kernels on AIDS-like molecule/query pairs.
+void SubIsoKernel(benchmark::State& state, MatcherKind kind) {
+  AidsLikeOptions opts;
+  opts.num_graphs = 64;
+  opts.seed = 5;
+  AidsLikeGenerator gen(opts);
+  const std::vector<Graph> targets = gen.Generate();
+  Rng rng(6);
+  std::vector<Graph> queries;
+  for (int i = 0; i < 16; ++i) {
+    const Graph& src = targets[rng.UniformBelow(targets.size())];
+    queries.push_back(ExtractBfsQuery(
+        src, static_cast<VertexId>(rng.UniformBelow(src.NumVertices())),
+        12));
+  }
+  const auto matcher = MakeMatcher(kind);
+  std::size_t qi = 0, ti = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        matcher->Contains(queries[qi], targets[ti]));
+    qi = (qi + 1) % queries.size();
+    ti = (ti + 7) % targets.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+void BM_SubIsoVf2(benchmark::State& s) { SubIsoKernel(s, MatcherKind::kVf2); }
+void BM_SubIsoVf2Plus(benchmark::State& s) {
+  SubIsoKernel(s, MatcherKind::kVf2Plus);
+}
+void BM_SubIsoGql(benchmark::State& s) {
+  SubIsoKernel(s, MatcherKind::kGraphQl);
+}
+BENCHMARK(BM_SubIsoVf2);
+BENCHMARK(BM_SubIsoVf2Plus);
+BENCHMARK(BM_SubIsoGql);
+
+}  // namespace
+}  // namespace gcp

@@ -1,0 +1,96 @@
+// Pattern mining on a single large graph — the paper's §8 future-work
+// scenario ("finding all occurrences of a query graph against a single
+// massive graph"), exercising the matching-problem substrate
+// (EnumerateEmbeddings / CountEmbeddings) rather than the decision
+// problem the cache runtime uses.
+//
+// Builds a large labelled interaction network and counts occurrences of
+// a family of motifs, reporting raw embedding counts and per-motif rates.
+//
+// Run:  ./examples/pattern_mining [--vertices N] [--seed S]
+
+#include <cstdio>
+
+#include "common/flags.hpp"
+#include "common/stopwatch.hpp"
+#include "graph/generators.hpp"
+#include "match/enumerate.hpp"
+
+using namespace gcp;
+
+namespace {
+
+Graph Path(std::initializer_list<Label> labels) {
+  Graph g;
+  for (const Label l : labels) g.AddVertex(l);
+  for (VertexId v = 0; v + 1 < g.NumVertices(); ++v) g.AddEdge(v, v + 1).ok();
+  return g;
+}
+
+Graph Triangle(Label a, Label b, Label c) {
+  Graph g = Path({a, b, c});
+  g.AddEdge(2, 0).ok();
+  return g;
+}
+
+Graph Star(std::initializer_list<Label> labels) {
+  Graph g;
+  for (const Label l : labels) g.AddVertex(l);
+  for (VertexId v = 1; v < g.NumVertices(); ++v) g.AddEdge(0, v).ok();
+  return g;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const auto n = static_cast<std::size_t>(flags.GetInt("vertices", 20000));
+  Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 3)));
+
+  // One massive graph with 3 role labels (0 dominates), ~1.6 edges/vertex.
+  Graph big = RandomConnectedGraph(rng, n, n * 3 / 5, 1);
+  {
+    Graph relabelled;
+    for (VertexId v = 0; v < big.NumVertices(); ++v) {
+      const double u = rng.UniformDouble();
+      relabelled.AddVertex(u < 0.7 ? 0 : (u < 0.9 ? 1 : 2));
+    }
+    for (const auto& [a, b] : big.Edges()) relabelled.AddEdge(a, b).ok();
+    big = std::move(relabelled);
+  }
+  std::printf("network: %zu vertices, %zu edges\n", big.NumVertices(),
+              big.NumEdges());
+
+  struct Motif {
+    const char* name;
+    Graph pattern;
+  };
+  const Motif motifs[] = {
+      {"wedge 0-1-0", Path({0, 1, 0})},
+      {"chain 0-0-0-0", Path({0, 0, 0, 0})},
+      {"triangle 0-0-0", Triangle(0, 0, 0)},
+      {"hub 1<-(0,0,0)", Star({1, 0, 0, 0})},
+      {"bridge 2-0-2", Path({2, 0, 2})},
+  };
+
+  std::printf("%-16s %16s %12s %14s\n", "motif", "embeddings", "ms",
+              "emb/ms");
+  for (const Motif& m : motifs) {
+    Stopwatch watch;
+    const std::uint64_t count = CountEmbeddings(m.pattern, big);
+    const double ms = watch.ElapsedMillis();
+    std::printf("%-16s %16llu %12.1f %14.0f\n", m.name,
+                static_cast<unsigned long long>(count), ms,
+                ms > 0 ? static_cast<double>(count) / ms : 0.0);
+  }
+
+  // Early-stop usage: grab three concrete witnesses of the rarest motif.
+  std::printf("\nfirst 3 'bridge 2-0-2' witnesses (vertex ids):\n");
+  int shown = 0;
+  EnumerateEmbeddings(Path({2, 0, 2}), big,
+                      [&](const std::vector<VertexId>& m) {
+                        std::printf("  (%u, %u, %u)\n", m[0], m[1], m[2]);
+                        return ++shown < 3;
+                      });
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Social-network exploration: the paper's second motivating scenario.
+//
+// A dataset of community interaction graphs (one graph per group/event;
+// vertices carry role labels). Analysts explore by starting broad
+// ("any moderator connected to two members") and narrowing in ("...where
+// the members also follow an advertiser"), so consecutive queries form
+// subgraph chains — exactly the structure GC+ exploits. Meanwhile the
+// communities evolve: groups form (ADD) and dissolve (DEL), relations
+// appear (UA) and disappear (UR).
+//
+// Run:  ./examples/social_exploration [--groups N] [--rounds R] [--seed S]
+
+#include <cstdio>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "core/graphcache_plus.hpp"
+#include "graph/generators.hpp"
+#include "workload/query_gen.hpp"
+
+using namespace gcp;
+
+namespace {
+
+// Role labels.
+constexpr Label kMember = 0;
+constexpr Label kModerator = 1;
+constexpr Label kAdvertiser = 2;
+constexpr Label kBot = 3;
+
+// A community: a moderator-centred, mostly-member graph with a sprinkle
+// of advertisers/bots.
+Graph MakeCommunity(Rng& rng, std::size_t people) {
+  Graph g = RandomConnectedGraph(rng, people, people / 3, 1);
+  // Re-label: ~80% members, 10% moderators, 7% advertisers, 3% bots.
+  Graph relabelled;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const double u = rng.UniformDouble();
+    Label role = kMember;
+    if (u > 0.97) {
+      role = kBot;
+    } else if (u > 0.90) {
+      role = kAdvertiser;
+    } else if (u > 0.80) {
+      role = kModerator;
+    }
+    relabelled.AddVertex(role);
+  }
+  for (const auto& [a, b] : g.Edges()) relabelled.AddEdge(a, b).ok();
+  return relabelled;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const auto groups = static_cast<std::size_t>(flags.GetInt("groups", 250));
+  const auto rounds = static_cast<std::size_t>(flags.GetInt("rounds", 40));
+  Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 11)));
+
+  std::vector<Graph> communities;
+  communities.reserve(groups);
+  for (std::size_t i = 0; i < groups; ++i) {
+    communities.push_back(MakeCommunity(rng, 10 + rng.UniformBelow(30)));
+  }
+
+  GraphDataset dataset;
+  dataset.Bootstrap(communities);
+
+  GraphCachePlusOptions opts;
+  opts.model = CacheModel::kCon;
+  opts.method_m = MatcherKind::kGraphQl;
+  GraphCachePlus gc(&dataset, opts);
+
+  std::uint64_t tests_broad = 0, tests_narrow = 0;
+  std::uint64_t candidates_broad = 0, candidates_narrow = 0;
+  std::size_t narrow_queries = 0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // Community churn between exploration rounds.
+    if (round % 4 == 3) {
+      dataset.AddGraph(MakeCommunity(rng, 12 + rng.UniformBelow(24)));
+      const auto live = dataset.LiveIds();
+      dataset.DeleteGraph(live[rng.UniformBelow(live.size())]).ok();
+      const auto live2 = dataset.LiveIds();
+      const GraphId gid = live2[rng.UniformBelow(live2.size())];
+      const auto non_edges = dataset.graph(gid).NonEdges();
+      if (!non_edges.empty()) {
+        const auto& [u, v] = non_edges[rng.UniformBelow(non_edges.size())];
+        dataset.AddEdge(gid, u, v).ok();
+      }
+    }
+
+    // Broad-to-narrow exploration: BFS prefixes of a random community,
+    // 2 → 5 → 9 edges (each narrower query contains the previous one).
+    const auto live = dataset.LiveIds();
+    const Graph& focus = dataset.graph(live[rng.UniformBelow(live.size())]);
+    const auto start =
+        static_cast<VertexId>(rng.UniformBelow(focus.NumVertices()));
+    bool first = true;
+    for (const std::size_t size : {2u, 5u, 9u}) {
+      const Graph pattern = ExtractBfsQuery(focus, start, size);
+      const QueryResult r = gc.SubgraphQuery(pattern);
+      if (first) {
+        tests_broad += r.metrics.si_tests;
+        candidates_broad += r.metrics.candidates_initial;
+        first = false;
+      } else {
+        tests_narrow += r.metrics.si_tests;
+        candidates_narrow += r.metrics.candidates_initial;
+        ++narrow_queries;
+      }
+    }
+  }
+
+  const AggregateMetrics& agg = gc.aggregate();
+  std::printf("exploration rounds:            %zu (3 queries each)\n",
+              rounds);
+  std::printf(
+      "broad queries:     %5.1f of %5.1f candidates verified (%.0f%% saved)\n",
+      static_cast<double>(tests_broad) / static_cast<double>(rounds),
+      static_cast<double>(candidates_broad) / static_cast<double>(rounds),
+      100.0 * (1.0 - static_cast<double>(tests_broad) /
+                         static_cast<double>(candidates_broad)));
+  std::printf(
+      "narrowing queries: %5.1f of %5.1f candidates verified (%.0f%% saved)"
+      "  <- cache-assisted\n",
+      static_cast<double>(tests_narrow) / static_cast<double>(narrow_queries),
+      static_cast<double>(candidates_narrow) /
+          static_cast<double>(narrow_queries),
+      100.0 * (1.0 - static_cast<double>(tests_narrow) /
+                         static_cast<double>(candidates_narrow)));
+  std::printf("hits: %llu exact, %llu subgraph, %llu supergraph, %llu "
+              "empty-proof\n",
+              static_cast<unsigned long long>(agg.exact_hits),
+              static_cast<unsigned long long>(agg.sub_hits),
+              static_cast<unsigned long long>(agg.super_hits),
+              static_cast<unsigned long long>(agg.empty_shortcuts));
+  std::printf("consistency: %llu dataset changes reconciled via Algorithms "
+              "1+2, zero stale answers by construction\n",
+              static_cast<unsigned long long>(dataset.log().size()));
+  return 0;
+}

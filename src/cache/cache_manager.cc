@@ -1,0 +1,149 @@
+#include "cache/cache_manager.hpp"
+
+#include <algorithm>
+
+#include "cache/cache_validator.hpp"
+#include "graph/canonical.hpp"
+
+namespace gcp {
+
+CacheManager::CacheManager(CacheManagerOptions options)
+    : options_(options), rng_(options.rng_seed) {}
+
+CacheEntryId CacheManager::Admit(Graph query, CachedQueryKind kind,
+                                 DynamicBitset answer, DynamicBitset valid,
+                                 std::uint64_t now, double est_test_cost_ms) {
+  auto entry = std::make_unique<CachedQuery>();
+  entry->id = next_id_++;
+  entry->kind = kind;
+  entry->features = GraphFeatures::Extract(query);
+  entry->digest = WlDigest(query);
+  entry->query = std::move(query);
+  entry->answer = std::move(answer);
+  entry->valid = std::move(valid);
+  entry->est_test_cost_ms = est_test_cost_ms;
+  entry->admitted_at = now;
+  entry->last_used_at = now;
+  entry->in_window = true;
+  const CacheEntryId id = entry->id;
+  index_.Insert(entry.get());
+  window_.push_back(std::move(entry));
+  ++stats_.total_admissions;
+  if (window_.size() >= options_.window_capacity) {
+    MergeWindowIntoCache();
+  }
+  return id;
+}
+
+void CacheManager::MergeWindowIntoCache() {
+  // Candidate pool: current cache residents plus the window batch.
+  for (auto& e : window_) {
+    e->in_window = false;
+    cache_.push_back(std::move(e));
+  }
+  window_.clear();
+  if (cache_.size() <= options_.cache_capacity) return;
+
+  std::vector<const CachedQuery*> pool;
+  pool.reserve(cache_.size());
+  for (const auto& e : cache_) pool.push_back(e.get());
+  const ReplacementRanker ranker(options_.policy, &rng_);
+  const std::vector<std::size_t> order = ranker.RankBestFirst(pool);
+  last_effective_ = ranker.effective_policy();
+
+  std::vector<std::unique_ptr<CachedQuery>> kept;
+  kept.reserve(options_.cache_capacity);
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    auto& slot = cache_[order[rank]];
+    if (rank < options_.cache_capacity) {
+      kept.push_back(std::move(slot));
+    } else {
+      index_.Erase(slot->id);
+      ++stats_.total_evictions;
+    }
+  }
+  cache_ = std::move(kept);
+}
+
+void CacheManager::Clear() {
+  if (!cache_.empty() || !window_.empty()) ++stats_.total_cache_clears;
+  cache_.clear();
+  window_.clear();
+  index_.Clear();
+}
+
+void CacheManager::ValidateAll(const ChangeCounters& counters,
+                               std::size_t id_horizon) {
+  for (auto& e : cache_) CacheValidator::RefreshEntry(*e, counters, id_horizon);
+  for (auto& e : window_) {
+    CacheValidator::RefreshEntry(*e, counters, id_horizon);
+  }
+}
+
+void CacheManager::ExtendAll(std::size_t id_horizon) {
+  const ChangeCounters empty;
+  for (auto& e : cache_) CacheValidator::RefreshEntry(*e, empty, id_horizon);
+  for (auto& e : window_) CacheValidator::RefreshEntry(*e, empty, id_horizon);
+}
+
+void CacheManager::RecordBenefit(CacheEntryId id, std::uint64_t tests_saved,
+                                 std::uint64_t now) {
+  CachedQuery* e = FindMutable(id);
+  if (e == nullptr) return;
+  StatisticsManager::RecordBenefit(*e, tests_saved, now);
+  stats_.total_tests_saved += tests_saved;
+}
+
+std::vector<CachedQuery> CacheManager::ExportEntries() const {
+  std::vector<CachedQuery> out;
+  out.reserve(resident());
+  ForEachEntry([&out](const CachedQuery& e) { out.push_back(e); });
+  return out;
+}
+
+void CacheManager::RestoreEntries(std::vector<CachedQuery> entries) {
+  Clear();
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const CachedQuery& a, const CachedQuery& b) {
+                     return a.tests_saved > b.tests_saved;
+                   });
+  if (entries.size() > options_.cache_capacity) {
+    entries.resize(options_.cache_capacity);
+  }
+  for (CachedQuery& e : entries) {
+    auto owned = std::make_unique<CachedQuery>(std::move(e));
+    owned->id = next_id_++;
+    owned->in_window = false;
+    owned->features = GraphFeatures::Extract(owned->query);
+    owned->digest = WlDigest(owned->query);
+    index_.Insert(owned.get());
+    cache_.push_back(std::move(owned));
+  }
+}
+
+std::vector<CacheEntryId> CacheManager::ResidentIdsByBenefit() const {
+  std::vector<const CachedQuery*> all;
+  all.reserve(resident());
+  for (const auto& e : cache_) all.push_back(e.get());
+  for (const auto& e : window_) all.push_back(e.get());
+  std::stable_sort(all.begin(), all.end(),
+                   [](const CachedQuery* a, const CachedQuery* b) {
+                     return a->tests_saved > b->tests_saved;
+                   });
+  std::vector<CacheEntryId> ids;
+  ids.reserve(all.size());
+  for (const auto* e : all) ids.push_back(e->id);
+  return ids;
+}
+
+CachedQuery* CacheManager::FindMutable(CacheEntryId id) {
+  for (auto& e : cache_) {
+    if (e->id == id) return e.get();
+  }
+  for (auto& e : window_) {
+    if (e->id == id) return e.get();
+  }
+  return nullptr;
+}
+
+}  // namespace gcp

@@ -1,0 +1,117 @@
+// Cache Manager subsystem (paper §4): owns the Cache and Window stores,
+// the Statistics Manager, the replacement machinery and the Cache
+// Validator hook.
+//
+// Admission control follows GraphCache: newly executed queries are batched
+// into a Window (default 20); when the window fills, window entries and
+// cache residents are ranked together by the configured replacement policy
+// and the best `cache_capacity` (default 100) survive in the cache.
+// Queries in *both* stores serve cache hits (paper §4: "cached
+// graphs/queries by default cover those previous queries in both cache and
+// window").
+
+#ifndef GCP_CACHE_CACHE_MANAGER_HPP_
+#define GCP_CACHE_CACHE_MANAGER_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/cache_entry.hpp"
+#include "cache/query_index.hpp"
+#include "cache/replacement.hpp"
+#include "cache/statistics.hpp"
+#include "dataset/log_analyzer.hpp"
+
+namespace gcp {
+
+/// Configuration of the cache stores.
+struct CacheManagerOptions {
+  std::size_t cache_capacity = 100;   ///< Paper default.
+  std::size_t window_capacity = 20;   ///< Paper default.
+  ReplacementPolicy policy = ReplacementPolicy::kHybrid;
+  std::uint64_t rng_seed = 7;         ///< For the RANDOM policy only.
+};
+
+/// \brief Cache + Window stores with admission, replacement, validation.
+class CacheManager {
+ public:
+  explicit CacheManager(CacheManagerOptions options);
+
+  /// Admits a freshly executed query into the window. May trigger a
+  /// window→cache merge (replacement) when the window becomes full.
+  /// Returns the assigned entry id.
+  CacheEntryId Admit(Graph query, CachedQueryKind kind, DynamicBitset answer,
+                     DynamicBitset valid, std::uint64_t now,
+                     double est_test_cost_ms);
+
+  /// EVI purge: drops every resident entry (cache and window).
+  void Clear();
+
+  /// CON validation: applies Algorithm 2 to every resident entry.
+  void ValidateAll(const ChangeCounters& counters, std::size_t id_horizon);
+
+  /// Aligns every resident indicator/answer to `id_horizon` without
+  /// consuming counters (used when only ADDs happened — subsumed by
+  /// ValidateAll, kept for introspection in tests).
+  void ExtendAll(std::size_t id_horizon);
+
+  /// Records that entry `id` alleviated `tests_saved` sub-iso tests.
+  void RecordBenefit(CacheEntryId id, std::uint64_t tests_saved,
+                     std::uint64_t now);
+
+  /// Mutable entry lookup (hit-kind counters); nullptr when not resident.
+  CachedQuery* FindMutable(CacheEntryId id);
+
+  /// Ids of all resident entries (cache first, then window), most useful
+  /// first within each store (by R) — the order retrospective validation
+  /// spends its budget in.
+  std::vector<CacheEntryId> ResidentIdsByBenefit() const;
+
+  /// Feature index over all resident entries.
+  const QueryIndex& index() const { return index_; }
+
+  std::size_t cache_size() const { return cache_.size(); }
+  std::size_t window_size() const { return window_.size(); }
+  std::size_t resident() const { return cache_.size() + window_.size(); }
+
+  const CacheManagerOptions& options() const { return options_; }
+  StatisticsManager& stats() { return stats_; }
+  const StatisticsManager& stats() const { return stats_; }
+
+  /// Policy the last merge actually applied (HD resolves to PIN or PINC).
+  ReplacementPolicy last_effective_policy() const { return last_effective_; }
+
+  /// Calls `fn(const CachedQuery&)` for every resident entry.
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (const auto& e : cache_) fn(*e);
+    for (const auto& e : window_) fn(*e);
+  }
+
+  /// Forces the window→cache merge immediately (exposed for tests).
+  void MergeWindowIntoCache();
+
+  /// Deep-copies every resident entry (cache store first, then window) —
+  /// the payload of a cache snapshot.
+  std::vector<CachedQuery> ExportEntries() const;
+
+  /// Replaces the resident contents with `entries` (fresh ids are
+  /// assigned; at most cache_capacity entries are kept, best R first; all
+  /// land in the cache store). Used when restoring a snapshot.
+  void RestoreEntries(std::vector<CachedQuery> entries);
+
+ private:
+  CacheManagerOptions options_;
+  std::vector<std::unique_ptr<CachedQuery>> cache_;
+  std::vector<std::unique_ptr<CachedQuery>> window_;
+  QueryIndex index_;
+  StatisticsManager stats_;
+  Rng rng_;
+  CacheEntryId next_id_ = 1;
+  ReplacementPolicy last_effective_ = ReplacementPolicy::kHybrid;
+};
+
+}  // namespace gcp
+
+#endif  // GCP_CACHE_CACHE_MANAGER_HPP_

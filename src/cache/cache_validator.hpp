@@ -1,0 +1,37 @@
+// Cache Validator — Algorithm 2 of the paper.
+//
+// Refreshes the dataset-graph-validity indicator (CGvalid) of cached
+// queries against the operation counters produced by the Log Analyzer
+// (Algorithm 1). Per touched dataset graph G_i:
+//   * UA-exclusive changes (only edge additions) preserve a valid positive
+//     result g ⊆ G_i — adding edges cannot destroy a containment;
+//   * UR-exclusive changes (only edge removals) preserve a valid negative
+//     result g ⊄ G_i — removing edges cannot create a containment;
+//   * everything else (ADD, DEL, mixed UA+UR, or a change conflicting
+//     with the cached polarity) turns the validity bit off.
+// Newly added dataset graphs appear as indicator extension with bits
+// defaulting to false (relation unknown).
+
+#ifndef GCP_CACHE_CACHE_VALIDATOR_HPP_
+#define GCP_CACHE_CACHE_VALIDATOR_HPP_
+
+#include <cstddef>
+
+#include "cache/cache_entry.hpp"
+#include "dataset/log_analyzer.hpp"
+
+namespace gcp {
+
+/// \brief Applies Algorithm 2 to cached queries.
+class CacheValidator {
+ public:
+  /// Refreshes one entry's CGvalid given the counters and the current id
+  /// horizon (m + 1 of Algorithm 2). Also aligns the answer snapshot's
+  /// size so downstream bitset algebra operates on equal widths.
+  static void RefreshEntry(CachedQuery& entry, const ChangeCounters& counters,
+                           std::size_t id_horizon);
+};
+
+}  // namespace gcp
+
+#endif  // GCP_CACHE_CACHE_VALIDATOR_HPP_

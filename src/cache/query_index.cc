@@ -1,0 +1,58 @@
+#include "cache/query_index.hpp"
+
+namespace gcp {
+
+void QueryIndex::Insert(const CachedQuery* entry) {
+  entries_[entry->id] = entry;
+  by_digest_.emplace(entry->digest, entry->id);
+}
+
+void QueryIndex::Erase(CacheEntryId id) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  const std::uint64_t digest = it->second->digest;
+  entries_.erase(it);
+  auto [lo, hi] = by_digest_.equal_range(digest);
+  for (auto dit = lo; dit != hi; ++dit) {
+    if (dit->second == id) {
+      by_digest_.erase(dit);
+      break;
+    }
+  }
+}
+
+void QueryIndex::Clear() {
+  entries_.clear();
+  by_digest_.clear();
+}
+
+std::vector<const CachedQuery*> QueryIndex::SupergraphCandidates(
+    const GraphFeatures& g) const {
+  std::vector<const CachedQuery*> out;
+  for (const auto& [id, entry] : entries_) {
+    if (g.CouldBeSubgraphOf(entry->features)) out.push_back(entry);
+  }
+  return out;
+}
+
+std::vector<const CachedQuery*> QueryIndex::SubgraphCandidates(
+    const GraphFeatures& g) const {
+  std::vector<const CachedQuery*> out;
+  for (const auto& [id, entry] : entries_) {
+    if (entry->features.CouldBeSubgraphOf(g)) out.push_back(entry);
+  }
+  return out;
+}
+
+std::vector<const CachedQuery*> QueryIndex::DigestMatches(
+    std::uint64_t digest) const {
+  std::vector<const CachedQuery*> out;
+  auto [lo, hi] = by_digest_.equal_range(digest);
+  for (auto it = lo; it != hi; ++it) {
+    const auto eit = entries_.find(it->second);
+    if (eit != entries_.end()) out.push_back(eit->second);
+  }
+  return out;
+}
+
+}  // namespace gcp

@@ -1,0 +1,58 @@
+// Feature index over cached queries.
+//
+// To exploit the cache, GC+ must discover — for each incoming query g —
+// the cached queries g' with g ⊆ g' (subgraph case) and g'' with g'' ⊆ g
+// (supergraph case). Verifying g against every cached query with an exact
+// matcher would defeat the purpose, so the index keeps the monotone
+// features of every resident query and applies the filter-then-verify
+// pattern *to the cache itself* (the role iGQ [25] plays inside
+// GraphCache): feature dominance shortlists candidates, the processors
+// verify survivors with a matcher on query-sized graphs.
+
+#ifndef GCP_CACHE_QUERY_INDEX_HPP_
+#define GCP_CACHE_QUERY_INDEX_HPP_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_entry.hpp"
+
+namespace gcp {
+
+/// \brief Index of resident cached queries by monotone features.
+class QueryIndex {
+ public:
+  /// Registers an entry (entry storage is owned by the CacheManager and
+  /// must outlive the index registration).
+  void Insert(const CachedQuery* entry);
+
+  /// Removes an entry by id; no-op if absent.
+  void Erase(CacheEntryId id);
+
+  /// Drops everything (EVI purge).
+  void Clear();
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Cached queries that could CONTAIN `g` (candidates for g ⊆ g').
+  /// Sound: never misses a true supergraph of g.
+  std::vector<const CachedQuery*> SupergraphCandidates(
+      const GraphFeatures& g) const;
+
+  /// Cached queries that could BE CONTAINED in `g` (candidates for
+  /// g'' ⊆ g). Sound: never misses a true subgraph of g.
+  std::vector<const CachedQuery*> SubgraphCandidates(
+      const GraphFeatures& g) const;
+
+  /// Cached queries with WL digest `digest` (exact-match / dedup probes).
+  std::vector<const CachedQuery*> DigestMatches(std::uint64_t digest) const;
+
+ private:
+  std::unordered_map<CacheEntryId, const CachedQuery*> entries_;
+  std::unordered_multimap<std::uint64_t, CacheEntryId> by_digest_;
+};
+
+}  // namespace gcp
+
+#endif  // GCP_CACHE_QUERY_INDEX_HPP_

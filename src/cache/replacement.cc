@@ -1,0 +1,78 @@
+#include "cache/replacement.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cache/statistics.hpp"
+
+namespace gcp {
+
+std::string_view ReplacementPolicyName(ReplacementPolicy policy) {
+  switch (policy) {
+    case ReplacementPolicy::kLru:
+      return "LRU";
+    case ReplacementPolicy::kLfu:
+      return "LFU";
+    case ReplacementPolicy::kRandom:
+      return "RANDOM";
+    case ReplacementPolicy::kPin:
+      return "PIN";
+    case ReplacementPolicy::kPinc:
+      return "PINC";
+    case ReplacementPolicy::kHybrid:
+      return "HD";
+  }
+  return "Unknown";
+}
+
+double ReplacementRanker::Score(const CachedQuery& e,
+                                ReplacementPolicy p) const {
+  switch (p) {
+    case ReplacementPolicy::kLru:
+      return static_cast<double>(std::max(e.last_used_at, e.admitted_at));
+    case ReplacementPolicy::kLfu:
+      return static_cast<double>(e.hits);
+    case ReplacementPolicy::kRandom:
+      return rng_ != nullptr ? rng_->UniformDouble() : 0.5;
+    case ReplacementPolicy::kPin:
+      return static_cast<double>(e.tests_saved);
+    case ReplacementPolicy::kPinc:
+      return static_cast<double>(e.tests_saved) * e.est_test_cost_ms;
+    case ReplacementPolicy::kHybrid:
+      break;  // resolved by RankBestFirst before scoring
+  }
+  return 0.0;
+}
+
+std::vector<std::size_t> ReplacementRanker::RankBestFirst(
+    const std::vector<const CachedQuery*>& entries) const {
+  ReplacementPolicy p = policy_;
+  if (p == ReplacementPolicy::kHybrid) {
+    // HD: inspect the variability of the R distribution (paper §7.1).
+    std::vector<double> r_values;
+    r_values.reserve(entries.size());
+    for (const auto* e : entries) {
+      r_values.push_back(static_cast<double>(e->tests_saved));
+    }
+    p = StatisticsManager::SquaredCoV(r_values) > 1.0
+            ? ReplacementPolicy::kPin
+            : ReplacementPolicy::kPinc;
+  }
+  effective_ = p;
+
+  std::vector<double> scores(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    scores[i] = Score(*entries[i], p);
+  }
+  std::vector<std::size_t> order(entries.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (scores[a] != scores[b]) return scores[a] > scores[b];
+                     // Tie-break: prefer the fresher entry.
+                     return entries[a]->admitted_at > entries[b]->admitted_at;
+                   });
+  return order;
+}
+
+}  // namespace gcp

@@ -1,0 +1,61 @@
+// Cache replacement policies (paper §7.1).
+//
+// GC+ inherits GraphCache's policy suite. The paper's experiments use the
+// hybrid HD policy, which coalesces the two GC/GC+ exclusive policies:
+//   * PIN  — rank by R, the number of sub-iso tests the entry alleviated;
+//   * PINC — rank by R × C, folding in an estimated per-test cost C;
+// choosing PIN when the R distribution is highly variable (squared
+// coefficient of variation > 1) and PINC otherwise. LRU / LFU / RANDOM are
+// conventional baselines.
+
+#ifndef GCP_CACHE_REPLACEMENT_HPP_
+#define GCP_CACHE_REPLACEMENT_HPP_
+
+#include <string_view>
+#include <vector>
+
+#include "cache/cache_entry.hpp"
+#include "common/rng.hpp"
+
+namespace gcp {
+
+/// Available eviction policies.
+enum class ReplacementPolicy {
+  kLru,     ///< Evict least-recently-useful.
+  kLfu,     ///< Evict least-frequently-hit.
+  kRandom,  ///< Evict uniformly at random.
+  kPin,     ///< Evict smallest R.
+  kPinc,    ///< Evict smallest R × C.
+  kHybrid,  ///< HD: PIN when CoV²(R) > 1 else PINC (paper's default).
+};
+
+std::string_view ReplacementPolicyName(ReplacementPolicy policy);
+
+/// \brief Ranks entries for eviction under a policy.
+class ReplacementRanker {
+ public:
+  explicit ReplacementRanker(ReplacementPolicy policy, Rng* rng)
+      : policy_(policy), rng_(rng) {}
+
+  /// Returns the indices of `entries` ordered best-first (keep prefix,
+  /// evict suffix). Deterministic apart from kRandom. Ties favour more
+  /// recently admitted entries so fresh queries can enter a cache full of
+  /// stale zero-benefit entries.
+  std::vector<std::size_t> RankBestFirst(
+      const std::vector<const CachedQuery*>& entries) const;
+
+  /// The policy actually applied on the last RankBestFirst call (HD
+  /// resolves to PIN or PINC; others return themselves).
+  ReplacementPolicy effective_policy() const { return effective_; }
+
+ private:
+  double Score(const CachedQuery& e, ReplacementPolicy p) const;
+
+  ReplacementPolicy policy_;
+  Rng* rng_;
+  mutable ReplacementPolicy effective_ = ReplacementPolicy::kLru;
+};
+
+}  // namespace gcp
+
+#endif  // GCP_CACHE_REPLACEMENT_HPP_

@@ -1,0 +1,158 @@
+#include "cache/snapshot.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph_io.hpp"
+
+namespace gcp {
+
+namespace {
+
+constexpr char kMagic[] = "GCPCACHE";
+constexpr int kVersion = 1;
+
+// Bitsets are serialized as '0'/'1' strings (diff-friendly; snapshots are
+// maintenance artifacts, not a hot path).
+DynamicBitset ParseBits(const std::string& s) {
+  DynamicBitset b(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '1') b.Set(i);
+  }
+  return b;
+}
+
+}  // namespace
+
+void WriteCacheSnapshot(std::ostream& os, const CacheSnapshot& snapshot) {
+  os << kMagic << " v" << kVersion << "\n";
+  os << "watermark " << snapshot.watermark << "\n";
+  os << "horizon " << snapshot.id_horizon << "\n";
+  os << "entries " << snapshot.entries.size() << "\n";
+  for (const CachedQuery& e : snapshot.entries) {
+    os << "entry kind=" << static_cast<int>(e.kind)
+       << " admitted=" << e.admitted_at << " last_used=" << e.last_used_at
+       << " hits=" << e.hits << " tests_saved=" << e.tests_saved
+       << " exact=" << e.exact_hits << " sub=" << e.sub_hits
+       << " super=" << e.super_hits << " cost=" << e.est_test_cost_ms << "\n";
+    os << "answer " << e.answer.ToString() << "\n";
+    os << "valid " << e.valid.ToString() << "\n";
+    os << GraphToGSpan(e.query);
+    os << "endentry\n";
+  }
+}
+
+Result<CacheSnapshot> ReadCacheSnapshot(std::istream& is) {
+  CacheSnapshot snapshot;
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != kMagic || version != "v1") {
+    return Status::Corruption("not a GCPCACHE v1 snapshot");
+  }
+  std::string key;
+  std::size_t entry_count = 0;
+  if (!(is >> key >> snapshot.watermark) || key != "watermark") {
+    return Status::Corruption("missing watermark record");
+  }
+  if (!(is >> key >> snapshot.id_horizon) || key != "horizon") {
+    return Status::Corruption("missing horizon record");
+  }
+  if (!(is >> key >> entry_count) || key != "entries") {
+    return Status::Corruption("missing entries record");
+  }
+  std::string line;
+  std::getline(is, line);  // consume end-of-line
+  snapshot.entries.reserve(entry_count);
+  for (std::size_t i = 0; i < entry_count; ++i) {
+    if (!std::getline(is, line) || line.rfind("entry ", 0) != 0) {
+      return Status::Corruption("expected entry header for entry " +
+                                std::to_string(i));
+    }
+    CachedQuery e;
+    {
+      std::istringstream hs(line.substr(6));
+      std::string field;
+      while (hs >> field) {
+        const auto eq = field.find('=');
+        if (eq == std::string::npos) {
+          return Status::Corruption("malformed entry field: " + field);
+        }
+        const std::string name = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        char* end = nullptr;
+        if (name == "cost") {
+          e.est_test_cost_ms = std::strtod(value.c_str(), &end);
+        } else {
+          const std::uint64_t v = std::strtoull(value.c_str(), &end, 10);
+          if (name == "kind") {
+            if (v > 1) return Status::Corruption("bad entry kind");
+            e.kind = static_cast<CachedQueryKind>(v);
+          } else if (name == "admitted") {
+            e.admitted_at = v;
+          } else if (name == "last_used") {
+            e.last_used_at = v;
+          } else if (name == "hits") {
+            e.hits = v;
+          } else if (name == "tests_saved") {
+            e.tests_saved = v;
+          } else if (name == "exact") {
+            e.exact_hits = v;
+          } else if (name == "sub") {
+            e.sub_hits = v;
+          } else if (name == "super") {
+            e.super_hits = v;
+          } else {
+            return Status::Corruption("unknown entry field: " + name);
+          }
+        }
+        if (end == nullptr || *end != '\0') {
+          return Status::Corruption("malformed entry value: " + field);
+        }
+      }
+    }
+    if (!std::getline(is, line) || line.rfind("answer ", 0) != 0) {
+      return Status::Corruption("missing answer bits");
+    }
+    e.answer = ParseBits(line.substr(7));
+    if (!std::getline(is, line) || line.rfind("valid ", 0) != 0) {
+      return Status::Corruption("missing valid bits");
+    }
+    e.valid = ParseBits(line.substr(6));
+    if (e.answer.size() != e.valid.size()) {
+      return Status::Corruption("answer/valid width mismatch");
+    }
+    // Graph block runs until "endentry".
+    std::ostringstream graph_text;
+    bool terminated = false;
+    while (std::getline(is, line)) {
+      if (line == "endentry") {
+        terminated = true;
+        break;
+      }
+      graph_text << line << "\n";
+    }
+    if (!terminated) return Status::Corruption("unterminated entry block");
+    auto g = GraphFromGSpan(graph_text.str());
+    if (!g.ok()) return g.status();
+    e.query = std::move(g).value();
+    snapshot.entries.push_back(std::move(e));
+  }
+  return snapshot;
+}
+
+Status WriteCacheSnapshotToFile(const std::string& path,
+                                const CacheSnapshot& snapshot) {
+  std::ofstream os(path);
+  if (!os) return Status::IOError("cannot open for writing: " + path);
+  WriteCacheSnapshot(os, snapshot);
+  os.flush();
+  if (!os) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<CacheSnapshot> ReadCacheSnapshotFromFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::IOError("cannot open for reading: " + path);
+  return ReadCacheSnapshot(is);
+}
+
+}  // namespace gcp

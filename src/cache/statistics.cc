@@ -1,0 +1,33 @@
+#include "cache/statistics.hpp"
+
+namespace gcp {
+
+double StatisticsManager::SquaredCoV(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  const double mean = sum / static_cast<double>(values.size());
+  if (mean == 0.0) return 0.0;
+  double var = 0.0;
+  for (const double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size());
+  return var / (mean * mean);
+}
+
+double StatisticsManager::StructuralCostEstimateMs(const Graph& query) {
+  // Sub-iso test cost grows with the size of the search tree, which is
+  // driven by query vertices and edges; the constants keep the estimate in
+  // the same unit range as measured averages on molecule-sized targets.
+  return 0.01 * static_cast<double>(query.NumVertices()) +
+         0.005 * static_cast<double>(query.NumEdges());
+}
+
+void StatisticsManager::RecordBenefit(CachedQuery& entry,
+                                      std::uint64_t tests_saved,
+                                      std::uint64_t now) {
+  entry.tests_saved += tests_saved;
+  ++entry.hits;
+  entry.last_used_at = now;
+}
+
+}  // namespace gcp

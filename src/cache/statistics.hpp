@@ -1,0 +1,52 @@
+// Statistics Manager — metadata backing the replacement policies
+// (paper §4, §7.1 "Cache Replacement Policy").
+//
+// PIN ranks entries by R (sub-iso tests alleviated); PINC by R weighted
+// with an estimated per-test cost C; HD (hybrid) picks between them at
+// eviction time using the squared coefficient of variation of the R
+// distribution: CoV² = Var/Mean² > 1 → high variability → PIN, else PINC.
+
+#ifndef GCP_CACHE_STATISTICS_HPP_
+#define GCP_CACHE_STATISTICS_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_entry.hpp"
+#include "graph/graph.hpp"
+
+namespace gcp {
+
+/// \brief Aggregate statistics over cache entries.
+class StatisticsManager {
+ public:
+  /// Squared coefficient of variation (Var/Mean²) of the entries' R
+  /// values. Returns 0 for fewer than two entries or an all-zero mean.
+  static double SquaredCoV(const std::vector<double>& values);
+
+  /// Heuristic per-sub-iso-test cost (ms) of a query when no measurement
+  /// is available: grows with query size (after [25] GC+ estimates cost
+  /// from structural properties).
+  static double StructuralCostEstimateMs(const Graph& query);
+
+  /// Records that `entry` alleviated `tests_saved` sub-iso tests at
+  /// workload position `now`.
+  static void RecordBenefit(CachedQuery& entry, std::uint64_t tests_saved,
+                            std::uint64_t now);
+
+  // --- Global counters (reported by the hit-anatomy bench) ---------------
+  std::uint64_t total_exact_hits = 0;
+  std::uint64_t total_exact_hits_zero_test = 0;
+  std::uint64_t total_sub_hits = 0;
+  std::uint64_t total_super_hits = 0;
+  std::uint64_t total_empty_shortcuts = 0;
+  std::uint64_t total_tests_saved = 0;
+  std::uint64_t total_admissions = 0;
+  std::uint64_t total_evictions = 0;
+  std::uint64_t total_cache_clears = 0;  ///< EVI purges.
+  std::uint64_t total_retro_refreshes = 0;  ///< Retrospective re-tests (§8).
+};
+
+}  // namespace gcp
+
+#endif  // GCP_CACHE_STATISTICS_HPP_

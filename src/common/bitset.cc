@@ -1,0 +1,148 @@
+#include "common/bitset.hpp"
+
+#include <bit>
+
+namespace gcp {
+
+void DynamicBitset::Resize(std::size_t size, bool value) {
+  const std::size_t old_size = size_;
+  words_.resize(WordsFor(size), value ? ~std::uint64_t{0} : 0);
+  size_ = size;
+  if (value && size > old_size && old_size > 0) {
+    // The old tail word may expose previously-padded zero bits; set them.
+    for (std::size_t i = old_size; i < std::min(size, WordsFor(old_size) * 64);
+         ++i) {
+      Set(i, true);
+    }
+  }
+  ClearPadding();
+}
+
+void DynamicBitset::SetAll() {
+  for (auto& w : words_) w = ~std::uint64_t{0};
+  ClearPadding();
+}
+
+void DynamicBitset::ResetAll() {
+  for (auto& w : words_) w = 0;
+}
+
+std::size_t DynamicBitset::Count() const {
+  std::size_t total = 0;
+  for (auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+bool DynamicBitset::Any() const {
+  for (auto w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+void DynamicBitset::AndWith(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void DynamicBitset::OrWith(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void DynamicBitset::AndNotWith(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+}
+
+void DynamicBitset::Complement() {
+  for (auto& w : words_) w = ~w;
+  ClearPadding();
+}
+
+DynamicBitset DynamicBitset::And(const DynamicBitset& lhs,
+                                 const DynamicBitset& rhs) {
+  DynamicBitset out = lhs;
+  out.AndWith(rhs);
+  return out;
+}
+
+DynamicBitset DynamicBitset::Or(const DynamicBitset& lhs,
+                                const DynamicBitset& rhs) {
+  DynamicBitset out = lhs;
+  out.OrWith(rhs);
+  return out;
+}
+
+DynamicBitset DynamicBitset::AndNot(const DynamicBitset& lhs,
+                                    const DynamicBitset& rhs) {
+  DynamicBitset out = lhs;
+  out.AndNotWith(rhs);
+  return out;
+}
+
+DynamicBitset DynamicBitset::Not(const DynamicBitset& v) {
+  DynamicBitset out = v;
+  out.Complement();
+  return out;
+}
+
+std::size_t DynamicBitset::CountAnd(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return total;
+}
+
+bool DynamicBitset::Intersects(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+std::size_t DynamicBitset::FindNext(std::size_t from) const {
+  if (from >= size_) return npos;
+  std::size_t w = from >> 6;
+  std::uint64_t word = words_[w] & (~std::uint64_t{0} << (from & 63));
+  while (true) {
+    if (word != 0) {
+      return w * 64 + static_cast<std::size_t>(std::countr_zero(word));
+    }
+    if (++w >= words_.size()) return npos;
+    word = words_[w];
+  }
+}
+
+std::vector<std::size_t> DynamicBitset::ToVector() const {
+  std::vector<std::size_t> out;
+  out.reserve(Count());
+  ForEachSetBit([&out](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+std::string DynamicBitset::ToString() const {
+  std::string out(size_, '0');
+  ForEachSetBit([&out](std::size_t i) { out[i] = '1'; });
+  return out;
+}
+
+void DynamicBitset::ClearPadding() {
+  const std::size_t tail = size_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+}
+
+}  // namespace gcp

@@ -1,0 +1,34 @@
+// Hashing helpers shared by graph canonical digests and feature indexes.
+
+#ifndef GCP_COMMON_HASH_HPP_
+#define GCP_COMMON_HASH_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gcp {
+
+/// Mixes `value` into `seed` (boost::hash_combine style, 64-bit constants).
+inline void HashCombine(std::uint64_t& seed, std::uint64_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+}
+
+/// FNV-1a over a byte range.
+inline std::uint64_t Fnv1a(const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t Fnv1a(std::string_view s) {
+  return Fnv1a(s.data(), s.size());
+}
+
+}  // namespace gcp
+
+#endif  // GCP_COMMON_HASH_HPP_

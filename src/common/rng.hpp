@@ -1,0 +1,140 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// All stochastic components of GC+ (workload generators, change plans,
+// synthetic datasets, randomized property tests) draw from this engine so
+// experiments are reproducible from a single seed.
+
+#ifndef GCP_COMMON_RNG_HPP_
+#define GCP_COMMON_RNG_HPP_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gcp {
+
+/// SplitMix64 — used to seed the main engine and as a cheap stateless mixer.
+inline std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// \brief xoshiro256** PRNG (Blackman & Vigna) with convenience samplers.
+///
+/// Satisfies UniformRandomBitGenerator so it can drive <random> facilities,
+/// but the samplers below avoid libstdc++ distribution objects whose output
+/// differs across standard library versions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() { return Next(); }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t UniformBelow(std::uint64_t bound) {
+    assert(bound > 0);
+    // Lemire's nearly-divisionless method.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    UniformBelow(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Standard normal via Marsaglia polar method.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    if (has_spare_) {
+      has_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * UniformDouble() - 1.0;
+      v = 2.0 * UniformDouble() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    has_spare_ = true;
+    return mean + stddev * u * factor;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = UniformBelow(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks a uniformly random element. `v` must be non-empty.
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    assert(!v.empty());
+    return v[UniformBelow(v.size())];
+  }
+
+  /// Derives an independent child generator (for parallel determinism).
+  Rng Fork() { return Rng(Next() ^ 0xa5a5a5a55a5a5a5aULL); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace gcp
+
+#endif  // GCP_COMMON_RNG_HPP_

@@ -1,0 +1,54 @@
+// Wall-clock timing helpers used by the Statistics Monitor to produce the
+// per-query time breakdown of the paper's Figure 6.
+
+#ifndef GCP_COMMON_STOPWATCH_HPP_
+#define GCP_COMMON_STOPWATCH_HPP_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gcp {
+
+/// \brief Monotonic stopwatch reporting elapsed time in nanoseconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Nanoseconds since construction or the last Restart().
+  std::int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Milliseconds (fractional) since construction or the last Restart().
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Adds the scope's duration to a counter on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::int64_t* accumulator_ns)
+      : accumulator_ns_(accumulator_ns) {}
+  ~ScopedTimer() { *accumulator_ns_ += watch_.ElapsedNanos(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::int64_t* accumulator_ns_;
+  Stopwatch watch_;
+};
+
+}  // namespace gcp
+
+#endif  // GCP_COMMON_STOPWATCH_HPP_

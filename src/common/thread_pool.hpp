@@ -1,0 +1,55 @@
+// Fixed-size thread pool backing the Query Processing Runtime's
+// Resource Manager: GC+ can verify sub-iso candidates in parallel and run
+// cache maintenance concurrently with query execution (paper §4).
+
+#ifndef GCP_COMMON_THREAD_POOL_HPP_
+#define GCP_COMMON_THREAD_POOL_HPP_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gcp {
+
+/// \brief Minimal fixed-size worker pool with a FIFO task queue.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void WaitIdle();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Falls back to inline execution for n <= 1.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace gcp
+
+#endif  // GCP_COMMON_THREAD_POOL_HPP_

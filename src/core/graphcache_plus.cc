@@ -1,0 +1,232 @@
+#include "core/graphcache_plus.hpp"
+
+#include "cache/snapshot.hpp"
+#include "cache/statistics.hpp"
+#include "common/stopwatch.hpp"
+#include "core/pruner.hpp"
+#include "dataset/log_analyzer.hpp"
+
+namespace gcp {
+
+std::string_view CacheModelName(CacheModel model) {
+  switch (model) {
+    case CacheModel::kEvi:
+      return "EVI";
+    case CacheModel::kCon:
+      return "CON";
+  }
+  return "Unknown";
+}
+
+GraphCachePlus::GraphCachePlus(GraphDataset* dataset,
+                               GraphCachePlusOptions options)
+    : dataset_(dataset),
+      options_(options),
+      pool_(options.verify_threads > 1
+                ? std::make_unique<ThreadPool>(options.verify_threads)
+                : nullptr),
+      ftv_(options.use_ftv_index ? std::make_unique<FtvIndex>(*dataset)
+                                 : nullptr),
+      method_m_(options.method_m, *dataset, pool_.get()),
+      internal_matcher_(MakeMatcher(options.internal_matcher)),
+      discovery_(*internal_matcher_, options_),
+      cache_(CacheManagerOptions{options.cache_capacity,
+                                 options.window_capacity, options.policy,
+                                 options.rng_seed}) {}
+
+void GraphCachePlus::SyncWithDataset(QueryMetrics* metrics) {
+  ScopedTimer timer(&metrics->t_validate_ns);
+  const ChangeLog& log = dataset_->log();
+  if (!log.HasChangesSince(watermark_)) return;
+  if (options_.model == CacheModel::kEvi) {
+    // EVI: the Log Analyzer merely raises the changed flag; the Cache
+    // Validator clears the stores indiscriminately (paper §5.1).
+    cache_.Clear();
+  } else {
+    // CON: Algorithm 1 over the incremental records, then Algorithm 2 on
+    // every resident entry (paper §5.2).
+    const std::vector<ChangeRecord> records = log.ExtractSince(watermark_);
+    const ChangeCounters counters = LogAnalyzer::Analyze(records);
+    cache_.ValidateAll(counters, dataset_->IdHorizon());
+    if (options_.retrospective_budget > 0) {
+      RetrospectiveRefresh(options_.retrospective_budget);
+    }
+  }
+  watermark_ = log.LatestSeq();
+}
+
+Status GraphCachePlus::SaveCache(const std::string& path) const {
+  CacheSnapshot snapshot;
+  snapshot.watermark = watermark_;
+  snapshot.id_horizon = dataset_->IdHorizon();
+  snapshot.entries = cache_.ExportEntries();
+  return WriteCacheSnapshotToFile(path, snapshot);
+}
+
+Status GraphCachePlus::LoadCache(const std::string& path) {
+  auto snapshot = ReadCacheSnapshotFromFile(path);
+  if (!snapshot.ok()) return snapshot.status();
+  CacheSnapshot& s = snapshot.value();
+  if (s.watermark > dataset_->log().LatestSeq()) {
+    return Status::FailedPrecondition(
+        "snapshot watermark is ahead of the dataset change log — not the "
+        "same dataset lineage");
+  }
+  if (s.id_horizon > dataset_->IdHorizon()) {
+    return Status::FailedPrecondition(
+        "snapshot horizon exceeds the dataset's id horizon");
+  }
+  for (const CachedQuery& e : s.entries) {
+    if (e.valid.size() != s.id_horizon || e.answer.size() != s.id_horizon) {
+      return Status::Corruption("snapshot entry width != snapshot horizon");
+    }
+  }
+  cache_.RestoreEntries(std::move(s.entries));
+  // Resume from the snapshot's watermark: the next query's sync replays
+  // the incremental suffix, re-establishing consistency.
+  watermark_ = s.watermark;
+  return Status::OK();
+}
+
+void GraphCachePlus::RetrospectiveRefresh(std::size_t budget) {
+  // The paper's §8 future-work optimisation: re-verify invalidated
+  // (cached query, live graph) pairs against the current dataset so the
+  // relation becomes known (and valid) again. Most-beneficial entries
+  // first; cost is bounded by `budget` sub-iso tests per sync.
+  const DynamicBitset live = dataset_->LiveMask();
+  const SubgraphMatcher& verifier = method_m_.matcher();
+  for (const CacheEntryId id : cache_.ResidentIdsByBenefit()) {
+    if (budget == 0) return;
+    CachedQuery* e = cache_.FindMutable(id);
+    if (e == nullptr || e->valid.size() != live.size()) continue;
+    // Unknown pairs: live graphs whose validity bit is off.
+    DynamicBitset unknown = DynamicBitset::Not(e->valid);
+    unknown.AndWith(live);
+    for (std::size_t i = unknown.FindFirst();
+         i != DynamicBitset::npos && budget > 0;
+         i = unknown.FindNext(i + 1)) {
+      const Graph& g = dataset_->graph(static_cast<GraphId>(i));
+      const bool contained = e->kind == CachedQueryKind::kSubgraph
+                                 ? verifier.Contains(e->query, g)
+                                 : verifier.Contains(g, e->query);
+      e->answer.Set(i, contained);
+      e->valid.Set(i, true);
+      --budget;
+      ++cache_.stats().total_retro_refreshes;
+    }
+  }
+}
+
+QueryResult GraphCachePlus::Query(const Graph& g, QueryKind kind) {
+  QueryResult result;
+  QueryMetrics& m = result.metrics;
+  m.query_id = query_counter_++;
+
+  // --- Dataset Manager: reconcile dataset changes with the cache. --------
+  SyncWithDataset(&m);
+
+  // --- Method M candidate generation: whole live dataset, or the FTV
+  // filter when Method M is equipped with the updatable index. -------------
+  DynamicBitset csm;
+  if (ftv_ != nullptr) {
+    ScopedTimer timer(&m.t_index_ns);
+    ftv_->SyncWithDataset();
+    csm = ftv_->CandidateSet(
+        GraphFeatures::Extract(g),
+        kind == QueryKind::kSubgraph ? FtvQueryDirection::kSubgraph
+                                     : FtvQueryDirection::kSupergraph);
+  } else {
+    csm = dataset_->LiveMask();
+  }
+  m.candidates_initial = csm.Count();
+
+  // --- Query Processing Runtime: hit discovery. ---------------------------
+  Stopwatch probe_watch;
+  const DiscoveredHits hits = discovery_.Discover(g, kind, cache_, csm, &m);
+  m.t_probe_ns = probe_watch.ElapsedNanos();
+
+  // --- Candidate-set pruning (formulas (1)-(5), §6.3 shortcuts). ----------
+  Stopwatch prune_watch;
+  const PruneOutcome pruned = CandidateSetPruner::Prune(hits, csm, &m);
+  m.t_prune_ns = prune_watch.ElapsedNanos();
+
+  // --- Method M verification on the reduced candidate set. ----------------
+  Stopwatch verify_watch;
+  DynamicBitset answer_bits;
+  if (pruned.direct) {
+    answer_bits = pruned.answer_direct;
+  } else {
+    answer_bits =
+        method_m_.VerifyCandidates(g, kind, pruned.candidates, &m.si_tests);
+    // Formula (3): verified graphs plus direct transfers.
+    answer_bits.OrWith(pruned.answer_direct);
+  }
+  m.t_verify_ns = verify_watch.ElapsedNanos();
+  m.answer_size = answer_bits.Count();
+
+  // --- Statistics Manager: credit contributing entries. -------------------
+  {
+    StatisticsManager& stats = cache_.stats();
+    if (hits.exact != nullptr) {
+      cache_.RecordBenefit(hits.exact->id, pruned.saved_positive,
+                           m.query_id);
+      CachedQuery* e = cache_.FindMutable(hits.exact->id);
+      if (e != nullptr) ++e->exact_hits;
+      ++stats.total_exact_hits;
+      if (m.si_tests == 0) ++stats.total_exact_hits_zero_test;
+    }
+    if (hits.empty_proof != nullptr) {
+      cache_.RecordBenefit(hits.empty_proof->id, pruned.saved_pruning,
+                           m.query_id);
+      CachedQuery* e = cache_.FindMutable(hits.empty_proof->id);
+      if (e != nullptr) ++e->super_hits;
+      ++stats.total_empty_shortcuts;
+    }
+    for (const CachedQuery* hit : hits.positive) {
+      const std::uint64_t standalone =
+          DynamicBitset::And(hit->valid, hit->answer).CountAnd(csm);
+      cache_.RecordBenefit(hit->id, standalone, m.query_id);
+      CachedQuery* e = cache_.FindMutable(hit->id);
+      if (e != nullptr) ++e->sub_hits;
+      ++stats.total_sub_hits;
+    }
+    for (const CachedQuery* hit : hits.pruning) {
+      const std::uint64_t standalone =
+          DynamicBitset::AndNot(hit->valid, hit->answer).CountAnd(csm);
+      cache_.RecordBenefit(hit->id, standalone, m.query_id);
+      CachedQuery* e = cache_.FindMutable(hit->id);
+      if (e != nullptr) ++e->super_hits;
+      ++stats.total_super_hits;
+    }
+  }
+
+  // --- Cache Manager: admission + replacement (maintenance overhead). -----
+  {
+    ScopedTimer timer(&m.t_maintenance_ns);
+    // Exact hits carry no new knowledge — the isomorphic entry is already
+    // resident; everything else executed is offered to the window.
+    if (options_.enable_admission && hits.exact == nullptr) {
+      // C is a *structural* estimate (after [25]), deliberately not a wall
+      // time: the paper's Figure 5 premise — "whatever SI method being the
+      // Method M, GC+ results exactly the same pruned candidate set" —
+      // requires every cache decision (incl. PINC/HD scoring) to be
+      // method-independent.
+      const double est_cost = StatisticsManager::StructuralCostEstimateMs(g);
+      DynamicBitset valid(dataset_->IdHorizon());
+      valid.SetAll();
+      cache_.Admit(g,
+                   kind == QueryKind::kSubgraph ? CachedQueryKind::kSubgraph
+                                                : CachedQueryKind::kSupergraph,
+                   answer_bits, std::move(valid), m.query_id, est_cost);
+    }
+  }
+
+  result.answer.reserve(answer_bits.Count());
+  answer_bits.ForEachSetBit([&result](std::size_t id) {
+    result.answer.push_back(static_cast<GraphId>(id));
+  });
+  aggregate_.Add(m);
+  return result;
+}
+
+}  // namespace gcp

@@ -1,0 +1,110 @@
+// GraphCachePlus — the GC+ system facade (paper §4).
+//
+// Wires the four subsystems together:
+//   Dataset Manager  — the GraphDataset + Log Analyzer (Algorithm 1);
+//   Cache Manager    — cache/window stores, statistics, replacement,
+//                      Cache Validator (Algorithm 2);
+//   Query Processing Runtime — GC+sub/GC+super processors, Candidate Set
+//                      Pruner, metrics monitor;
+//   Method M         — the external SI verifier being expedited.
+//
+// Per query g (paper §4): the Dataset Manager first reconciles recent
+// dataset changes with the cache (EVI: purge; CON: validate); the
+// processors discover hits; the pruner reduces CS_M(g); Method M verifies
+// the remaining candidates; the answer is assembled (formula (3)); the
+// executed query enters the admission window and replacement may run —
+// accounted as maintenance overhead, off the query's critical path.
+
+#ifndef GCP_CORE_GRAPHCACHE_PLUS_HPP_
+#define GCP_CORE_GRAPHCACHE_PLUS_HPP_
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache_manager.hpp"
+#include "common/thread_pool.hpp"
+#include "core/method_m.hpp"
+#include "core/metrics.hpp"
+#include "core/options.hpp"
+#include "core/processors.hpp"
+#include "dataset/dataset.hpp"
+#include "ftv/ftv_index.hpp"
+
+namespace gcp {
+
+/// Answer and accounting of one query execution.
+struct QueryResult {
+  /// Ids of dataset graphs in the answer set, ascending.
+  std::vector<GraphId> answer;
+  QueryMetrics metrics;
+};
+
+/// \brief The GC+ caching system.
+class GraphCachePlus {
+ public:
+  /// `dataset` must outlive the instance. Changes to the dataset between
+  /// queries are picked up through its change log.
+  GraphCachePlus(GraphDataset* dataset, GraphCachePlusOptions options);
+
+  /// Executes a subgraph query: all live G with g ⊆ G.
+  QueryResult SubgraphQuery(const Graph& g) {
+    return Query(g, QueryKind::kSubgraph);
+  }
+
+  /// Executes a supergraph query: all live G with G ⊆ g.
+  QueryResult SupergraphQuery(const Graph& g) {
+    return Query(g, QueryKind::kSupergraph);
+  }
+
+  /// Executes a query of the given kind.
+  QueryResult Query(const Graph& g, QueryKind kind);
+
+  /// Cumulative metrics since construction or the last ResetAggregate()
+  /// (benches reset after warm-up, mirroring the paper's one-window
+  /// warm-up).
+  const AggregateMetrics& aggregate() const { return aggregate_; }
+  void ResetAggregate() { aggregate_ = AggregateMetrics(); }
+
+  /// Persists the warm cache (entries + the change-log watermark they are
+  /// consistent with). A later process over the same dataset lineage can
+  /// LoadCache and skip the cold start.
+  Status SaveCache(const std::string& path) const;
+
+  /// Restores a snapshot saved by SaveCache. The dataset's change log
+  /// must still contain every record after the snapshot's watermark; the
+  /// incremental suffix is reconciled on the next query (Algorithms 1+2
+  /// for CON, purge for EVI), so stale snapshots remain exact.
+  Status LoadCache(const std::string& path);
+
+  CacheManager& cache_manager() { return cache_; }
+  const CacheManager& cache_manager() const { return cache_; }
+  const GraphCachePlusOptions& options() const { return options_; }
+  const GraphDataset& dataset() const { return *dataset_; }
+  /// The FTV index, or nullptr when options().use_ftv_index is off.
+  const FtvIndex* ftv_index() const { return ftv_.get(); }
+
+ private:
+  /// Dataset Manager sync: reconcile unprocessed change-log records with
+  /// the cache (Algorithms 1 + 2 for CON; full purge for EVI).
+  void SyncWithDataset(QueryMetrics* metrics);
+
+  /// §8 future-work extension: re-verify up to `budget` invalidated
+  /// (entry, live graph) pairs, restoring validity with fresh knowledge.
+  void RetrospectiveRefresh(std::size_t budget);
+
+  GraphDataset* dataset_;
+  GraphCachePlusOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<FtvIndex> ftv_;
+  MethodM method_m_;
+  std::unique_ptr<SubgraphMatcher> internal_matcher_;
+  HitDiscovery discovery_;
+  CacheManager cache_;
+  LogSeq watermark_ = 0;
+  std::uint64_t query_counter_ = 0;
+  AggregateMetrics aggregate_;
+};
+
+}  // namespace gcp
+
+#endif  // GCP_CORE_GRAPHCACHE_PLUS_HPP_

@@ -1,0 +1,80 @@
+// Configuration of a GraphCachePlus instance.
+
+#ifndef GCP_CORE_OPTIONS_HPP_
+#define GCP_CORE_OPTIONS_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "cache/replacement.hpp"
+#include "match/matcher.hpp"
+
+namespace gcp {
+
+/// The two GC+ consistency models (paper §5).
+enum class CacheModel {
+  kEvi,  ///< Evict the whole cache whenever the dataset changed.
+  kCon,  ///< Keep per-entry validity bits refreshed by Algorithms 1 + 2.
+};
+
+std::string_view CacheModelName(CacheModel model);
+
+/// \brief Knobs of the GC+ system. Defaults mirror the paper's setup.
+struct GraphCachePlusOptions {
+  /// Consistency model (the paper's EVI / CON).
+  CacheModel model = CacheModel::kCon;
+
+  /// Method M: the external SI verifier GC+ expedites (paper: VF2, VF2+,
+  /// GQL).
+  MatcherKind method_m = MatcherKind::kVf2;
+
+  /// Matcher for GC+-internal query-vs-cached-query containment checks
+  /// (query graphs are small; VF2+ is a good default).
+  MatcherKind internal_matcher = MatcherKind::kVf2Plus;
+
+  /// Cache / window capacities (paper defaults: 100 / 20).
+  std::size_t cache_capacity = 100;
+  std::size_t window_capacity = 20;
+
+  /// Replacement policy (paper's experiments use HD).
+  ReplacementPolicy policy = ReplacementPolicy::kHybrid;
+
+  /// Caps on the number of *verified* hits each processor may exploit per
+  /// query; limits cache-probe cost on hit-rich workloads. 0 = unlimited.
+  std::size_t max_sub_hits = 16;
+  std::size_t max_super_hits = 16;
+
+  /// §6.3 optimal cases.
+  bool enable_exact_shortcut = true;
+  bool enable_empty_answer_shortcut = true;
+
+  /// Whether executed queries are admitted to the window at all (off turns
+  /// GC+ into a pass-through around Method M; useful for baselines).
+  bool enable_admission = true;
+
+  /// Equip Method M with the updatable FTV index (src/ftv): its candidate
+  /// set CS_M becomes the feature-filtered subset of the live dataset
+  /// instead of the whole dataset. Orthogonal to the cache — GC+ prunes
+  /// whatever CS_M Method M produces.
+  bool use_ftv_index = false;
+
+  /// Retrospective validation (the paper's §8 future-work optimisation),
+  /// CON only: after Algorithm 2 fades validity bits, spend up to this
+  /// many sub-iso re-verifications per dataset sync restoring them —
+  /// re-testing invalidated (cached query, live graph) pairs against the
+  /// *current* graph so the pair becomes known again instead of falling
+  /// back to Method M at query time. Runs off the query critical path
+  /// (accounted as validation overhead). 0 disables.
+  std::size_t retrospective_budget = 0;
+
+  /// Worker threads for Method M verification (1 = serial).
+  std::size_t verify_threads = 1;
+
+  /// Seed for cache-internal randomness (RANDOM policy).
+  std::uint64_t rng_seed = 7;
+};
+
+}  // namespace gcp
+
+#endif  // GCP_CORE_OPTIONS_HPP_

@@ -1,0 +1,167 @@
+#include "core/processors.hpp"
+
+#include <algorithm>
+
+namespace gcp {
+
+namespace {
+
+CachedQueryKind ToCachedKind(QueryKind kind) {
+  return kind == QueryKind::kSubgraph ? CachedQueryKind::kSubgraph
+                                      : CachedQueryKind::kSupergraph;
+}
+
+// Standalone benefit of a positive hit: live graphs whose answer
+// membership transfers without a sub-iso test (|live ∩ valid ∩ answer|).
+std::size_t PositiveUtility(const CachedQuery& e, const DynamicBitset& live) {
+  if (e.valid.size() != live.size()) return 0;
+  return DynamicBitset::And(e.valid, e.answer).CountAnd(live);
+}
+
+// Standalone benefit of a pruning hit: live graphs eliminated from the
+// candidate set by valid negative results (|live ∩ valid ∩ ¬answer|).
+std::size_t PruningUtility(const CachedQuery& e, const DynamicBitset& live) {
+  if (e.valid.size() != live.size()) return 0;
+  return DynamicBitset::AndNot(e.valid, e.answer).CountAnd(live);
+}
+
+// True iff the entry's validity indicator covers every live graph —
+// precondition for both §6.3 optimal cases.
+bool FullyValid(const CachedQuery& e, const DynamicBitset& live) {
+  return e.valid.size() == live.size() && live.IsSubsetOf(e.valid);
+}
+
+// True iff the entry's answer is empty over the live dataset.
+bool EmptyLiveAnswer(const CachedQuery& e, const DynamicBitset& live) {
+  return e.answer.size() == live.size() && !e.answer.Intersects(live);
+}
+
+// Sorts candidates by descending precomputed utility (stable for
+// determinism across runs).
+void SortByUtility(std::vector<const CachedQuery*>& pool,
+                   std::vector<std::size_t>& utility) {
+  std::vector<std::size_t> order(pool.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return utility[a] > utility[b];
+  });
+  std::vector<const CachedQuery*> sorted_pool(pool.size());
+  std::vector<std::size_t> sorted_utility(pool.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    sorted_pool[i] = pool[order[i]];
+    sorted_utility[i] = utility[order[i]];
+  }
+  pool = std::move(sorted_pool);
+  utility = std::move(sorted_utility);
+}
+
+}  // namespace
+
+DiscoveredHits HitDiscovery::Discover(const Graph& g, QueryKind kind,
+                                      const CacheManager& cache,
+                                      const DynamicBitset& live,
+                                      QueryMetrics* metrics) const {
+  DiscoveredHits hits;
+  const GraphFeatures features = GraphFeatures::Extract(g);
+  const CachedQueryKind ckind = ToCachedKind(kind);
+  const QueryIndex& index = cache.index();
+
+  // GC+sub processor shortlist: cached g' with (possibly) g ⊆ g'.
+  std::vector<const CachedQuery*> sub_candidates =
+      index.SupergraphCandidates(features);
+  // GC+super processor shortlist: cached g'' with (possibly) g'' ⊆ g.
+  std::vector<const CachedQuery*> super_candidates =
+      index.SubgraphCandidates(features);
+
+  // Resolve processor outputs into positive/pruning roles: for subgraph
+  // queries GC+sub hits are positive; for supergraph queries the roles
+  // flip (§6: "supergraph queries follow the exact inverse logic").
+  const bool positive_from_sub = (kind == QueryKind::kSubgraph);
+  std::vector<const CachedQuery*>& positive_pool =
+      positive_from_sub ? sub_candidates : super_candidates;
+  std::vector<const CachedQuery*>& pruning_pool =
+      positive_from_sub ? super_candidates : sub_candidates;
+
+  // Drop wrong-kind entries, precompute standalone utilities, and verify
+  // highest-utility candidates first so the hit caps spend exact
+  // containment checks where they pay off most.
+  auto prepare = [&](std::vector<const CachedQuery*>& pool, auto utility_fn,
+                     std::vector<std::size_t>& utility) {
+    std::vector<const CachedQuery*> filtered;
+    filtered.reserve(pool.size());
+    for (const CachedQuery* e : pool) {
+      if (e->kind == ckind) filtered.push_back(e);
+    }
+    pool = std::move(filtered);
+    utility.resize(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      utility[i] = utility_fn(*pool[i], live);
+    }
+    SortByUtility(pool, utility);
+  };
+  std::vector<std::size_t> positive_utility;
+  std::vector<std::size_t> pruning_utility;
+  prepare(positive_pool, PositiveUtility, positive_utility);
+  prepare(pruning_pool, PruningUtility, pruning_utility);
+
+  const std::size_t positive_cap =
+      options_.max_sub_hits == 0 ? positive_pool.size() : options_.max_sub_hits;
+  const std::size_t pruning_cap = options_.max_super_hits == 0
+                                      ? pruning_pool.size()
+                                      : options_.max_super_hits;
+
+  for (std::size_t i = 0; i < positive_pool.size(); ++i) {
+    if (hits.positive.size() >= positive_cap) break;
+    const CachedQuery* e = positive_pool[i];
+    // §6.3 case 1 precheck: same vertex/edge count + one-way containment
+    // ⇒ isomorphic; worth verifying even at zero transfer utility.
+    const bool maybe_exact = options_.enable_exact_shortcut &&
+                             e->query.NumVertices() == g.NumVertices() &&
+                             e->query.NumEdges() == g.NumEdges();
+    if (positive_utility[i] == 0 && !maybe_exact) continue;
+    // Positive direction: subgraph queries verify g ⊆ g'; supergraph
+    // queries verify g'' ⊆ g.
+    const bool contained = positive_from_sub
+                               ? matcher_.Contains(g, e->query)
+                               : matcher_.Contains(e->query, g);
+    if (!contained) continue;
+    if (maybe_exact && FullyValid(*e, live)) {
+      hits.exact = e;
+      if (metrics != nullptr) metrics->exact_hit = true;
+      return hits;
+    }
+    if (positive_utility[i] > 0) hits.positive.push_back(e);
+  }
+
+  for (std::size_t i = 0; i < pruning_pool.size(); ++i) {
+    if (hits.pruning.size() >= pruning_cap) break;
+    const CachedQuery* e = pruning_pool[i];
+    const bool useful_for_empty_proof =
+        options_.enable_empty_answer_shortcut && hits.empty_proof == nullptr &&
+        EmptyLiveAnswer(*e, live) && FullyValid(*e, live);
+    if (pruning_utility[i] == 0 && !useful_for_empty_proof) continue;
+    // Pruning direction: subgraph queries verify g'' ⊆ g; supergraph
+    // queries verify g ⊆ g'.
+    const bool contained = positive_from_sub
+                               ? matcher_.Contains(e->query, g)
+                               : matcher_.Contains(g, e->query);
+    if (!contained) continue;
+    if (useful_for_empty_proof) {
+      hits.empty_proof = e;
+      if (metrics != nullptr) metrics->empty_shortcut = true;
+      return hits;
+    }
+    hits.pruning.push_back(e);
+  }
+
+  if (metrics != nullptr) {
+    metrics->sub_hits = static_cast<std::uint32_t>(
+        positive_from_sub ? hits.positive.size() : hits.pruning.size());
+    metrics->super_hits = static_cast<std::uint32_t>(
+        positive_from_sub ? hits.pruning.size() : hits.positive.size());
+  }
+  return hits;
+}
+
+}  // namespace gcp

@@ -1,0 +1,73 @@
+// GC+sub / GC+super processors: cache-hit discovery (paper §4, §6).
+//
+// For an incoming query g the processors discover, among resident cached
+// queries of the same query kind:
+//   * GC+sub hits:  cached g' with g ⊆ g'  — for a subgraph query these
+//     are the "positive" hits whose valid answers transfer directly into
+//     g's answer (formula (1)); for a supergraph query they are the
+//     "pruning" hits of the inverse logic.
+//   * GC+super hits: cached g'' with g'' ⊆ g — pruning hits for subgraph
+//     queries (formula (5)), positive hits for supergraph queries.
+// Discovery is filter-then-verify against the cache: the QueryIndex
+// shortlists by monotone features, an exact matcher verifies, and only
+// *useful* candidates (non-zero standalone benefit) are verified at all.
+// The processors also recognize the §6.3 optimal cases: an isomorphic
+// cached query (exact hit) and an empty-answer proof.
+
+#ifndef GCP_CORE_PROCESSORS_HPP_
+#define GCP_CORE_PROCESSORS_HPP_
+
+#include <vector>
+
+#include "cache/cache_manager.hpp"
+#include "core/metrics.hpp"
+#include "core/method_m.hpp"
+#include "core/options.hpp"
+#include "match/matcher.hpp"
+
+namespace gcp {
+
+/// Result of cache-hit discovery for one query.
+struct DiscoveredHits {
+  /// Same-kind cached queries whose valid answers inject directly into the
+  /// new query's answer set (g ⊆ g' for subgraph queries; g'' ⊆ g for
+  /// supergraph queries).
+  std::vector<const CachedQuery*> positive;
+
+  /// Same-kind cached queries whose valid negative results eliminate
+  /// candidates (formula (5) resp. its inverse).
+  std::vector<const CachedQuery*> pruning;
+
+  /// §6.3 case 1: resident query isomorphic to g with full validity over
+  /// the live dataset; its answer is returned directly.
+  const CachedQuery* exact = nullptr;
+
+  /// §6.3 case 2: a pruning-direction entry with (still fully valid) empty
+  /// answer proving the new query's answer is empty.
+  const CachedQuery* empty_proof = nullptr;
+};
+
+/// \brief Implements both processors over the cache index.
+class HitDiscovery {
+ public:
+  /// `internal_matcher` verifies query-vs-cached-query containment; the
+  /// options supply hit caps and shortcut switches. Both must outlive the
+  /// discovery object.
+  HitDiscovery(const SubgraphMatcher& internal_matcher,
+               const GraphCachePlusOptions& options)
+      : matcher_(internal_matcher), options_(options) {}
+
+  /// Runs GC+sub and GC+super discovery for `g`.
+  /// `live` is the live-graph mask (CS_M); metrics get hit counts.
+  DiscoveredHits Discover(const Graph& g, QueryKind kind,
+                          const CacheManager& cache, const DynamicBitset& live,
+                          QueryMetrics* metrics) const;
+
+ private:
+  const SubgraphMatcher& matcher_;
+  const GraphCachePlusOptions& options_;
+};
+
+}  // namespace gcp
+
+#endif  // GCP_CORE_PROCESSORS_HPP_

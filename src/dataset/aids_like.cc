@@ -1,0 +1,116 @@
+#include "dataset/aids_like.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gcp {
+
+AidsLikeGenerator::AidsLikeGenerator(AidsLikeOptions options)
+    : options_(options), rng_(options.seed) {
+  // Fit log-normal to (mean, stddev): if X ~ LogNormal(mu, sigma) then
+  // E[X] = exp(mu + sigma^2/2) and Var[X] = (exp(sigma^2)-1) exp(2mu+sigma^2).
+  const double mean = options_.mean_vertices;
+  const double var = options_.stddev_vertices * options_.stddev_vertices;
+  const double sigma2 = std::log(1.0 + var / (mean * mean));
+  lognormal_sigma_ = std::sqrt(sigma2);
+  lognormal_mu_ = std::log(mean) - sigma2 / 2.0;
+
+  // Label frequencies: explicit AIDS-like head, Zipf-like tail.
+  label_cdf_.resize(options_.num_labels);
+  const std::size_t head =
+      std::min<std::size_t>(options_.head_label_probs.size(),
+                            options_.num_labels);
+  double head_mass = 0.0;
+  for (std::size_t i = 0; i < head; ++i) {
+    head_mass += options_.head_label_probs[i];
+  }
+  head_mass = std::min(head_mass, 1.0);
+  const std::size_t tail = options_.num_labels - head;
+  // Unnormalized Zipf weights for the tail.
+  double tail_weight_total = 0.0;
+  std::vector<double> tail_weights(tail);
+  for (std::size_t i = 0; i < tail; ++i) {
+    tail_weights[i] = std::pow(static_cast<double>(i + 1),
+                               -options_.label_skew);
+    tail_weight_total += tail_weights[i];
+  }
+  const double tail_mass = 1.0 - head_mass;
+  double cumulative = 0.0;
+  for (std::uint32_t i = 0; i < options_.num_labels; ++i) {
+    if (i < head) {
+      cumulative += options_.head_label_probs[i] *
+                    (head == options_.num_labels ? 1.0 / head_mass : 1.0);
+    } else if (tail_weight_total > 0.0) {
+      cumulative += tail_mass * tail_weights[i - head] / tail_weight_total;
+    }
+    label_cdf_[i] = cumulative;
+  }
+  // Guard against rounding: the last bucket absorbs the remainder.
+  label_cdf_.back() = 1.0;
+}
+
+std::uint32_t AidsLikeGenerator::SampleSize() {
+  const double x = std::exp(rng_.Normal(lognormal_mu_, lognormal_sigma_));
+  const auto n = static_cast<std::uint32_t>(std::lround(x));
+  return std::clamp(n, options_.min_vertices, options_.max_vertices);
+}
+
+Label AidsLikeGenerator::SampleLabel() {
+  const double u = rng_.UniformDouble();
+  const auto it = std::lower_bound(label_cdf_.begin(), label_cdf_.end(), u);
+  return static_cast<Label>(std::distance(label_cdf_.begin(), it));
+}
+
+Graph AidsLikeGenerator::GenerateOne(std::uint32_t n) {
+  Graph g;
+  for (std::uint32_t i = 0; i < n; ++i) g.AddVertex(SampleLabel());
+  if (n <= 1) return g;
+
+  // Spanning tree with valence cap: attach each new vertex to a random
+  // earlier vertex that still has spare degree (molecule backbone).
+  std::vector<VertexId> attachable{0};
+  for (VertexId v = 1; v < n; ++v) {
+    const std::size_t pick = rng_.UniformBelow(attachable.size());
+    const VertexId parent = attachable[pick];
+    g.AddEdge(v, parent).ok();
+    if (g.degree(parent) >= options_.max_degree) {
+      attachable[pick] = attachable.back();
+      attachable.pop_back();
+    }
+    if (g.degree(v) < options_.max_degree) attachable.push_back(v);
+    if (attachable.empty()) attachable.push_back(v);  // degraded fallback
+  }
+
+  // Cycle-closing extra edges up to the target edge factor, respecting the
+  // valence cap (rings are what distinguish molecules from trees).
+  const auto target_edges = static_cast<std::size_t>(
+      std::lround(options_.edge_factor * static_cast<double>(n)));
+  std::size_t budget =
+      target_edges > g.NumEdges() ? target_edges - g.NumEdges() : 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 30 * (budget + 1);
+  while (budget > 0 && attempts < max_attempts) {
+    ++attempts;
+    const auto u = static_cast<VertexId>(rng_.UniformBelow(n));
+    const auto v = static_cast<VertexId>(rng_.UniformBelow(n));
+    if (u == v || g.HasEdge(u, v)) continue;
+    if (g.degree(u) >= options_.max_degree ||
+        g.degree(v) >= options_.max_degree) {
+      continue;
+    }
+    g.AddEdge(u, v).ok();
+    --budget;
+  }
+  return g;
+}
+
+std::vector<Graph> AidsLikeGenerator::Generate() {
+  std::vector<Graph> graphs;
+  graphs.reserve(options_.num_graphs);
+  for (std::uint32_t i = 0; i < options_.num_graphs; ++i) {
+    graphs.push_back(GenerateOne(SampleSize()));
+  }
+  return graphs;
+}
+
+}  // namespace gcp

@@ -1,0 +1,45 @@
+// Dataset change model (paper §1): graph addition (ADD), graph deletion
+// (DEL), graph update by edge addition (UA) and by edge removal (UR).
+
+#ifndef GCP_DATASET_CHANGE_HPP_
+#define GCP_DATASET_CHANGE_HPP_
+
+#include <cstdint>
+#include <string_view>
+
+#include "graph/graph.hpp"
+
+namespace gcp {
+
+/// Dataset graph identifier. Ids are dense, 0-based, and never reused:
+/// a deleted id stays a hole so cached bitset indicators remain aligned.
+using GraphId = std::uint32_t;
+
+/// Monotone position in the dataset change log.
+using LogSeq = std::uint64_t;
+
+/// The four dataset change operations GC+ tracks.
+enum class ChangeType : std::uint8_t {
+  kAdd,         ///< ADD: a new dataset graph.
+  kDelete,      ///< DEL: an existing graph removed.
+  kEdgeAdd,     ///< UA: an edge added to an existing graph.
+  kEdgeRemove,  ///< UR: an edge removed from an existing graph.
+};
+
+std::string_view ChangeTypeName(ChangeType type);
+
+/// \brief One entry of the dataset update log.
+///
+/// UA/UR records carry the edge endpoints for auditability; Algorithm 1
+/// only consumes (graph_id, type).
+struct ChangeRecord {
+  LogSeq seq = 0;
+  ChangeType type = ChangeType::kAdd;
+  GraphId graph_id = 0;
+  VertexId edge_u = 0;  ///< Valid for kEdgeAdd / kEdgeRemove.
+  VertexId edge_v = 0;  ///< Valid for kEdgeAdd / kEdgeRemove.
+};
+
+}  // namespace gcp
+
+#endif  // GCP_DATASET_CHANGE_HPP_

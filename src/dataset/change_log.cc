@@ -1,0 +1,41 @@
+#include "dataset/change_log.hpp"
+
+namespace gcp {
+
+std::string_view ChangeTypeName(ChangeType type) {
+  switch (type) {
+    case ChangeType::kAdd:
+      return "ADD";
+    case ChangeType::kDelete:
+      return "DEL";
+    case ChangeType::kEdgeAdd:
+      return "UA";
+    case ChangeType::kEdgeRemove:
+      return "UR";
+  }
+  return "Unknown";
+}
+
+LogSeq ChangeLog::Append(ChangeType type, GraphId graph_id, VertexId u,
+                         VertexId v) {
+  ChangeRecord rec;
+  rec.seq = next_seq_++;
+  rec.type = type;
+  rec.graph_id = graph_id;
+  rec.edge_u = u;
+  rec.edge_v = v;
+  records_.push_back(rec);
+  return rec.seq;
+}
+
+std::vector<ChangeRecord> ChangeLog::ExtractSince(LogSeq watermark) const {
+  std::vector<ChangeRecord> out;
+  // Sequence numbers are dense (1-based), so the suffix starts at index
+  // `watermark` when it is within range.
+  if (watermark >= records_.size()) return out;
+  out.assign(records_.begin() + static_cast<std::ptrdiff_t>(watermark),
+             records_.end());
+  return out;
+}
+
+}  // namespace gcp

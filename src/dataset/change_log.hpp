@@ -1,0 +1,46 @@
+// Append-only dataset update log consumed by the Log Analyzer.
+//
+// Consumers (the Cache Validator via the Dataset Manager) remember a
+// watermark — the sequence number up to which changes have been reflected
+// in the cache — and extract only the incremental suffix (Algorithm 1,
+// line 5: "Extract the incremental records R from L").
+
+#ifndef GCP_DATASET_CHANGE_LOG_HPP_
+#define GCP_DATASET_CHANGE_LOG_HPP_
+
+#include <vector>
+
+#include "dataset/change.hpp"
+
+namespace gcp {
+
+/// \brief In-memory append-only change log with monotone sequence numbers.
+class ChangeLog {
+ public:
+  /// Appends a record, assigning the next sequence number (starting at 1).
+  /// Returns the assigned sequence number.
+  LogSeq Append(ChangeType type, GraphId graph_id, VertexId u = 0,
+                VertexId v = 0);
+
+  /// Sequence number of the newest record; 0 when the log is empty.
+  LogSeq LatestSeq() const { return next_seq_ - 1; }
+
+  /// Records with seq > `watermark`, oldest first.
+  std::vector<ChangeRecord> ExtractSince(LogSeq watermark) const;
+
+  /// True iff records newer than `watermark` exist.
+  bool HasChangesSince(LogSeq watermark) const {
+    return LatestSeq() > watermark;
+  }
+
+  std::size_t size() const { return records_.size(); }
+  const std::vector<ChangeRecord>& records() const { return records_; }
+
+ private:
+  std::vector<ChangeRecord> records_;
+  LogSeq next_seq_ = 1;
+};
+
+}  // namespace gcp
+
+#endif  // GCP_DATASET_CHANGE_LOG_HPP_

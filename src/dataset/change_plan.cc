@@ -1,0 +1,138 @@
+#include "dataset/change_plan.hpp"
+
+#include <algorithm>
+
+namespace gcp {
+
+ChangePlan ChangePlan::Generate(Rng& rng, std::uint32_t num_queries,
+                                std::uint32_t num_batches,
+                                std::uint32_t ops_per_batch,
+                                std::uint32_t initial_size) {
+  ChangePlan plan;
+  plan.batches.reserve(num_batches);
+  for (std::uint32_t b = 0; b < num_batches; ++b) {
+    PlannedBatch batch;
+    batch.at_query =
+        static_cast<std::uint32_t>(rng.UniformBelow(std::max(1u, num_queries)));
+    batch.ops.reserve(ops_per_batch);
+    for (std::uint32_t i = 0; i < ops_per_batch; ++i) {
+      PlannedOp op;
+      switch (rng.UniformBelow(4)) {
+        case 0:
+          op.type = ChangeType::kAdd;
+          op.add_source = static_cast<std::uint32_t>(
+              rng.UniformBelow(std::max(1u, initial_size)));
+          break;
+        case 1:
+          op.type = ChangeType::kDelete;
+          break;
+        case 2:
+          op.type = ChangeType::kEdgeAdd;
+          break;
+        default:
+          op.type = ChangeType::kEdgeRemove;
+          break;
+      }
+      batch.ops.push_back(op);
+    }
+    plan.batches.push_back(std::move(batch));
+  }
+  std::stable_sort(plan.batches.begin(), plan.batches.end(),
+                   [](const PlannedBatch& a, const PlannedBatch& b) {
+                     return a.at_query < b.at_query;
+                   });
+  return plan;
+}
+
+std::size_t ChangePlan::TotalOps() const {
+  std::size_t total = 0;
+  for (const auto& b : batches) total += b.ops.size();
+  return total;
+}
+
+std::size_t ChangePlanExecutor::AdvanceTo(std::uint32_t query_id) {
+  std::size_t applied = 0;
+  while (next_batch_ < plan_.batches.size() &&
+         plan_.batches[next_batch_].at_query <= query_id) {
+    for (const PlannedOp& op : plan_.batches[next_batch_].ops) {
+      const std::size_t before = ops_applied_;
+      ApplyOp(op);
+      applied += ops_applied_ - before;
+    }
+    ++next_batch_;
+  }
+  return applied;
+}
+
+void ChangePlanExecutor::ApplyOp(const PlannedOp& op) {
+  switch (op.type) {
+    case ChangeType::kAdd: {
+      // Re-insert a copy of an initial graph (paper: "ADD using the initial
+      // dataset ... so as to maximumly keep the original dataset
+      // characteristics"). It gets a fresh id.
+      if (initial_.empty()) {
+        ++ops_skipped_;
+        return;
+      }
+      dataset_.AddGraph(initial_[op.add_source % initial_.size()]);
+      ++ops_applied_;
+      return;
+    }
+    case ChangeType::kDelete: {
+      const auto live = dataset_.LiveIds();
+      if (live.empty()) {
+        ++ops_skipped_;
+        return;
+      }
+      const GraphId id = live[rng_.UniformBelow(live.size())];
+      if (dataset_.DeleteGraph(id).ok()) {
+        ++ops_applied_;
+      } else {
+        ++ops_skipped_;
+      }
+      return;
+    }
+    case ChangeType::kEdgeAdd: {
+      // Pick a live graph uniformly; retry a few times if it is complete
+      // (no addable edge).
+      const auto live = dataset_.LiveIds();
+      if (live.empty()) {
+        ++ops_skipped_;
+        return;
+      }
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const GraphId id = live[rng_.UniformBelow(live.size())];
+        const auto non_edges = dataset_.graph(id).NonEdges();
+        if (non_edges.empty()) continue;
+        const auto& [u, v] = non_edges[rng_.UniformBelow(non_edges.size())];
+        if (dataset_.AddEdge(id, u, v).ok()) {
+          ++ops_applied_;
+          return;
+        }
+      }
+      ++ops_skipped_;
+      return;
+    }
+    case ChangeType::kEdgeRemove: {
+      const auto live = dataset_.LiveIds();
+      if (live.empty()) {
+        ++ops_skipped_;
+        return;
+      }
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const GraphId id = live[rng_.UniformBelow(live.size())];
+        const auto edges = dataset_.graph(id).Edges();
+        if (edges.empty()) continue;
+        const auto& [u, v] = edges[rng_.UniformBelow(edges.size())];
+        if (dataset_.RemoveEdge(id, u, v).ok()) {
+          ++ops_applied_;
+          return;
+        }
+      }
+      ++ops_skipped_;
+      return;
+    }
+  }
+}
+
+}  // namespace gcp

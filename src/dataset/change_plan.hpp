@@ -1,0 +1,94 @@
+// Dataset change plan (paper §7.1, "Dataset Change Plan").
+//
+// Change operations are performed in batches whose occurrence time is the
+// id of a query in the workload. The paper's AIDS plan: 2,000 operations
+// in 100 batches of 20, during 10,000 queries. Generation follows the
+// paper: batch times uniform over query ids; operation types uniform over
+// {ADD, DEL, UA, UR}; ADD re-inserts a uniformly chosen *initial* dataset
+// graph (preserving dataset characteristics); DEL/UA/UR pick a uniformly
+// random graph of the *up-to-date* dataset at execution time; UA adds a
+// uniformly chosen non-edge, UR removes a uniformly chosen edge.
+//
+// Because DEL/UA/UR depend on the dataset state at execution time, a plan
+// stores only the schedule (when, which types, and for ADD which initial
+// graph); targets are resolved by ChangePlanExecutor when the batch fires.
+
+#ifndef GCP_DATASET_CHANGE_PLAN_HPP_
+#define GCP_DATASET_CHANGE_PLAN_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dataset/dataset.hpp"
+
+namespace gcp {
+
+/// One scheduled operation. `add_source` is the index into the initial
+/// dataset snapshot, valid only for kAdd.
+struct PlannedOp {
+  ChangeType type = ChangeType::kAdd;
+  std::uint32_t add_source = 0;
+};
+
+/// A batch of operations fired just before query `at_query` executes.
+struct PlannedBatch {
+  std::uint32_t at_query = 0;
+  std::vector<PlannedOp> ops;
+};
+
+/// \brief Schedule of change batches over a query workload.
+struct ChangePlan {
+  std::vector<PlannedBatch> batches;  ///< Sorted by at_query.
+
+  /// Generates a plan per the paper's recipe.
+  /// \param rng            randomness source
+  /// \param num_queries    workload length (batch times drawn from it)
+  /// \param num_batches    how many batches
+  /// \param ops_per_batch  operations per batch
+  /// \param initial_size   number of graphs in the initial dataset
+  ///                       (ADD source pool)
+  static ChangePlan Generate(Rng& rng, std::uint32_t num_queries,
+                             std::uint32_t num_batches,
+                             std::uint32_t ops_per_batch,
+                             std::uint32_t initial_size);
+
+  std::size_t TotalOps() const;
+};
+
+/// \brief Applies plan batches to a live dataset, resolving DEL/UA/UR
+/// targets against the up-to-date dataset state.
+class ChangePlanExecutor {
+ public:
+  /// `initial` is the snapshot used as the ADD source pool; it must
+  /// outlive the executor.
+  ChangePlanExecutor(const ChangePlan& plan,
+                     const std::vector<Graph>& initial, GraphDataset& dataset,
+                     Rng rng)
+      : plan_(plan), initial_(initial), dataset_(dataset), rng_(rng) {}
+
+  /// Fires every not-yet-fired batch scheduled at or before `query_id`.
+  /// Returns the number of operations applied.
+  std::size_t AdvanceTo(std::uint32_t query_id);
+
+  /// True when every batch has fired.
+  bool Exhausted() const { return next_batch_ >= plan_.batches.size(); }
+
+  std::size_t ops_applied() const { return ops_applied_; }
+  std::size_t ops_skipped() const { return ops_skipped_; }
+
+ private:
+  void ApplyOp(const PlannedOp& op);
+
+  const ChangePlan& plan_;
+  const std::vector<Graph>& initial_;
+  GraphDataset& dataset_;
+  Rng rng_;
+  std::size_t next_batch_ = 0;
+  std::size_t ops_applied_ = 0;
+  std::size_t ops_skipped_ = 0;
+};
+
+}  // namespace gcp
+
+#endif  // GCP_DATASET_CHANGE_PLAN_HPP_

@@ -1,0 +1,75 @@
+#include "dataset/dataset.hpp"
+
+namespace gcp {
+
+void GraphDataset::Bootstrap(std::vector<Graph> graphs) {
+  slots_.clear();
+  slots_.reserve(graphs.size());
+  for (auto& g : graphs) slots_.emplace_back(std::move(g));
+  num_live_ = slots_.size();
+}
+
+GraphId GraphDataset::AddGraph(Graph g) {
+  const auto id = static_cast<GraphId>(slots_.size());
+  slots_.emplace_back(std::move(g));
+  ++num_live_;
+  log_.Append(ChangeType::kAdd, id);
+  return id;
+}
+
+Status GraphDataset::DeleteGraph(GraphId id) {
+  if (!IsLive(id)) return Status::NotFound("graph id not live");
+  slots_[id].reset();
+  --num_live_;
+  log_.Append(ChangeType::kDelete, id);
+  return Status::OK();
+}
+
+Status GraphDataset::AddEdge(GraphId id, VertexId u, VertexId v) {
+  if (!IsLive(id)) return Status::NotFound("graph id not live");
+  GCP_RETURN_NOT_OK(slots_[id]->AddEdge(u, v));
+  log_.Append(ChangeType::kEdgeAdd, id, u, v);
+  return Status::OK();
+}
+
+Status GraphDataset::RemoveEdge(GraphId id, VertexId u, VertexId v) {
+  if (!IsLive(id)) return Status::NotFound("graph id not live");
+  GCP_RETURN_NOT_OK(slots_[id]->RemoveEdge(u, v));
+  log_.Append(ChangeType::kEdgeRemove, id, u, v);
+  return Status::OK();
+}
+
+DynamicBitset GraphDataset::LiveMask() const {
+  DynamicBitset mask(slots_.size());
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    if (slots_[id].has_value()) mask.Set(id);
+  }
+  return mask;
+}
+
+std::vector<GraphId> GraphDataset::LiveIds() const {
+  std::vector<GraphId> out;
+  out.reserve(num_live_);
+  for (std::size_t id = 0; id < slots_.size(); ++id) {
+    if (slots_[id].has_value()) out.push_back(static_cast<GraphId>(id));
+  }
+  return out;
+}
+
+std::size_t GraphDataset::TotalLiveVertices() const {
+  std::size_t total = 0;
+  for (const auto& slot : slots_) {
+    if (slot.has_value()) total += slot->NumVertices();
+  }
+  return total;
+}
+
+std::size_t GraphDataset::TotalLiveEdges() const {
+  std::size_t total = 0;
+  for (const auto& slot : slots_) {
+    if (slot.has_value()) total += slot->NumEdges();
+  }
+  return total;
+}
+
+}  // namespace gcp

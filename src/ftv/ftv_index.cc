@@ -1,0 +1,80 @@
+#include "ftv/ftv_index.hpp"
+
+#include <algorithm>
+
+namespace gcp {
+
+FtvIndex::FtvIndex(const GraphDataset& dataset) : dataset_(&dataset) {
+  summaries_.resize(dataset_->IdHorizon());
+  for (const GraphId id : dataset_->LiveIds()) {
+    IndexGraph(id);
+  }
+  watermark_ = dataset_->log().LatestSeq();
+}
+
+void FtvIndex::IndexGraph(GraphId id) {
+  if (id >= summaries_.size()) summaries_.resize(id + 1);
+  summaries_[id] = GraphFeatures::Extract(dataset_->graph(id));
+}
+
+std::size_t FtvIndex::SyncWithDataset() {
+  const std::vector<ChangeRecord> records =
+      dataset_->log().ExtractSince(watermark_);
+  if (records.empty()) return 0;
+  // Coalesce: a graph touched multiple times needs only one re-derivation
+  // against its final state in this window.
+  std::vector<GraphId> touched;
+  for (const ChangeRecord& r : records) {
+    touched.push_back(r.graph_id);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+  std::size_t updates = 0;
+  if (dataset_->IdHorizon() > summaries_.size()) {
+    summaries_.resize(dataset_->IdHorizon());
+  }
+  for (const GraphId id : touched) {
+    if (dataset_->IsLive(id)) {
+      IndexGraph(id);  // ADD or UA/UR: (re-)derive the local summary
+    } else {
+      if (id < summaries_.size()) summaries_[id].reset();  // DEL
+    }
+    ++updates;
+  }
+  watermark_ = dataset_->log().LatestSeq();
+  return updates;
+}
+
+DynamicBitset FtvIndex::CandidateSet(const GraphFeatures& query_features,
+                                     FtvQueryDirection direction) const {
+  DynamicBitset candidates(dataset_->IdHorizon());
+  const std::size_t limit =
+      std::min(summaries_.size(), dataset_->IdHorizon());
+  for (std::size_t id = 0; id < limit; ++id) {
+    const auto& summary = summaries_[id];
+    if (!summary.has_value() || !dataset_->IsLive(static_cast<GraphId>(id))) {
+      continue;
+    }
+    const bool pass = direction == FtvQueryDirection::kSubgraph
+                          ? query_features.CouldBeSubgraphOf(*summary)
+                          : summary->CouldBeSubgraphOf(query_features);
+    if (pass) candidates.Set(id);
+  }
+  return candidates;
+}
+
+std::size_t FtvIndex::IndexedCount() const {
+  std::size_t count = 0;
+  for (const auto& s : summaries_) {
+    if (s.has_value()) ++count;
+  }
+  return count;
+}
+
+const GraphFeatures* FtvIndex::SummaryOf(GraphId id) const {
+  if (id >= summaries_.size() || !summaries_[id].has_value()) return nullptr;
+  return &*summaries_[id];
+}
+
+}  // namespace gcp

@@ -1,0 +1,43 @@
+#include "graph/canonical.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/hash.hpp"
+
+namespace gcp {
+
+std::uint64_t WlDigest(const Graph& g, int rounds) {
+  const std::size_t n = g.NumVertices();
+  std::vector<std::uint64_t> color(n), next(n);
+  for (VertexId v = 0; v < n; ++v) {
+    std::uint64_t seed = 0x517cc1b727220a95ULL;
+    HashCombine(seed, g.label(v));
+    color[v] = seed;
+  }
+  std::vector<std::uint64_t> neigh;
+  for (int r = 0; r < rounds; ++r) {
+    for (VertexId v = 0; v < n; ++v) {
+      neigh.clear();
+      for (const VertexId u : g.neighbors(v)) neigh.push_back(color[u]);
+      std::sort(neigh.begin(), neigh.end());
+      std::uint64_t seed = color[v];
+      for (const std::uint64_t c : neigh) HashCombine(seed, c);
+      next[v] = seed;
+    }
+    color.swap(next);
+  }
+  std::sort(color.begin(), color.end());
+  std::uint64_t digest = 0x2545f4914f6cdd1dULL;
+  HashCombine(digest, n);
+  HashCombine(digest, g.NumEdges());
+  for (const std::uint64_t c : color) HashCombine(digest, c);
+  return digest;
+}
+
+bool MaybeIsomorphic(const Graph& g1, const Graph& g2) {
+  return g1.NumVertices() == g2.NumVertices() &&
+         g1.NumEdges() == g2.NumEdges() && WlDigest(g1) == WlDigest(g2);
+}
+
+}  // namespace gcp

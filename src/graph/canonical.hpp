@@ -1,0 +1,30 @@
+// Permutation-invariant graph digests via Weisfeiler-Leman colour
+// refinement.
+//
+// GC+ detects exact-match cache hits (paper §6.3) by checking g ⊆ g' with
+// |V(g)| = |V(g')| and |E(g)| = |E(g')|. The digest here is a cheap
+// necessary-condition prefilter for that test and the identity used to
+// deduplicate cached queries: isomorphic graphs always share a digest,
+// non-isomorphic graphs collide only with hash probability.
+
+#ifndef GCP_GRAPH_CANONICAL_HPP_
+#define GCP_GRAPH_CANONICAL_HPP_
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace gcp {
+
+/// Digest invariant under vertex renumbering. `rounds` is the number of WL
+/// refinement iterations (3 distinguishes almost all small graphs).
+std::uint64_t WlDigest(const Graph& g, int rounds = 3);
+
+/// True iff g1 and g2 could be isomorphic by cheap invariants
+/// (size, edge count and WL digest). Sound: never false for isomorphic
+/// inputs.
+bool MaybeIsomorphic(const Graph& g1, const Graph& g2);
+
+}  // namespace gcp
+
+#endif  // GCP_GRAPH_CANONICAL_HPP_

@@ -1,0 +1,57 @@
+#include "graph/features.hpp"
+
+#include <algorithm>
+
+namespace gcp {
+
+GraphFeatures GraphFeatures::Extract(const Graph& g) {
+  GraphFeatures f;
+  f.num_vertices = static_cast<std::uint32_t>(g.NumVertices());
+  f.num_edges = static_cast<std::uint32_t>(g.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const Label l = g.label(v);
+    ++f.label_counts[l];
+    const auto deg = static_cast<std::uint32_t>(g.degree(v));
+    f.label_degrees[l].push_back(deg);
+    f.max_degree = std::max(f.max_degree, deg);
+  }
+  for (auto& [label, degrees] : f.label_degrees) {
+    std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  }
+  for (const auto& [u, v] : g.Edges()) {
+    const Label lu = g.label(u);
+    const Label lv = g.label(v);
+    ++f.edge_label_counts[{std::min(lu, lv), std::max(lu, lv)}];
+  }
+  return f;
+}
+
+bool GraphFeatures::CouldBeSubgraphOf(const GraphFeatures& other) const {
+  if (num_vertices > other.num_vertices || num_edges > other.num_edges ||
+      max_degree > other.max_degree) {
+    return false;
+  }
+  for (const auto& [label, count] : label_counts) {
+    const auto it = other.label_counts.find(label);
+    if (it == other.label_counts.end() || count > it->second) return false;
+  }
+  for (const auto& [pair, count] : edge_label_counts) {
+    const auto it = other.edge_label_counts.find(pair);
+    if (it == other.edge_label_counts.end() || count > it->second) return false;
+  }
+  // Per-label degree dominance: the i-th largest degree among this graph's
+  // vertices labelled l must not exceed the i-th largest among other's
+  // (injective mapping within a label class; standard counting argument).
+  for (const auto& [label, degrees] : label_degrees) {
+    const auto it = other.label_degrees.find(label);
+    if (it == other.label_degrees.end()) return false;
+    const auto& theirs = it->second;
+    if (degrees.size() > theirs.size()) return false;
+    for (std::size_t i = 0; i < degrees.size(); ++i) {
+      if (degrees[i] > theirs[i]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gcp

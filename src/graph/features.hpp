@@ -1,0 +1,50 @@
+// Monotone structural features used as a filter for containment tests.
+//
+// If g is subgraph-isomorphic to G then every feature count of g is
+// dominated by the corresponding count of G (labels are preserved and the
+// mapping is injective). The cache's query index (src/cache/query_index)
+// uses CouldBeSubgraphOf as a sound necessary condition to shortlist
+// cached queries before verifying with an exact matcher — the classic
+// filter-then-verify pattern applied to the cache itself.
+
+#ifndef GCP_GRAPH_FEATURES_HPP_
+#define GCP_GRAPH_FEATURES_HPP_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gcp {
+
+/// \brief Permutation-invariant feature summary of a labelled graph.
+struct GraphFeatures {
+  std::uint32_t num_vertices = 0;
+  std::uint32_t num_edges = 0;
+  std::uint32_t max_degree = 0;
+
+  /// label -> number of vertices carrying it.
+  std::map<Label, std::uint32_t> label_counts;
+
+  /// (min(la,lb), max(la,lb)) -> number of edges joining labels la and lb.
+  std::map<std::pair<Label, Label>, std::uint32_t> edge_label_counts;
+
+  /// label -> descending degree sequence of vertices with that label.
+  std::map<Label, std::vector<std::uint32_t>> label_degrees;
+
+  /// Extracts features of `g`.
+  static GraphFeatures Extract(const Graph& g);
+
+  /// Sound necessary condition for "this graph ⊆ other graph"
+  /// (non-induced, label-preserving). Never returns false for a true
+  /// containment; may return true for a non-containment.
+  bool CouldBeSubgraphOf(const GraphFeatures& other) const;
+
+  bool operator==(const GraphFeatures& other) const = default;
+};
+
+}  // namespace gcp
+
+#endif  // GCP_GRAPH_FEATURES_HPP_

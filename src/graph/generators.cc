@@ -1,0 +1,86 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gcp {
+
+Graph RandomConnectedGraph(Rng& rng, std::size_t n, std::size_t extra_edges,
+                           std::size_t num_labels) {
+  Graph g;
+  for (std::size_t i = 0; i < n; ++i) {
+    g.AddVertex(static_cast<Label>(rng.UniformBelow(std::max<std::size_t>(
+        1, num_labels))));
+  }
+  if (n <= 1) return g;
+  // Random spanning tree: attach each vertex to a uniformly random earlier
+  // vertex of a random permutation (a random recursive tree).
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  for (std::size_t i = 1; i < n; ++i) {
+    const VertexId parent = order[rng.UniformBelow(i)];
+    g.AddEdge(order[i], parent).ok();
+  }
+  const std::size_t max_edges = n * (n - 1) / 2;
+  std::size_t budget = std::min(extra_edges, max_edges - g.NumEdges());
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 20 * (budget + 1) + 100;
+  while (budget > 0 && attempts < max_attempts) {
+    ++attempts;
+    const auto u = static_cast<VertexId>(rng.UniformBelow(n));
+    const auto v = static_cast<VertexId>(rng.UniformBelow(n));
+    if (u == v || g.HasEdge(u, v)) continue;
+    g.AddEdge(u, v).ok();
+    --budget;
+  }
+  if (budget > 0) {
+    // Dense regime: fall back to explicit non-edge enumeration.
+    auto non_edges = g.NonEdges();
+    rng.Shuffle(non_edges);
+    for (std::size_t i = 0; i < non_edges.size() && budget > 0; ++i, --budget) {
+      g.AddEdge(non_edges[i].first, non_edges[i].second).ok();
+    }
+  }
+  return g;
+}
+
+Graph RandomGraph(Rng& rng, std::size_t n, double edge_prob,
+                  std::size_t num_labels) {
+  Graph g;
+  for (std::size_t i = 0; i < n; ++i) {
+    g.AddVertex(static_cast<Label>(rng.UniformBelow(std::max<std::size_t>(
+        1, num_labels))));
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.Bernoulli(edge_prob)) g.AddEdge(u, v).ok();
+    }
+  }
+  return g;
+}
+
+void RelabelUniform(Rng& rng, Graph& g, std::size_t num_labels) {
+  Graph fresh;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    fresh.AddVertex(static_cast<Label>(rng.UniformBelow(std::max<std::size_t>(
+        1, num_labels))));
+  }
+  for (const auto& [u, v] : g.Edges()) fresh.AddEdge(u, v).ok();
+  g = std::move(fresh);
+}
+
+Graph RandomlyPermuted(Rng& rng, const Graph& g) {
+  const std::size_t n = g.NumVertices();
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  Graph out;
+  std::vector<Label> labels(n);
+  for (VertexId v = 0; v < n; ++v) labels[perm[v]] = g.label(v);
+  for (const Label l : labels) out.AddVertex(l);
+  for (const auto& [u, v] : g.Edges()) out.AddEdge(perm[u], perm[v]).ok();
+  return out;
+}
+
+}  // namespace gcp

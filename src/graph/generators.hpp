@@ -1,0 +1,34 @@
+// Random labelled-graph generators for tests and micro-benchmarks.
+// (The AIDS-like dataset generator lives in src/dataset/aids_like.)
+
+#ifndef GCP_GRAPH_GENERATORS_HPP_
+#define GCP_GRAPH_GENERATORS_HPP_
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace gcp {
+
+/// Connected random graph: a uniform random spanning tree over `n` vertices
+/// plus `extra_edges` additional distinct random edges (capped at the
+/// complete graph). Labels are uniform over [0, num_labels).
+Graph RandomConnectedGraph(Rng& rng, std::size_t n, std::size_t extra_edges,
+                           std::size_t num_labels);
+
+/// Erdos-Renyi G(n, p) with uniform labels; may be disconnected.
+Graph RandomGraph(Rng& rng, std::size_t n, double edge_prob,
+                  std::size_t num_labels);
+
+/// Uniformly relabels every vertex of `g` in place with labels drawn from
+/// [0, num_labels).
+void RelabelUniform(Rng& rng, Graph& g, std::size_t num_labels);
+
+/// Returns a copy of `g` with vertices renumbered by a random permutation
+/// (an isomorphic graph). Useful for testing permutation invariance.
+Graph RandomlyPermuted(Rng& rng, const Graph& g);
+
+}  // namespace gcp
+
+#endif  // GCP_GRAPH_GENERATORS_HPP_

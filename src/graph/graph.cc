@@ -1,0 +1,138 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gcp {
+
+namespace {
+
+// Insert `value` into sorted vector `v`; returns false when already present.
+bool SortedInsert(std::vector<VertexId>& v, VertexId value) {
+  const auto it = std::lower_bound(v.begin(), v.end(), value);
+  if (it != v.end() && *it == value) return false;
+  v.insert(it, value);
+  return true;
+}
+
+// Erase `value` from sorted vector `v`; returns false when absent.
+bool SortedErase(std::vector<VertexId>& v, VertexId value) {
+  const auto it = std::lower_bound(v.begin(), v.end(), value);
+  if (it == v.end() || *it != value) return false;
+  v.erase(it);
+  return true;
+}
+
+}  // namespace
+
+Result<Graph> Graph::Create(
+    std::vector<Label> labels,
+    const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  Graph g;
+  g.labels_ = std::move(labels);
+  g.adj_.resize(g.labels_.size());
+  for (const auto& [u, v] : edges) {
+    GCP_RETURN_NOT_OK(g.AddEdge(u, v));
+  }
+  return g;
+}
+
+VertexId Graph::AddVertex(Label label) {
+  labels_.push_back(label);
+  adj_.emplace_back();
+  return static_cast<VertexId>(labels_.size() - 1);
+}
+
+Status Graph::AddEdge(VertexId u, VertexId v) {
+  if (u >= NumVertices() || v >= NumVertices()) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  if (u == v) {
+    return Status::InvalidArgument("self-loops are not supported");
+  }
+  if (!SortedInsert(adj_[u], v)) {
+    return Status::AlreadyExists("edge already present");
+  }
+  SortedInsert(adj_[v], u);
+  ++num_edges_;
+  return Status::OK();
+}
+
+Status Graph::RemoveEdge(VertexId u, VertexId v) {
+  if (u >= NumVertices() || v >= NumVertices()) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  if (!SortedErase(adj_[u], v)) {
+    return Status::NotFound("edge not present");
+  }
+  SortedErase(adj_[v], u);
+  --num_edges_;
+  return Status::OK();
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= NumVertices() || v >= NumVertices() || u == v) return false;
+  const auto& nu = adj_[u];
+  return std::binary_search(nu.begin(), nu.end(), v);
+}
+
+std::vector<std::pair<VertexId, VertexId>> Graph::Edges() const {
+  std::vector<std::pair<VertexId, VertexId>> out;
+  out.reserve(num_edges_);
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (const VertexId v : adj_[u]) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+bool Graph::IsConnected() const {
+  if (NumVertices() == 0) return true;
+  std::vector<bool> seen(NumVertices(), false);
+  std::vector<VertexId> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const VertexId u = stack.back();
+    stack.pop_back();
+    for (const VertexId v : adj_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++visited;
+        stack.push_back(v);
+      }
+    }
+  }
+  return visited == NumVertices();
+}
+
+std::vector<std::pair<VertexId, VertexId>> Graph::NonEdges() const {
+  std::vector<std::pair<VertexId, VertexId>> out;
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (VertexId v = u + 1; v < NumVertices(); ++v) {
+      if (!HasEdge(u, v)) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+std::string Graph::ToString() const {
+  std::ostringstream os;
+  os << "n=" << NumVertices() << " m=" << NumEdges() << " labels=[";
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << labels_[i];
+  }
+  os << "] edges=[";
+  bool first = true;
+  for (const auto& [u, v] : Edges()) {
+    if (!first) os << ",";
+    first = false;
+    os << "(" << u << "," << v << ")";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace gcp

@@ -1,0 +1,88 @@
+// Undirected labelled graph — the unit of data in GC+.
+//
+// Following the paper (§3) graphs are undirected with vertex labels only;
+// all results generalize to directed/edge-labelled graphs. Dataset graphs
+// must support in-place edge addition (UA) and removal (UR) since those are
+// two of the four dataset change operations GC+ tracks.
+
+#ifndef GCP_GRAPH_GRAPH_HPP_
+#define GCP_GRAPH_GRAPH_HPP_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace gcp {
+
+/// Vertex index within a graph (dense, 0-based).
+using VertexId = std::uint32_t;
+/// Vertex label drawn from a dataset-wide label universe.
+using Label = std::uint32_t;
+
+/// \brief Simple undirected graph with vertex labels.
+///
+/// Adjacency lists are kept sorted so HasEdge is a binary search and
+/// neighbour iteration is ordered (which the matchers rely on for
+/// deterministic traversal). No self-loops, no parallel edges.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a graph in one call. Edges reference vertex positions in
+  /// `labels`. Returns InvalidArgument on out-of-range endpoints,
+  /// self-loops, or duplicate edges.
+  static Result<Graph> Create(
+      std::vector<Label> labels,
+      const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+  /// Appends a vertex with the given label; returns its id.
+  VertexId AddVertex(Label label);
+
+  /// Adds undirected edge {u, v}. Errors on out-of-range ids, u == v, or an
+  /// existing edge.
+  Status AddEdge(VertexId u, VertexId v);
+
+  /// Removes undirected edge {u, v}. Errors when absent.
+  Status RemoveEdge(VertexId u, VertexId v);
+
+  /// True iff edge {u, v} is present (ids must be valid).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  std::size_t NumVertices() const { return labels_.size(); }
+  std::size_t NumEdges() const { return num_edges_; }
+
+  Label label(VertexId v) const { return labels_[v]; }
+  const std::vector<Label>& labels() const { return labels_; }
+
+  /// Sorted neighbour list of `v`.
+  const std::vector<VertexId>& neighbors(VertexId v) const { return adj_[v]; }
+  std::size_t degree(VertexId v) const { return adj_[v].size(); }
+
+  /// All edges as (u, v) pairs with u < v, lexicographically sorted.
+  std::vector<std::pair<VertexId, VertexId>> Edges() const;
+
+  /// True iff the graph is connected (the empty graph is connected).
+  bool IsConnected() const;
+
+  /// Non-edges (u, v), u < v — the candidate pool for a UA change.
+  std::vector<std::pair<VertexId, VertexId>> NonEdges() const;
+
+  bool operator==(const Graph& other) const {
+    return labels_ == other.labels_ && adj_ == other.adj_;
+  }
+
+  /// Debug rendering: "n=3 m=2 labels=[0,1,0] edges=[(0,1),(1,2)]".
+  std::string ToString() const;
+
+ private:
+  std::vector<Label> labels_;
+  std::vector<std::vector<VertexId>> adj_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace gcp
+
+#endif  // GCP_GRAPH_GRAPH_HPP_

@@ -1,0 +1,113 @@
+#include "graph/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace gcp {
+
+void WriteGraphs(std::ostream& os, const std::vector<Graph>& graphs) {
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    const Graph& g = graphs[i];
+    os << "t # " << i << "\n";
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      os << "v " << v << " " << g.label(v) << "\n";
+    }
+    for (const auto& [u, v] : g.Edges()) {
+      os << "e " << u << " " << v << "\n";
+    }
+  }
+}
+
+Result<std::vector<Graph>> ReadGraphs(std::istream& is) {
+  std::vector<Graph> graphs;
+  bool in_graph = false;
+  Graph current;
+  std::string line;
+  std::size_t line_no = 0;
+
+  auto flush = [&]() {
+    if (in_graph) graphs.push_back(std::move(current));
+    current = Graph();
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag) || tag.empty() || tag[0] == '#') continue;
+    if (tag == "t") {
+      flush();
+      in_graph = true;
+      continue;
+    }
+    if (!in_graph) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": vertex/edge before any 't' record");
+    }
+    if (tag == "v") {
+      std::int64_t vid = -1, lbl = -1;
+      if (!(ls >> vid >> lbl) || vid < 0 || lbl < 0) {
+        return Status::Corruption("line " + std::to_string(line_no) +
+                                  ": malformed vertex record");
+      }
+      if (static_cast<std::size_t>(vid) != current.NumVertices()) {
+        return Status::Corruption("line " + std::to_string(line_no) +
+                                  ": vertex ids must be dense and in order");
+      }
+      current.AddVertex(static_cast<Label>(lbl));
+    } else if (tag == "e") {
+      std::int64_t u = -1, v = -1;
+      if (!(ls >> u >> v) || u < 0 || v < 0) {
+        return Status::Corruption("line " + std::to_string(line_no) +
+                                  ": malformed edge record");
+      }
+      // A trailing edge label, if any, is ignored.
+      const Status st = current.AddEdge(static_cast<VertexId>(u),
+                                        static_cast<VertexId>(v));
+      if (!st.ok()) {
+        return Status::Corruption("line " + std::to_string(line_no) + ": " +
+                                  st.ToString());
+      }
+    } else {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": unknown record tag '" + tag + "'");
+    }
+  }
+  flush();
+  return graphs;
+}
+
+Status WriteGraphsToFile(const std::string& path,
+                         const std::vector<Graph>& graphs) {
+  std::ofstream os(path);
+  if (!os) return Status::IOError("cannot open for writing: " + path);
+  WriteGraphs(os, graphs);
+  os.flush();
+  if (!os) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Graph>> ReadGraphsFromFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::IOError("cannot open for reading: " + path);
+  return ReadGraphs(is);
+}
+
+std::string GraphToGSpan(const Graph& g) {
+  std::ostringstream os;
+  WriteGraphs(os, {g});
+  return os.str();
+}
+
+Result<Graph> GraphFromGSpan(const std::string& text) {
+  std::istringstream is(text);
+  auto r = ReadGraphs(is);
+  if (!r.ok()) return r.status();
+  if (r.value().size() != 1) {
+    return Status::InvalidArgument("expected exactly one graph, got " +
+                                   std::to_string(r.value().size()));
+  }
+  return std::move(r.value()[0]);
+}
+
+}  // namespace gcp

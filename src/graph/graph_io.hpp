@@ -1,0 +1,41 @@
+// Text (de)serialization in the gSpan transaction format used by the AIDS
+// antiviral screen dataset and most graph-mining benchmarks:
+//
+//   t # <graph-id>
+//   v <vertex-id> <label>
+//   e <u> <v> [<edge-label>]
+//
+// Edge labels are accepted on input and ignored (GC+ operates on
+// vertex-labelled graphs, paper §3); they are not emitted.
+
+#ifndef GCP_GRAPH_GRAPH_IO_HPP_
+#define GCP_GRAPH_GRAPH_IO_HPP_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "graph/graph.hpp"
+
+namespace gcp {
+
+/// Writes `graphs` in gSpan format; graph ids are positional (0-based).
+void WriteGraphs(std::ostream& os, const std::vector<Graph>& graphs);
+
+/// Parses a gSpan-format stream. Vertex ids inside each transaction must be
+/// dense and 0-based (the format used by the published AIDS files).
+Result<std::vector<Graph>> ReadGraphs(std::istream& is);
+
+/// File convenience wrappers.
+Status WriteGraphsToFile(const std::string& path,
+                         const std::vector<Graph>& graphs);
+Result<std::vector<Graph>> ReadGraphsFromFile(const std::string& path);
+
+/// One-graph helpers used by tests and tools.
+std::string GraphToGSpan(const Graph& g);
+Result<Graph> GraphFromGSpan(const std::string& text);
+
+}  // namespace gcp
+
+#endif  // GCP_GRAPH_GRAPH_IO_HPP_

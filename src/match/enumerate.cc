@@ -1,0 +1,156 @@
+#include "match/enumerate.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace gcp {
+
+namespace {
+
+constexpr VertexId kUnmapped = static_cast<VertexId>(-1);
+
+// Shares the VF2+ search skeleton (static rarity order, anchor-adjacency
+// candidates, full feasibility) but keeps searching after each success.
+class Enumerator {
+ public:
+  Enumerator(const Graph& pattern, const Graph& target,
+             const EmbeddingCallback& cb)
+      : pattern_(pattern),
+        target_(target),
+        cb_(cb),
+        core_p_(pattern.NumVertices(), kUnmapped),
+        core_t_(target.NumVertices(), kUnmapped) {
+    BuildOrder();
+  }
+
+  // Returns false when the callback requested a stop.
+  bool Search(std::size_t depth) {
+    if (depth == order_.size()) {
+      ++count_;
+      return cb_ == nullptr || cb_(core_p_);
+    }
+    const VertexId u = order_[depth];
+    const VertexId anchor_image = SmallestMappedImage(u);
+    if (anchor_image != kUnmapped) {
+      for (const VertexId v : target_.neighbors(anchor_image)) {
+        if (!TryPair(u, v, depth)) return false;
+      }
+    } else {
+      for (VertexId v = 0; v < target_.NumVertices(); ++v) {
+        if (!TryPair(u, v, depth)) return false;
+      }
+    }
+    return true;
+  }
+
+  std::uint64_t count() const { return count_; }
+
+ private:
+  // Returns false only on callback-requested stop.
+  bool TryPair(VertexId u, VertexId v, std::size_t depth) {
+    if (!Feasible(u, v)) return true;
+    core_p_[u] = v;
+    core_t_[v] = u;
+    const bool keep_going = Search(depth + 1);
+    core_p_[u] = kUnmapped;
+    core_t_[v] = kUnmapped;
+    return keep_going;
+  }
+
+  void BuildOrder() {
+    const std::size_t n = pattern_.NumVertices();
+    std::map<Label, std::uint32_t> target_label_freq;
+    for (VertexId v = 0; v < target_.NumVertices(); ++v) {
+      ++target_label_freq[target_.label(v)];
+    }
+    auto rarity = [&](VertexId u) -> std::uint32_t {
+      const auto it = target_label_freq.find(pattern_.label(u));
+      return it == target_label_freq.end() ? 0 : it->second;
+    };
+    std::vector<bool> placed(n, false);
+    std::vector<int> placed_neighbors(n, 0);
+    order_.reserve(n);
+    for (std::size_t step = 0; step < n; ++step) {
+      VertexId best = kUnmapped;
+      for (VertexId u = 0; u < n; ++u) {
+        if (placed[u]) continue;
+        if (best == kUnmapped) {
+          best = u;
+          continue;
+        }
+        const auto key = [&](VertexId x) {
+          return std::make_tuple(-placed_neighbors[x], rarity(x),
+                                 -static_cast<int>(pattern_.degree(x)));
+        };
+        if (key(u) < key(best)) best = u;
+      }
+      placed[best] = true;
+      order_.push_back(best);
+      for (const VertexId w : pattern_.neighbors(best)) ++placed_neighbors[w];
+    }
+  }
+
+  VertexId SmallestMappedImage(VertexId u) const {
+    VertexId best = kUnmapped;
+    std::size_t best_degree = 0;
+    for (const VertexId w : pattern_.neighbors(u)) {
+      const VertexId img = core_p_[w];
+      if (img == kUnmapped) continue;
+      const std::size_t d = target_.degree(img);
+      if (best == kUnmapped || d < best_degree) {
+        best = img;
+        best_degree = d;
+      }
+    }
+    return best;
+  }
+
+  bool Feasible(VertexId u, VertexId v) const {
+    if (core_t_[v] != kUnmapped) return false;
+    if (pattern_.label(u) != target_.label(v)) return false;
+    if (pattern_.degree(u) > target_.degree(v)) return false;
+    for (const VertexId w : pattern_.neighbors(u)) {
+      const VertexId mapped = core_p_[w];
+      if (mapped != kUnmapped && !target_.HasEdge(v, mapped)) return false;
+    }
+    return true;
+  }
+
+  const Graph& pattern_;
+  const Graph& target_;
+  const EmbeddingCallback& cb_;
+  std::vector<VertexId> order_;
+  std::vector<VertexId> core_p_;
+  std::vector<VertexId> core_t_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t EnumerateEmbeddings(const Graph& pattern, const Graph& target,
+                                  const EmbeddingCallback& cb) {
+  if (pattern.NumVertices() == 0) {
+    if (cb != nullptr) cb({});
+    return 1;
+  }
+  if (pattern.NumVertices() > target.NumVertices() ||
+      pattern.NumEdges() > target.NumEdges()) {
+    return 0;
+  }
+  Enumerator enumerator(pattern, target, cb);
+  enumerator.Search(0);
+  return enumerator.count();
+}
+
+std::uint64_t CountEmbeddings(const Graph& pattern, const Graph& target,
+                              std::uint64_t limit) {
+  std::uint64_t count = 0;
+  EnumerateEmbeddings(pattern, target,
+                      [&count, limit](const std::vector<VertexId>&) {
+                        ++count;
+                        return limit == 0 || count < limit;
+                      });
+  return count;
+}
+
+}  // namespace gcp

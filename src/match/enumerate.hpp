@@ -1,0 +1,41 @@
+// The subgraph MATCHING problem (paper §2): locate all occurrences of a
+// query graph within a (possibly single, massive) target graph — as
+// opposed to the decision problem the GC+ runtime needs. The paper lists
+// "extending GC+ to benefit subgraph queries when finding all occurrences
+// of a query graph against a single massive graph" as future work (§8);
+// this module provides the enumeration substrate for it.
+//
+// Embeddings are reported as raw injective mappings (pattern vertex ->
+// target vertex); automorphic images of the pattern are therefore
+// reported separately (e.g. a same-label triangle occurs 6 times per
+// triangle of the target).
+
+#ifndef GCP_MATCH_ENUMERATE_HPP_
+#define GCP_MATCH_ENUMERATE_HPP_
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/graph.hpp"
+
+namespace gcp {
+
+/// Callback invoked per embedding; return false to stop the enumeration.
+using EmbeddingCallback =
+    std::function<bool(const std::vector<VertexId>& mapping)>;
+
+/// Enumerates every (non-induced, label-preserving, injective) embedding
+/// of `pattern` into `target`, invoking `cb` for each. Returns the number
+/// of embeddings reported. The empty pattern has exactly one (empty)
+/// embedding.
+std::uint64_t EnumerateEmbeddings(const Graph& pattern, const Graph& target,
+                                  const EmbeddingCallback& cb);
+
+/// Counts embeddings; `limit` (0 = unlimited) stops counting early — the
+/// return value saturates at `limit`.
+std::uint64_t CountEmbeddings(const Graph& pattern, const Graph& target,
+                              std::uint64_t limit = 0);
+
+}  // namespace gcp
+
+#endif  // GCP_MATCH_ENUMERATE_HPP_

@@ -1,0 +1,220 @@
+#include "match/graphql.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace gcp {
+
+namespace {
+
+constexpr VertexId kUnmapped = static_cast<VertexId>(-1);
+
+// Kuhn's augmenting-path bipartite matching: can every left vertex be
+// matched to a distinct right vertex along `allowed` edges? Sizes here are
+// vertex degrees (small), so the O(L*L*R) bound is irrelevant in practice.
+class BipartiteMatcher {
+ public:
+  BipartiteMatcher(std::size_t left, std::size_t right)
+      : left_(left), adj_(left), match_right_(right, kUnmapped) {}
+
+  void AddEdge(std::size_t l, std::size_t r) {
+    adj_[l].push_back(static_cast<VertexId>(r));
+  }
+
+  bool HasPerfectLeftMatching() {
+    for (std::size_t l = 0; l < left_; ++l) {
+      visited_.assign(match_right_.size(), false);
+      if (!Augment(l)) return false;
+    }
+    return true;
+  }
+
+ private:
+  bool Augment(std::size_t l) {
+    for (const VertexId r : adj_[l]) {
+      if (visited_[r]) continue;
+      visited_[r] = true;
+      if (match_right_[r] == kUnmapped || Augment(match_right_[r])) {
+        match_right_[r] = static_cast<VertexId>(l);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t left_;
+  std::vector<std::vector<VertexId>> adj_;
+  std::vector<VertexId> match_right_;
+  std::vector<bool> visited_;
+};
+
+// Sorted multiset containment: every element of `sub` (with multiplicity)
+// appears in `super`. Both inputs sorted ascending.
+bool MultisetContained(const std::vector<Label>& sub,
+                       const std::vector<Label>& super) {
+  std::size_t j = 0;
+  for (const Label l : sub) {
+    while (j < super.size() && super[j] < l) ++j;
+    if (j == super.size() || super[j] != l) return false;
+    ++j;
+  }
+  return true;
+}
+
+class GraphQlSearch {
+ public:
+  GraphQlSearch(const Graph& pattern, const Graph& target,
+                std::vector<std::vector<VertexId>> candidates,
+                MatchStats* stats)
+      : pattern_(pattern),
+        target_(target),
+        candidates_(std::move(candidates)),
+        stats_(stats),
+        core_p_(pattern.NumVertices(), kUnmapped),
+        used_t_(target.NumVertices(), false) {
+    BuildOrder();
+  }
+
+  bool Search(std::size_t depth) {
+    if (depth == order_.size()) return true;
+    const VertexId u = order_[depth];
+    for (const VertexId v : candidates_[u]) {
+      if (stats_ != nullptr) ++stats_->nodes_expanded;
+      if (used_t_[v] || !Consistent(u, v)) {
+        if (stats_ != nullptr) ++stats_->pruned;
+        continue;
+      }
+      core_p_[u] = v;
+      used_t_[v] = true;
+      if (Search(depth + 1)) return true;
+      core_p_[u] = kUnmapped;
+      used_t_[v] = false;
+    }
+    return false;
+  }
+
+  const std::vector<VertexId>& mapping() const { return core_p_; }
+
+ private:
+  // Search order: smallest candidate list first, then prefer connectivity
+  // to the ordered prefix (GraphQL's "left-deep" ordering heuristic).
+  void BuildOrder() {
+    const std::size_t n = pattern_.NumVertices();
+    std::vector<bool> placed(n, false);
+    std::vector<int> placed_neighbors(n, 0);
+    order_.reserve(n);
+    for (std::size_t step = 0; step < n; ++step) {
+      VertexId best = kUnmapped;
+      for (VertexId u = 0; u < n; ++u) {
+        if (placed[u]) continue;
+        if (best == kUnmapped) {
+          best = u;
+          continue;
+        }
+        const auto key = [&](VertexId x) {
+          return std::make_tuple(-placed_neighbors[x], candidates_[x].size(),
+                                 -static_cast<long>(pattern_.degree(x)));
+        };
+        if (key(u) < key(best)) best = u;
+      }
+      placed[best] = true;
+      order_.push_back(best);
+      for (const VertexId w : pattern_.neighbors(best)) ++placed_neighbors[w];
+    }
+  }
+
+  bool Consistent(VertexId u, VertexId v) const {
+    for (const VertexId w : pattern_.neighbors(u)) {
+      const VertexId img = core_p_[w];
+      if (img != kUnmapped && !target_.HasEdge(v, img)) return false;
+    }
+    return true;
+  }
+
+  const Graph& pattern_;
+  const Graph& target_;
+  std::vector<std::vector<VertexId>> candidates_;
+  MatchStats* stats_;
+  std::vector<VertexId> order_;
+  std::vector<VertexId> core_p_;
+  std::vector<bool> used_t_;
+};
+
+}  // namespace
+
+bool GraphQlMatcher::FindEmbedding(const Graph& pattern, const Graph& target,
+                                   std::vector<VertexId>* embedding,
+                                   MatchStats* stats) const {
+  const std::size_t np = pattern.NumVertices();
+  const std::size_t nt = target.NumVertices();
+  if (np == 0) {
+    if (embedding != nullptr) embedding->clear();
+    return true;
+  }
+  if (np > nt || pattern.NumEdges() > target.NumEdges()) return false;
+
+  // Neighbourhood label profiles (sorted label multisets).
+  auto profile = [](const Graph& g, VertexId v) {
+    std::vector<Label> p;
+    p.reserve(g.degree(v));
+    for (const VertexId w : g.neighbors(v)) p.push_back(g.label(w));
+    std::sort(p.begin(), p.end());
+    return p;
+  };
+  std::vector<std::vector<Label>> target_profiles(nt);
+  for (VertexId v = 0; v < nt; ++v) target_profiles[v] = profile(target, v);
+
+  // Phase 1: label + degree + profile filter.
+  std::vector<std::vector<VertexId>> candidates(np);
+  for (VertexId u = 0; u < np; ++u) {
+    const std::vector<Label> pu = profile(pattern, u);
+    for (VertexId v = 0; v < nt; ++v) {
+      if (pattern.label(u) != target.label(v)) continue;
+      if (pattern.degree(u) > target.degree(v)) continue;
+      if (!MultisetContained(pu, target_profiles[v])) continue;
+      candidates[u].push_back(v);
+    }
+    if (candidates[u].empty()) return false;
+  }
+
+  // Phase 2: iterative refinement. (u, v) survives iff neighbours of u can
+  // be injectively assigned to distinct neighbours of v through the current
+  // candidate lists.
+  std::vector<std::vector<bool>> is_candidate(np, std::vector<bool>(nt, false));
+  for (VertexId u = 0; u < np; ++u) {
+    for (const VertexId v : candidates[u]) is_candidate[u][v] = true;
+  }
+  for (int round = 0; round < refine_rounds_; ++round) {
+    bool changed = false;
+    for (VertexId u = 0; u < np; ++u) {
+      std::vector<VertexId> survivors;
+      survivors.reserve(candidates[u].size());
+      const auto& nu = pattern.neighbors(u);
+      for (const VertexId v : candidates[u]) {
+        const auto& nv = target.neighbors(v);
+        BipartiteMatcher bm(nu.size(), nv.size());
+        for (std::size_t i = 0; i < nu.size(); ++i) {
+          for (std::size_t j = 0; j < nv.size(); ++j) {
+            if (is_candidate[nu[i]][nv[j]]) bm.AddEdge(i, j);
+          }
+        }
+        if (bm.HasPerfectLeftMatching()) {
+          survivors.push_back(v);
+        } else {
+          is_candidate[u][v] = false;
+          changed = true;
+        }
+      }
+      if (survivors.empty()) return false;
+      candidates[u] = std::move(survivors);
+    }
+    if (!changed) break;
+  }
+
+  GraphQlSearch search(pattern, target, std::move(candidates), stats);
+  if (!search.Search(0)) return false;
+  if (embedding != nullptr) *embedding = search.mapping();
+  return true;
+}
+
+}  // namespace gcp

@@ -1,0 +1,39 @@
+// GraphQL (He & Singh; SIGMOD 2008) subgraph matcher, reimplemented from
+// the published algorithm as used in the comparison of Lee et al. (PVLDB
+// 2012):
+//   1. per-query-vertex candidate lists filtered by label, degree and
+//      neighbourhood label-multiset containment ("profiles");
+//   2. iterative global refinement: a candidate (u, v) survives only if
+//      the neighbours of u can be injectively matched into the neighbours
+//      of v using current candidate lists (bipartite semi-matching test);
+//   3. backtracking search over the refined lists, smallest list first.
+
+#ifndef GCP_MATCH_GRAPHQL_HPP_
+#define GCP_MATCH_GRAPHQL_HPP_
+
+#include "match/matcher.hpp"
+
+namespace gcp {
+
+/// \brief GraphQL-style matcher: filtered candidate lists + refinement +
+/// ordered backtracking.
+class GraphQlMatcher : public SubgraphMatcher {
+ public:
+  /// `refine_rounds` controls the pseudo-arc-consistency iterations
+  /// (GraphQL's default behaviour corresponds to a small constant).
+  explicit GraphQlMatcher(int refine_rounds = 2)
+      : refine_rounds_(refine_rounds) {}
+
+  std::string_view name() const override { return "GQL"; }
+
+  bool FindEmbedding(const Graph& pattern, const Graph& target,
+                     std::vector<VertexId>* embedding,
+                     MatchStats* stats = nullptr) const override;
+
+ private:
+  int refine_rounds_;
+};
+
+}  // namespace gcp
+
+#endif  // GCP_MATCH_GRAPHQL_HPP_

@@ -1,0 +1,55 @@
+#include "match/matcher.hpp"
+
+#include "match/graphql.hpp"
+#include "match/ullmann.hpp"
+#include "match/vf2.hpp"
+#include "match/vf2_plus.hpp"
+
+namespace gcp {
+
+std::string_view MatcherKindName(MatcherKind kind) {
+  switch (kind) {
+    case MatcherKind::kVf2:
+      return "VF2";
+    case MatcherKind::kVf2Plus:
+      return "VF2+";
+    case MatcherKind::kGraphQl:
+      return "GQL";
+    case MatcherKind::kUllmann:
+      return "Ullmann";
+  }
+  return "Unknown";
+}
+
+std::unique_ptr<SubgraphMatcher> MakeMatcher(MatcherKind kind) {
+  switch (kind) {
+    case MatcherKind::kVf2:
+      return std::make_unique<Vf2Matcher>();
+    case MatcherKind::kVf2Plus:
+      return std::make_unique<Vf2PlusMatcher>();
+    case MatcherKind::kGraphQl:
+      return std::make_unique<GraphQlMatcher>();
+    case MatcherKind::kUllmann:
+      return std::make_unique<UllmannMatcher>();
+  }
+  return nullptr;
+}
+
+bool IsValidEmbedding(const Graph& pattern, const Graph& target,
+                      const std::vector<VertexId>& embedding) {
+  if (embedding.size() != pattern.NumVertices()) return false;
+  std::vector<bool> used(target.NumVertices(), false);
+  for (VertexId u = 0; u < pattern.NumVertices(); ++u) {
+    const VertexId v = embedding[u];
+    if (v >= target.NumVertices()) return false;
+    if (used[v]) return false;  // injectivity
+    used[v] = true;
+    if (pattern.label(u) != target.label(v)) return false;
+  }
+  for (const auto& [u1, u2] : pattern.Edges()) {
+    if (!target.HasEdge(embedding[u1], embedding[u2])) return false;
+  }
+  return true;
+}
+
+}  // namespace gcp

@@ -1,0 +1,78 @@
+// Subgraph-isomorphism matcher interface ("Method M" verifiers).
+//
+// The paper evaluates GC+ over three well-established SI methods: vanilla
+// VF2 [3], VF2+ (the modified VF2 of CT-Index [11]) and GraphQL [14]. GC+
+// treats the verifier as a black box: it only needs the boolean decision
+// "is `pattern` subgraph-isomorphic to `target`?" (non-induced,
+// label-preserving, injective). All matchers here answer exactly that, and
+// can also surface one witness embedding for testing.
+
+#ifndef GCP_MATCH_MATCHER_HPP_
+#define GCP_MATCH_MATCHER_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gcp {
+
+/// Search-effort counters reported by a matcher invocation.
+struct MatchStats {
+  /// Recursion-tree nodes expanded (candidate pairs tried).
+  std::uint64_t nodes_expanded = 0;
+  /// Candidate pairs rejected by feasibility checks.
+  std::uint64_t pruned = 0;
+
+  void Add(const MatchStats& other) {
+    nodes_expanded += other.nodes_expanded;
+    pruned += other.pruned;
+  }
+};
+
+/// Identifiers for the bundled matcher implementations.
+enum class MatcherKind {
+  kVf2,      ///< Cordella et al. 2004, vanilla.
+  kVf2Plus,  ///< VF2 with static rarity ordering + lookahead (CT-Index).
+  kGraphQl,  ///< He & Singh 2008: signature filter + refinement + search.
+  kUllmann,  ///< Ullmann 1976 (test cross-check baseline).
+};
+
+std::string_view MatcherKindName(MatcherKind kind);
+
+/// \brief Decision-problem subgraph-isomorphism verifier.
+class SubgraphMatcher {
+ public:
+  virtual ~SubgraphMatcher() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// True iff pattern ⊆ target. The empty pattern is contained in every
+  /// graph. Thread-compatible: concurrent calls on one instance are safe.
+  bool Contains(const Graph& pattern, const Graph& target,
+                MatchStats* stats = nullptr) const {
+    return FindEmbedding(pattern, target, nullptr, stats);
+  }
+
+  /// Like Contains, additionally writing a witness mapping
+  /// pattern-vertex -> target-vertex into `embedding` when found (and
+  /// non-null).
+  virtual bool FindEmbedding(const Graph& pattern, const Graph& target,
+                             std::vector<VertexId>* embedding,
+                             MatchStats* stats = nullptr) const = 0;
+};
+
+/// Factory for the bundled implementations.
+std::unique_ptr<SubgraphMatcher> MakeMatcher(MatcherKind kind);
+
+/// Validates that `embedding` is a correct non-induced label-preserving
+/// injective mapping of `pattern` into `target` (used by tests).
+bool IsValidEmbedding(const Graph& pattern, const Graph& target,
+                      const std::vector<VertexId>& embedding);
+
+}  // namespace gcp
+
+#endif  // GCP_MATCH_MATCHER_HPP_

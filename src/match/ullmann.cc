@@ -1,0 +1,134 @@
+#include "match/ullmann.hpp"
+
+#include <vector>
+
+namespace gcp {
+
+namespace {
+
+constexpr VertexId kUnmapped = static_cast<VertexId>(-1);
+
+class UllmannState {
+ public:
+  UllmannState(const Graph& pattern, const Graph& target, MatchStats* stats)
+      : pattern_(pattern),
+        target_(target),
+        stats_(stats),
+        np_(pattern.NumVertices()),
+        nt_(target.NumVertices()),
+        m_(np_, std::vector<char>(nt_, 0)),
+        mapping_(np_, kUnmapped),
+        used_(nt_, false) {}
+
+  bool Initialize() {
+    for (VertexId u = 0; u < np_; ++u) {
+      bool any = false;
+      for (VertexId v = 0; v < nt_; ++v) {
+        if (pattern_.label(u) == target_.label(v) &&
+            pattern_.degree(u) <= target_.degree(v)) {
+          m_[u][v] = 1;
+          any = true;
+        }
+      }
+      if (!any) return false;
+    }
+    return Refine();
+  }
+
+  // Ullmann refinement to a fixpoint: candidate (u, v) survives only if
+  // every pattern neighbour of u has some candidate among target
+  // neighbours of v.
+  bool Refine() {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (VertexId u = 0; u < np_; ++u) {
+        bool any = false;
+        for (VertexId v = 0; v < nt_; ++v) {
+          if (m_[u][v] == 0) continue;
+          bool ok = true;
+          for (const VertexId w : pattern_.neighbors(u)) {
+            bool neighbor_ok = false;
+            for (const VertexId x : target_.neighbors(v)) {
+              if (m_[w][x] != 0) {
+                neighbor_ok = true;
+                break;
+              }
+            }
+            if (!neighbor_ok) {
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) {
+            m_[u][v] = 0;
+            changed = true;
+          } else {
+            any = true;
+          }
+        }
+        if (!any) return false;
+      }
+    }
+    return true;
+  }
+
+  bool Search(VertexId u) {
+    if (u == np_) return true;
+    for (VertexId v = 0; v < nt_; ++v) {
+      if (m_[u][v] == 0 || used_[v]) continue;
+      if (stats_ != nullptr) ++stats_->nodes_expanded;
+      bool consistent = true;
+      for (const VertexId w : pattern_.neighbors(u)) {
+        if (w < u && !target_.HasEdge(v, mapping_[w])) {
+          consistent = false;
+          break;
+        }
+      }
+      if (!consistent) {
+        if (stats_ != nullptr) ++stats_->pruned;
+        continue;
+      }
+      mapping_[u] = v;
+      used_[v] = true;
+      if (Search(u + 1)) return true;
+      mapping_[u] = kUnmapped;
+      used_[v] = false;
+    }
+    return false;
+  }
+
+  const std::vector<VertexId>& mapping() const { return mapping_; }
+
+ private:
+  const Graph& pattern_;
+  const Graph& target_;
+  MatchStats* stats_;
+  VertexId np_;
+  VertexId nt_;
+  std::vector<std::vector<char>> m_;
+  std::vector<VertexId> mapping_;
+  std::vector<bool> used_;
+};
+
+}  // namespace
+
+bool UllmannMatcher::FindEmbedding(const Graph& pattern, const Graph& target,
+                                   std::vector<VertexId>* embedding,
+                                   MatchStats* stats) const {
+  if (pattern.NumVertices() == 0) {
+    if (embedding != nullptr) embedding->clear();
+    return true;
+  }
+  if (pattern.NumVertices() > target.NumVertices() ||
+      pattern.NumEdges() > target.NumEdges()) {
+    return false;
+  }
+  UllmannState state(pattern, target, stats);
+  if (!state.Initialize()) return false;
+  if (!state.Search(0)) return false;
+  if (embedding != nullptr) *embedding = state.mapping();
+  return true;
+}
+
+}  // namespace gcp

@@ -1,0 +1,25 @@
+// Ullmann's algorithm (JACM 1976) for subgraph isomorphism, with the
+// classic candidate-matrix refinement. Not part of the paper's Method M
+// line-up; bundled as an independent oracle for cross-checking the other
+// matchers in tests.
+
+#ifndef GCP_MATCH_ULLMANN_HPP_
+#define GCP_MATCH_ULLMANN_HPP_
+
+#include "match/matcher.hpp"
+
+namespace gcp {
+
+/// \brief Ullmann subgraph-isomorphism verifier (test oracle).
+class UllmannMatcher : public SubgraphMatcher {
+ public:
+  std::string_view name() const override { return "Ullmann"; }
+
+  bool FindEmbedding(const Graph& pattern, const Graph& target,
+                     std::vector<VertexId>* embedding,
+                     MatchStats* stats = nullptr) const override;
+};
+
+}  // namespace gcp
+
+#endif  // GCP_MATCH_ULLMANN_HPP_

@@ -1,0 +1,119 @@
+#include "match/vf2.hpp"
+
+#include <algorithm>
+
+namespace gcp {
+
+namespace {
+
+constexpr VertexId kUnmapped = static_cast<VertexId>(-1);
+
+class Vf2State {
+ public:
+  Vf2State(const Graph& pattern, const Graph& target, MatchStats* stats)
+      : pattern_(pattern),
+        target_(target),
+        stats_(stats),
+        core_p_(pattern.NumVertices(), kUnmapped),
+        core_t_(target.NumVertices(), kUnmapped) {}
+
+  bool Search(std::size_t depth) {
+    if (depth == pattern_.NumVertices()) return true;
+    const VertexId u = NextPatternVertex();
+    // Candidate targets: when u touches the mapped region, only neighbours
+    // of the image of one mapped neighbour are viable; otherwise scan all
+    // target vertices (vanilla VF2's terminal-set fallback).
+    const VertexId anchor = MappedNeighborOf(u);
+    if (anchor != kUnmapped) {
+      for (const VertexId v : target_.neighbors(core_p_[anchor])) {
+        if (TryPair(u, v, depth)) return true;
+      }
+    } else {
+      for (VertexId v = 0; v < target_.NumVertices(); ++v) {
+        if (TryPair(u, v, depth)) return true;
+      }
+    }
+    return false;
+  }
+
+  const std::vector<VertexId>& mapping() const { return core_p_; }
+
+ private:
+  bool TryPair(VertexId u, VertexId v, std::size_t depth) {
+    if (stats_ != nullptr) ++stats_->nodes_expanded;
+    if (!Feasible(u, v)) {
+      if (stats_ != nullptr) ++stats_->pruned;
+      return false;
+    }
+    core_p_[u] = v;
+    core_t_[v] = u;
+    if (Search(depth + 1)) return true;
+    core_p_[u] = kUnmapped;
+    core_t_[v] = kUnmapped;
+    return false;
+  }
+
+  // First unmapped pattern vertex adjacent to the mapped region, or the
+  // first unmapped vertex when the mapped region has no frontier (start of
+  // the search or a disconnected pattern component).
+  VertexId NextPatternVertex() const {
+    VertexId first_free = kUnmapped;
+    for (VertexId u = 0; u < pattern_.NumVertices(); ++u) {
+      if (core_p_[u] != kUnmapped) continue;
+      if (first_free == kUnmapped) first_free = u;
+      for (const VertexId w : pattern_.neighbors(u)) {
+        if (core_p_[w] != kUnmapped) return u;
+      }
+    }
+    return first_free;
+  }
+
+  // Some mapped pattern neighbour of u, or kUnmapped.
+  VertexId MappedNeighborOf(VertexId u) const {
+    for (const VertexId w : pattern_.neighbors(u)) {
+      if (core_p_[w] != kUnmapped) return w;
+    }
+    return kUnmapped;
+  }
+
+  // Non-induced feasibility: semantic (label), injectivity, degree and
+  // mapped-adjacency consistency (every mapped pattern edge at u must be
+  // realized in the target).
+  bool Feasible(VertexId u, VertexId v) const {
+    if (core_t_[v] != kUnmapped) return false;
+    if (pattern_.label(u) != target_.label(v)) return false;
+    if (pattern_.degree(u) > target_.degree(v)) return false;
+    for (const VertexId w : pattern_.neighbors(u)) {
+      const VertexId mapped = core_p_[w];
+      if (mapped != kUnmapped && !target_.HasEdge(v, mapped)) return false;
+    }
+    return true;
+  }
+
+  const Graph& pattern_;
+  const Graph& target_;
+  MatchStats* stats_;
+  std::vector<VertexId> core_p_;
+  std::vector<VertexId> core_t_;
+};
+
+}  // namespace
+
+bool Vf2Matcher::FindEmbedding(const Graph& pattern, const Graph& target,
+                               std::vector<VertexId>* embedding,
+                               MatchStats* stats) const {
+  if (pattern.NumVertices() == 0) {
+    if (embedding != nullptr) embedding->clear();
+    return true;
+  }
+  if (pattern.NumVertices() > target.NumVertices() ||
+      pattern.NumEdges() > target.NumEdges()) {
+    return false;
+  }
+  Vf2State state(pattern, target, stats);
+  if (!state.Search(0)) return false;
+  if (embedding != nullptr) *embedding = state.mapping();
+  return true;
+}
+
+}  // namespace gcp

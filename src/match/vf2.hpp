@@ -1,0 +1,27 @@
+// Vanilla VF2 (Cordella, Foggia, Sansone, Vento; TPAMI 2004), adapted to
+// the non-induced decision problem on vertex-labelled undirected graphs.
+//
+// This is deliberately the unoptimized baseline of the paper's evaluation:
+// connectivity-driven pair generation, label/degree/adjacency-consistency
+// feasibility, no static ordering and no lookahead beyond degrees.
+
+#ifndef GCP_MATCH_VF2_HPP_
+#define GCP_MATCH_VF2_HPP_
+
+#include "match/matcher.hpp"
+
+namespace gcp {
+
+/// \brief Vanilla VF2 subgraph-isomorphism verifier.
+class Vf2Matcher : public SubgraphMatcher {
+ public:
+  std::string_view name() const override { return "VF2"; }
+
+  bool FindEmbedding(const Graph& pattern, const Graph& target,
+                     std::vector<VertexId>* embedding,
+                     MatchStats* stats = nullptr) const override;
+};
+
+}  // namespace gcp
+
+#endif  // GCP_MATCH_VF2_HPP_

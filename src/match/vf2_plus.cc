@@ -1,0 +1,177 @@
+#include "match/vf2_plus.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace gcp {
+
+namespace {
+
+constexpr VertexId kUnmapped = static_cast<VertexId>(-1);
+
+// Static order: greedily pick the unplaced vertex with (most placed
+// neighbours, rarest target label, highest degree). The first vertex is
+// chosen by (rarest label, highest degree) alone.
+std::vector<VertexId> StaticOrder(const Graph& pattern,
+                                  const std::map<Label, std::uint32_t>&
+                                      target_label_freq) {
+  const std::size_t n = pattern.NumVertices();
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<bool> placed(n, false);
+  std::vector<int> placed_neighbors(n, 0);
+
+  auto rarity = [&](VertexId u) -> std::uint32_t {
+    const auto it = target_label_freq.find(pattern.label(u));
+    return it == target_label_freq.end() ? 0 : it->second;
+  };
+
+  for (std::size_t step = 0; step < n; ++step) {
+    VertexId best = kUnmapped;
+    for (VertexId u = 0; u < n; ++u) {
+      if (placed[u]) continue;
+      if (best == kUnmapped) {
+        best = u;
+        continue;
+      }
+      const auto key = [&](VertexId x) {
+        return std::make_tuple(-placed_neighbors[x], rarity(x),
+                               -static_cast<int>(pattern.degree(x)));
+      };
+      if (key(u) < key(best)) best = u;
+    }
+    placed[best] = true;
+    order.push_back(best);
+    for (const VertexId w : pattern.neighbors(best)) ++placed_neighbors[w];
+  }
+  return order;
+}
+
+class Vf2PlusState {
+ public:
+  Vf2PlusState(const Graph& pattern, const Graph& target,
+               const std::vector<VertexId>& order, MatchStats* stats)
+      : pattern_(pattern),
+        target_(target),
+        order_(order),
+        stats_(stats),
+        core_p_(pattern.NumVertices(), kUnmapped),
+        core_t_(target.NumVertices(), kUnmapped) {}
+
+  bool Search(std::size_t depth) {
+    if (depth == order_.size()) return true;
+    const VertexId u = order_[depth];
+    // Candidates come from the adjacency of the mapped neighbour whose
+    // image has the smallest degree (tightest constraint).
+    const VertexId anchor_image = SmallestMappedImage(u);
+    if (anchor_image != kUnmapped) {
+      for (const VertexId v : target_.neighbors(anchor_image)) {
+        if (TryPair(u, v, depth)) return true;
+      }
+    } else {
+      for (VertexId v = 0; v < target_.NumVertices(); ++v) {
+        if (TryPair(u, v, depth)) return true;
+      }
+    }
+    return false;
+  }
+
+  const std::vector<VertexId>& mapping() const { return core_p_; }
+
+ private:
+  bool TryPair(VertexId u, VertexId v, std::size_t depth) {
+    if (stats_ != nullptr) ++stats_->nodes_expanded;
+    if (!Feasible(u, v)) {
+      if (stats_ != nullptr) ++stats_->pruned;
+      return false;
+    }
+    core_p_[u] = v;
+    core_t_[v] = u;
+    if (Search(depth + 1)) return true;
+    core_p_[u] = kUnmapped;
+    core_t_[v] = kUnmapped;
+    return false;
+  }
+
+  VertexId SmallestMappedImage(VertexId u) const {
+    VertexId best = kUnmapped;
+    std::size_t best_degree = 0;
+    for (const VertexId w : pattern_.neighbors(u)) {
+      const VertexId img = core_p_[w];
+      if (img == kUnmapped) continue;
+      const std::size_t d = target_.degree(img);
+      if (best == kUnmapped || d < best_degree) {
+        best = img;
+        best_degree = d;
+      }
+    }
+    return best;
+  }
+
+  bool Feasible(VertexId u, VertexId v) const {
+    if (core_t_[v] != kUnmapped) return false;
+    if (pattern_.label(u) != target_.label(v)) return false;
+    if (pattern_.degree(u) > target_.degree(v)) return false;
+    // Adjacency consistency plus unmapped-neighbour lookahead. Non-induced
+    // safe: unmapped pattern neighbours of u must eventually occupy
+    // distinct unmapped target neighbours of v.
+    std::size_t unmapped_p = 0;
+    for (const VertexId w : pattern_.neighbors(u)) {
+      const VertexId mapped = core_p_[w];
+      if (mapped == kUnmapped) {
+        ++unmapped_p;
+      } else if (!target_.HasEdge(v, mapped)) {
+        return false;
+      }
+    }
+    std::size_t unmapped_t = 0;
+    for (const VertexId w : target_.neighbors(v)) {
+      if (core_t_[w] == kUnmapped) ++unmapped_t;
+    }
+    return unmapped_p <= unmapped_t;
+  }
+
+  const Graph& pattern_;
+  const Graph& target_;
+  const std::vector<VertexId>& order_;
+  MatchStats* stats_;
+  std::vector<VertexId> core_p_;
+  std::vector<VertexId> core_t_;
+};
+
+}  // namespace
+
+bool Vf2PlusMatcher::FindEmbedding(const Graph& pattern, const Graph& target,
+                                   std::vector<VertexId>* embedding,
+                                   MatchStats* stats) const {
+  if (pattern.NumVertices() == 0) {
+    if (embedding != nullptr) embedding->clear();
+    return true;
+  }
+  if (pattern.NumVertices() > target.NumVertices() ||
+      pattern.NumEdges() > target.NumEdges()) {
+    return false;
+  }
+  // Quick label-multiset screen: the pattern cannot need more vertices of a
+  // label than the target has.
+  std::map<Label, std::uint32_t> target_label_freq;
+  for (VertexId v = 0; v < target.NumVertices(); ++v) {
+    ++target_label_freq[target.label(v)];
+  }
+  std::map<Label, std::uint32_t> pattern_label_freq;
+  for (VertexId u = 0; u < pattern.NumVertices(); ++u) {
+    ++pattern_label_freq[pattern.label(u)];
+  }
+  for (const auto& [label, count] : pattern_label_freq) {
+    const auto it = target_label_freq.find(label);
+    if (it == target_label_freq.end() || count > it->second) return false;
+  }
+
+  const std::vector<VertexId> order = StaticOrder(pattern, target_label_freq);
+  Vf2PlusState state(pattern, target, order, stats);
+  if (!state.Search(0)) return false;
+  if (embedding != nullptr) *embedding = state.mapping();
+  return true;
+}
+
+}  // namespace gcp

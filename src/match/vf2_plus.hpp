@@ -1,0 +1,31 @@
+// VF2+ — the modified VF2 used by CT-Index (Klein, Kriege, Mutzel; ICDE
+// 2011), reimplemented: VF2 search augmented with
+//   * a static query-vertex order chosen by label rarity in the target and
+//     connectivity to the ordered prefix (rare, high-degree vertices
+//     first), and
+//   * one-step lookahead pruning on unmapped-neighbour counts,
+//   * candidate generation from the smallest mapped-neighbour adjacency.
+// A consistently strong performer in the evaluations of Lee et al.
+// (PVLDB 2012) and Katsarou et al. (PVLDB 2015), which is why the paper
+// uses it as one of its Method M verifiers.
+
+#ifndef GCP_MATCH_VF2_PLUS_HPP_
+#define GCP_MATCH_VF2_PLUS_HPP_
+
+#include "match/matcher.hpp"
+
+namespace gcp {
+
+/// \brief VF2 with static rarity ordering and lookahead ("VF2+").
+class Vf2PlusMatcher : public SubgraphMatcher {
+ public:
+  std::string_view name() const override { return "VF2+"; }
+
+  bool FindEmbedding(const Graph& pattern, const Graph& target,
+                     std::vector<VertexId>* embedding,
+                     MatchStats* stats = nullptr) const override;
+};
+
+}  // namespace gcp
+
+#endif  // GCP_MATCH_VF2_PLUS_HPP_

@@ -1,0 +1,161 @@
+#include "workload/query_gen.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace gcp {
+
+namespace {
+
+// Builds a query graph from `source` restricted to `edges`, remapping
+// vertex ids densely in first-appearance order.
+Graph BuildFromEdges(const Graph& source,
+                     const std::vector<std::pair<VertexId, VertexId>>& edges,
+                     VertexId start) {
+  Graph q;
+  std::unordered_map<VertexId, VertexId> remap;
+  auto map_vertex = [&](VertexId v) {
+    const auto it = remap.find(v);
+    if (it != remap.end()) return it->second;
+    const VertexId nv = q.AddVertex(source.label(v));
+    remap.emplace(v, nv);
+    return nv;
+  };
+  map_vertex(start);  // queries of 0 edges still carry the start vertex
+  for (const auto& [u, v] : edges) {
+    const VertexId qu = map_vertex(u);
+    const VertexId qv = map_vertex(v);
+    q.AddEdge(qu, qv).ok();
+  }
+  return q;
+}
+
+}  // namespace
+
+Graph ExtractBfsQuery(const Graph& source, VertexId start,
+                      std::size_t num_edges) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  if (source.NumVertices() == 0) return Graph();
+  std::vector<bool> visited(source.NumVertices(), false);
+  std::deque<VertexId> queue;
+  visited[start] = true;
+  queue.push_back(start);
+  while (!queue.empty() && edges.size() < num_edges) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    // Deterministic neighbour order (sorted adjacency): repeated
+    // extractions from one (source, start) are prefixes of each other.
+    const std::vector<VertexId>& neigh = source.neighbors(u);
+    for (const VertexId v : neigh) {
+      if (edges.size() >= num_edges) break;
+      if (visited[v]) continue;
+      visited[v] = true;
+      queue.push_back(v);
+      // All edges from the new vertex towards already-visited vertices.
+      for (const VertexId w : source.neighbors(v)) {
+        if (edges.size() >= num_edges) break;
+        if (visited[w] && w != v) {
+          // Edge (v, w); avoid duplicates: (v, w) is new because v was just
+          // visited, so no earlier vertex could have added it.
+          edges.emplace_back(v, w);
+        }
+      }
+    }
+  }
+  return BuildFromEdges(source, edges, start);
+}
+
+Graph ExtractRandomWalkQuery(Rng& rng, const Graph& source, VertexId start,
+                             std::size_t num_edges) {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  if (source.NumVertices() == 0) return Graph();
+  std::vector<VertexId> visited{start};
+  std::vector<bool> is_visited(source.NumVertices(), false);
+  is_visited[start] = true;
+  // Track collected edges to avoid duplicates.
+  auto has_edge = [&edges](VertexId a, VertexId b) {
+    for (const auto& [u, v] : edges) {
+      if ((u == a && v == b) || (u == b && v == a)) return true;
+    }
+    return false;
+  };
+  VertexId cur = start;
+  std::size_t stuck = 0;
+  const std::size_t max_stuck = 8 * (num_edges + 4);
+  while (edges.size() < num_edges && stuck < max_stuck) {
+    const auto& neigh = source.neighbors(cur);
+    if (neigh.empty()) break;
+    const VertexId next = neigh[rng.UniformBelow(neigh.size())];
+    if (!has_edge(cur, next)) {
+      edges.emplace_back(cur, next);
+      stuck = 0;
+    } else {
+      ++stuck;
+    }
+    if (!is_visited[next]) {
+      is_visited[next] = true;
+      visited.push_back(next);
+    }
+    // Occasionally teleport to a random visited vertex to escape traps.
+    cur = (stuck > 0 && stuck % 4 == 0)
+              ? visited[rng.UniformBelow(visited.size())]
+              : next;
+  }
+  return BuildFromEdges(source, edges, start);
+}
+
+NoAnswerOracle NoAnswerOracle::Build(const std::vector<Graph>& dataset) {
+  NoAnswerOracle oracle;
+  oracle.dataset_features.reserve(dataset.size());
+  for (const Graph& g : dataset) {
+    oracle.dataset_features.push_back(GraphFeatures::Extract(g));
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      oracle.label_pool.push_back(g.label(v));
+    }
+  }
+  return oracle;
+}
+
+std::size_t NoAnswerOracle::CountCandidates(const GraphFeatures& qf) const {
+  std::size_t count = 0;
+  for (const GraphFeatures& df : dataset_features) {
+    if (qf.CouldBeSubgraphOf(df)) ++count;
+  }
+  return count;
+}
+
+bool MakeNoAnswerQuery(Rng& rng, Graph& query,
+                       const std::vector<Graph>& dataset,
+                       const NoAnswerOracle& oracle,
+                       const SubgraphMatcher& matcher, int max_attempts) {
+  if (oracle.label_pool.empty()) return false;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    // Relabel every vertex with labels drawn from the dataset's label
+    // multiset (frequency-weighted, so candidate sets stay non-empty).
+    Graph candidate;
+    for (VertexId v = 0; v < query.NumVertices(); ++v) {
+      candidate.AddVertex(rng.Choice(oracle.label_pool));
+    }
+    for (const auto& [u, v] : query.Edges()) candidate.AddEdge(u, v).ok();
+
+    const GraphFeatures qf = GraphFeatures::Extract(candidate);
+    bool any_candidate = false;
+    bool any_answer = false;
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+      if (!qf.CouldBeSubgraphOf(oracle.dataset_features[i])) continue;
+      any_candidate = true;
+      if (matcher.Contains(candidate, dataset[i])) {
+        any_answer = true;
+        break;
+      }
+    }
+    if (any_candidate && !any_answer) {
+      query = std::move(candidate);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gcp

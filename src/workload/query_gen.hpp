@@ -1,0 +1,69 @@
+// Query extraction primitives (paper §7.1).
+//
+// Type A queries: BFS extraction from a dataset graph — starting at a
+// chosen node, each newly visited node contributes all its edges towards
+// already-visited nodes until the target edge count is reached.
+// Type B queries: random-walk extraction, plus "no-answer" queries
+// produced by relabelling a walk-extracted query until it keeps a
+// non-empty candidate set (some graph passes the feature filter) but has
+// an empty answer set (no graph contains it).
+
+#ifndef GCP_WORKLOAD_QUERY_GEN_HPP_
+#define GCP_WORKLOAD_QUERY_GEN_HPP_
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/features.hpp"
+#include "graph/graph.hpp"
+#include "match/matcher.hpp"
+
+namespace gcp {
+
+/// BFS query extraction: grows from `start` in (deterministic) BFS order;
+/// every newly visited vertex adds all its edges to already-visited
+/// vertices, stopping once `num_edges` edges were collected. The result is
+/// connected and is by construction a subgraph of `source` (it may have
+/// fewer than `num_edges` edges when the component is exhausted first).
+///
+/// Determinism matters: two extractions from the same (source, start) with
+/// sizes s1 < s2 yield nested queries (the s1-query is a prefix — hence a
+/// subgraph — of the s2-query). This gives Type A workloads the
+/// subgraph/supergraph hit structure the paper's motivation describes
+/// (hierarchies of increasingly specific patterns).
+Graph ExtractBfsQuery(const Graph& source, VertexId start,
+                      std::size_t num_edges);
+
+/// Random-walk query extraction: walks from `start`, collecting each
+/// traversed edge once, restarting from a random visited vertex on dead
+/// ends, until `num_edges` distinct edges were collected (or the component
+/// is exhausted).
+Graph ExtractRandomWalkQuery(Rng& rng, const Graph& source, VertexId start,
+                             std::size_t num_edges);
+
+/// Precomputed dataset-side state for no-answer query synthesis.
+struct NoAnswerOracle {
+  /// Features of every dataset graph (the FTV candidate filter).
+  std::vector<GraphFeatures> dataset_features;
+  /// Label multiset of the dataset (sampling pool for relabelling).
+  std::vector<Label> label_pool;
+
+  static NoAnswerOracle Build(const std::vector<Graph>& dataset);
+
+  /// Candidate ids of `query` under the feature filter.
+  std::size_t CountCandidates(const GraphFeatures& qf) const;
+};
+
+/// Relabels `query` (in place) with labels drawn from the dataset label
+/// pool until it has a non-empty candidate set but an empty answer set
+/// against `dataset` (verified with `matcher`). Returns true on success
+/// within `max_attempts`.
+bool MakeNoAnswerQuery(Rng& rng, Graph& query,
+                       const std::vector<Graph>& dataset,
+                       const NoAnswerOracle& oracle,
+                       const SubgraphMatcher& matcher, int max_attempts);
+
+}  // namespace gcp
+
+#endif  // GCP_WORKLOAD_QUERY_GEN_HPP_

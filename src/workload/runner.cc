@@ -1,0 +1,90 @@
+#include "workload/runner.hpp"
+
+#include "common/stopwatch.hpp"
+
+namespace gcp {
+
+std::string_view RunModeName(RunMode mode) {
+  switch (mode) {
+    case RunMode::kMethodM:
+      return "M";
+    case RunMode::kEvi:
+      return "EVI";
+    case RunMode::kCon:
+      return "CON";
+  }
+  return "Unknown";
+}
+
+RunReport RunWorkload(const std::vector<Graph>& initial,
+                      const Workload& workload, const ChangePlan& plan,
+                      const RunnerConfig& config) {
+  GraphDataset dataset;
+  dataset.Bootstrap(initial);
+  ChangePlanExecutor executor(plan, initial, dataset, Rng(config.plan_seed));
+
+  GraphCachePlusOptions opts;
+  opts.method_m = config.method;
+  opts.policy = config.policy;
+  opts.cache_capacity = config.cache_capacity;
+  opts.window_capacity = config.window_capacity;
+  opts.verify_threads = config.verify_threads;
+  opts.max_sub_hits = config.max_sub_hits;
+  opts.max_super_hits = config.max_super_hits;
+  opts.retrospective_budget = config.retrospective_budget;
+  opts.use_ftv_index = config.use_ftv;
+  switch (config.mode) {
+    case RunMode::kMethodM:
+      // Bare Method M: no admission ⇒ the cache stays empty and every
+      // query is verified against the full live dataset.
+      opts.model = CacheModel::kEvi;
+      opts.enable_admission = false;
+      opts.enable_exact_shortcut = false;
+      opts.enable_empty_answer_shortcut = false;
+      break;
+    case RunMode::kEvi:
+      opts.model = CacheModel::kEvi;
+      break;
+    case RunMode::kCon:
+      opts.model = CacheModel::kCon;
+      break;
+  }
+
+  GraphCachePlus gc(&dataset, opts);
+
+  RunReport report;
+  report.label = std::string(RunModeName(config.mode)) +
+                 (config.use_ftv ? "+FTV" : "") + "/" +
+                 std::string(MatcherKindName(config.method)) + "/" +
+                 workload.name;
+  if (config.record_answers) report.answers.reserve(workload.size());
+
+  const std::size_t warmup =
+      config.warmup_queries < workload.size() ? config.warmup_queries : 0;
+
+  Stopwatch wall;
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    executor.AdvanceTo(static_cast<std::uint32_t>(i));
+    QueryResult r = gc.Query(workload.queries[i].query, config.query_kind);
+    if (config.record_answers) report.answers.push_back(std::move(r.answer));
+    if (warmup != 0 && i + 1 == warmup) gc.ResetAggregate();
+  }
+  report.total_wall_ms = wall.ElapsedMillis();
+  report.agg = gc.aggregate();
+  report.cache_stats = gc.cache_manager().stats();
+  return report;
+}
+
+double QueryTimeSpeedup(const RunReport& base, const RunReport& cached) {
+  const double cached_ms = cached.avg_query_ms();
+  if (cached_ms <= 0.0) return 0.0;
+  return base.avg_query_ms() / cached_ms;
+}
+
+double SiTestSpeedup(const RunReport& base, const RunReport& cached) {
+  const double cached_tests = cached.avg_si_tests();
+  if (cached_tests <= 0.0) return 0.0;
+  return base.avg_si_tests() / cached_tests;
+}
+
+}  // namespace gcp

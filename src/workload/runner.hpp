@@ -1,0 +1,89 @@
+// Experiment runner: drives a workload and a change plan through Method M
+// alone, GC+/EVI or GC+/CON — the three systems the paper's Figures 4-6
+// compare — over identically evolving datasets.
+//
+// Dataset evolution is deterministic in (initial dataset, plan, plan
+// seed): plan targets are resolved against the live dataset by an RNG
+// that consumes no query-dependent state, so every mode observes the
+// exact same dataset sequence. This is what makes cross-mode answer
+// equivalence a sound oracle (Theorems 3 and 6) and speedups well
+// defined.
+
+#ifndef GCP_WORKLOAD_RUNNER_HPP_
+#define GCP_WORKLOAD_RUNNER_HPP_
+
+#include <string>
+#include <vector>
+
+#include "cache/statistics.hpp"
+#include "core/graphcache_plus.hpp"
+#include "dataset/change_plan.hpp"
+#include "workload/workload.hpp"
+
+namespace gcp {
+
+/// Which system executes the workload.
+enum class RunMode {
+  kMethodM,  ///< Bare Method M: every live graph is sub-iso tested.
+  kEvi,      ///< GC+ with the EVI consistency model.
+  kCon,      ///< GC+ with the CON consistency model.
+};
+
+std::string_view RunModeName(RunMode mode);
+
+/// \brief One experiment configuration.
+struct RunnerConfig {
+  RunMode mode = RunMode::kCon;
+  MatcherKind method = MatcherKind::kVf2;
+  QueryKind query_kind = QueryKind::kSubgraph;
+  ReplacementPolicy policy = ReplacementPolicy::kHybrid;
+  std::size_t cache_capacity = 100;   ///< Paper default.
+  std::size_t window_capacity = 20;   ///< Paper default.
+  /// Queries executed before measurement starts (paper: one window).
+  std::size_t warmup_queries = 20;
+  std::size_t verify_threads = 1;
+  std::size_t max_sub_hits = 16;
+  std::size_t max_super_hits = 16;
+  /// CON-only retrospective validation budget per sync (0 = off, §8).
+  std::size_t retrospective_budget = 0;
+  /// Equip Method M with the updatable FTV index (src/ftv).
+  bool use_ftv = false;
+  /// Seed of the change-plan executor (same seed across modes ⇒ same
+  /// dataset evolution).
+  std::uint64_t plan_seed = 99;
+  /// Record every query's answer ids (for equivalence oracles).
+  bool record_answers = false;
+};
+
+/// \brief Outcome of one experiment run.
+struct RunReport {
+  std::string label;
+  /// Post-warm-up aggregates.
+  AggregateMetrics agg;
+  /// Cache-side counters at end of run.
+  StatisticsManager cache_stats;
+  /// Per-query answers (all queries, warm-up included) when requested.
+  std::vector<std::vector<GraphId>> answers;
+  /// Wall time of the whole run (ms).
+  double total_wall_ms = 0.0;
+
+  double avg_query_ms() const { return agg.AvgQueryTimeMs(); }
+  double avg_overhead_ms() const { return agg.AvgOverheadMs(); }
+  double avg_si_tests() const { return agg.AvgSiTests(); }
+};
+
+/// Runs `workload` (with `plan` firing between queries) under `config`,
+/// starting from a fresh copy of `initial`.
+RunReport RunWorkload(const std::vector<Graph>& initial,
+                      const Workload& workload, const ChangePlan& plan,
+                      const RunnerConfig& config);
+
+/// Speedup of `cached` over `base` in average query time (>1 = faster).
+double QueryTimeSpeedup(const RunReport& base, const RunReport& cached);
+
+/// Speedup in the average number of sub-iso tests per query.
+double SiTestSpeedup(const RunReport& base, const RunReport& cached);
+
+}  // namespace gcp
+
+#endif  // GCP_WORKLOAD_RUNNER_HPP_

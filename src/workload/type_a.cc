@@ -1,0 +1,66 @@
+#include "workload/type_a.hpp"
+
+#include <cassert>
+
+#include "common/rng.hpp"
+#include "workload/query_gen.hpp"
+#include "workload/zipf.hpp"
+
+namespace gcp {
+
+Workload GenerateTypeA(const std::vector<Graph>& dataset,
+                       const TypeAOptions& options) {
+  assert(!dataset.empty());
+  assert(!options.sizes.empty());
+  Workload w;
+  w.name = std::string(options.graph_dist == SelectionDist::kZipf ? "Z" : "U") +
+           (options.node_dist == SelectionDist::kZipf ? "Z" : "U");
+  w.queries.reserve(options.num_queries);
+
+  Rng rng(options.seed);
+  const ZipfSampler graph_zipf(dataset.size(), options.zipf_alpha);
+
+  for (std::size_t q = 0; q < options.num_queries; ++q) {
+    // Source graph: Uniform or Zipf over dataset positions.
+    const std::size_t gi = options.graph_dist == SelectionDist::kZipf
+                               ? graph_zipf.Sample(rng)
+                               : rng.UniformBelow(dataset.size());
+    const Graph& source = dataset[gi];
+    if (source.NumVertices() == 0) {
+      --q;  // degenerate source; redraw (cannot happen with AIDS-like data)
+      continue;
+    }
+    // Start node: Uniform or Zipf over the source's vertex ids.
+    std::size_t node;
+    if (options.node_dist == SelectionDist::kZipf) {
+      const ZipfSampler node_zipf(source.NumVertices(), options.zipf_alpha);
+      node = node_zipf.Sample(rng);
+    } else {
+      node = rng.UniformBelow(source.NumVertices());
+    }
+    // Query size uniform over the configured sizes.
+    const std::size_t size = options.sizes[rng.UniformBelow(
+        options.sizes.size())];
+    WorkloadQuery wq;
+    wq.query = ExtractBfsQuery(source, static_cast<VertexId>(node), size);
+    w.queries.push_back(std::move(wq));
+  }
+  return w;
+}
+
+Workload GenerateTypeAByName(const std::vector<Graph>& dataset,
+                             const std::string& name, std::size_t num_queries,
+                             std::uint64_t seed, double zipf_alpha) {
+  TypeAOptions opts;
+  opts.zipf_alpha = zipf_alpha;
+  opts.num_queries = num_queries;
+  opts.seed = seed;
+  assert(name.size() == 2);
+  opts.graph_dist =
+      name[0] == 'Z' ? SelectionDist::kZipf : SelectionDist::kUniform;
+  opts.node_dist =
+      name[1] == 'Z' ? SelectionDist::kZipf : SelectionDist::kUniform;
+  return GenerateTypeA(dataset, opts);
+}
+
+}  // namespace gcp

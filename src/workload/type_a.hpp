@@ -1,0 +1,44 @@
+// Type A workloads (paper §7.1): queries extracted by BFS from dataset
+// graphs. Three categories by the (source-graph, start-node) selection
+// distributions: "UU", "ZU", "ZZ" — U = uniform, Z = Zipf(α) — e.g. ZU
+// selects the source graph Zipf-skewed and the start node uniformly.
+
+#ifndef GCP_WORKLOAD_TYPE_A_HPP_
+#define GCP_WORKLOAD_TYPE_A_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace gcp {
+
+/// Selection distribution for a Type A random choice.
+enum class SelectionDist {
+  kUniform,
+  kZipf,
+};
+
+/// \brief Parameters of a Type A workload.
+struct TypeAOptions {
+  SelectionDist graph_dist = SelectionDist::kZipf;
+  SelectionDist node_dist = SelectionDist::kUniform;
+  double zipf_alpha = 1.4;  ///< Paper default.
+  /// Query sizes in edges, selected uniformly (paper: 4, 8, 12, 16, 20).
+  std::vector<std::size_t> sizes = {4, 8, 12, 16, 20};
+  std::size_t num_queries = 10000;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a Type A workload from the initial dataset graphs.
+Workload GenerateTypeA(const std::vector<Graph>& dataset,
+                       const TypeAOptions& options);
+
+/// Convenience: "UU" / "ZU" / "ZZ" by name.
+Workload GenerateTypeAByName(const std::vector<Graph>& dataset,
+                             const std::string& name, std::size_t num_queries,
+                             std::uint64_t seed, double zipf_alpha = 1.4);
+
+}  // namespace gcp
+
+#endif  // GCP_WORKLOAD_TYPE_A_HPP_

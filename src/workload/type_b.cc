@@ -1,0 +1,111 @@
+#include "workload/type_b.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "workload/query_gen.hpp"
+#include "workload/zipf.hpp"
+
+namespace gcp {
+
+namespace {
+
+// "Uniformly selecting a start node across all nodes in all dataset
+// graphs": graph probability proportional to its vertex count.
+struct GlobalNodePicker {
+  std::vector<std::size_t> cumulative;  // cumulative vertex counts
+  std::size_t total = 0;
+
+  explicit GlobalNodePicker(const std::vector<Graph>& dataset) {
+    cumulative.reserve(dataset.size());
+    for (const Graph& g : dataset) {
+      total += g.NumVertices();
+      cumulative.push_back(total);
+    }
+  }
+
+  // Returns (graph index, vertex id).
+  std::pair<std::size_t, VertexId> Pick(Rng& rng) const {
+    assert(total > 0);
+    const std::size_t x = rng.UniformBelow(total);
+    const auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), x);
+    const std::size_t gi =
+        static_cast<std::size_t>(std::distance(cumulative.begin(), it));
+    const std::size_t before = gi == 0 ? 0 : cumulative[gi - 1];
+    return {gi, static_cast<VertexId>(x - before)};
+  }
+};
+
+}  // namespace
+
+Workload GenerateTypeB(const std::vector<Graph>& dataset,
+                       const TypeBOptions& options) {
+  assert(!dataset.empty());
+  Workload w;
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g%%",
+                  options.no_answer_prob * 100.0);
+    w.name = buf;
+  }
+
+  Rng rng(options.seed);
+  const GlobalNodePicker picker(dataset);
+  const auto matcher = MakeMatcher(options.oracle_matcher);
+  const NoAnswerOracle oracle = NoAnswerOracle::Build(dataset);
+
+  auto draw_walk_query = [&]() {
+    const auto [gi, node] = picker.Pick(rng);
+    const std::size_t size =
+        options.sizes[rng.UniformBelow(options.sizes.size())];
+    return ExtractRandomWalkQuery(rng, dataset[gi], node, size);
+  };
+
+  // Pool 1: non-empty-answer queries (a subgraph of a dataset graph always
+  // has that graph in its answer).
+  std::vector<Graph> answer_pool;
+  answer_pool.reserve(options.answer_pool_size);
+  for (std::size_t i = 0; i < options.answer_pool_size; ++i) {
+    answer_pool.push_back(draw_walk_query());
+  }
+
+  // Pool 2: no-answer queries via relabelling (only when needed).
+  std::vector<Graph> no_answer_pool;
+  if (options.no_answer_prob > 0.0) {
+    no_answer_pool.reserve(options.no_answer_pool_size);
+    while (no_answer_pool.size() < options.no_answer_pool_size) {
+      Graph q = draw_walk_query();
+      if (MakeNoAnswerQuery(rng, q, dataset, oracle, *matcher,
+                            options.max_relabel_attempts)) {
+        no_answer_pool.push_back(std::move(q));
+      }
+      // On failure a fresh walk is drawn on the next iteration (the
+      // paper's generator also loops until success).
+    }
+  }
+
+  // Mix: biased coin between pools, Zipf rank within the chosen pool.
+  const ZipfSampler answer_zipf(answer_pool.size(), options.zipf_alpha);
+  const ZipfSampler no_answer_zipf(
+      no_answer_pool.empty() ? 1 : no_answer_pool.size(), options.zipf_alpha);
+  w.queries.reserve(options.num_queries);
+  for (std::size_t i = 0; i < options.num_queries; ++i) {
+    WorkloadQuery wq;
+    const bool pick_no_answer =
+        !no_answer_pool.empty() && rng.Bernoulli(options.no_answer_prob);
+    if (pick_no_answer) {
+      wq.query = no_answer_pool[no_answer_zipf.Sample(rng)];
+      wq.from_no_answer_pool = true;
+    } else {
+      wq.query = answer_pool[answer_zipf.Sample(rng)];
+    }
+    w.queries.push_back(std::move(wq));
+  }
+  return w;
+}
+
+}  // namespace gcp

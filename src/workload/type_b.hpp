@@ -1,0 +1,44 @@
+// Type B workloads (paper §7.1): two per-size query pools — random-walk
+// queries with guaranteed non-empty answers (a subgraph of its source
+// always matches at least the source) and "no-answer" queries whose
+// relabelling keeps a non-empty candidate set but an empty answer set.
+// Workload queries flip a biased coin between pools (no-answer probability
+// 0% / 20% / 50%) and then draw Zipf-skewed from the chosen pool.
+
+#ifndef GCP_WORKLOAD_TYPE_B_HPP_
+#define GCP_WORKLOAD_TYPE_B_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "match/matcher.hpp"
+#include "workload/workload.hpp"
+
+namespace gcp {
+
+/// \brief Parameters of a Type B workload.
+struct TypeBOptions {
+  /// Probability of drawing from the no-answer pool (paper: 0, 0.2, 0.5).
+  double no_answer_prob = 0.0;
+  /// Pool sizes (paper: 10,000 and 3,000; scaled down in benches). These
+  /// are per-workload pools, not per-size, with sizes mixed inside.
+  std::size_t answer_pool_size = 10000;
+  std::size_t no_answer_pool_size = 3000;
+  double zipf_alpha = 1.4;
+  std::vector<std::size_t> sizes = {4, 8, 12, 16, 20};
+  std::size_t num_queries = 10000;
+  std::uint64_t seed = 2;
+  /// Relabel retries per no-answer query before drawing a fresh walk.
+  int max_relabel_attempts = 64;
+  /// Matcher verifying emptiness during pool construction.
+  MatcherKind oracle_matcher = MatcherKind::kVf2Plus;
+};
+
+/// Generates a Type B workload from the initial dataset graphs.
+Workload GenerateTypeB(const std::vector<Graph>& dataset,
+                       const TypeBOptions& options);
+
+}  // namespace gcp
+
+#endif  // GCP_WORKLOAD_TYPE_B_HPP_

@@ -1,0 +1,32 @@
+// Workload container shared by the Type A / Type B generators and the
+// experiment runner.
+
+#ifndef GCP_WORKLOAD_WORKLOAD_HPP_
+#define GCP_WORKLOAD_WORKLOAD_HPP_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gcp {
+
+/// One workload query.
+struct WorkloadQuery {
+  Graph query;
+  /// Type B bookkeeping: drawn from the no-answer pool (answer was empty
+  /// against the *initial* dataset; changes may alter that).
+  bool from_no_answer_pool = false;
+};
+
+/// \brief A named sequence of queries.
+struct Workload {
+  std::string name;
+  std::vector<WorkloadQuery> queries;
+
+  std::size_t size() const { return queries.size(); }
+};
+
+}  // namespace gcp
+
+#endif  // GCP_WORKLOAD_WORKLOAD_HPP_

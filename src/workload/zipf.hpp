@@ -1,0 +1,38 @@
+// Zipf sampling for workload skew (paper §7.1: Zipf α = 1.4 by default,
+// p(x) = x^{-α} / ζ(α) truncated to the population size).
+
+#ifndef GCP_WORKLOAD_ZIPF_HPP_
+#define GCP_WORKLOAD_ZIPF_HPP_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gcp {
+
+/// \brief Samples 0-based ranks from a (truncated) Zipf distribution.
+///
+/// Rank 0 is the most popular element; p(rank r) ∝ (r + 1)^{-α}.
+class ZipfSampler {
+ public:
+  /// `n` must be ≥ 1; `alpha` ≥ 0 (0 degenerates to uniform).
+  ZipfSampler(std::size_t n, double alpha);
+
+  /// Draws one rank in [0, n).
+  std::size_t Sample(Rng& rng) const;
+
+  /// Probability mass of `rank`.
+  double Pmf(std::size_t rank) const;
+
+  std::size_t n() const { return cdf_.size(); }
+  double alpha() const { return alpha_; }
+
+ private:
+  std::vector<double> cdf_;
+  double alpha_;
+};
+
+}  // namespace gcp
+
+#endif  // GCP_WORKLOAD_ZIPF_HPP_

@@ -1,0 +1,198 @@
+// Algorithm 2 truth table: for each touched dataset graph G_i the validity
+// bit survives only in exactly two cases:
+//   (UA-exclusive ops) ∧ valid ∧ (g ⊆ G_i cached)      — line 12
+//   (UR-exclusive ops) ∧ valid ∧ (g ⊄ G_i cached)      — line 14
+// and the indicator is extended with false bits for new dataset graphs.
+
+#include "cache/cache_validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "dataset/change_log.hpp"
+
+namespace gcp {
+namespace {
+
+CachedQuery MakeEntry(std::size_t horizon, std::vector<std::size_t> answer,
+                      std::vector<std::size_t> invalid = {}) {
+  CachedQuery e;
+  e.id = 1;
+  e.query = testing::MakePath({0, 1});
+  e.answer = DynamicBitset(horizon);
+  for (const auto i : answer) e.answer.Set(i);
+  e.valid = DynamicBitset(horizon, true);
+  for (const auto i : invalid) e.valid.Set(i, false);
+  return e;
+}
+
+ChangeCounters Counters(
+    std::initializer_list<std::pair<ChangeType, GraphId>> ops) {
+  ChangeLog log;
+  for (const auto& [type, id] : ops) log.Append(type, id);
+  return LogAnalyzer::Analyze(log.ExtractSince(0));
+}
+
+TEST(CacheValidatorTest, UaExclusivePreservesPositiveResult) {
+  CachedQuery e = MakeEntry(4, {2});  // g ⊆ G2
+  CacheValidator::RefreshEntry(e, Counters({{ChangeType::kEdgeAdd, 2}}), 4);
+  EXPECT_TRUE(e.valid.Test(2));  // adding edges cannot break containment
+}
+
+TEST(CacheValidatorTest, UaInvalidatesNegativeResult) {
+  CachedQuery e = MakeEntry(4, {2});  // g ⊄ G1
+  CacheValidator::RefreshEntry(e, Counters({{ChangeType::kEdgeAdd, 1}}), 4);
+  EXPECT_FALSE(e.valid.Test(1));  // new edge may create containment
+  EXPECT_TRUE(e.valid.Test(0));   // untouched graphs keep validity
+  EXPECT_TRUE(e.valid.Test(2));
+  EXPECT_TRUE(e.valid.Test(3));
+}
+
+TEST(CacheValidatorTest, UrExclusivePreservesNegativeResult) {
+  CachedQuery e = MakeEntry(4, {2});  // g ⊄ G0
+  CacheValidator::RefreshEntry(e, Counters({{ChangeType::kEdgeRemove, 0}}), 4);
+  EXPECT_TRUE(e.valid.Test(0));  // removing edges cannot create containment
+}
+
+TEST(CacheValidatorTest, UrInvalidatesPositiveResult) {
+  CachedQuery e = MakeEntry(4, {2, 3});
+  CacheValidator::RefreshEntry(e, Counters({{ChangeType::kEdgeRemove, 3}}), 4);
+  EXPECT_FALSE(e.valid.Test(3));  // removed edge may break containment
+  EXPECT_TRUE(e.valid.Test(2));
+}
+
+TEST(CacheValidatorTest, MixedUaUrInvalidatesEitherPolarity) {
+  CachedQuery e = MakeEntry(4, {1});
+  const ChangeCounters c = Counters(
+      {{ChangeType::kEdgeAdd, 1}, {ChangeType::kEdgeRemove, 1},
+       {ChangeType::kEdgeAdd, 2}, {ChangeType::kEdgeRemove, 2}});
+  CacheValidator::RefreshEntry(e, c, 4);
+  EXPECT_FALSE(e.valid.Test(1));  // positive result, mixed ops
+  EXPECT_FALSE(e.valid.Test(2));  // negative result, mixed ops
+}
+
+TEST(CacheValidatorTest, DeleteInvalidatesBothPolarities) {
+  CachedQuery e = MakeEntry(4, {1});
+  const ChangeCounters c =
+      Counters({{ChangeType::kDelete, 1}, {ChangeType::kDelete, 2}});
+  CacheValidator::RefreshEntry(e, c, 4);
+  EXPECT_FALSE(e.valid.Test(1));
+  EXPECT_FALSE(e.valid.Test(2));
+}
+
+TEST(CacheValidatorTest, AddedGraphsGetFalseBits) {
+  CachedQuery e = MakeEntry(3, {0});
+  const ChangeCounters c =
+      Counters({{ChangeType::kAdd, 3}, {ChangeType::kAdd, 4}});
+  CacheValidator::RefreshEntry(e, c, 5);
+  EXPECT_EQ(e.valid.size(), 5u);
+  EXPECT_EQ(e.answer.size(), 5u);
+  EXPECT_FALSE(e.valid.Test(3));
+  EXPECT_FALSE(e.valid.Test(4));
+  EXPECT_FALSE(e.answer.Test(3));
+  EXPECT_TRUE(e.valid.Test(0));  // old knowledge intact
+  EXPECT_TRUE(e.answer.Test(0));
+}
+
+TEST(CacheValidatorTest, InvalidBitsStayInvalid) {
+  // A bit already turned off cannot be revived even by a "benign" op.
+  CachedQuery e = MakeEntry(4, {2}, /*invalid=*/{2});
+  CacheValidator::RefreshEntry(e, Counters({{ChangeType::kEdgeAdd, 2}}), 4);
+  EXPECT_FALSE(e.valid.Test(2));
+}
+
+TEST(CacheValidatorTest, EmptyCountersOnlyExtend) {
+  CachedQuery e = MakeEntry(2, {1});
+  CacheValidator::RefreshEntry(e, ChangeCounters(), 6);
+  EXPECT_EQ(e.valid.size(), 6u);
+  EXPECT_TRUE(e.valid.Test(0));
+  EXPECT_TRUE(e.valid.Test(1));
+  for (std::size_t i = 2; i < 6; ++i) EXPECT_FALSE(e.valid.Test(i));
+}
+
+TEST(CacheValidatorTest, RepeatedUaOnPositiveStillValid) {
+  CachedQuery e = MakeEntry(3, {1});
+  const ChangeCounters c = Counters({{ChangeType::kEdgeAdd, 1},
+                                     {ChangeType::kEdgeAdd, 1},
+                                     {ChangeType::kEdgeAdd, 1}});
+  CacheValidator::RefreshEntry(e, c, 3);
+  EXPECT_TRUE(e.valid.Test(1));
+}
+
+TEST(CacheValidatorTest, UaThenDeleteInvalidatesDespiteAnswer) {
+  CachedQuery e = MakeEntry(3, {1});
+  const ChangeCounters c =
+      Counters({{ChangeType::kEdgeAdd, 1}, {ChangeType::kDelete, 1}});
+  CacheValidator::RefreshEntry(e, c, 3);
+  EXPECT_FALSE(e.valid.Test(1));  // tc != uac because of the DEL
+}
+
+// --- Supergraph-query entries: the UA/UR polarity rules invert. ----------
+
+CachedQuery MakeSuperEntry(std::size_t horizon,
+                           std::vector<std::size_t> answer) {
+  CachedQuery e = MakeEntry(horizon, std::move(answer));
+  e.kind = CachedQueryKind::kSupergraph;
+  return e;
+}
+
+TEST(CacheValidatorTest, SuperEntryUaInvalidatesPositiveResult) {
+  // answer bit means G_i ⊆ g; adding an edge to G_i can break that.
+  CachedQuery e = MakeSuperEntry(4, {2});
+  CacheValidator::RefreshEntry(e, Counters({{ChangeType::kEdgeAdd, 2}}), 4);
+  EXPECT_FALSE(e.valid.Test(2));
+}
+
+TEST(CacheValidatorTest, SuperEntryUaPreservesNegativeResult) {
+  // G_i ⊄ g stays false when G_i only gains edges.
+  CachedQuery e = MakeSuperEntry(4, {2});
+  CacheValidator::RefreshEntry(e, Counters({{ChangeType::kEdgeAdd, 1}}), 4);
+  EXPECT_TRUE(e.valid.Test(1));
+}
+
+TEST(CacheValidatorTest, SuperEntryUrPreservesPositiveResult) {
+  // G_i ⊆ g survives edge removals from G_i.
+  CachedQuery e = MakeSuperEntry(4, {2});
+  CacheValidator::RefreshEntry(e, Counters({{ChangeType::kEdgeRemove, 2}}), 4);
+  EXPECT_TRUE(e.valid.Test(2));
+}
+
+TEST(CacheValidatorTest, SuperEntryUrInvalidatesNegativeResult) {
+  // Removing an edge from G_i can make it fit inside g.
+  CachedQuery e = MakeSuperEntry(4, {2});
+  CacheValidator::RefreshEntry(e, Counters({{ChangeType::kEdgeRemove, 0}}), 4);
+  EXPECT_FALSE(e.valid.Test(0));
+}
+
+TEST(CacheValidatorTest, SuperEntryDeleteAndAddStillInvalidate) {
+  CachedQuery e = MakeSuperEntry(3, {1});
+  const ChangeCounters c =
+      Counters({{ChangeType::kDelete, 1}, {ChangeType::kAdd, 3}});
+  CacheValidator::RefreshEntry(e, c, 4);
+  EXPECT_FALSE(e.valid.Test(1));
+  EXPECT_FALSE(e.valid.Test(3));
+}
+
+TEST(CacheValidatorTest, SequentialRefreshesCompose) {
+  // Figure 2 narrative: T2 = {ADD G4, UR G3}; T4 = {DEL G0, UA G1}.
+  CachedQuery g_prime = MakeEntry(4, {2, 3});  // Answer = {G2, G3}
+  // T2: ADD G4 + UR G3.
+  CacheValidator::RefreshEntry(
+      g_prime,
+      Counters({{ChangeType::kAdd, 4}, {ChangeType::kEdgeRemove, 3}}), 5);
+  EXPECT_TRUE(g_prime.valid.Test(0));
+  EXPECT_TRUE(g_prime.valid.Test(1));
+  EXPECT_TRUE(g_prime.valid.Test(2));
+  EXPECT_FALSE(g_prime.valid.Test(3));  // UR faded positive result
+  EXPECT_FALSE(g_prime.valid.Test(4));  // new graph unknown
+  // T4: DEL G0 + UA G1.
+  CacheValidator::RefreshEntry(
+      g_prime,
+      Counters({{ChangeType::kDelete, 0}, {ChangeType::kEdgeAdd, 1}}), 5);
+  EXPECT_FALSE(g_prime.valid.Test(0));  // deleted
+  EXPECT_FALSE(g_prime.valid.Test(1));  // UA faded negative result
+  EXPECT_TRUE(g_prime.valid.Test(2));   // survives everything
+}
+
+}  // namespace
+}  // namespace gcp

@@ -1,0 +1,132 @@
+#include "cache/query_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../test_util.hpp"
+#include "graph/canonical.hpp"
+#include "graph/generators.hpp"
+#include "match/matcher.hpp"
+#include "workload/query_gen.hpp"
+
+namespace gcp {
+namespace {
+
+using testing::MakeCycle;
+using testing::MakePath;
+
+std::unique_ptr<CachedQuery> MakeIndexedEntry(CacheEntryId id, Graph q) {
+  auto e = std::make_unique<CachedQuery>();
+  e->id = id;
+  e->features = GraphFeatures::Extract(q);
+  e->digest = WlDigest(q);
+  e->query = std::move(q);
+  return e;
+}
+
+TEST(QueryIndexTest, InsertEraseSize) {
+  QueryIndex index;
+  auto e1 = MakeIndexedEntry(1, MakePath({0, 1}));
+  auto e2 = MakeIndexedEntry(2, MakePath({0, 1, 2}));
+  index.Insert(e1.get());
+  index.Insert(e2.get());
+  EXPECT_EQ(index.size(), 2u);
+  index.Erase(1);
+  EXPECT_EQ(index.size(), 1u);
+  index.Erase(1);  // idempotent
+  EXPECT_EQ(index.size(), 1u);
+  index.Clear();
+  EXPECT_EQ(index.size(), 0u);
+}
+
+TEST(QueryIndexTest, SupergraphCandidatesAreFeatureSupersets) {
+  QueryIndex index;
+  auto big = MakeIndexedEntry(1, MakePath({0, 1, 0, 1, 0}));    // P5
+  auto small = MakeIndexedEntry(2, MakePath({0, 1}));           // P2
+  auto other = MakeIndexedEntry(3, MakePath({5, 5, 5}));        // disjoint labels
+  index.Insert(big.get());
+  index.Insert(small.get());
+  index.Insert(other.get());
+
+  const GraphFeatures probe = GraphFeatures::Extract(MakePath({0, 1, 0}));
+  const auto supers = index.SupergraphCandidates(probe);
+  ASSERT_EQ(supers.size(), 1u);
+  EXPECT_EQ(supers[0]->id, 1u);
+
+  const auto subs = index.SubgraphCandidates(probe);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0]->id, 2u);
+}
+
+TEST(QueryIndexTest, DigestMatchesFindIsomorphs) {
+  QueryIndex index;
+  Rng rng(3);
+  const Graph g = RandomConnectedGraph(rng, 8, 3, 3);
+  auto e1 = MakeIndexedEntry(1, RandomlyPermuted(rng, g));
+  auto e2 = MakeIndexedEntry(2, MakeCycle({7, 7, 7}));
+  index.Insert(e1.get());
+  index.Insert(e2.get());
+  const auto matches = index.DigestMatches(WlDigest(g));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0]->id, 1u);
+  EXPECT_TRUE(index.DigestMatches(0xdeadbeef).empty());
+}
+
+TEST(QueryIndexTest, EraseRemovesDigestEntry) {
+  QueryIndex index;
+  auto e = MakeIndexedEntry(9, MakePath({1, 2, 3}));
+  index.Insert(e.get());
+  ASSERT_EQ(index.DigestMatches(e->digest).size(), 1u);
+  index.Erase(9);
+  EXPECT_TRUE(index.DigestMatches(e->digest).empty());
+}
+
+TEST(QueryIndexTest, DuplicateDigestsBothReturned) {
+  QueryIndex index;
+  auto e1 = MakeIndexedEntry(1, MakePath({4, 4}));
+  auto e2 = MakeIndexedEntry(2, MakePath({4, 4}));
+  index.Insert(e1.get());
+  index.Insert(e2.get());
+  EXPECT_EQ(index.DigestMatches(e1->digest).size(), 2u);
+  index.Erase(1);
+  const auto rest = index.DigestMatches(e2->digest);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0]->id, 2u);
+}
+
+// No-false-drop property: every true containment between a probe and an
+// indexed query must appear in the candidate shortlists.
+TEST(QueryIndexTest, NoFalseDropsOnRandomCorpus) {
+  Rng rng(17);
+  const auto matcher = MakeMatcher(MatcherKind::kVf2Plus);
+  std::vector<std::unique_ptr<CachedQuery>> entries;
+  QueryIndex index;
+  for (CacheEntryId id = 1; id <= 40; ++id) {
+    entries.push_back(MakeIndexedEntry(
+        id, RandomConnectedGraph(rng, 3 + rng.UniformBelow(8),
+                                 rng.UniformBelow(4), 3)));
+    index.Insert(entries.back().get());
+  }
+  for (int probe_round = 0; probe_round < 25; ++probe_round) {
+    const Graph probe = RandomConnectedGraph(
+        rng, 3 + rng.UniformBelow(8), rng.UniformBelow(4), 3);
+    const GraphFeatures pf = GraphFeatures::Extract(probe);
+    const auto supers = index.SupergraphCandidates(pf);
+    const auto subs = index.SubgraphCandidates(pf);
+    for (const auto& e : entries) {
+      if (matcher->Contains(probe, e->query)) {
+        EXPECT_NE(std::find(supers.begin(), supers.end(), e.get()),
+                  supers.end())
+            << "probe ⊆ cached missed by SupergraphCandidates";
+      }
+      if (matcher->Contains(e->query, probe)) {
+        EXPECT_NE(std::find(subs.begin(), subs.end(), e.get()), subs.end())
+            << "cached ⊆ probe missed by SubgraphCandidates";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gcp

@@ -1,0 +1,138 @@
+#include "cache/replacement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "cache/statistics.hpp"
+
+namespace gcp {
+namespace {
+
+CachedQuery MakeScoredEntry(CacheEntryId id, std::uint64_t tests_saved,
+                            double cost, std::uint64_t hits,
+                            std::uint64_t last_used,
+                            std::uint64_t admitted = 0) {
+  CachedQuery e;
+  e.id = id;
+  e.query = testing::MakePath({0, 1});
+  e.tests_saved = tests_saved;
+  e.est_test_cost_ms = cost;
+  e.hits = hits;
+  e.last_used_at = last_used;
+  e.admitted_at = admitted;
+  return e;
+}
+
+std::vector<const CachedQuery*> Pointers(
+    const std::vector<CachedQuery>& entries) {
+  std::vector<const CachedQuery*> out;
+  for (const auto& e : entries) out.push_back(&e);
+  return out;
+}
+
+TEST(ReplacementTest, PinRanksByTestsSaved) {
+  std::vector<CachedQuery> entries;
+  entries.push_back(MakeScoredEntry(1, 5, 1.0, 0, 0));
+  entries.push_back(MakeScoredEntry(2, 50, 1.0, 0, 0));
+  entries.push_back(MakeScoredEntry(3, 20, 1.0, 0, 0));
+  const ReplacementRanker ranker(ReplacementPolicy::kPin, nullptr);
+  const auto order = ranker.RankBestFirst(Pointers(entries));
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 2, 0}));
+  EXPECT_EQ(ranker.effective_policy(), ReplacementPolicy::kPin);
+}
+
+TEST(ReplacementTest, PincWeighsCost) {
+  std::vector<CachedQuery> entries;
+  entries.push_back(MakeScoredEntry(1, 10, 10.0, 0, 0));  // R*C = 100
+  entries.push_back(MakeScoredEntry(2, 50, 1.0, 0, 0));   // R*C = 50
+  const ReplacementRanker ranker(ReplacementPolicy::kPinc, nullptr);
+  const auto order = ranker.RankBestFirst(Pointers(entries));
+  EXPECT_EQ(order[0], 0u);  // higher R×C wins under PINC
+  EXPECT_EQ(ranker.effective_policy(), ReplacementPolicy::kPinc);
+}
+
+TEST(ReplacementTest, LruRanksByRecency) {
+  std::vector<CachedQuery> entries;
+  entries.push_back(MakeScoredEntry(1, 0, 0, 0, /*last_used=*/5));
+  entries.push_back(MakeScoredEntry(2, 0, 0, 0, /*last_used=*/100));
+  entries.push_back(MakeScoredEntry(3, 0, 0, 0, /*last_used=*/50));
+  const ReplacementRanker ranker(ReplacementPolicy::kLru, nullptr);
+  const auto order = ranker.RankBestFirst(Pointers(entries));
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(ReplacementTest, LfuRanksByHits) {
+  std::vector<CachedQuery> entries;
+  entries.push_back(MakeScoredEntry(1, 0, 0, /*hits=*/3, 0));
+  entries.push_back(MakeScoredEntry(2, 0, 0, /*hits=*/9, 0));
+  const ReplacementRanker ranker(ReplacementPolicy::kLfu, nullptr);
+  const auto order = ranker.RankBestFirst(Pointers(entries));
+  EXPECT_EQ(order[0], 1u);
+}
+
+TEST(ReplacementTest, TieBreakPrefersFresherEntry) {
+  std::vector<CachedQuery> entries;
+  entries.push_back(MakeScoredEntry(1, 7, 1.0, 0, 0, /*admitted=*/10));
+  entries.push_back(MakeScoredEntry(2, 7, 1.0, 0, 0, /*admitted=*/90));
+  const ReplacementRanker ranker(ReplacementPolicy::kPin, nullptr);
+  const auto order = ranker.RankBestFirst(Pointers(entries));
+  EXPECT_EQ(order[0], 1u);  // same R; newer admission ranks first
+}
+
+TEST(ReplacementTest, HybridPicksPinUnderHighVariability) {
+  // R values with CoV² > 1: heavy spread around a small mean.
+  std::vector<CachedQuery> entries;
+  entries.push_back(MakeScoredEntry(1, 0, 5.0, 0, 0));
+  entries.push_back(MakeScoredEntry(2, 0, 5.0, 0, 0));
+  entries.push_back(MakeScoredEntry(3, 0, 5.0, 0, 0));
+  entries.push_back(MakeScoredEntry(4, 1000, 0.001, 0, 0));
+  const ReplacementRanker ranker(ReplacementPolicy::kHybrid, nullptr);
+  const auto order = ranker.RankBestFirst(Pointers(entries));
+  EXPECT_EQ(ranker.effective_policy(), ReplacementPolicy::kPin);
+  EXPECT_EQ(order[0], 3u);  // PIN ignores the tiny C
+}
+
+TEST(ReplacementTest, HybridPicksPincUnderLowVariability) {
+  // Nearly equal R values: CoV² ≈ 0 → PINC; cost separates them.
+  std::vector<CachedQuery> entries;
+  entries.push_back(MakeScoredEntry(1, 10, 0.1, 0, 0));
+  entries.push_back(MakeScoredEntry(2, 11, 5.0, 0, 0));
+  entries.push_back(MakeScoredEntry(3, 10, 1.0, 0, 0));
+  const ReplacementRanker ranker(ReplacementPolicy::kHybrid, nullptr);
+  const auto order = ranker.RankBestFirst(Pointers(entries));
+  EXPECT_EQ(ranker.effective_policy(), ReplacementPolicy::kPinc);
+  EXPECT_EQ(order[0], 1u);  // highest R×C
+}
+
+TEST(ReplacementTest, RandomPolicyUsesRng) {
+  std::vector<CachedQuery> entries;
+  for (CacheEntryId id = 1; id <= 20; ++id) {
+    entries.push_back(MakeScoredEntry(id, 0, 0, 0, 0));
+  }
+  Rng rng1(42), rng2(42), rng3(7);
+  const ReplacementRanker r1(ReplacementPolicy::kRandom, &rng1);
+  const ReplacementRanker r2(ReplacementPolicy::kRandom, &rng2);
+  const ReplacementRanker r3(ReplacementPolicy::kRandom, &rng3);
+  const auto o1 = r1.RankBestFirst(Pointers(entries));
+  const auto o2 = r2.RankBestFirst(Pointers(entries));
+  const auto o3 = r3.RankBestFirst(Pointers(entries));
+  EXPECT_EQ(o1, o2);  // deterministic given seed
+  EXPECT_NE(o1, o3);  // different seed, different order (w.h.p.)
+}
+
+TEST(ReplacementTest, PolicyNames) {
+  EXPECT_EQ(ReplacementPolicyName(ReplacementPolicy::kLru), "LRU");
+  EXPECT_EQ(ReplacementPolicyName(ReplacementPolicy::kLfu), "LFU");
+  EXPECT_EQ(ReplacementPolicyName(ReplacementPolicy::kRandom), "RANDOM");
+  EXPECT_EQ(ReplacementPolicyName(ReplacementPolicy::kPin), "PIN");
+  EXPECT_EQ(ReplacementPolicyName(ReplacementPolicy::kPinc), "PINC");
+  EXPECT_EQ(ReplacementPolicyName(ReplacementPolicy::kHybrid), "HD");
+}
+
+TEST(ReplacementTest, EmptyPool) {
+  const ReplacementRanker ranker(ReplacementPolicy::kPin, nullptr);
+  EXPECT_TRUE(ranker.RankBestFirst({}).empty());
+}
+
+}  // namespace
+}  // namespace gcp

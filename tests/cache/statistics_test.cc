@@ -1,0 +1,75 @@
+#include "cache/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../test_util.hpp"
+
+namespace gcp {
+namespace {
+
+TEST(StatisticsTest, SquaredCoVZeroForDegenerate) {
+  EXPECT_DOUBLE_EQ(StatisticsManager::SquaredCoV({}), 0.0);
+  EXPECT_DOUBLE_EQ(StatisticsManager::SquaredCoV({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(StatisticsManager::SquaredCoV({0.0, 0.0, 0.0}), 0.0);
+}
+
+TEST(StatisticsTest, SquaredCoVUniformValuesIsZero) {
+  EXPECT_DOUBLE_EQ(StatisticsManager::SquaredCoV({3.0, 3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(StatisticsTest, SquaredCoVKnownValue) {
+  // values {0, 2}: mean 1, var 1 → CoV² = 1.
+  EXPECT_DOUBLE_EQ(StatisticsManager::SquaredCoV({0.0, 2.0}), 1.0);
+}
+
+TEST(StatisticsTest, SquaredCoVHighVariability) {
+  // One heavy hitter among zeros — the HD trigger case.
+  EXPECT_GT(StatisticsManager::SquaredCoV({0.0, 0.0, 0.0, 100.0}), 1.0);
+}
+
+TEST(StatisticsTest, SquaredCoVExponentialLikeIsAboutOne) {
+  // Samples of an exponential distribution have CoV ≈ 1 (paper's threshold
+  // rationale).
+  std::vector<double> v;
+  for (int i = 1; i <= 2000; ++i) {
+    // Inverse-CDF sampling at evenly spaced quantiles.
+    const double u = (i - 0.5) / 2000.0;
+    v.push_back(-std::log(1.0 - u));
+  }
+  EXPECT_NEAR(StatisticsManager::SquaredCoV(v), 1.0, 0.1);
+}
+
+TEST(StatisticsTest, StructuralCostGrowsWithQuerySize) {
+  const double small =
+      StatisticsManager::StructuralCostEstimateMs(testing::MakePath({0, 1}));
+  const double large = StatisticsManager::StructuralCostEstimateMs(
+      testing::MakeClique(10, 0));
+  EXPECT_GT(large, small);
+  EXPECT_GT(small, 0.0);
+}
+
+TEST(StatisticsTest, RecordBenefitUpdatesEntry) {
+  CachedQuery e;
+  e.query = testing::MakePath({0, 1});
+  StatisticsManager::RecordBenefit(e, 12, 77);
+  EXPECT_EQ(e.tests_saved, 12u);
+  EXPECT_EQ(e.hits, 1u);
+  EXPECT_EQ(e.last_used_at, 77u);
+  StatisticsManager::RecordBenefit(e, 3, 99);
+  EXPECT_EQ(e.tests_saved, 15u);
+  EXPECT_EQ(e.hits, 2u);
+  EXPECT_EQ(e.last_used_at, 99u);
+}
+
+TEST(StatisticsTest, ZeroBenefitStillCountsHit) {
+  CachedQuery e;
+  e.query = testing::MakePath({0, 1});
+  StatisticsManager::RecordBenefit(e, 0, 5);
+  EXPECT_EQ(e.tests_saved, 0u);
+  EXPECT_EQ(e.hits, 1u);
+}
+
+}  // namespace
+}  // namespace gcp

@@ -1,0 +1,150 @@
+// Differential fuzz of DynamicBitset against a std::vector<bool> reference
+// model. The bitset underpins every consistency decision in GC+ (Answer,
+// CGvalid, candidate sets), so its operations are validated operation-by-
+// operation against an independently maintained model across randomized
+// op sequences spanning word boundaries.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/rng.hpp"
+
+namespace gcp {
+namespace {
+
+class ReferenceModel {
+ public:
+  explicit ReferenceModel(std::size_t n) : bits_(n, false) {}
+
+  void Set(std::size_t i, bool v) { bits_[i] = v; }
+  void Resize(std::size_t n, bool v) { bits_.resize(n, v); }
+  void SetAll() { bits_.assign(bits_.size(), true); }
+  void ResetAll() { bits_.assign(bits_.size(), false); }
+  void Complement() {
+    for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] = !bits_[i];
+  }
+  void AndWith(const ReferenceModel& o) {
+    for (std::size_t i = 0; i < bits_.size(); ++i) {
+      bits_[i] = bits_[i] && o.bits_[i];
+    }
+  }
+  void OrWith(const ReferenceModel& o) {
+    for (std::size_t i = 0; i < bits_.size(); ++i) {
+      bits_[i] = bits_[i] || o.bits_[i];
+    }
+  }
+  void AndNotWith(const ReferenceModel& o) {
+    for (std::size_t i = 0; i < bits_.size(); ++i) {
+      bits_[i] = bits_[i] && !o.bits_[i];
+    }
+  }
+
+  std::size_t Count() const {
+    std::size_t c = 0;
+    for (const bool b : bits_) c += b ? 1 : 0;
+    return c;
+  }
+  std::size_t FindNext(std::size_t from) const {
+    for (std::size_t i = from; i < bits_.size(); ++i) {
+      if (bits_[i]) return i;
+    }
+    return DynamicBitset::npos;
+  }
+  bool Test(std::size_t i) const { return bits_[i]; }
+  std::size_t size() const { return bits_.size(); }
+
+ private:
+  std::vector<bool> bits_;
+};
+
+void ExpectAgree(const DynamicBitset& b, const ReferenceModel& m) {
+  ASSERT_EQ(b.size(), m.size());
+  ASSERT_EQ(b.Count(), m.Count());
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    ASSERT_EQ(b.Test(i), m.Test(i)) << "bit " << i;
+  }
+  // Scan agreement at a few positions.
+  for (const std::size_t from : {std::size_t{0}, m.size() / 2}) {
+    ASSERT_EQ(b.FindNext(from), m.FindNext(from));
+  }
+}
+
+class BitsetDifferentialTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitsetDifferentialTest, RandomOpSequenceAgrees) {
+  Rng rng(GetParam());
+  std::size_t n = 1 + rng.UniformBelow(200);
+  DynamicBitset a(n), b(n);
+  ReferenceModel ma(n), mb(n);
+
+  for (int step = 0; step < 400; ++step) {
+    switch (rng.UniformBelow(9)) {
+      case 0: {  // set/clear a random bit in a
+        if (n == 0) break;
+        const std::size_t i = rng.UniformBelow(n);
+        const bool v = rng.Bernoulli(0.5);
+        a.Set(i, v);
+        ma.Set(i, v);
+        break;
+      }
+      case 1: {  // set/clear a random bit in b
+        if (n == 0) break;
+        const std::size_t i = rng.UniformBelow(n);
+        const bool v = rng.Bernoulli(0.5);
+        b.Set(i, v);
+        mb.Set(i, v);
+        break;
+      }
+      case 2: {  // resize both (grow or shrink, random fill)
+        const std::size_t new_n = 1 + rng.UniformBelow(300);
+        const bool fill = rng.Bernoulli(0.3);
+        a.Resize(new_n, fill);
+        ma.Resize(new_n, fill);
+        b.Resize(new_n, fill);
+        mb.Resize(new_n, fill);
+        n = new_n;
+        break;
+      }
+      case 3:
+        a.AndWith(b);
+        ma.AndWith(mb);
+        break;
+      case 4:
+        a.OrWith(b);
+        ma.OrWith(mb);
+        break;
+      case 5:
+        a.AndNotWith(b);
+        ma.AndNotWith(mb);
+        break;
+      case 6:
+        b.Complement();
+        mb.Complement();
+        break;
+      case 7:
+        a.SetAll();
+        ma.SetAll();
+        break;
+      default:
+        b.ResetAll();
+        mb.ResetAll();
+        break;
+    }
+    ExpectAgree(a, ma);
+    ExpectAgree(b, mb);
+    // Derived-value agreement on the static operations too.
+    ASSERT_EQ(a.CountAnd(b), DynamicBitset::And(a, b).Count());
+    ASSERT_EQ(a.Intersects(b), a.CountAnd(b) > 0);
+    ASSERT_EQ(a.IsSubsetOf(b), DynamicBitset::AndNot(a, b).None());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitsetDifferentialTest,
+                         ::testing::Values(1001, 1002, 1003, 1004, 1005,
+                                           1006));
+
+}  // namespace
+}  // namespace gcp

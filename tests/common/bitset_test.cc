@@ -1,0 +1,218 @@
+#include "common/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace gcp {
+namespace {
+
+TEST(BitsetTest, StartsEmpty) {
+  DynamicBitset b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_TRUE(b.None());
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(BitsetTest, ConstructWithValue) {
+  DynamicBitset zeros(70, false);
+  EXPECT_EQ(zeros.size(), 70u);
+  EXPECT_EQ(zeros.Count(), 0u);
+  DynamicBitset ones(70, true);
+  EXPECT_EQ(ones.Count(), 70u);
+  EXPECT_TRUE(ones.All());
+}
+
+TEST(BitsetTest, SetResetTest) {
+  DynamicBitset b(130);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Reset(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(BitsetTest, TestOrFalseBeyondSize) {
+  DynamicBitset b(10);
+  b.Set(9);
+  EXPECT_TRUE(b.TestOrFalse(9));
+  EXPECT_FALSE(b.TestOrFalse(10));
+  EXPECT_FALSE(b.TestOrFalse(1000));
+}
+
+TEST(BitsetTest, ResizeGrowZeroFills) {
+  // The exact semantics Algorithm 2 needs: newly exposed bits are false.
+  DynamicBitset b(5, true);
+  b.Resize(200, false);
+  EXPECT_EQ(b.size(), 200u);
+  EXPECT_EQ(b.Count(), 5u);
+  for (std::size_t i = 5; i < 200; ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TEST(BitsetTest, ResizeGrowOneFills) {
+  DynamicBitset b(5, false);
+  b.Set(2);
+  b.Resize(100, true);
+  EXPECT_EQ(b.Count(), 1u + 95u);
+  EXPECT_FALSE(b.Test(0));
+  EXPECT_TRUE(b.Test(2));
+  EXPECT_TRUE(b.Test(5));
+  EXPECT_TRUE(b.Test(99));
+}
+
+TEST(BitsetTest, ResizeShrinkClearsPadding) {
+  DynamicBitset b(128, true);
+  b.Resize(3);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.Count(), 3u);
+  b.Resize(128, false);
+  EXPECT_EQ(b.Count(), 3u);  // old tail bits must not resurrect
+}
+
+TEST(BitsetTest, SetAllRespectsSize) {
+  DynamicBitset b(67);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 67u);
+  EXPECT_TRUE(b.All());
+  b.ResetAll();
+  EXPECT_TRUE(b.None());
+}
+
+TEST(BitsetTest, ComplementWithinSize) {
+  DynamicBitset b(66);
+  b.Set(0);
+  b.Set(65);
+  b.Complement();
+  EXPECT_EQ(b.Count(), 64u);
+  EXPECT_FALSE(b.Test(0));
+  EXPECT_FALSE(b.Test(65));
+  EXPECT_TRUE(b.Test(1));
+  // Double complement restores.
+  b.Complement();
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(BitsetTest, AndOrAndNotAlgebra) {
+  DynamicBitset a(100), b(100);
+  for (std::size_t i = 0; i < 100; i += 2) a.Set(i);   // evens
+  for (std::size_t i = 0; i < 100; i += 3) b.Set(i);   // multiples of 3
+  const DynamicBitset both = DynamicBitset::And(a, b);  // multiples of 6
+  EXPECT_EQ(both.Count(), 17u);  // 0,6,...,96
+  const DynamicBitset either = DynamicBitset::Or(a, b);
+  EXPECT_EQ(either.Count(), 50u + 34u - 17u);
+  const DynamicBitset diff = DynamicBitset::AndNot(a, b);
+  EXPECT_EQ(diff.Count(), 50u - 17u);
+  // In-place variants agree with the static ones.
+  DynamicBitset c = a;
+  c.AndWith(b);
+  EXPECT_EQ(c, both);
+  c = a;
+  c.OrWith(b);
+  EXPECT_EQ(c, either);
+  c = a;
+  c.AndNotWith(b);
+  EXPECT_EQ(c, diff);
+}
+
+TEST(BitsetTest, CountAndMatchesMaterializedIntersection) {
+  Rng rng(7);
+  DynamicBitset a(500), b(500);
+  for (int i = 0; i < 200; ++i) {
+    a.Set(rng.UniformBelow(500));
+    b.Set(rng.UniformBelow(500));
+  }
+  EXPECT_EQ(a.CountAnd(b), DynamicBitset::And(a, b).Count());
+}
+
+TEST(BitsetTest, IntersectsAndSubset) {
+  DynamicBitset a(80), b(80);
+  a.Set(3);
+  a.Set(70);
+  b.Set(70);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.IsSubsetOf(a));
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  b.Reset(70);
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_TRUE(b.IsSubsetOf(a));  // empty set is subset of everything
+}
+
+TEST(BitsetTest, FindNextScansAcrossWords) {
+  DynamicBitset b(200);
+  b.Set(5);
+  b.Set(64);
+  b.Set(199);
+  EXPECT_EQ(b.FindFirst(), 5u);
+  EXPECT_EQ(b.FindNext(6), 64u);
+  EXPECT_EQ(b.FindNext(65), 199u);
+  EXPECT_EQ(b.FindNext(200), DynamicBitset::npos);
+  DynamicBitset empty(10);
+  EXPECT_EQ(empty.FindFirst(), DynamicBitset::npos);
+}
+
+TEST(BitsetTest, ForEachSetBitAscending) {
+  DynamicBitset b(150);
+  const std::vector<std::size_t> expected{0, 63, 64, 127, 128, 149};
+  for (const auto i : expected) b.Set(i);
+  EXPECT_EQ(b.ToVector(), expected);
+}
+
+TEST(BitsetTest, ToStringRendersPositions) {
+  DynamicBitset b(5);
+  b.Set(1);
+  b.Set(4);
+  EXPECT_EQ(b.ToString(), "01001");
+}
+
+TEST(BitsetTest, EqualityIncludesSize) {
+  DynamicBitset a(10), b(11);
+  EXPECT_FALSE(a == b);
+  DynamicBitset c(10);
+  EXPECT_TRUE(a == c);
+  c.Set(3);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(BitsetTest, NotOfEmptyAndFull) {
+  const DynamicBitset full = DynamicBitset::Not(DynamicBitset(65, false));
+  EXPECT_TRUE(full.All());
+  const DynamicBitset none = DynamicBitset::Not(DynamicBitset(65, true));
+  EXPECT_TRUE(none.None());
+}
+
+// Randomized algebra laws (De Morgan, absorption) over awkward sizes.
+class BitsetAlgebraTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitsetAlgebraTest, DeMorganAndAbsorption) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 31 + 1);
+  DynamicBitset a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.4)) a.Set(i);
+    if (rng.Bernoulli(0.4)) b.Set(i);
+  }
+  // ¬(a ∪ b) == ¬a ∩ ¬b
+  EXPECT_EQ(DynamicBitset::Not(DynamicBitset::Or(a, b)),
+            DynamicBitset::And(DynamicBitset::Not(a), DynamicBitset::Not(b)));
+  // ¬(a ∩ b) == ¬a ∪ ¬b
+  EXPECT_EQ(DynamicBitset::Not(DynamicBitset::And(a, b)),
+            DynamicBitset::Or(DynamicBitset::Not(a), DynamicBitset::Not(b)));
+  // a ∩ (a ∪ b) == a
+  EXPECT_EQ(DynamicBitset::And(a, DynamicBitset::Or(a, b)), a);
+  // a \ b == a ∩ ¬b
+  EXPECT_EQ(DynamicBitset::AndNot(a, b),
+            DynamicBitset::And(a, DynamicBitset::Not(b)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitsetAlgebraTest,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 129, 1000));
+
+}  // namespace
+}  // namespace gcp

@@ -1,0 +1,173 @@
+// The central correctness oracle (Theorems 3 and 6 as an executable
+// property): under ANY interleaving of queries and dataset changes, GC+
+// (either model, any policy, any Method M) returns exactly the same answer
+// sets as a cache-less Method M evaluated on the live dataset.
+
+#include <gtest/gtest.h>
+
+#include "dataset/aids_like.hpp"
+#include "dataset/change_plan.hpp"
+#include "workload/runner.hpp"
+#include "workload/type_a.hpp"
+#include "workload/type_b.hpp"
+
+namespace gcp {
+namespace {
+
+struct Scenario {
+  std::uint64_t seed;
+  RunMode mode;
+  ReplacementPolicy policy;
+  QueryKind kind;
+  std::size_t retrospective_budget = 0;
+  bool use_ftv = false;
+};
+
+std::string ScenarioName(const ::testing::TestParamInfo<Scenario>& info) {
+  std::string name = std::string(RunModeName(info.param.mode)) + "_" +
+                     std::string(ReplacementPolicyName(info.param.policy)) +
+                     "_" +
+                     (info.param.kind == QueryKind::kSubgraph ? "Sub"
+                                                              : "Super") +
+                     "_s" + std::to_string(info.param.seed);
+  if (info.param.retrospective_budget > 0) name += "_Retro";
+  if (info.param.use_ftv) name += "_Ftv";
+  return name;
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(EquivalenceTest, CachedAnswersEqualMethodM) {
+  const Scenario& sc = GetParam();
+
+  // Small AIDS-like corpus so the whole scenario runs in ~a second.
+  AidsLikeOptions corpus_opts;
+  corpus_opts.num_graphs = 60;
+  corpus_opts.mean_vertices = 12;
+  corpus_opts.stddev_vertices = 4;
+  corpus_opts.min_vertices = 4;
+  corpus_opts.max_vertices = 24;
+  corpus_opts.num_labels = 8;
+  corpus_opts.seed = sc.seed;
+  const std::vector<Graph> initial = AidsLikeGenerator(corpus_opts).Generate();
+
+  // Workload with strong repetition/containment structure (ZU) so the
+  // cache actually fires on all hit paths.
+  const Workload workload =
+      GenerateTypeAByName(initial, "ZU", /*num_queries=*/120, sc.seed + 1);
+
+  // Aggressive change plan: ~1 batch every 6 queries.
+  Rng plan_rng(sc.seed + 2);
+  const ChangePlan plan = ChangePlan::Generate(
+      plan_rng, static_cast<std::uint32_t>(workload.size()),
+      /*num_batches=*/20, /*ops_per_batch=*/4,
+      static_cast<std::uint32_t>(initial.size()));
+
+  RunnerConfig base_cfg;
+  base_cfg.mode = RunMode::kMethodM;
+  base_cfg.method = MatcherKind::kVf2;
+  base_cfg.query_kind = sc.kind;
+  base_cfg.record_answers = true;
+  base_cfg.plan_seed = sc.seed + 3;
+  const RunReport base = RunWorkload(initial, workload, plan, base_cfg);
+
+  RunnerConfig cached_cfg = base_cfg;
+  cached_cfg.mode = sc.mode;
+  cached_cfg.policy = sc.policy;
+  cached_cfg.cache_capacity = 20;  // small: forces evictions
+  cached_cfg.window_capacity = 5;
+  cached_cfg.retrospective_budget = sc.retrospective_budget;
+  cached_cfg.use_ftv = sc.use_ftv;
+  const RunReport cached = RunWorkload(initial, workload, plan, cached_cfg);
+
+  ASSERT_EQ(base.answers.size(), cached.answers.size());
+  for (std::size_t q = 0; q < base.answers.size(); ++q) {
+    ASSERT_EQ(base.answers[q], cached.answers[q])
+        << "answer mismatch at query " << q << " (" << cached.label << ")";
+  }
+  // The cache must actually have produced hits for the oracle to be
+  // meaningful (ZU workloads repeat queries).
+  if (sc.mode == RunMode::kCon) {
+    EXPECT_GT(cached.agg.exact_hits + cached.agg.sub_hits +
+                  cached.agg.super_hits + cached.agg.empty_shortcuts,
+              0u)
+        << "oracle vacuous: no cache activity";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, EquivalenceTest,
+    ::testing::Values(
+        Scenario{1, RunMode::kCon, ReplacementPolicy::kHybrid,
+                 QueryKind::kSubgraph},
+        Scenario{2, RunMode::kCon, ReplacementPolicy::kPin,
+                 QueryKind::kSubgraph},
+        Scenario{3, RunMode::kCon, ReplacementPolicy::kPinc,
+                 QueryKind::kSubgraph},
+        Scenario{4, RunMode::kCon, ReplacementPolicy::kLru,
+                 QueryKind::kSubgraph},
+        Scenario{5, RunMode::kEvi, ReplacementPolicy::kHybrid,
+                 QueryKind::kSubgraph},
+        Scenario{6, RunMode::kEvi, ReplacementPolicy::kLfu,
+                 QueryKind::kSubgraph},
+        Scenario{7, RunMode::kCon, ReplacementPolicy::kHybrid,
+                 QueryKind::kSupergraph},
+        Scenario{8, RunMode::kEvi, ReplacementPolicy::kRandom,
+                 QueryKind::kSupergraph},
+        Scenario{9, RunMode::kCon, ReplacementPolicy::kRandom,
+                 QueryKind::kSubgraph},
+        Scenario{10, RunMode::kCon, ReplacementPolicy::kHybrid,
+                 QueryKind::kSubgraph},
+        // §8 retrospective validation must preserve exactness too.
+        Scenario{11, RunMode::kCon, ReplacementPolicy::kHybrid,
+                 QueryKind::kSubgraph, /*retrospective_budget=*/50},
+        Scenario{12, RunMode::kCon, ReplacementPolicy::kHybrid,
+                 QueryKind::kSupergraph, /*retrospective_budget=*/50},
+        // Method M equipped with the updatable FTV index (its candidate
+        // set is a filtered subset) must stay exact, cached or not.
+        Scenario{13, RunMode::kMethodM, ReplacementPolicy::kHybrid,
+                 QueryKind::kSubgraph, 0, /*use_ftv=*/true},
+        Scenario{14, RunMode::kCon, ReplacementPolicy::kHybrid,
+                 QueryKind::kSubgraph, 0, /*use_ftv=*/true},
+        Scenario{15, RunMode::kCon, ReplacementPolicy::kHybrid,
+                 QueryKind::kSupergraph, 0, /*use_ftv=*/true},
+        Scenario{16, RunMode::kEvi, ReplacementPolicy::kHybrid,
+                 QueryKind::kSubgraph, 0, /*use_ftv=*/true}),
+    ScenarioName);
+
+// Method-M invariance of the pruned candidate set (the premise of the
+// paper's Figure 5): under a fixed configuration, the number of sub-iso
+// tests per query is identical across VF2 / VF2+ / GQL.
+TEST(MethodIndependenceTest, PrunedCandidateSetCountsAgreeAcrossMethods) {
+  AidsLikeOptions corpus_opts;
+  corpus_opts.num_graphs = 40;
+  corpus_opts.mean_vertices = 10;
+  corpus_opts.stddev_vertices = 3;
+  corpus_opts.min_vertices = 4;
+  corpus_opts.max_vertices = 18;
+  corpus_opts.num_labels = 6;
+  corpus_opts.seed = 77;
+  const auto initial = AidsLikeGenerator(corpus_opts).Generate();
+  const Workload workload = GenerateTypeAByName(initial, "ZU", 80, 78);
+  Rng plan_rng(79);
+  const ChangePlan plan = ChangePlan::Generate(
+      plan_rng, 80, 10, 3, static_cast<std::uint32_t>(initial.size()));
+
+  auto tests_for = [&](MatcherKind method) {
+    RunnerConfig cfg;
+    cfg.mode = RunMode::kCon;
+    cfg.method = method;
+    cfg.plan_seed = 80;
+    cfg.warmup_queries = 0;
+    const RunReport r = RunWorkload(initial, workload, plan, cfg);
+    return r.agg.si_tests;
+  };
+  const auto vf2 = tests_for(MatcherKind::kVf2);
+  const auto vf2p = tests_for(MatcherKind::kVf2Plus);
+  const auto gql = tests_for(MatcherKind::kGraphQl);
+  EXPECT_EQ(vf2, vf2p);
+  EXPECT_EQ(vf2, gql);
+}
+
+}  // namespace
+}  // namespace gcp

@@ -1,0 +1,102 @@
+#include "core/method_m.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "core/options.hpp"
+
+namespace gcp {
+namespace {
+
+using testing::MakeCycle;
+using testing::MakePath;
+using testing::MakeSingleton;
+
+GraphDataset SmallDataset() {
+  GraphDataset ds;
+  ds.Bootstrap({
+      MakePath({0, 1}),        // 0: C-O
+      MakePath({0, 0, 1}),     // 1: C-C-O
+      MakeCycle({0, 0, 0}),    // 2: C-ring
+      MakeSingleton(2),        // 3: N
+  });
+  return ds;
+}
+
+TEST(MethodMTest, SubgraphDirectionVerifiesPatternInDataset) {
+  const GraphDataset ds = SmallDataset();
+  const MethodM m(MatcherKind::kVf2, ds);
+  std::uint64_t tests = 0;
+  const DynamicBitset verified = m.VerifyCandidates(
+      MakePath({0, 1}), QueryKind::kSubgraph, ds.LiveMask(), &tests);
+  EXPECT_EQ(tests, 4u);
+  EXPECT_EQ(verified.ToVector(), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(MethodMTest, SupergraphDirectionSwapsRoles) {
+  const GraphDataset ds = SmallDataset();
+  const MethodM m(MatcherKind::kVf2Plus, ds);
+  // Which dataset graphs are contained in C-C-O?
+  const DynamicBitset verified = m.VerifyCandidates(
+      MakePath({0, 0, 1}), QueryKind::kSupergraph, ds.LiveMask(), nullptr);
+  EXPECT_EQ(verified.ToVector(), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(MethodMTest, RespectsCandidateSubset) {
+  const GraphDataset ds = SmallDataset();
+  const MethodM m(MatcherKind::kGraphQl, ds);
+  DynamicBitset candidates(4);
+  candidates.Set(1);  // only graph 1 considered
+  std::uint64_t tests = 0;
+  const DynamicBitset verified = m.VerifyCandidates(
+      MakePath({0, 1}), QueryKind::kSubgraph, candidates, &tests);
+  EXPECT_EQ(tests, 1u);
+  EXPECT_EQ(verified.ToVector(), (std::vector<std::size_t>{1}));
+}
+
+TEST(MethodMTest, EmptyCandidatesZeroTests) {
+  const GraphDataset ds = SmallDataset();
+  const MethodM m(MatcherKind::kVf2, ds);
+  std::uint64_t tests = 0;
+  const DynamicBitset verified = m.VerifyCandidates(
+      MakePath({0, 1}), QueryKind::kSubgraph, DynamicBitset(4), &tests);
+  EXPECT_EQ(tests, 0u);
+  EXPECT_TRUE(verified.None());
+}
+
+TEST(MethodMTest, ParallelPoolMatchesSerial) {
+  const GraphDataset ds = SmallDataset();
+  ThreadPool pool(3);
+  const MethodM serial(MatcherKind::kVf2, ds);
+  const MethodM parallel(MatcherKind::kVf2, ds, &pool);
+  const Graph q = MakePath({0, 0});
+  EXPECT_EQ(
+      serial.VerifyCandidates(q, QueryKind::kSubgraph, ds.LiveMask()),
+      parallel.VerifyCandidates(q, QueryKind::kSubgraph, ds.LiveMask()));
+}
+
+TEST(MethodMTest, TestsAccumulateAcrossCalls) {
+  const GraphDataset ds = SmallDataset();
+  const MethodM m(MatcherKind::kVf2, ds);
+  std::uint64_t tests = 0;
+  m.VerifyCandidates(MakePath({0, 1}), QueryKind::kSubgraph, ds.LiveMask(),
+                     &tests);
+  m.VerifyCandidates(MakePath({0, 0}), QueryKind::kSubgraph, ds.LiveMask(),
+                     &tests);
+  EXPECT_EQ(tests, 8u);
+}
+
+TEST(MethodMTest, KindAndMatcherNameExposed) {
+  const GraphDataset ds = SmallDataset();
+  const MethodM m(MatcherKind::kGraphQl, ds);
+  EXPECT_EQ(m.kind(), MatcherKind::kGraphQl);
+  EXPECT_EQ(m.matcher().name(), "GQL");
+}
+
+TEST(CacheModelNameTest, Names) {
+  EXPECT_EQ(CacheModelName(CacheModel::kEvi), "EVI");
+  EXPECT_EQ(CacheModelName(CacheModel::kCon), "CON");
+}
+
+}  // namespace
+}  // namespace gcp

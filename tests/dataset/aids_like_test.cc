@@ -1,0 +1,113 @@
+#include "dataset/aids_like.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace gcp {
+namespace {
+
+AidsLikeOptions SmallOptions(std::uint32_t n) {
+  AidsLikeOptions opts;
+  opts.num_graphs = n;
+  return opts;
+}
+
+TEST(AidsLikeTest, GeneratesRequestedCount) {
+  AidsLikeGenerator gen(SmallOptions(50));
+  EXPECT_EQ(gen.Generate().size(), 50u);
+}
+
+TEST(AidsLikeTest, SizesWithinBounds) {
+  AidsLikeGenerator gen(SmallOptions(200));
+  for (const Graph& g : gen.Generate()) {
+    EXPECT_GE(g.NumVertices(), gen.options().min_vertices);
+    EXPECT_LE(g.NumVertices(), gen.options().max_vertices);
+  }
+}
+
+TEST(AidsLikeTest, ShapeStatisticsApproximatePaper) {
+  // Mean ≈ 45 vertices and edges ≈ 1.045 × vertices (AIDS: 45 / 47).
+  AidsLikeGenerator gen(SmallOptions(1500));
+  const auto graphs = gen.Generate();
+  double v_sum = 0, e_sum = 0;
+  for (const Graph& g : graphs) {
+    v_sum += static_cast<double>(g.NumVertices());
+    e_sum += static_cast<double>(g.NumEdges());
+  }
+  const double v_mean = v_sum / static_cast<double>(graphs.size());
+  const double e_mean = e_sum / static_cast<double>(graphs.size());
+  EXPECT_NEAR(v_mean, 45.0, 5.0);
+  EXPECT_NEAR(e_mean / v_mean, 1.045, 0.08);
+}
+
+TEST(AidsLikeTest, MoleculesAreConnectedWithValenceCap) {
+  AidsLikeGenerator gen(SmallOptions(100));
+  for (const Graph& g : gen.Generate()) {
+    EXPECT_TRUE(g.IsConnected());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_LE(g.degree(v), gen.options().max_degree);
+    }
+  }
+}
+
+TEST(AidsLikeTest, LabelsSkewedCarbonLike) {
+  AidsLikeGenerator gen(SmallOptions(300));
+  std::map<Label, std::size_t> counts;
+  std::size_t total = 0;
+  for (const Graph& g : gen.Generate()) {
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      ++counts[g.label(v)];
+      ++total;
+    }
+  }
+  // Rank-0 label dominates (carbon-like), and labels stay in range.
+  ASSERT_TRUE(counts.count(0));
+  EXPECT_GT(static_cast<double>(counts[0]) / static_cast<double>(total), 0.3);
+  for (const auto& [label, count] : counts) {
+    EXPECT_LT(label, gen.options().num_labels);
+  }
+  // Rank order approximately monotone at the head of the distribution.
+  EXPECT_GT(counts[0], counts.count(5) ? counts[5] : 0u);
+}
+
+TEST(AidsLikeTest, DeterministicBySeed) {
+  AidsLikeOptions opts = SmallOptions(20);
+  opts.seed = 77;
+  const auto a = AidsLikeGenerator(opts).Generate();
+  const auto b = AidsLikeGenerator(opts).Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  opts.seed = 78;
+  const auto c = AidsLikeGenerator(opts).Generate();
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) any_diff |= !(a[i] == c[i]);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(AidsLikeTest, GenerateOneRespectsExactSize) {
+  AidsLikeGenerator gen(SmallOptions(1));
+  const Graph g = gen.GenerateOne(33);
+  EXPECT_EQ(g.NumVertices(), 33u);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(AidsLikeTest, SampleSizeDistributionHasTail) {
+  AidsLikeGenerator gen(SmallOptions(1));
+  std::uint32_t max_seen = 0;
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto s = gen.SampleSize();
+    max_seen = std::max(max_seen, s);
+    sum += s;
+  }
+  EXPECT_NEAR(sum / n, 45.0, 3.0);
+  // Log-normal tail: some graphs are an order of magnitude larger than the
+  // mean (paper: "the few largest graphs have an order of magnitude more").
+  EXPECT_GT(max_seen, 120u);
+}
+
+}  // namespace
+}  // namespace gcp

@@ -1,0 +1,65 @@
+#include "dataset/change_log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gcp {
+namespace {
+
+TEST(ChangeLogTest, StartsEmpty) {
+  const ChangeLog log;
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.LatestSeq(), 0u);
+  EXPECT_FALSE(log.HasChangesSince(0));
+  EXPECT_TRUE(log.ExtractSince(0).empty());
+}
+
+TEST(ChangeLogTest, AppendAssignsDenseSequence) {
+  ChangeLog log;
+  EXPECT_EQ(log.Append(ChangeType::kAdd, 0), 1u);
+  EXPECT_EQ(log.Append(ChangeType::kDelete, 0), 2u);
+  EXPECT_EQ(log.Append(ChangeType::kEdgeAdd, 1, 2, 3), 3u);
+  EXPECT_EQ(log.LatestSeq(), 3u);
+  EXPECT_EQ(log.size(), 3u);
+}
+
+TEST(ChangeLogTest, RecordsCarryPayload) {
+  ChangeLog log;
+  log.Append(ChangeType::kEdgeRemove, 7, 1, 4);
+  const ChangeRecord& r = log.records()[0];
+  EXPECT_EQ(r.type, ChangeType::kEdgeRemove);
+  EXPECT_EQ(r.graph_id, 7u);
+  EXPECT_EQ(r.edge_u, 1u);
+  EXPECT_EQ(r.edge_v, 4u);
+  EXPECT_EQ(r.seq, 1u);
+}
+
+TEST(ChangeLogTest, ExtractSinceWatermark) {
+  ChangeLog log;
+  for (GraphId i = 0; i < 5; ++i) log.Append(ChangeType::kAdd, i);
+  const auto all = log.ExtractSince(0);
+  EXPECT_EQ(all.size(), 5u);
+  const auto tail = log.ExtractSince(3);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].seq, 4u);
+  EXPECT_EQ(tail[1].seq, 5u);
+  EXPECT_TRUE(log.ExtractSince(5).empty());
+  EXPECT_TRUE(log.ExtractSince(99).empty());
+}
+
+TEST(ChangeLogTest, HasChangesSince) {
+  ChangeLog log;
+  log.Append(ChangeType::kAdd, 0);
+  EXPECT_TRUE(log.HasChangesSince(0));
+  EXPECT_FALSE(log.HasChangesSince(1));
+  EXPECT_FALSE(log.HasChangesSince(2));
+}
+
+TEST(ChangeLogTest, ChangeTypeNames) {
+  EXPECT_EQ(ChangeTypeName(ChangeType::kAdd), "ADD");
+  EXPECT_EQ(ChangeTypeName(ChangeType::kDelete), "DEL");
+  EXPECT_EQ(ChangeTypeName(ChangeType::kEdgeAdd), "UA");
+  EXPECT_EQ(ChangeTypeName(ChangeType::kEdgeRemove), "UR");
+}
+
+}  // namespace
+}  // namespace gcp

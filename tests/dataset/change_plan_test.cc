@@ -1,0 +1,156 @@
+#include "dataset/change_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "dataset/aids_like.hpp"
+
+namespace gcp {
+namespace {
+
+std::vector<Graph> SmallCorpus(std::size_t n) {
+  AidsLikeOptions opts;
+  opts.num_graphs = static_cast<std::uint32_t>(n);
+  opts.mean_vertices = 10;
+  opts.stddev_vertices = 3;
+  opts.min_vertices = 4;
+  opts.max_vertices = 20;
+  return AidsLikeGenerator(opts).Generate();
+}
+
+TEST(ChangePlanTest, GenerateShapeMatchesRequest) {
+  Rng rng(1);
+  const ChangePlan plan = ChangePlan::Generate(rng, 1000, 10, 20, 50);
+  EXPECT_EQ(plan.batches.size(), 10u);
+  EXPECT_EQ(plan.TotalOps(), 200u);
+  for (const auto& batch : plan.batches) {
+    EXPECT_LT(batch.at_query, 1000u);
+    EXPECT_EQ(batch.ops.size(), 20u);
+  }
+}
+
+TEST(ChangePlanTest, BatchesSortedByTime) {
+  Rng rng(2);
+  const ChangePlan plan = ChangePlan::Generate(rng, 500, 40, 5, 10);
+  for (std::size_t i = 1; i < plan.batches.size(); ++i) {
+    EXPECT_LE(plan.batches[i - 1].at_query, plan.batches[i].at_query);
+  }
+}
+
+TEST(ChangePlanTest, AddSourcesWithinInitialPool) {
+  Rng rng(3);
+  const ChangePlan plan = ChangePlan::Generate(rng, 100, 20, 10, 7);
+  for (const auto& batch : plan.batches) {
+    for (const auto& op : batch.ops) {
+      if (op.type == ChangeType::kAdd) EXPECT_LT(op.add_source, 7u);
+    }
+  }
+}
+
+TEST(ChangePlanTest, AllTypesAppear) {
+  Rng rng(4);
+  const ChangePlan plan = ChangePlan::Generate(rng, 100, 20, 20, 5);
+  bool saw[4] = {false, false, false, false};
+  for (const auto& batch : plan.batches) {
+    for (const auto& op : batch.ops) {
+      saw[static_cast<int>(op.type)] = true;
+    }
+  }
+  EXPECT_TRUE(saw[0] && saw[1] && saw[2] && saw[3]);
+}
+
+TEST(ChangePlanExecutorTest, AdvanceFiresDueBatchesOnce) {
+  const auto initial = SmallCorpus(20);
+  GraphDataset ds;
+  ds.Bootstrap(initial);
+  Rng rng(5);
+  ChangePlan plan = ChangePlan::Generate(rng, 100, 10, 4, 20);
+  ChangePlanExecutor exec(plan, initial, ds, Rng(99));
+
+  std::size_t applied = 0;
+  for (std::uint32_t q = 0; q < 100; ++q) {
+    applied += exec.AdvanceTo(q);
+  }
+  EXPECT_TRUE(exec.Exhausted());
+  EXPECT_EQ(applied, exec.ops_applied());
+  EXPECT_EQ(exec.ops_applied() + exec.ops_skipped(), plan.TotalOps());
+  // A later advance is a no-op.
+  EXPECT_EQ(exec.AdvanceTo(1000), 0u);
+}
+
+TEST(ChangePlanExecutorTest, OperationsRespectConstraints) {
+  // GraphDataset only logs operations it accepted (UA on a non-edge, UR on
+  // an existing edge, DEL on a live graph), so after a substantial plan the
+  // log and the final state must reconcile exactly.
+  const auto initial = SmallCorpus(30);
+  GraphDataset ds;
+  ds.Bootstrap(initial);
+  Rng rng(6);
+  ChangePlan plan = ChangePlan::Generate(
+      rng, 50, 25, 8, static_cast<std::uint32_t>(initial.size()));
+  ChangePlanExecutor exec(plan, initial, ds, Rng(7));
+  exec.AdvanceTo(49);
+
+  std::size_t adds = 0, dels = 0;
+  std::vector<bool> touched(ds.IdHorizon(), false);
+  for (const ChangeRecord& r : ds.log().records()) {
+    touched[r.graph_id] = true;
+    if (r.type == ChangeType::kAdd) {
+      ++adds;
+      EXPECT_GE(r.graph_id, initial.size()) << "ADD ids extend the horizon";
+    }
+    if (r.type == ChangeType::kDelete) ++dels;
+  }
+  EXPECT_EQ(ds.log().size(), exec.ops_applied());
+  EXPECT_EQ(ds.IdHorizon(), initial.size() + adds);
+  EXPECT_EQ(ds.NumLive(), initial.size() + adds - dels);
+  // Untouched initial graphs are bit-identical to their bootstrap state.
+  for (GraphId id = 0; id < initial.size(); ++id) {
+    if (!touched[id]) {
+      ASSERT_TRUE(ds.IsLive(id));
+      EXPECT_EQ(ds.graph(id), initial[id]);
+    }
+  }
+}
+
+TEST(ChangePlanExecutorTest, DeterministicAcrossRuns) {
+  const auto initial = SmallCorpus(15);
+  Rng rng(8);
+  const ChangePlan plan = ChangePlan::Generate(
+      rng, 60, 12, 5, static_cast<std::uint32_t>(initial.size()));
+
+  auto run = [&]() {
+    GraphDataset ds;
+    ds.Bootstrap(initial);
+    ChangePlanExecutor exec(plan, initial, ds, Rng(12345));
+    for (std::uint32_t q = 0; q < 60; ++q) exec.AdvanceTo(q);
+    return ds.log().records();
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].type, b[i].type);
+    EXPECT_EQ(a[i].graph_id, b[i].graph_id);
+    EXPECT_EQ(a[i].edge_u, b[i].edge_u);
+    EXPECT_EQ(a[i].edge_v, b[i].edge_v);
+  }
+}
+
+TEST(ChangePlanExecutorTest, AddCopiesInitialGraph) {
+  const auto initial = SmallCorpus(5);
+  GraphDataset ds;
+  ds.Bootstrap(initial);
+  ChangePlan plan;
+  PlannedBatch batch;
+  batch.at_query = 0;
+  batch.ops.push_back({ChangeType::kAdd, 3});
+  plan.batches.push_back(batch);
+  ChangePlanExecutor exec(plan, initial, ds, Rng(1));
+  exec.AdvanceTo(0);
+  ASSERT_EQ(ds.IdHorizon(), 6u);
+  EXPECT_EQ(ds.graph(5), initial[3]);
+}
+
+}  // namespace
+}  // namespace gcp

@@ -1,0 +1,106 @@
+// Algorithm 1 semantics: CT counts every operation per graph; CA and CR
+// count only UA resp. UR operations.
+
+#include "dataset/log_analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dataset/change_log.hpp"
+
+namespace gcp {
+namespace {
+
+std::vector<ChangeRecord> Records(
+    std::initializer_list<std::pair<ChangeType, GraphId>> ops) {
+  ChangeLog log;
+  for (const auto& [type, id] : ops) log.Append(type, id);
+  return log.ExtractSince(0);
+}
+
+TEST(LogAnalyzerTest, EmptyLogYieldsEmptyCounters) {
+  const ChangeCounters c = LogAnalyzer::Analyze({});
+  EXPECT_TRUE(c.empty());
+  EXPECT_TRUE(c.total.empty());
+  EXPECT_TRUE(c.edge_adds.empty());
+  EXPECT_TRUE(c.edge_removes.empty());
+}
+
+TEST(LogAnalyzerTest, CountsTotalsPerGraph) {
+  const ChangeCounters c = LogAnalyzer::Analyze(Records({
+      {ChangeType::kEdgeAdd, 3},
+      {ChangeType::kEdgeAdd, 3},
+      {ChangeType::kEdgeRemove, 3},
+      {ChangeType::kAdd, 4},
+      {ChangeType::kDelete, 0},
+  }));
+  EXPECT_EQ(c.total.at(3), 3u);
+  EXPECT_EQ(c.total.at(4), 1u);
+  EXPECT_EQ(c.total.at(0), 1u);
+  EXPECT_EQ(c.edge_adds.at(3), 2u);
+  EXPECT_EQ(c.edge_removes.at(3), 1u);
+  EXPECT_EQ(c.edge_adds.count(4), 0u);
+  EXPECT_EQ(c.edge_removes.count(0), 0u);
+}
+
+TEST(LogAnalyzerTest, UaExclusiveDetection) {
+  const ChangeCounters c = LogAnalyzer::Analyze(Records({
+      {ChangeType::kEdgeAdd, 1},
+      {ChangeType::kEdgeAdd, 1},
+      {ChangeType::kEdgeAdd, 2},
+      {ChangeType::kEdgeRemove, 2},
+  }));
+  EXPECT_TRUE(c.IsUaExclusive(1));    // only UA ops
+  EXPECT_FALSE(c.IsUaExclusive(2));   // mixed UA + UR
+  EXPECT_FALSE(c.IsUrExclusive(2));
+  EXPECT_FALSE(c.IsUaExclusive(99));  // untouched graph
+}
+
+TEST(LogAnalyzerTest, UrExclusiveDetection) {
+  const ChangeCounters c = LogAnalyzer::Analyze(Records({
+      {ChangeType::kEdgeRemove, 5},
+      {ChangeType::kEdgeRemove, 5},
+  }));
+  EXPECT_TRUE(c.IsUrExclusive(5));
+  EXPECT_FALSE(c.IsUaExclusive(5));
+}
+
+TEST(LogAnalyzerTest, AddAndDeleteAreNeverExclusive) {
+  const ChangeCounters c = LogAnalyzer::Analyze(Records({
+      {ChangeType::kAdd, 8},
+      {ChangeType::kDelete, 9},
+  }));
+  EXPECT_FALSE(c.IsUaExclusive(8));
+  EXPECT_FALSE(c.IsUrExclusive(8));
+  EXPECT_FALSE(c.IsUaExclusive(9));
+  EXPECT_FALSE(c.IsUrExclusive(9));
+  EXPECT_EQ(c.total.at(8), 1u);
+  EXPECT_EQ(c.total.at(9), 1u);
+}
+
+TEST(LogAnalyzerTest, UaThenDeleteBreaksExclusivity) {
+  const ChangeCounters c = LogAnalyzer::Analyze(Records({
+      {ChangeType::kEdgeAdd, 2},
+      {ChangeType::kDelete, 2},
+  }));
+  EXPECT_FALSE(c.IsUaExclusive(2));
+  EXPECT_EQ(c.total.at(2), 2u);
+  EXPECT_EQ(c.edge_adds.at(2), 1u);
+}
+
+TEST(LogAnalyzerTest, ManyGraphsIndependentCounters) {
+  std::vector<ChangeRecord> records;
+  ChangeLog log;
+  for (GraphId id = 0; id < 100; ++id) {
+    for (GraphId k = 0; k <= id % 3; ++k) {
+      log.Append(ChangeType::kEdgeAdd, id);
+    }
+  }
+  const ChangeCounters c = LogAnalyzer::Analyze(log.ExtractSince(0));
+  for (GraphId id = 0; id < 100; ++id) {
+    EXPECT_EQ(c.total.at(id), id % 3 + 1);
+    EXPECT_TRUE(c.IsUaExclusive(id));
+  }
+}
+
+}  // namespace
+}  // namespace gcp

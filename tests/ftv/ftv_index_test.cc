@@ -1,0 +1,198 @@
+#include "ftv/ftv_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "dataset/aids_like.hpp"
+#include "match/matcher.hpp"
+
+namespace gcp {
+namespace {
+
+using testing::MakeCycle;
+using testing::MakePath;
+using testing::MakeSingleton;
+
+GraphDataset SmallDataset() {
+  GraphDataset ds;
+  ds.Bootstrap({
+      MakePath({0, 1}),      // 0: C-O
+      MakePath({0, 0, 1}),   // 1: C-C-O
+      MakeCycle({0, 0, 0}),  // 2: C-ring
+      MakeSingleton(2),      // 3: N
+  });
+  return ds;
+}
+
+TEST(FtvIndexTest, BuildsSummariesForLiveGraphs) {
+  const GraphDataset ds = SmallDataset();
+  const FtvIndex index(ds);
+  EXPECT_EQ(index.IndexedCount(), 4u);
+  EXPECT_TRUE(index.InSync());
+  ASSERT_NE(index.SummaryOf(0), nullptr);
+  EXPECT_EQ(index.SummaryOf(0)->num_edges, 1u);
+  EXPECT_EQ(index.SummaryOf(9), nullptr);
+}
+
+TEST(FtvIndexTest, SubgraphCandidatesAreSoundAndFiltering) {
+  const GraphDataset ds = SmallDataset();
+  const FtvIndex index(ds);
+  const GraphFeatures qf = GraphFeatures::Extract(MakePath({0, 1}));
+  const DynamicBitset cands =
+      index.CandidateSet(qf, FtvQueryDirection::kSubgraph);
+  // True answers {0, 1} must pass; 2 (no O) and 3 (no edge) must not.
+  EXPECT_TRUE(cands.Test(0));
+  EXPECT_TRUE(cands.Test(1));
+  EXPECT_FALSE(cands.Test(2));
+  EXPECT_FALSE(cands.Test(3));
+}
+
+TEST(FtvIndexTest, SupergraphDirectionFiltersContained) {
+  const GraphDataset ds = SmallDataset();
+  const FtvIndex index(ds);
+  const GraphFeatures qf = GraphFeatures::Extract(MakePath({0, 0, 1}));
+  const DynamicBitset cands =
+      index.CandidateSet(qf, FtvQueryDirection::kSupergraph);
+  EXPECT_TRUE(cands.Test(0));   // C-O ⊆ C-C-O
+  EXPECT_TRUE(cands.Test(1));   // itself
+  EXPECT_FALSE(cands.Test(2));  // triangle needs 3 edges among C's
+  EXPECT_FALSE(cands.Test(3));  // N not present in query
+}
+
+TEST(FtvIndexTest, IncrementalAddIndexesNewGraph) {
+  GraphDataset ds = SmallDataset();
+  FtvIndex index(ds);
+  const GraphId id = ds.AddGraph(MakePath({1, 0, 1}));
+  EXPECT_FALSE(index.InSync());
+  EXPECT_EQ(index.SyncWithDataset(), 1u);
+  EXPECT_TRUE(index.InSync());
+  ASSERT_NE(index.SummaryOf(id), nullptr);
+  const GraphFeatures qf = GraphFeatures::Extract(MakePath({0, 1}));
+  EXPECT_TRUE(
+      index.CandidateSet(qf, FtvQueryDirection::kSubgraph).Test(id));
+}
+
+TEST(FtvIndexTest, IncrementalDeleteDropsGraph) {
+  GraphDataset ds = SmallDataset();
+  FtvIndex index(ds);
+  ds.DeleteGraph(0).ok();
+  index.SyncWithDataset();
+  EXPECT_EQ(index.SummaryOf(0), nullptr);
+  EXPECT_EQ(index.IndexedCount(), 3u);
+  const GraphFeatures qf = GraphFeatures::Extract(MakePath({0, 1}));
+  EXPECT_FALSE(
+      index.CandidateSet(qf, FtvQueryDirection::kSubgraph).Test(0));
+}
+
+TEST(FtvIndexTest, IncrementalEdgeEditRederivesSummary) {
+  GraphDataset ds = SmallDataset();
+  FtvIndex index(ds);
+  // Graph 3 is a lone N; UA is impossible there. Edit graph 1 instead:
+  // remove the C-O edge — queries needing a (C,O) edge must lose it.
+  ds.RemoveEdge(1, 1, 2).ok();
+  index.SyncWithDataset();
+  const GraphFeatures qf = GraphFeatures::Extract(MakePath({0, 1}));
+  EXPECT_FALSE(
+      index.CandidateSet(qf, FtvQueryDirection::kSubgraph).Test(1));
+  // And back: UA restores it.
+  ds.AddEdge(1, 1, 2).ok();
+  index.SyncWithDataset();
+  EXPECT_TRUE(
+      index.CandidateSet(qf, FtvQueryDirection::kSubgraph).Test(1));
+}
+
+TEST(FtvIndexTest, CoalescesMultipleOpsPerGraph) {
+  GraphDataset ds = SmallDataset();
+  FtvIndex index(ds);
+  ds.RemoveEdge(1, 0, 1).ok();
+  ds.AddEdge(1, 0, 1).ok();
+  ds.RemoveEdge(1, 1, 2).ok();
+  // Three ops, one touched graph: exactly one summary re-derivation.
+  EXPECT_EQ(index.SyncWithDataset(), 1u);
+}
+
+TEST(FtvIndexTest, SyncIsIdempotent) {
+  GraphDataset ds = SmallDataset();
+  FtvIndex index(ds);
+  ds.AddGraph(MakePath({2, 2}));
+  EXPECT_EQ(index.SyncWithDataset(), 1u);
+  EXPECT_EQ(index.SyncWithDataset(), 0u);
+}
+
+// Property: incremental maintenance must be indistinguishable from a
+// full rebuild, and the filter must never drop a true answer.
+TEST(FtvIndexTest, IncrementalEqualsRebuildUnderRandomChanges) {
+  AidsLikeOptions opts;
+  opts.num_graphs = 40;
+  opts.mean_vertices = 10;
+  opts.stddev_vertices = 3;
+  opts.min_vertices = 5;
+  opts.max_vertices = 18;
+  opts.num_labels = 6;
+  opts.seed = 9;
+  const auto initial = AidsLikeGenerator(opts).Generate();
+  GraphDataset ds;
+  ds.Bootstrap(initial);
+  FtvIndex incremental(ds);
+
+  Rng rng(10);
+  const auto matcher = MakeMatcher(MatcherKind::kVf2Plus);
+  for (int round = 0; round < 15; ++round) {
+    // A small random batch of changes.
+    for (int op = 0; op < 4; ++op) {
+      const auto live = ds.LiveIds();
+      if (live.empty()) break;
+      switch (rng.UniformBelow(4)) {
+        case 0:
+          ds.AddGraph(initial[rng.UniformBelow(initial.size())]);
+          break;
+        case 1:
+          ds.DeleteGraph(live[rng.UniformBelow(live.size())]).ok();
+          break;
+        case 2: {
+          const GraphId id = live[rng.UniformBelow(live.size())];
+          const auto non_edges = ds.graph(id).NonEdges();
+          if (!non_edges.empty()) {
+            const auto& [u, v] =
+                non_edges[rng.UniformBelow(non_edges.size())];
+            ds.AddEdge(id, u, v).ok();
+          }
+          break;
+        }
+        default: {
+          const GraphId id = live[rng.UniformBelow(live.size())];
+          const auto edges = ds.graph(id).Edges();
+          if (!edges.empty()) {
+            const auto& [u, v] = edges[rng.UniformBelow(edges.size())];
+            ds.RemoveEdge(id, u, v).ok();
+          }
+          break;
+        }
+      }
+    }
+    incremental.SyncWithDataset();
+    const FtvIndex rebuilt(ds);
+
+    // Same candidate sets for a random probe, both directions.
+    const auto live = ds.LiveIds();
+    const Graph& src = ds.graph(live[rng.UniformBelow(live.size())]);
+    const GraphFeatures probe = GraphFeatures::Extract(src);
+    for (const auto dir :
+         {FtvQueryDirection::kSubgraph, FtvQueryDirection::kSupergraph}) {
+      EXPECT_EQ(incremental.CandidateSet(probe, dir),
+                rebuilt.CandidateSet(probe, dir));
+    }
+    // Soundness: every true subgraph-query answer passes the filter.
+    const DynamicBitset cands =
+        incremental.CandidateSet(probe, FtvQueryDirection::kSubgraph);
+    for (const GraphId id : live) {
+      if (matcher->Contains(src, ds.graph(id))) {
+        EXPECT_TRUE(cands.Test(id))
+            << "FTV filter dropped a true answer (graph " << id << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gcp

@@ -1,0 +1,88 @@
+#include "graph/canonical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../test_util.hpp"
+#include "graph/generators.hpp"
+
+namespace gcp {
+namespace {
+
+using testing::MakeCycle;
+using testing::MakePath;
+using testing::MakeStar;
+
+TEST(CanonicalTest, DigestInvariantUnderPermutation) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Graph g = RandomConnectedGraph(rng, 10, 4, 3);
+    const Graph p = RandomlyPermuted(rng, g);
+    EXPECT_EQ(WlDigest(g), WlDigest(p)) << g.ToString();
+  }
+}
+
+TEST(CanonicalTest, DigestSensitiveToLabels) {
+  const Graph a = MakePath({1, 2, 3});
+  const Graph b = MakePath({1, 2, 4});
+  EXPECT_NE(WlDigest(a), WlDigest(b));
+}
+
+TEST(CanonicalTest, DigestSensitiveToStructure) {
+  // Same label multiset and size, different shape.
+  const Graph path = MakePath({0, 0, 0, 0});  // P4
+  const Graph star = MakeStar({0, 0, 0, 0});  // K1,3
+  EXPECT_NE(WlDigest(path), WlDigest(star));
+}
+
+TEST(CanonicalTest, DistinguishesCycleLengths) {
+  std::set<std::uint64_t> digests;
+  for (std::size_t n = 3; n <= 8; ++n) {
+    digests.insert(WlDigest(MakeCycle(std::vector<Label>(n, 0))));
+  }
+  EXPECT_EQ(digests.size(), 6u);
+}
+
+TEST(CanonicalTest, EmptyAndSingletonStable) {
+  EXPECT_EQ(WlDigest(Graph()), WlDigest(Graph()));
+  EXPECT_EQ(WlDigest(testing::MakeSingleton(4)),
+            WlDigest(testing::MakeSingleton(4)));
+  EXPECT_NE(WlDigest(testing::MakeSingleton(4)),
+            WlDigest(testing::MakeSingleton(5)));
+}
+
+TEST(CanonicalTest, MaybeIsomorphicAcceptsIsomorphs) {
+  Rng rng(17);
+  for (int i = 0; i < 30; ++i) {
+    const Graph g = RandomConnectedGraph(rng, 12, 6, 4);
+    const Graph p = RandomlyPermuted(rng, g);
+    EXPECT_TRUE(MaybeIsomorphic(g, p));
+  }
+}
+
+TEST(CanonicalTest, MaybeIsomorphicRejectsDifferentSizes) {
+  EXPECT_FALSE(MaybeIsomorphic(MakePath({0, 0}), MakePath({0, 0, 0})));
+  Graph a = MakeCycle({0, 0, 0, 0});
+  Graph b = a;
+  b.RemoveEdge(0, 1).ok();
+  EXPECT_FALSE(MaybeIsomorphic(a, b));
+}
+
+TEST(CanonicalTest, RareCollisionsOnRandomCorpus) {
+  // Digests are hashes, not canonical forms; still, a small random corpus
+  // of structurally distinct graphs should be collision-free.
+  Rng rng(23);
+  std::set<std::uint64_t> digests;
+  int count = 0;
+  for (int n = 4; n <= 13; ++n) {
+    for (int extra = 0; extra < 4; ++extra) {
+      digests.insert(WlDigest(RandomConnectedGraph(rng, n, extra, 4)));
+      ++count;
+    }
+  }
+  EXPECT_EQ(digests.size(), static_cast<std::size_t>(count));
+}
+
+}  // namespace
+}  // namespace gcp

@@ -1,0 +1,126 @@
+#include "graph/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "graph/generators.hpp"
+#include "match/matcher.hpp"
+#include "workload/query_gen.hpp"
+
+namespace gcp {
+namespace {
+
+using testing::MakeCycle;
+using testing::MakeGraph;
+using testing::MakePath;
+using testing::MakeStar;
+using testing::MakeTriangle;
+
+TEST(FeaturesTest, ExtractCountsBasics) {
+  const Graph g = MakeTriangle(1, 1, 2);
+  const GraphFeatures f = GraphFeatures::Extract(g);
+  EXPECT_EQ(f.num_vertices, 3u);
+  EXPECT_EQ(f.num_edges, 3u);
+  EXPECT_EQ(f.max_degree, 2u);
+  EXPECT_EQ(f.label_counts.at(1), 2u);
+  EXPECT_EQ(f.label_counts.at(2), 1u);
+  EXPECT_EQ(f.edge_label_counts.at({1, 1}), 1u);
+  EXPECT_EQ(f.edge_label_counts.at({1, 2}), 2u);
+}
+
+TEST(FeaturesTest, LabelDegreesSortedDescending) {
+  const Graph g = MakeStar({5, 5, 5, 5});  // center degree 3, leaves 1
+  const GraphFeatures f = GraphFeatures::Extract(g);
+  EXPECT_EQ(f.label_degrees.at(5), (std::vector<std::uint32_t>{3, 1, 1, 1}));
+}
+
+TEST(FeaturesTest, EmptyGraphFeatures) {
+  const GraphFeatures f = GraphFeatures::Extract(Graph());
+  EXPECT_EQ(f.num_vertices, 0u);
+  EXPECT_EQ(f.num_edges, 0u);
+  EXPECT_TRUE(f.label_counts.empty());
+  // The empty graph could be a subgraph of anything.
+  EXPECT_TRUE(f.CouldBeSubgraphOf(GraphFeatures::Extract(MakePath({0, 1}))));
+}
+
+TEST(FeaturesTest, SubgraphPassesFilter) {
+  const Graph big = MakeCycle({1, 2, 1, 2, 1, 2});
+  const Graph small = MakePath({1, 2, 1});
+  EXPECT_TRUE(GraphFeatures::Extract(small).CouldBeSubgraphOf(
+      GraphFeatures::Extract(big)));
+}
+
+TEST(FeaturesTest, RejectsByVertexAndEdgeCount) {
+  const GraphFeatures small = GraphFeatures::Extract(MakePath({0, 0}));
+  const GraphFeatures big = GraphFeatures::Extract(MakePath({0, 0, 0}));
+  EXPECT_FALSE(big.CouldBeSubgraphOf(small));
+}
+
+TEST(FeaturesTest, RejectsByLabelCount) {
+  // Two '7' vertices cannot inject into one '7' vertex.
+  const GraphFeatures q = GraphFeatures::Extract(MakePath({7, 0, 7}));
+  const GraphFeatures t = GraphFeatures::Extract(MakePath({7, 0, 0, 0}));
+  EXPECT_FALSE(q.CouldBeSubgraphOf(t));
+}
+
+TEST(FeaturesTest, RejectsByMissingLabel) {
+  const GraphFeatures q = GraphFeatures::Extract(MakePath({9}));
+  const GraphFeatures t = GraphFeatures::Extract(MakePath({1, 2, 3}));
+  EXPECT_FALSE(q.CouldBeSubgraphOf(t));
+}
+
+TEST(FeaturesTest, RejectsByEdgeLabelPair) {
+  // Query needs a (1,2) edge; target has labels 1 and 2 but never adjacent.
+  const Graph q = MakePath({1, 2});
+  const Graph t = MakeGraph({1, 0, 2}, {{0, 1}, {1, 2}});
+  EXPECT_FALSE(GraphFeatures::Extract(q).CouldBeSubgraphOf(
+      GraphFeatures::Extract(t)));
+}
+
+TEST(FeaturesTest, RejectsByDegreeSequence) {
+  // Star center of degree 3 cannot map into a path (max degree 2), even
+  // though label/edge-pair counts alone would pass.
+  const Graph q = MakeStar({0, 0, 0, 0});
+  const Graph t = MakePath({0, 0, 0, 0, 0});
+  EXPECT_FALSE(GraphFeatures::Extract(q).CouldBeSubgraphOf(
+      GraphFeatures::Extract(t)));
+}
+
+TEST(FeaturesTest, FeatureEqualityForIsomorphicGraphs) {
+  Rng rng(5);
+  const Graph g = RandomConnectedGraph(rng, 12, 5, 3);
+  const Graph p = RandomlyPermuted(rng, g);
+  EXPECT_EQ(GraphFeatures::Extract(g), GraphFeatures::Extract(p));
+}
+
+// Soundness sweep: if matcher says pattern ⊆ target, the filter must agree
+// (never a false drop). Uses BFS-extracted queries, which are true
+// subgraphs by construction, plus random pairs for the negative density.
+class FeatureSoundnessTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FeatureSoundnessTest, FilterNeverDropsTrueContainment) {
+  Rng rng(GetParam());
+  const auto matcher = MakeMatcher(MatcherKind::kVf2);
+  for (int round = 0; round < 20; ++round) {
+    const Graph target = RandomConnectedGraph(rng, 14, 6, 3);
+    const Graph query = ExtractBfsQuery(
+        target, static_cast<VertexId>(rng.UniformBelow(14)), 5);
+    ASSERT_TRUE(matcher->Contains(query, target));
+    EXPECT_TRUE(GraphFeatures::Extract(query).CouldBeSubgraphOf(
+        GraphFeatures::Extract(target)));
+  }
+  for (int round = 0; round < 30; ++round) {
+    const Graph a = RandomConnectedGraph(rng, 8, 3, 3);
+    const Graph b = RandomConnectedGraph(rng, 10, 4, 3);
+    if (matcher->Contains(a, b)) {
+      EXPECT_TRUE(GraphFeatures::Extract(a).CouldBeSubgraphOf(
+          GraphFeatures::Extract(b)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FeatureSoundnessTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace gcp

@@ -1,0 +1,98 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gcp {
+namespace {
+
+TEST(GeneratorsTest, RandomConnectedGraphIsConnected) {
+  Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    const Graph g = RandomConnectedGraph(rng, 15, 5, 4);
+    EXPECT_EQ(g.NumVertices(), 15u);
+    EXPECT_TRUE(g.IsConnected());
+    EXPECT_GE(g.NumEdges(), 14u);  // at least the spanning tree
+  }
+}
+
+TEST(GeneratorsTest, RandomConnectedGraphEdgeBudget) {
+  Rng rng(2);
+  const Graph g = RandomConnectedGraph(rng, 10, 6, 3);
+  EXPECT_EQ(g.NumEdges(), 9u + 6u);
+}
+
+TEST(GeneratorsTest, RandomConnectedGraphCapsAtComplete) {
+  Rng rng(3);
+  const Graph g = RandomConnectedGraph(rng, 5, 1000, 2);
+  EXPECT_EQ(g.NumEdges(), 10u);  // K5
+}
+
+TEST(GeneratorsTest, RandomConnectedGraphDegenerateSizes) {
+  Rng rng(4);
+  EXPECT_EQ(RandomConnectedGraph(rng, 0, 3, 2).NumVertices(), 0u);
+  const Graph one = RandomConnectedGraph(rng, 1, 3, 2);
+  EXPECT_EQ(one.NumVertices(), 1u);
+  EXPECT_EQ(one.NumEdges(), 0u);
+}
+
+TEST(GeneratorsTest, LabelsWithinUniverse) {
+  Rng rng(5);
+  const Graph g = RandomConnectedGraph(rng, 50, 20, 7);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_LT(g.label(v), 7u);
+  }
+}
+
+TEST(GeneratorsTest, RandomGraphEdgeProbabilityExtremes) {
+  Rng rng(6);
+  const Graph empty = RandomGraph(rng, 12, 0.0, 3);
+  EXPECT_EQ(empty.NumEdges(), 0u);
+  const Graph full = RandomGraph(rng, 12, 1.0, 3);
+  EXPECT_EQ(full.NumEdges(), 66u);
+}
+
+TEST(GeneratorsTest, RandomGraphDensityRoughlyMatches) {
+  Rng rng(7);
+  std::size_t total = 0;
+  const int rounds = 40;
+  for (int i = 0; i < rounds; ++i) {
+    total += RandomGraph(rng, 20, 0.3, 2).NumEdges();
+  }
+  const double avg = static_cast<double>(total) / rounds;
+  EXPECT_NEAR(avg, 0.3 * 190.0, 8.0);
+}
+
+TEST(GeneratorsTest, RelabelPreservesStructure) {
+  Rng rng(8);
+  Graph g = RandomConnectedGraph(rng, 10, 3, 2);
+  const auto edges_before = g.Edges();
+  RelabelUniform(rng, g, 5);
+  EXPECT_EQ(g.Edges(), edges_before);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) EXPECT_LT(g.label(v), 5u);
+}
+
+TEST(GeneratorsTest, PermutedGraphPreservesDegreeMultiset) {
+  Rng rng(9);
+  const Graph g = RandomConnectedGraph(rng, 12, 5, 3);
+  const Graph p = RandomlyPermuted(rng, g);
+  ASSERT_EQ(p.NumVertices(), g.NumVertices());
+  ASSERT_EQ(p.NumEdges(), g.NumEdges());
+  std::multiset<std::pair<Label, std::size_t>> a, b;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    a.insert({g.label(v), g.degree(v)});
+    b.insert({p.label(v), p.degree(v)});
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(GeneratorsTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  const Graph ga = RandomConnectedGraph(a, 10, 4, 3);
+  const Graph gb = RandomConnectedGraph(b, 10, 4, 3);
+  EXPECT_EQ(ga, gb);
+}
+
+}  // namespace
+}  // namespace gcp

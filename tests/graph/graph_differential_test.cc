@@ -1,0 +1,129 @@
+// Differential fuzz of Graph mutations against an adjacency-matrix
+// reference model: dataset graphs are mutated in place by UA/UR
+// throughout a GC+ run, so AddEdge/RemoveEdge bookkeeping (sorted
+// adjacency, edge counts, HasEdge symmetry) is validated against an
+// independent O(n²) model under random operation sequences.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace gcp {
+namespace {
+
+class MatrixModel {
+ public:
+  void AddVertex() {
+    const std::size_t n = adj_.size() + 1;
+    for (auto& row : adj_) row.resize(n, false);
+    adj_.emplace_back(n, false);
+  }
+  bool AddEdge(std::size_t u, std::size_t v) {
+    if (u >= adj_.size() || v >= adj_.size() || u == v || adj_[u][v]) {
+      return false;
+    }
+    adj_[u][v] = adj_[v][u] = true;
+    ++edges_;
+    return true;
+  }
+  bool RemoveEdge(std::size_t u, std::size_t v) {
+    if (u >= adj_.size() || v >= adj_.size() || !adj_[u][v]) return false;
+    adj_[u][v] = adj_[v][u] = false;
+    --edges_;
+    return true;
+  }
+  bool HasEdge(std::size_t u, std::size_t v) const {
+    return u < adj_.size() && v < adj_.size() && u != v && adj_[u][v];
+  }
+  std::size_t degree(std::size_t v) const {
+    std::size_t d = 0;
+    for (const bool x : adj_[v]) d += x ? 1 : 0;
+    return d;
+  }
+  std::size_t size() const { return adj_.size(); }
+  std::size_t edges() const { return edges_; }
+
+ private:
+  std::vector<std::vector<bool>> adj_;
+  std::size_t edges_ = 0;
+};
+
+void ExpectAgree(const Graph& g, const MatrixModel& m) {
+  ASSERT_EQ(g.NumVertices(), m.size());
+  ASSERT_EQ(g.NumEdges(), m.edges());
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    ASSERT_EQ(g.degree(u), m.degree(u)) << "vertex " << u;
+    // Sorted adjacency invariant.
+    const auto& neigh = g.neighbors(u);
+    for (std::size_t i = 1; i < neigh.size(); ++i) {
+      ASSERT_LT(neigh[i - 1], neigh[i]);
+    }
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      ASSERT_EQ(g.HasEdge(u, v), m.HasEdge(u, v))
+          << "edge (" << u << "," << v << ")";
+    }
+  }
+  // Edges() listing agrees with the matrix, each pair once with u < v.
+  std::size_t listed = 0;
+  for (const auto& [u, v] : g.Edges()) {
+    ASSERT_LT(u, v);
+    ASSERT_TRUE(m.HasEdge(u, v));
+    ++listed;
+  }
+  ASSERT_EQ(listed, m.edges());
+}
+
+class GraphDifferentialTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(GraphDifferentialTest, RandomMutationSequenceAgrees) {
+  Rng rng(GetParam());
+  Graph g;
+  MatrixModel m;
+  for (int step = 0; step < 300; ++step) {
+    const std::size_t n = g.NumVertices();
+    switch (rng.UniformBelow(4)) {
+      case 0: {
+        g.AddVertex(static_cast<Label>(rng.UniformBelow(4)));
+        m.AddVertex();
+        break;
+      }
+      case 1: {
+        if (n < 2) break;
+        const auto u = static_cast<VertexId>(rng.UniformBelow(n));
+        const auto v = static_cast<VertexId>(rng.UniformBelow(n));
+        const bool expect = m.AddEdge(u, v);
+        ASSERT_EQ(g.AddEdge(u, v).ok(), expect);
+        break;
+      }
+      case 2: {
+        if (n < 2) break;
+        const auto u = static_cast<VertexId>(rng.UniformBelow(n));
+        const auto v = static_cast<VertexId>(rng.UniformBelow(n));
+        const bool expect = m.RemoveEdge(u, v);
+        ASSERT_EQ(g.RemoveEdge(u, v).ok(), expect);
+        break;
+      }
+      default: {
+        // Out-of-range / self-loop attempts must fail on both.
+        if (n == 0) break;
+        const auto u = static_cast<VertexId>(rng.UniformBelow(n));
+        ASSERT_FALSE(g.AddEdge(u, u).ok());
+        ASSERT_FALSE(g.AddEdge(u, static_cast<VertexId>(n + 3)).ok());
+        ASSERT_FALSE(g.RemoveEdge(static_cast<VertexId>(n + 3), u).ok());
+        break;
+      }
+    }
+    if (step % 10 == 0) ExpectAgree(g, m);
+  }
+  ExpectAgree(g, m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphDifferentialTest,
+                         ::testing::Values(2001, 2002, 2003, 2004));
+
+}  // namespace
+}  // namespace gcp

@@ -1,0 +1,126 @@
+#include "graph/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "../test_util.hpp"
+#include "graph/generators.hpp"
+
+namespace gcp {
+namespace {
+
+using testing::MakeCycle;
+using testing::MakePath;
+
+TEST(GraphIoTest, RoundTripSingleGraph) {
+  const Graph g = MakeCycle({3, 1, 4, 1});
+  auto parsed = GraphFromGSpan(GraphToGSpan(g));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), g);
+}
+
+TEST(GraphIoTest, RoundTripMultipleGraphs) {
+  std::vector<Graph> graphs{MakePath({0, 1}), MakeCycle({2, 2, 2}),
+                            testing::MakeSingleton(9)};
+  std::ostringstream os;
+  WriteGraphs(os, graphs);
+  std::istringstream is(os.str());
+  auto parsed = ReadGraphs(is);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), 3u);
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    EXPECT_EQ(parsed.value()[i], graphs[i]) << "graph " << i;
+  }
+}
+
+TEST(GraphIoTest, ParsesCanonicalGSpanText) {
+  const std::string text =
+      "t # 0\n"
+      "v 0 6\n"
+      "v 1 8\n"
+      "v 2 6\n"
+      "e 0 1\n"
+      "e 1 2\n";
+  auto g = GraphFromGSpan(text);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().NumVertices(), 3u);
+  EXPECT_EQ(g.value().NumEdges(), 2u);
+  EXPECT_EQ(g.value().label(1), 8u);
+}
+
+TEST(GraphIoTest, IgnoresEdgeLabelsAndComments) {
+  const std::string text =
+      "# AIDS-style file\n"
+      "t # 0\n"
+      "v 0 6\n"
+      "v 1 8\n"
+      "e 0 1 2\n";  // trailing edge label 2 ignored
+  auto g = GraphFromGSpan(text);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().NumEdges(), 1u);
+}
+
+TEST(GraphIoTest, EmptyInputYieldsNoGraphs) {
+  std::istringstream is("");
+  auto parsed = ReadGraphs(is);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().empty());
+}
+
+TEST(GraphIoTest, RejectsVertexBeforeTransaction) {
+  std::istringstream is("v 0 1\n");
+  EXPECT_EQ(ReadGraphs(is).status().code(), StatusCode::kCorruption);
+}
+
+TEST(GraphIoTest, RejectsNonDenseVertexIds) {
+  std::istringstream is("t # 0\nv 1 5\n");
+  EXPECT_EQ(ReadGraphs(is).status().code(), StatusCode::kCorruption);
+}
+
+TEST(GraphIoTest, RejectsMalformedRecords) {
+  {
+    std::istringstream is("t # 0\nv 0\n");
+    EXPECT_FALSE(ReadGraphs(is).ok());
+  }
+  {
+    std::istringstream is("t # 0\nv 0 1\nz 1 2\n");
+    EXPECT_FALSE(ReadGraphs(is).ok());
+  }
+  {
+    std::istringstream is("t # 0\nv 0 1\ne 0 7\n");
+    EXPECT_FALSE(ReadGraphs(is).ok());  // edge endpoint out of range
+  }
+}
+
+TEST(GraphIoTest, GraphFromGSpanRequiresExactlyOne) {
+  EXPECT_FALSE(GraphFromGSpan("").ok());
+  const std::string two = "t # 0\nv 0 1\nt # 1\nv 0 2\n";
+  EXPECT_FALSE(GraphFromGSpan(two).ok());
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  Rng rng(77);
+  std::vector<Graph> graphs;
+  for (int i = 0; i < 20; ++i) {
+    graphs.push_back(RandomConnectedGraph(rng, 12, 4, 5));
+  }
+  const std::string path = ::testing::TempDir() + "/gcp_io_roundtrip.txt";
+  ASSERT_TRUE(WriteGraphsToFile(path, graphs).ok());
+  auto parsed = ReadGraphsFromFile(path);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    EXPECT_EQ(parsed.value()[i], graphs[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileReportsIOError) {
+  EXPECT_EQ(ReadGraphsFromFile("/nonexistent/dir/xyz.txt").status().code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace gcp

@@ -1,0 +1,167 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace gcp {
+namespace {
+
+using testing::MakeCycle;
+using testing::MakeGraph;
+using testing::MakePath;
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_TRUE(g.IsConnected());  // by convention
+  EXPECT_TRUE(g.Edges().empty());
+}
+
+TEST(GraphTest, AddVertexAssignsSequentialIds) {
+  Graph g;
+  EXPECT_EQ(g.AddVertex(10), 0u);
+  EXPECT_EQ(g.AddVertex(20), 1u);
+  EXPECT_EQ(g.AddVertex(10), 2u);
+  EXPECT_EQ(g.NumVertices(), 3u);
+  EXPECT_EQ(g.label(0), 10u);
+  EXPECT_EQ(g.label(1), 20u);
+  EXPECT_EQ(g.label(2), 10u);
+}
+
+TEST(GraphTest, AddEdgeMaintainsSortedAdjacency) {
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.AddVertex(0);
+  ASSERT_TRUE(g.AddEdge(0, 4).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3).ok());
+  EXPECT_EQ(g.neighbors(0), (std::vector<VertexId>{2, 3, 4}));
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(2), 1u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+}
+
+TEST(GraphTest, AddEdgeRejectsSelfLoop) {
+  Graph g;
+  g.AddVertex(0);
+  const Status s = g.AddEdge(0, 0);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.NumEdges(), 0u);
+}
+
+TEST(GraphTest, AddEdgeRejectsDuplicate) {
+  Graph g;
+  g.AddVertex(0);
+  g.AddVertex(1);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_EQ(g.AddEdge(0, 1).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.AddEdge(1, 0).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphTest, AddEdgeRejectsOutOfRange) {
+  Graph g;
+  g.AddVertex(0);
+  EXPECT_EQ(g.AddEdge(0, 5).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(g.AddEdge(5, 0).code(), StatusCode::kOutOfRange);
+}
+
+TEST(GraphTest, RemoveEdgeBothDirections) {
+  Graph g = MakePath({0, 1, 2});
+  ASSERT_TRUE(g.RemoveEdge(1, 0).ok());  // reversed endpoints
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST(GraphTest, RemoveEdgeAbsentFails) {
+  Graph g = MakePath({0, 1, 2});
+  EXPECT_EQ(g.RemoveEdge(0, 2).code(), StatusCode::kNotFound);
+  EXPECT_EQ(g.RemoveEdge(0, 9).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+TEST(GraphTest, HasEdgeSymmetric) {
+  Graph g = MakeCycle({0, 1, 2, 3});
+  EXPECT_TRUE(g.HasEdge(3, 0));
+  EXPECT_TRUE(g.HasEdge(0, 3));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphTest, EdgesListsSortedUVPairs) {
+  Graph g = MakeCycle({5, 6, 7});
+  const auto edges = g.Edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (std::pair<VertexId, VertexId>{0, 1}));
+  EXPECT_EQ(edges[1], (std::pair<VertexId, VertexId>{0, 2}));
+  EXPECT_EQ(edges[2], (std::pair<VertexId, VertexId>{1, 2}));
+}
+
+TEST(GraphTest, CreateFromListsValidatesEdges) {
+  auto ok = Graph::Create({1, 2, 3}, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().NumEdges(), 2u);
+  auto self_loop = Graph::Create({1}, {{0, 0}});
+  EXPECT_FALSE(self_loop.ok());
+  auto dup = Graph::Create({1, 2}, {{0, 1}, {1, 0}});
+  EXPECT_FALSE(dup.ok());
+  auto range = Graph::Create({1, 2}, {{0, 5}});
+  EXPECT_FALSE(range.ok());
+}
+
+TEST(GraphTest, ConnectivityDetection) {
+  EXPECT_TRUE(MakePath({0, 1, 2, 3}).IsConnected());
+  Graph disconnected;
+  disconnected.AddVertex(0);
+  disconnected.AddVertex(1);
+  disconnected.AddVertex(2);
+  disconnected.AddEdge(0, 1).ok();
+  EXPECT_FALSE(disconnected.IsConnected());
+  Graph single;
+  single.AddVertex(9);
+  EXPECT_TRUE(single.IsConnected());
+}
+
+TEST(GraphTest, NonEdgesComplementsEdges) {
+  Graph g = MakePath({0, 1, 2, 3});  // 3 edges of C(4,2)=6 pairs
+  const auto non = g.NonEdges();
+  EXPECT_EQ(non.size(), 3u);
+  for (const auto& [u, v] : non) {
+    EXPECT_FALSE(g.HasEdge(u, v));
+    EXPECT_LT(u, v);
+  }
+  EXPECT_TRUE(testing::MakeClique(4, 0).NonEdges().empty());
+}
+
+TEST(GraphTest, EqualityIsStructuralAndLabelled) {
+  const Graph a = MakePath({0, 1, 2});
+  const Graph b = MakePath({0, 1, 2});
+  EXPECT_EQ(a, b);
+  const Graph c = MakePath({0, 1, 3});
+  EXPECT_FALSE(a == c);
+  Graph d = MakePath({0, 1, 2});
+  d.RemoveEdge(0, 1).ok();
+  EXPECT_FALSE(a == d);
+}
+
+TEST(GraphTest, MutationRoundTripRestoresEquality) {
+  Graph g = MakeCycle({1, 2, 3, 4});
+  const Graph snapshot = g;
+  ASSERT_TRUE(g.RemoveEdge(0, 1).ok());
+  EXPECT_FALSE(g == snapshot);
+  ASSERT_TRUE(g.AddEdge(0, 1).ok());
+  EXPECT_EQ(g, snapshot);
+}
+
+TEST(GraphTest, ToStringMentionsShape) {
+  const Graph g = MakePath({7, 8});
+  const std::string s = g.ToString();
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+  EXPECT_NE(s.find("m=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gcp

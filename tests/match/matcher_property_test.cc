@@ -1,0 +1,157 @@
+// Property suite: the four matchers must agree pairwise on randomized
+// corpora (decision agreement), report valid witness embeddings, and be
+// consistent with containment facts known by construction (extracted
+// queries, permuted isomorphs, supersets).
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "graph/generators.hpp"
+#include "match/matcher.hpp"
+#include "workload/query_gen.hpp"
+
+namespace gcp {
+namespace {
+
+struct Corpus {
+  std::vector<std::pair<Graph, Graph>> pairs;  // (pattern, target)
+};
+
+// Mixed corpus: planted positives (extracted subgraphs), permuted
+// isomorphs, and independent random pairs (mostly negatives).
+Corpus BuildCorpus(std::uint64_t seed) {
+  Rng rng(seed);
+  Corpus c;
+  for (int i = 0; i < 12; ++i) {
+    const Graph target = RandomConnectedGraph(rng, 6 + rng.UniformBelow(10),
+                                              rng.UniformBelow(6), 3);
+    const Graph query = ExtractBfsQuery(
+        target, static_cast<VertexId>(rng.UniformBelow(
+                         target.NumVertices())),
+        2 + rng.UniformBelow(6));
+    c.pairs.emplace_back(query, target);
+  }
+  for (int i = 0; i < 6; ++i) {
+    const Graph g = RandomConnectedGraph(rng, 5 + rng.UniformBelow(6),
+                                         rng.UniformBelow(4), 3);
+    c.pairs.emplace_back(g, RandomlyPermuted(rng, g));
+  }
+  for (int i = 0; i < 18; ++i) {
+    c.pairs.emplace_back(
+        RandomConnectedGraph(rng, 4 + rng.UniformBelow(5),
+                             rng.UniformBelow(3), 3),
+        RandomConnectedGraph(rng, 6 + rng.UniformBelow(8),
+                             rng.UniformBelow(5), 3));
+  }
+  return c;
+}
+
+class MatcherAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatcherAgreementTest, AllFourAgreeAndWitnessesAreValid) {
+  const Corpus corpus = BuildCorpus(GetParam());
+  const auto vf2 = MakeMatcher(MatcherKind::kVf2);
+  const auto vf2p = MakeMatcher(MatcherKind::kVf2Plus);
+  const auto gql = MakeMatcher(MatcherKind::kGraphQl);
+  const auto ull = MakeMatcher(MatcherKind::kUllmann);
+
+  for (const auto& [pattern, target] : corpus.pairs) {
+    const bool expected = ull->Contains(pattern, target);
+    EXPECT_EQ(vf2->Contains(pattern, target), expected)
+        << "VF2 disagrees on pattern=" << pattern.ToString()
+        << " target=" << target.ToString();
+    EXPECT_EQ(vf2p->Contains(pattern, target), expected)
+        << "VF2+ disagrees on pattern=" << pattern.ToString()
+        << " target=" << target.ToString();
+    EXPECT_EQ(gql->Contains(pattern, target), expected)
+        << "GQL disagrees on pattern=" << pattern.ToString()
+        << " target=" << target.ToString();
+
+    if (expected) {
+      for (const auto* m :
+           {vf2.get(), vf2p.get(), gql.get(), ull.get()}) {
+        std::vector<VertexId> embedding;
+        ASSERT_TRUE(m->FindEmbedding(pattern, target, &embedding));
+        EXPECT_TRUE(IsValidEmbedding(pattern, target, embedding))
+            << m->name() << " produced an invalid witness";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherAgreementTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+class MatcherInvariantTest : public ::testing::TestWithParam<MatcherKind> {
+ protected:
+  std::unique_ptr<SubgraphMatcher> matcher_ = MakeMatcher(GetParam());
+};
+
+TEST_P(MatcherInvariantTest, ExtractedQueryAlwaysContained) {
+  Rng rng(911);
+  for (int i = 0; i < 25; ++i) {
+    const Graph target = RandomConnectedGraph(rng, 12, 6, 4);
+    const Graph q = ExtractBfsQuery(target, 0, 4);
+    EXPECT_TRUE(matcher_->Contains(q, target));
+  }
+}
+
+TEST_P(MatcherInvariantTest, IsomorphContainedBothWays) {
+  Rng rng(912);
+  for (int i = 0; i < 15; ++i) {
+    const Graph g = RandomConnectedGraph(rng, 9, 4, 3);
+    const Graph p = RandomlyPermuted(rng, g);
+    EXPECT_TRUE(matcher_->Contains(g, p));
+    EXPECT_TRUE(matcher_->Contains(p, g));
+  }
+}
+
+TEST_P(MatcherInvariantTest, ContainmentTransitiveThroughChain) {
+  // q ⊆ mid (q extracted from mid), mid ⊆ big (mid extracted... built the
+  // other way: grow big from mid by attaching vertices).
+  Rng rng(913);
+  for (int i = 0; i < 15; ++i) {
+    Graph mid = RandomConnectedGraph(rng, 8, 3, 3);
+    const Graph q = ExtractBfsQuery(mid, 0, 3);
+    Graph big = mid;
+    for (int extra = 0; extra < 4; ++extra) {
+      const VertexId nv = big.AddVertex(
+          static_cast<Label>(rng.UniformBelow(3)));
+      big.AddEdge(nv, static_cast<VertexId>(rng.UniformBelow(nv))).ok();
+    }
+    EXPECT_TRUE(matcher_->Contains(q, mid));
+    EXPECT_TRUE(matcher_->Contains(mid, big));
+    EXPECT_TRUE(matcher_->Contains(q, big));
+  }
+}
+
+TEST_P(MatcherInvariantTest, RemovingPlantedEdgeBreaksTightContainment) {
+  // A clique minus one edge no longer contains the full clique.
+  const Graph clique = testing::MakeClique(5, 0);
+  Graph damaged = clique;
+  damaged.RemoveEdge(0, 1).ok();
+  EXPECT_TRUE(matcher_->Contains(damaged, clique));
+  EXPECT_FALSE(matcher_->Contains(clique, damaged));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMatchers, MatcherInvariantTest,
+                         ::testing::Values(MatcherKind::kVf2,
+                                           MatcherKind::kVf2Plus,
+                                           MatcherKind::kGraphQl,
+                                           MatcherKind::kUllmann),
+                         [](const ::testing::TestParamInfo<MatcherKind>& i) {
+                           switch (i.param) {
+                             case MatcherKind::kVf2:
+                               return std::string("VF2");
+                             case MatcherKind::kVf2Plus:
+                               return std::string("VF2Plus");
+                             case MatcherKind::kGraphQl:
+                               return std::string("GQL");
+                             case MatcherKind::kUllmann:
+                               return std::string("Ullmann");
+                           }
+                           return std::string("Unknown");
+                         });
+
+}  // namespace
+}  // namespace gcp

@@ -1,0 +1,177 @@
+#include "match/matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace gcp {
+namespace {
+
+using testing::MakeClique;
+using testing::MakeCycle;
+using testing::MakeGraph;
+using testing::MakePath;
+using testing::MakeSingleton;
+using testing::MakeStar;
+using testing::MakeTriangle;
+
+// Shared hand-built scenarios exercised against every implementation.
+class MatcherKindTest : public ::testing::TestWithParam<MatcherKind> {
+ protected:
+  std::unique_ptr<SubgraphMatcher> matcher_ = MakeMatcher(GetParam());
+};
+
+TEST_P(MatcherKindTest, EmptyPatternInAnything) {
+  EXPECT_TRUE(matcher_->Contains(Graph(), Graph()));
+  EXPECT_TRUE(matcher_->Contains(Graph(), MakePath({0, 1, 2})));
+}
+
+TEST_P(MatcherKindTest, SingletonLabelMatch) {
+  EXPECT_TRUE(matcher_->Contains(MakeSingleton(3), MakePath({1, 3, 2})));
+  EXPECT_FALSE(matcher_->Contains(MakeSingleton(9), MakePath({1, 3, 2})));
+}
+
+TEST_P(MatcherKindTest, PatternLargerThanTargetFails) {
+  EXPECT_FALSE(matcher_->Contains(MakePath({0, 0, 0}), MakePath({0, 0})));
+}
+
+TEST_P(MatcherKindTest, IdenticalGraphContainsItself) {
+  const Graph g = MakeCycle({1, 2, 3, 4});
+  EXPECT_TRUE(matcher_->Contains(g, g));
+}
+
+TEST_P(MatcherKindTest, PathInCycle) {
+  EXPECT_TRUE(matcher_->Contains(MakePath({0, 0, 0}), MakeCycle({0, 0, 0, 0})));
+}
+
+TEST_P(MatcherKindTest, CycleNotInPath) {
+  EXPECT_FALSE(
+      matcher_->Contains(MakeCycle({0, 0, 0}), MakePath({0, 0, 0, 0})));
+}
+
+TEST_P(MatcherKindTest, LabelsMustMatchExactly) {
+  // Structurally embeddable but label-blocked.
+  EXPECT_FALSE(matcher_->Contains(MakePath({1, 2}), MakePath({1, 1, 1})));
+  EXPECT_TRUE(matcher_->Contains(MakePath({1, 2}), MakePath({2, 1, 1})));
+}
+
+TEST_P(MatcherKindTest, NonInducedSemantics) {
+  // P3 (no chord) embeds into a triangle although the triangle has the
+  // extra closing edge — non-induced subgraph isomorphism.
+  EXPECT_TRUE(
+      matcher_->Contains(MakePath({0, 0, 0}), MakeTriangle(0, 0, 0)));
+}
+
+TEST_P(MatcherKindTest, InjectivityEnforced) {
+  // Two distinct '1'-leaves cannot both map to the single '1' in target.
+  const Graph q = MakeStar({0, 1, 1});
+  const Graph t = MakeGraph({0, 1}, {{0, 1}});
+  EXPECT_FALSE(matcher_->Contains(q, t));
+}
+
+TEST_P(MatcherKindTest, StarNeedsHighDegreeVertex) {
+  EXPECT_FALSE(
+      matcher_->Contains(MakeStar({0, 0, 0, 0}), MakePath({0, 0, 0, 0, 0})));
+  EXPECT_TRUE(
+      matcher_->Contains(MakeStar({0, 0, 0, 0}), MakeStar({0, 0, 0, 0, 0})));
+}
+
+TEST_P(MatcherKindTest, TriangleInClique) {
+  EXPECT_TRUE(matcher_->Contains(MakeTriangle(0, 0, 0), MakeClique(5, 0)));
+}
+
+TEST_P(MatcherKindTest, CliqueNeedsClique) {
+  EXPECT_FALSE(matcher_->Contains(MakeClique(4, 0), MakeCycle({0, 0, 0, 0})));
+}
+
+TEST_P(MatcherKindTest, DisconnectedPatternBothComponentsNeeded) {
+  Graph q;
+  q.AddVertex(1);
+  q.AddVertex(2);  // two isolated vertices with labels 1, 2
+  EXPECT_TRUE(matcher_->Contains(q, MakePath({1, 2})));
+  EXPECT_FALSE(matcher_->Contains(q, MakePath({1, 1})));
+}
+
+TEST_P(MatcherKindTest, DisconnectedPatternInjective) {
+  // Two isolated '1' vertices need two distinct '1' targets.
+  Graph q;
+  q.AddVertex(1);
+  q.AddVertex(1);
+  EXPECT_FALSE(matcher_->Contains(q, MakeSingleton(1)));
+  EXPECT_TRUE(matcher_->Contains(q, MakePath({1, 1})));
+}
+
+TEST_P(MatcherKindTest, LongerCycleDoesNotContainShorter) {
+  EXPECT_FALSE(matcher_->Contains(MakeCycle({0, 0, 0}),
+                                  MakeCycle({0, 0, 0, 0, 0})));
+}
+
+TEST_P(MatcherKindTest, BranchingPatternInMolecule) {
+  // A "carboxyl"-like pattern inside a larger molecule-ish graph.
+  // Pattern: C(=O)-O  modelled as labels C=0, O=1: star C with two O.
+  const Graph pattern = MakeStar({0, 1, 1});
+  const Graph molecule = MakeGraph({0, 0, 1, 1, 0},
+                                   {{0, 1}, {1, 2}, {1, 3}, {0, 4}});
+  EXPECT_TRUE(matcher_->Contains(pattern, molecule));
+}
+
+TEST_P(MatcherKindTest, FindEmbeddingReturnsValidWitness) {
+  const Graph q = MakePath({0, 1, 0});
+  const Graph t = MakeCycle({0, 1, 0, 1});
+  std::vector<VertexId> embedding;
+  ASSERT_TRUE(matcher_->FindEmbedding(q, t, &embedding));
+  EXPECT_TRUE(IsValidEmbedding(q, t, embedding));
+}
+
+TEST_P(MatcherKindTest, StatsAccumulate) {
+  MatchStats stats;
+  matcher_->Contains(MakePath({0, 0, 0}), MakeClique(6, 0), &stats);
+  EXPECT_GT(stats.nodes_expanded, 0u);
+}
+
+std::string MatcherTestName(
+    const ::testing::TestParamInfo<MatcherKind>& info) {
+  switch (info.param) {
+    case MatcherKind::kVf2:
+      return "VF2";
+    case MatcherKind::kVf2Plus:
+      return "VF2Plus";
+    case MatcherKind::kGraphQl:
+      return "GQL";
+    case MatcherKind::kUllmann:
+      return "Ullmann";
+  }
+  return "Unknown";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMatchers, MatcherKindTest,
+                         ::testing::Values(MatcherKind::kVf2,
+                                           MatcherKind::kVf2Plus,
+                                           MatcherKind::kGraphQl,
+                                           MatcherKind::kUllmann),
+                         MatcherTestName);
+
+TEST(MatcherFactoryTest, NamesMatchKinds) {
+  EXPECT_EQ(MakeMatcher(MatcherKind::kVf2)->name(), "VF2");
+  EXPECT_EQ(MakeMatcher(MatcherKind::kVf2Plus)->name(), "VF2+");
+  EXPECT_EQ(MakeMatcher(MatcherKind::kGraphQl)->name(), "GQL");
+  EXPECT_EQ(MakeMatcher(MatcherKind::kUllmann)->name(), "Ullmann");
+}
+
+TEST(IsValidEmbeddingTest, RejectsBadMappings) {
+  const Graph q = MakePath({0, 1});
+  const Graph t = MakePath({0, 1, 0});
+  EXPECT_TRUE(IsValidEmbedding(q, t, {0, 1}));
+  EXPECT_TRUE(IsValidEmbedding(q, t, {2, 1}));        // the other valid map
+  EXPECT_FALSE(IsValidEmbedding(q, t, {0}));          // wrong arity
+  EXPECT_FALSE(IsValidEmbedding(q, t, {0, 0}));       // not injective
+  EXPECT_FALSE(IsValidEmbedding(q, t, {1, 0}));       // labels flipped
+  EXPECT_FALSE(IsValidEmbedding(q, t, {0, 9}));       // out of range
+  // Label-correct but edge missing: map into non-adjacent vertices.
+  const Graph t2 = MakeGraph({0, 1, 1}, {{0, 1}});
+  EXPECT_TRUE(IsValidEmbedding(q, t2, {0, 1}));
+  EXPECT_FALSE(IsValidEmbedding(q, t2, {0, 2}));      // (0,2) not an edge
+}
+
+}  // namespace
+}  // namespace gcp

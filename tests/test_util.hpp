@@ -1,0 +1,71 @@
+// Shared graph-construction helpers for the GC+ test suite.
+
+#ifndef GCP_TESTS_TEST_UTIL_HPP_
+#define GCP_TESTS_TEST_UTIL_HPP_
+
+#include <initializer_list>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gcp::testing {
+
+/// Builds a graph from labels and edges; aborts on invalid input
+/// (tests construct only valid graphs through this).
+inline Graph MakeGraph(std::vector<Label> labels,
+                       std::vector<std::pair<VertexId, VertexId>> edges) {
+  auto r = Graph::Create(std::move(labels), edges);
+  if (!r.ok()) std::abort();
+  return std::move(r).value();
+}
+
+/// Path v0 - v1 - ... - v_{n-1} with the given labels (n = labels.size()).
+inline Graph MakePath(std::vector<Label> labels) {
+  Graph g;
+  for (const Label l : labels) g.AddVertex(l);
+  for (VertexId v = 0; v + 1 < g.NumVertices(); ++v) {
+    g.AddEdge(v, v + 1).ok();
+  }
+  return g;
+}
+
+/// Cycle over the given labels (requires >= 3 vertices).
+inline Graph MakeCycle(std::vector<Label> labels) {
+  Graph g = MakePath(std::move(labels));
+  g.AddEdge(static_cast<VertexId>(g.NumVertices() - 1), 0).ok();
+  return g;
+}
+
+/// Star: center (labels[0]) joined to every other label.
+inline Graph MakeStar(std::vector<Label> labels) {
+  Graph g;
+  for (const Label l : labels) g.AddVertex(l);
+  for (VertexId v = 1; v < g.NumVertices(); ++v) g.AddEdge(0, v).ok();
+  return g;
+}
+
+/// Triangle with the three given labels.
+inline Graph MakeTriangle(Label a, Label b, Label c) {
+  return MakeCycle({a, b, c});
+}
+
+/// A single labelled vertex.
+inline Graph MakeSingleton(Label l) {
+  Graph g;
+  g.AddVertex(l);
+  return g;
+}
+
+/// Complete graph K_n, all vertices labelled `l`.
+inline Graph MakeClique(std::size_t n, Label l) {
+  Graph g;
+  for (std::size_t i = 0; i < n; ++i) g.AddVertex(l);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) g.AddEdge(u, v).ok();
+  }
+  return g;
+}
+
+}  // namespace gcp::testing
+
+#endif  // GCP_TESTS_TEST_UTIL_HPP_

@@ -1,0 +1,141 @@
+#include "workload/query_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "dataset/aids_like.hpp"
+#include "graph/generators.hpp"
+
+namespace gcp {
+namespace {
+
+TEST(BfsExtractionTest, ProducesConnectedSubgraphOfRequestedSize) {
+  Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    const Graph source = RandomConnectedGraph(rng, 20, 8, 4);
+    const Graph q = ExtractBfsQuery(source, 0, 8);
+    EXPECT_EQ(q.NumEdges(), 8u);
+    EXPECT_TRUE(q.IsConnected());
+  }
+}
+
+TEST(BfsExtractionTest, QueryIsSubgraphOfSource) {
+  Rng rng(2);
+  const auto matcher = MakeMatcher(MatcherKind::kVf2Plus);
+  for (int i = 0; i < 30; ++i) {
+    const Graph source = RandomConnectedGraph(rng, 16, 6, 3);
+    const Graph q = ExtractBfsQuery(
+        source, static_cast<VertexId>(rng.UniformBelow(16)),
+        2 + rng.UniformBelow(8));
+    EXPECT_TRUE(matcher->Contains(q, source))
+        << "extracted query must embed in its source";
+  }
+}
+
+TEST(BfsExtractionTest, SmallerExtractionIsPrefixOfLarger) {
+  // Deterministic BFS: size-s1 extraction from (source, start) is a
+  // subgraph of the size-s2 extraction for s1 < s2 — the containment
+  // structure Type A workloads rely on.
+  Rng rng(99);
+  const auto matcher = MakeMatcher(MatcherKind::kVf2Plus);
+  for (int i = 0; i < 20; ++i) {
+    const Graph source = RandomConnectedGraph(rng, 24, 10, 4);
+    const VertexId start = static_cast<VertexId>(rng.UniformBelow(24));
+    const Graph small = ExtractBfsQuery(source, start, 4);
+    const Graph large = ExtractBfsQuery(source, start, 16);
+    EXPECT_TRUE(matcher->Contains(small, large));
+  }
+}
+
+TEST(BfsExtractionTest, DeterministicForSameInputs) {
+  Rng rng(100);
+  const Graph source = RandomConnectedGraph(rng, 20, 8, 3);
+  EXPECT_EQ(ExtractBfsQuery(source, 3, 8), ExtractBfsQuery(source, 3, 8));
+}
+
+TEST(BfsExtractionTest, ExhaustsSmallComponentGracefully) {
+  Rng rng(3);
+  const Graph tiny = testing::MakePath({0, 1, 2});  // only 2 edges
+  const Graph q = ExtractBfsQuery(tiny, 0, 50);
+  EXPECT_EQ(q.NumEdges(), 2u);
+  EXPECT_EQ(q.NumVertices(), 3u);
+}
+
+TEST(BfsExtractionTest, ZeroEdgesYieldsSingleVertex) {
+  Rng rng(4);
+  const Graph source = testing::MakePath({5, 6, 7});
+  const Graph q = ExtractBfsQuery(source, 1, 0);
+  EXPECT_EQ(q.NumVertices(), 1u);
+  EXPECT_EQ(q.NumEdges(), 0u);
+  EXPECT_EQ(q.label(0), 6u);
+}
+
+TEST(RandomWalkExtractionTest, ProducesConnectedSubgraph) {
+  Rng rng(5);
+  const auto matcher = MakeMatcher(MatcherKind::kVf2Plus);
+  for (int i = 0; i < 30; ++i) {
+    const Graph source = RandomConnectedGraph(rng, 18, 8, 3);
+    const Graph q = ExtractRandomWalkQuery(
+        rng, source, static_cast<VertexId>(rng.UniformBelow(18)),
+        2 + rng.UniformBelow(6));
+    EXPECT_GE(q.NumEdges(), 1u);
+    EXPECT_TRUE(q.IsConnected());
+    EXPECT_TRUE(matcher->Contains(q, source));
+  }
+}
+
+TEST(RandomWalkExtractionTest, ReachesRequestedSizeOnAmpleGraph) {
+  Rng rng(6);
+  const Graph source = RandomConnectedGraph(rng, 30, 25, 2);
+  int reached = 0;
+  for (int i = 0; i < 20; ++i) {
+    const Graph q = ExtractRandomWalkQuery(rng, source, 0, 6);
+    if (q.NumEdges() == 6u) ++reached;
+  }
+  EXPECT_GE(reached, 15);  // dead ends are possible but rare here
+}
+
+TEST(NoAnswerOracleTest, CountsCandidatesByFeatures) {
+  std::vector<Graph> dataset{testing::MakePath({0, 1, 2}),
+                             testing::MakePath({0, 1}),
+                             testing::MakeCycle({3, 3, 3})};
+  const NoAnswerOracle oracle = NoAnswerOracle::Build(dataset);
+  EXPECT_EQ(oracle.dataset_features.size(), 3u);
+  EXPECT_EQ(oracle.label_pool.size(), 3u + 2u + 3u);
+  const GraphFeatures probe =
+      GraphFeatures::Extract(testing::MakePath({0, 1}));
+  EXPECT_EQ(oracle.CountCandidates(probe), 2u);
+}
+
+TEST(NoAnswerQueryTest, ProducesNonEmptyCandidatesEmptyAnswer) {
+  Rng rng(7);
+  AidsLikeOptions opts;
+  opts.num_graphs = 40;
+  opts.mean_vertices = 10;
+  opts.stddev_vertices = 3;
+  opts.min_vertices = 5;
+  opts.max_vertices = 18;
+  opts.num_labels = 6;
+  opts.seed = 7;
+  const auto dataset = AidsLikeGenerator(opts).Generate();
+  const NoAnswerOracle oracle = NoAnswerOracle::Build(dataset);
+  const auto matcher = MakeMatcher(MatcherKind::kVf2Plus);
+
+  int successes = 0;
+  for (int i = 0; i < 10; ++i) {
+    Graph q = ExtractRandomWalkQuery(
+        rng, dataset[rng.UniformBelow(dataset.size())], 0, 5);
+    if (!MakeNoAnswerQuery(rng, q, dataset, oracle, *matcher, 200)) continue;
+    ++successes;
+    const GraphFeatures qf = GraphFeatures::Extract(q);
+    EXPECT_GT(oracle.CountCandidates(qf), 0u);
+    for (const Graph& g : dataset) {
+      EXPECT_FALSE(matcher->Contains(q, g))
+          << "no-answer query must not match any dataset graph";
+    }
+  }
+  EXPECT_GT(successes, 5);
+}
+
+}  // namespace
+}  // namespace gcp

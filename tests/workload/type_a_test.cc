@@ -1,0 +1,114 @@
+#include "workload/type_a.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "dataset/aids_like.hpp"
+#include "graph/canonical.hpp"
+#include "match/matcher.hpp"
+
+namespace gcp {
+namespace {
+
+std::vector<Graph> Corpus(std::uint64_t seed) {
+  AidsLikeOptions opts;
+  opts.num_graphs = 50;
+  opts.mean_vertices = 14;
+  opts.stddev_vertices = 4;
+  opts.min_vertices = 6;
+  opts.max_vertices = 30;
+  opts.num_labels = 8;
+  opts.seed = seed;
+  return AidsLikeGenerator(opts).Generate();
+}
+
+TEST(TypeATest, GeneratesRequestedCount) {
+  const auto ds = Corpus(1);
+  const Workload w = GenerateTypeAByName(ds, "UU", 200, 2);
+  EXPECT_EQ(w.size(), 200u);
+  EXPECT_EQ(w.name, "UU");
+}
+
+TEST(TypeATest, NamesReflectDistributions) {
+  const auto ds = Corpus(1);
+  EXPECT_EQ(GenerateTypeAByName(ds, "ZZ", 5, 1).name, "ZZ");
+  EXPECT_EQ(GenerateTypeAByName(ds, "ZU", 5, 1).name, "ZU");
+  TypeAOptions opts;
+  opts.graph_dist = SelectionDist::kUniform;
+  opts.node_dist = SelectionDist::kZipf;
+  opts.num_queries = 5;
+  EXPECT_EQ(GenerateTypeA(ds, opts).name, "UZ");
+}
+
+TEST(TypeATest, QuerySizesFromConfiguredSet) {
+  const auto ds = Corpus(3);
+  const Workload w = GenerateTypeAByName(ds, "UU", 300, 4);
+  for (const auto& wq : w.queries) {
+    // Sizes are {4, 8, 12, 16, 20} but extraction may exhaust a small
+    // source graph; edges never exceed the requested maximum.
+    EXPECT_LE(wq.query.NumEdges(), 20u);
+    EXPECT_GE(wq.query.NumEdges(), 1u);
+    EXPECT_TRUE(wq.query.IsConnected());
+  }
+  // Full-size extractions dominate on this corpus.
+  std::map<std::size_t, int> size_counts;
+  for (const auto& wq : w.queries) ++size_counts[wq.query.NumEdges()];
+  int canonical = 0;
+  for (const std::size_t s : {4u, 8u, 12u, 16u, 20u}) {
+    canonical += size_counts.count(s) ? size_counts[s] : 0;
+  }
+  EXPECT_GT(canonical, 200);
+}
+
+TEST(TypeATest, QueriesHaveNonEmptyAnswerAgainstSource) {
+  // Every Type A query is extracted from a dataset graph, so it must match
+  // at least one dataset graph.
+  const auto ds = Corpus(5);
+  const Workload w = GenerateTypeAByName(ds, "ZU", 40, 6);
+  const auto matcher = MakeMatcher(MatcherKind::kVf2Plus);
+  for (const auto& wq : w.queries) {
+    bool any = false;
+    for (const Graph& g : ds) {
+      if (matcher->Contains(wq.query, g)) {
+        any = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(any);
+  }
+}
+
+TEST(TypeATest, ZipfGraphSelectionProducesRepeats) {
+  // ZU concentrates sources on few graphs → many digest-identical queries;
+  // UU spreads them out. Compare distinct-digest counts.
+  const auto ds = Corpus(7);
+  const Workload zu = GenerateTypeAByName(ds, "ZU", 300, 8);
+  const Workload uu = GenerateTypeAByName(ds, "UU", 300, 8);
+  auto distinct = [](const Workload& w) {
+    std::set<std::uint64_t> digests;
+    for (const auto& wq : w.queries) digests.insert(WlDigest(wq.query));
+    return digests.size();
+  };
+  EXPECT_LT(distinct(zu), distinct(uu));
+}
+
+TEST(TypeATest, DeterministicBySeed) {
+  const auto ds = Corpus(9);
+  const Workload a = GenerateTypeAByName(ds, "ZZ", 50, 10);
+  const Workload b = GenerateTypeAByName(ds, "ZZ", 50, 10);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.queries[i].query, b.queries[i].query);
+  }
+  const Workload c = GenerateTypeAByName(ds, "ZZ", 50, 11);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_diff |= !(a.queries[i].query == c.queries[i].query);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace gcp

@@ -1,0 +1,113 @@
+#include "workload/type_b.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dataset/aids_like.hpp"
+#include "match/matcher.hpp"
+
+namespace gcp {
+namespace {
+
+std::vector<Graph> Corpus(std::uint64_t seed) {
+  AidsLikeOptions opts;
+  opts.num_graphs = 40;
+  opts.mean_vertices = 12;
+  opts.stddev_vertices = 3;
+  opts.min_vertices = 6;
+  opts.max_vertices = 24;
+  opts.num_labels = 6;
+  opts.seed = seed;
+  return AidsLikeGenerator(opts).Generate();
+}
+
+TypeBOptions SmallOptions(double no_answer_prob, std::uint64_t seed) {
+  TypeBOptions opts;
+  opts.no_answer_prob = no_answer_prob;
+  opts.answer_pool_size = 60;
+  opts.no_answer_pool_size = 15;
+  opts.num_queries = 150;
+  opts.seed = seed;
+  return opts;
+}
+
+TEST(TypeBTest, ZeroProbabilityHasNoNoAnswerQueries) {
+  const auto ds = Corpus(1);
+  const Workload w = GenerateTypeB(ds, SmallOptions(0.0, 2));
+  EXPECT_EQ(w.size(), 150u);
+  EXPECT_EQ(w.name, "0%");
+  for (const auto& wq : w.queries) {
+    EXPECT_FALSE(wq.from_no_answer_pool);
+  }
+}
+
+TEST(TypeBTest, MixRatioApproximatesProbability) {
+  const auto ds = Corpus(3);
+  const Workload w = GenerateTypeB(ds, SmallOptions(0.5, 4));
+  EXPECT_EQ(w.name, "50%");
+  int no_answer = 0;
+  for (const auto& wq : w.queries) no_answer += wq.from_no_answer_pool;
+  EXPECT_NEAR(static_cast<double>(no_answer) / 150.0, 0.5, 0.12);
+}
+
+TEST(TypeBTest, TwentyPercentName) {
+  const auto ds = Corpus(3);
+  EXPECT_EQ(GenerateTypeB(ds, SmallOptions(0.2, 5)).name, "20%");
+}
+
+TEST(TypeBTest, AnswerPoolQueriesMatchSomething) {
+  const auto ds = Corpus(5);
+  const Workload w = GenerateTypeB(ds, SmallOptions(0.0, 6));
+  const auto matcher = MakeMatcher(MatcherKind::kVf2Plus);
+  for (std::size_t i = 0; i < 25; ++i) {
+    bool any = false;
+    for (const Graph& g : ds) {
+      if (matcher->Contains(w.queries[i].query, g)) {
+        any = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(any) << "answer-pool query " << i << " matches nothing";
+  }
+}
+
+TEST(TypeBTest, NoAnswerQueriesMatchNothingInitially) {
+  const auto ds = Corpus(7);
+  const Workload w = GenerateTypeB(ds, SmallOptions(0.5, 8));
+  const auto matcher = MakeMatcher(MatcherKind::kVf2Plus);
+  int checked = 0;
+  for (const auto& wq : w.queries) {
+    if (!wq.from_no_answer_pool || checked >= 10) continue;
+    ++checked;
+    for (const Graph& g : ds) {
+      EXPECT_FALSE(matcher->Contains(wq.query, g));
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(TypeBTest, ZipfSelectionRepeatsPoolEntries) {
+  const auto ds = Corpus(9);
+  const Workload w = GenerateTypeB(ds, SmallOptions(0.0, 10));
+  // With Zipf α=1.4 over a 60-query pool, the head query appears often.
+  std::map<std::string, int> counts;
+  for (const auto& wq : w.queries) ++counts[wq.query.ToString()];
+  int max_count = 0;
+  for (const auto& [key, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 10);
+}
+
+TEST(TypeBTest, DeterministicBySeed) {
+  const auto ds = Corpus(11);
+  const TypeBOptions opts = SmallOptions(0.2, 12);
+  const Workload a = GenerateTypeB(ds, opts);
+  const Workload b = GenerateTypeB(ds, opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.queries[i].query, b.queries[i].query);
+    EXPECT_EQ(a.queries[i].from_no_answer_pool,
+              b.queries[i].from_no_answer_pool);
+  }
+}
+
+}  // namespace
+}  // namespace gcp

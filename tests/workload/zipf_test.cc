@@ -1,0 +1,77 @@
+#include "workload/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace gcp {
+namespace {
+
+TEST(ZipfTest, PmfSumsToOne) {
+  const ZipfSampler z(100, 1.4);
+  double total = 0.0;
+  for (std::size_t r = 0; r < 100; ++r) total += z.Pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(z.Pmf(1000), 0.0);
+}
+
+TEST(ZipfTest, PmfMonotoneDecreasing) {
+  const ZipfSampler z(50, 1.4);
+  for (std::size_t r = 1; r < 50; ++r) {
+    EXPECT_LT(z.Pmf(r), z.Pmf(r - 1));
+  }
+}
+
+TEST(ZipfTest, PmfMatchesPowerLaw) {
+  const ZipfSampler z(1000, 1.4);
+  // p(r) / p(0) should be (r+1)^-1.4.
+  for (const std::size_t r : {1u, 9u, 99u}) {
+    EXPECT_NEAR(z.Pmf(r) / z.Pmf(0),
+                std::pow(static_cast<double>(r + 1), -1.4), 1e-9);
+  }
+}
+
+TEST(ZipfTest, SamplesWithinRange) {
+  const ZipfSampler z(30, 1.4);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(z.Sample(rng), 30u);
+  }
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesMatchPmf) {
+  const ZipfSampler z(20, 1.4);
+  Rng rng(9);
+  std::vector<int> counts(20, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(rng)];
+  for (std::size_t r = 0; r < 5; ++r) {
+    const double expected = z.Pmf(r) * n;
+    EXPECT_NEAR(counts[r], expected, expected * 0.05 + 50);
+  }
+}
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  const ZipfSampler z(10, 0.0);
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(z.Pmf(r), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfTest, HigherAlphaIsMoreSkewed) {
+  const ZipfSampler mild(100, 0.8);
+  const ZipfSampler steep(100, 2.4);
+  EXPECT_GT(steep.Pmf(0), mild.Pmf(0));
+  EXPECT_LT(steep.Pmf(99), mild.Pmf(99));
+}
+
+TEST(ZipfTest, SingleElementAlwaysZero) {
+  const ZipfSampler z(1, 1.4);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(z.Sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(z.Pmf(0), 1.0);
+}
+
+}  // namespace
+}  // namespace gcp
