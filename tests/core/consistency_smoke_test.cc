@@ -1,0 +1,137 @@
+// Cache-vs-no-cache differential smoke test (paper §5): GC+ under EVI and
+// CON must answer exactly like uncached Method M across interleaved
+// query/change/query cycles covering every change class (ADD, DEL, UA, UR).
+
+#include "core/graphcache_plus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../test_util.hpp"
+#include "graph/generators.hpp"
+
+namespace gcp {
+namespace {
+
+using testing::MakePath;
+using testing::MakeSingleton;
+using testing::MakeStar;
+using testing::MakeTriangle;
+
+std::vector<Graph> SeedDataset(Rng& rng) {
+  std::vector<Graph> ds;
+  for (int i = 0; i < 24; ++i) {
+    ds.push_back(RandomConnectedGraph(rng, 10, 5, 3));
+  }
+  return ds;
+}
+
+std::vector<Graph> QueryMix() {
+  return {MakePath({0, 1}),      MakePath({1, 2, 0}), MakeTriangle(0, 1, 2),
+          MakeStar({0, 1, 2, 1}), MakeSingleton(2),    MakePath({2, 2})};
+}
+
+// Applies one logged change of each class to a random live graph.
+void MutateDataset(GraphDataset* ds, Rng& rng) {
+  const std::vector<GraphId> live = ds->LiveIds();
+  ASSERT_GE(live.size(), 3u);
+
+  // UR: drop the first adjacency of some vertex in a random live graph.
+  {
+    const GraphId id = live[rng.UniformBelow(live.size())];
+    const Graph& g = ds->graph(id);
+    for (VertexId u = 0; u < g.NumVertices(); ++u) {
+      if (!g.neighbors(u).empty()) {
+        ASSERT_TRUE(ds->RemoveEdge(id, u, g.neighbors(u)[0]).ok());
+        break;
+      }
+    }
+  }
+  // UA: connect the first non-adjacent vertex pair of another live graph.
+  {
+    const GraphId id = live[rng.UniformBelow(live.size())];
+    const Graph& g = ds->graph(id);
+    bool added = false;
+    for (VertexId u = 0; u < g.NumVertices() && !added; ++u) {
+      for (VertexId v = u + 1; v < g.NumVertices() && !added; ++v) {
+        if (!g.HasEdge(u, v)) {
+          ASSERT_TRUE(ds->AddEdge(id, u, v).ok());
+          added = true;
+        }
+      }
+    }
+  }
+  // DEL then ADD: retire one graph, admit a fresh one.
+  ASSERT_TRUE(ds->DeleteGraph(live[rng.UniformBelow(live.size())]).ok());
+  ds->AddGraph(RandomConnectedGraph(rng, 8, 4, 3));
+}
+
+// Drives a cached GC+ instance and a pass-through Method M baseline
+// (admission off) over the same dataset through query/change/query cycles
+// and requires identical answers throughout.
+void RunDifferential(CacheModel model) {
+  Rng rng(101);
+  GraphDataset ds;
+  ds.Bootstrap(SeedDataset(rng));
+
+  GraphCachePlusOptions cached_opts;
+  cached_opts.model = model;
+  GraphCachePlusOptions uncached_opts;
+  uncached_opts.enable_admission = false;  // pure Method M, no cache
+
+  GraphCachePlus cached(&ds, cached_opts);
+  GraphCachePlus uncached(&ds, uncached_opts);
+
+  const std::vector<Graph> queries = QueryMix();
+  for (int round = 0; round < 4; ++round) {
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      EXPECT_EQ(cached.SubgraphQuery(queries[qi]).answer,
+                uncached.SubgraphQuery(queries[qi]).answer)
+          << CacheModelName(model) << " sub round " << round << " q" << qi;
+      EXPECT_EQ(cached.SupergraphQuery(queries[qi]).answer,
+                uncached.SupergraphQuery(queries[qi]).answer)
+          << CacheModelName(model) << " super round " << round << " q" << qi;
+    }
+    MutateDataset(&ds, rng);
+  }
+  // The cache actually participated: some entries were admitted.
+  EXPECT_GT(cached.cache_manager().resident(), 0u);
+  EXPECT_EQ(uncached.cache_manager().resident(), 0u);
+}
+
+TEST(ConsistencySmokeTest, EviMatchesUncachedMethodM) {
+  RunDifferential(CacheModel::kEvi);
+}
+
+TEST(ConsistencySmokeTest, ConMatchesUncachedMethodM) {
+  RunDifferential(CacheModel::kCon);
+}
+
+// CON with retrospective refresh enabled must also stay exact — refreshed
+// validity bits may not resurrect stale knowledge.
+TEST(ConsistencySmokeTest, ConWithRetrospectiveRefreshStaysExact) {
+  Rng rng(202);
+  GraphDataset ds;
+  ds.Bootstrap(SeedDataset(rng));
+
+  GraphCachePlusOptions cached_opts;
+  cached_opts.model = CacheModel::kCon;
+  cached_opts.retrospective_budget = 64;
+  GraphCachePlusOptions uncached_opts;
+  uncached_opts.enable_admission = false;
+
+  GraphCachePlus cached(&ds, cached_opts);
+  GraphCachePlus uncached(&ds, uncached_opts);
+
+  const std::vector<Graph> queries = QueryMix();
+  for (int round = 0; round < 3; ++round) {
+    for (const Graph& q : queries) {
+      EXPECT_EQ(cached.SubgraphQuery(q).answer, uncached.SubgraphQuery(q).answer);
+    }
+    MutateDataset(&ds, rng);
+  }
+}
+
+}  // namespace
+}  // namespace gcp

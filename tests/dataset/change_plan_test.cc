@@ -42,7 +42,9 @@ TEST(ChangePlanTest, AddSourcesWithinInitialPool) {
   const ChangePlan plan = ChangePlan::Generate(rng, 100, 20, 10, 7);
   for (const auto& batch : plan.batches) {
     for (const auto& op : batch.ops) {
-      if (op.type == ChangeType::kAdd) EXPECT_LT(op.add_source, 7u);
+      if (op.type == ChangeType::kAdd) {
+        EXPECT_LT(op.add_source, 7u);
+      }
     }
   }
 }

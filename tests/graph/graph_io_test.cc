@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "../test_util.hpp"
+#include "graph/canonical.hpp"
 #include "graph/generators.hpp"
 
 namespace gcp {
@@ -115,6 +116,37 @@ TEST(GraphIoTest, FileRoundTrip) {
     EXPECT_EQ(parsed.value()[i], graphs[i]);
   }
   std::remove(path.c_str());
+}
+
+// Property-style round-trip: for many seeds, generator-produced graphs
+// (connected, Erdos-Renyi, and permuted copies) must survive write → read
+// with exact structural equality and identical canonical WL digests.
+TEST(GraphIoTest, PropertyRoundTripPreservesCanonicalForm) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    std::vector<Graph> graphs;
+    graphs.push_back(RandomConnectedGraph(rng, 3 + seed % 14, seed % 9,
+                                          1 + seed % 6));
+    graphs.push_back(RandomGraph(rng, 1 + seed % 16, 0.25, 1 + seed % 4));
+    graphs.push_back(RandomlyPermuted(rng, graphs[0]));
+
+    std::ostringstream os;
+    WriteGraphs(os, graphs);
+    std::istringstream is(os.str());
+    auto parsed = ReadGraphs(is);
+    ASSERT_TRUE(parsed.ok()) << "seed " << seed;
+    ASSERT_EQ(parsed.value().size(), graphs.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      EXPECT_EQ(parsed.value()[i], graphs[i]) << "seed " << seed << " g" << i;
+      EXPECT_EQ(WlDigest(parsed.value()[i]), WlDigest(graphs[i]))
+          << "seed " << seed << " g" << i;
+      EXPECT_TRUE(MaybeIsomorphic(parsed.value()[i], graphs[i]))
+          << "seed " << seed << " g" << i;
+    }
+    // A permuted copy of g0 parsed back is still recognisably isomorphic.
+    EXPECT_EQ(WlDigest(parsed.value()[2]), WlDigest(graphs[0]))
+        << "seed " << seed;
+  }
 }
 
 TEST(GraphIoTest, MissingFileReportsIOError) {

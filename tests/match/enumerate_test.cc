@@ -190,7 +190,9 @@ TEST(EnumerateTest, SingleLargeGraph) {
   const Graph pattern = MakePath({0, 1, 2});
   std::uint64_t count = 0;
   EnumerateEmbeddings(pattern, big, [&](const std::vector<VertexId>& m) {
-    if (count < 50) EXPECT_TRUE(IsValidEmbedding(pattern, big, m));
+    if (count < 50) {
+      EXPECT_TRUE(IsValidEmbedding(pattern, big, m));
+    }
     ++count;
     return true;
   });
