@@ -54,6 +54,9 @@ struct BenchConfig {
 
   std::uint64_t seed = 42;
   std::size_t verify_threads = 1;
+  /// Closed-loop client threads sharing one GraphCachePlus (the runner's
+  /// --threads flag; bench_throughput_scaling sweeps 1..this).
+  std::size_t client_threads = 1;
 
   static BenchConfig FromFlags(const Flags& flags) {
     BenchConfig c;
@@ -103,8 +106,10 @@ struct BenchConfig {
     c.max_super_hits = static_cast<std::size_t>(
         flags.GetInt("max-super-hits", c.max_super_hits));
     c.seed = static_cast<std::uint64_t>(flags.GetInt("seed", c.seed));
-    c.verify_threads =
-        static_cast<std::size_t>(flags.GetInt("threads", c.verify_threads));
+    c.verify_threads = static_cast<std::size_t>(
+        flags.GetInt("verify-threads", c.verify_threads));
+    c.client_threads =
+        static_cast<std::size_t>(flags.GetInt("threads", c.client_threads));
     return c;
   }
 
@@ -170,6 +175,7 @@ inline RunnerConfig MakeRunnerConfig(RunMode mode, MatcherKind method,
   rc.window_capacity = cfg.window_capacity;
   rc.warmup_queries = cfg.warmup;
   rc.verify_threads = cfg.verify_threads;
+  rc.client_threads = cfg.client_threads;
   rc.max_sub_hits = cfg.max_sub_hits;
   rc.max_super_hits = cfg.max_super_hits;
   rc.plan_seed = cfg.seed + 404;

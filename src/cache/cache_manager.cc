@@ -13,8 +13,17 @@ CacheManager::CacheManager(CacheManagerOptions options)
 CacheEntryId CacheManager::Admit(Graph query, CachedQueryKind kind,
                                  DynamicBitset answer, DynamicBitset valid,
                                  std::uint64_t now, double est_test_cost_ms) {
+  const CacheEntryId id =
+      AdmitDeferred(std::move(query), kind, std::move(answer),
+                    std::move(valid), now, est_test_cost_ms);
+  MaybeMergeWindow();
+  return id;
+}
+
+std::unique_ptr<CachedQuery> CacheManager::PrepareEntry(
+    Graph query, CachedQueryKind kind, DynamicBitset answer,
+    DynamicBitset valid, double est_test_cost_ms) {
   auto entry = std::make_unique<CachedQuery>();
-  entry->id = next_id_++;
   entry->kind = kind;
   entry->features = GraphFeatures::Extract(query);
   entry->digest = WlDigest(query);
@@ -22,17 +31,37 @@ CacheEntryId CacheManager::Admit(Graph query, CachedQueryKind kind,
   entry->answer = std::move(answer);
   entry->valid = std::move(valid);
   entry->est_test_cost_ms = est_test_cost_ms;
+  return entry;
+}
+
+CacheEntryId CacheManager::AdmitDeferred(Graph query, CachedQueryKind kind,
+                                         DynamicBitset answer,
+                                         DynamicBitset valid,
+                                         std::uint64_t now,
+                                         double est_test_cost_ms) {
+  return AdmitPrepared(PrepareEntry(std::move(query), kind, std::move(answer),
+                                    std::move(valid), est_test_cost_ms),
+                       now);
+}
+
+CacheEntryId CacheManager::AdmitPrepared(std::unique_ptr<CachedQuery> entry,
+                                         std::uint64_t now) {
+  entry->id = next_id_++;
   entry->admitted_at = now;
   entry->last_used_at = now;
   entry->in_window = true;
   const CacheEntryId id = entry->id;
   index_.Insert(entry.get());
+  by_id_.emplace(id, entry.get());
   window_.push_back(std::move(entry));
   ++stats_.total_admissions;
+  return id;
+}
+
+void CacheManager::MaybeMergeWindow() {
   if (window_.size() >= options_.window_capacity) {
     MergeWindowIntoCache();
   }
-  return id;
 }
 
 void CacheManager::MergeWindowIntoCache() {
@@ -59,6 +88,7 @@ void CacheManager::MergeWindowIntoCache() {
       kept.push_back(std::move(slot));
     } else {
       index_.Erase(slot->id);
+      by_id_.erase(slot->id);
       ++stats_.total_evictions;
     }
   }
@@ -69,6 +99,7 @@ void CacheManager::Clear() {
   if (!cache_.empty() || !window_.empty()) ++stats_.total_cache_clears;
   cache_.clear();
   window_.clear();
+  by_id_.clear();
   index_.Clear();
 }
 
@@ -94,6 +125,32 @@ void CacheManager::RecordBenefit(CacheEntryId id, std::uint64_t tests_saved,
   stats_.total_tests_saved += tests_saved;
 }
 
+void CacheManager::CreditHit(CacheEntryId id, HitKind kind,
+                             std::uint64_t tests_saved, std::uint64_t now,
+                             bool zero_test_exact) {
+  RecordBenefit(id, tests_saved, now);
+  CachedQuery* e = FindMutable(id);
+  switch (kind) {
+    case HitKind::kExact:
+      if (e != nullptr) ++e->exact_hits;
+      ++stats_.total_exact_hits;
+      if (zero_test_exact) ++stats_.total_exact_hits_zero_test;
+      break;
+    case HitKind::kEmptyProof:
+      if (e != nullptr) ++e->super_hits;
+      ++stats_.total_empty_shortcuts;
+      break;
+    case HitKind::kSub:
+      if (e != nullptr) ++e->sub_hits;
+      ++stats_.total_sub_hits;
+      break;
+    case HitKind::kSuper:
+      if (e != nullptr) ++e->super_hits;
+      ++stats_.total_super_hits;
+      break;
+  }
+}
+
 std::vector<CachedQuery> CacheManager::ExportEntries() const {
   std::vector<CachedQuery> out;
   out.reserve(resident());
@@ -117,6 +174,7 @@ void CacheManager::RestoreEntries(std::vector<CachedQuery> entries) {
     owned->features = GraphFeatures::Extract(owned->query);
     owned->digest = WlDigest(owned->query);
     index_.Insert(owned.get());
+    by_id_.emplace(owned->id, owned.get());
     cache_.push_back(std::move(owned));
   }
 }
@@ -136,14 +194,14 @@ std::vector<CacheEntryId> CacheManager::ResidentIdsByBenefit() const {
   return ids;
 }
 
+const CachedQuery* CacheManager::Find(CacheEntryId id) const {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
 CachedQuery* CacheManager::FindMutable(CacheEntryId id) {
-  for (auto& e : cache_) {
-    if (e->id == id) return e.get();
-  }
-  for (auto& e : window_) {
-    if (e->id == id) return e.get();
-  }
-  return nullptr;
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
 }
 
 }  // namespace gcp

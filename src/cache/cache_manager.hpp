@@ -9,12 +9,18 @@
 // Queries in *both* stores serve cache hits (paper §4: "cached
 // graphs/queries by default cover those previous queries in both cache and
 // window").
+//
+// Thread model: the CacheManager itself is not synchronized. The engine
+// (core/graphcache_plus) guarantees that every const member runs under a
+// shared lock and every mutating member under the exclusive lock; const
+// members therefore never touch mutable state.
 
 #ifndef GCP_CACHE_CACHE_MANAGER_HPP_
 #define GCP_CACHE_CACHE_MANAGER_HPP_
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/cache_entry.hpp"
@@ -33,6 +39,15 @@ struct CacheManagerOptions {
   std::uint64_t rng_seed = 7;         ///< For the RANDOM policy only.
 };
 
+/// How a cache entry contributed to a query — determines which per-entry
+/// and global hit counters a deferred credit bumps.
+enum class HitKind : std::uint8_t {
+  kExact,       ///< §6.3 case 1: isomorphic resident query.
+  kEmptyProof,  ///< §6.3 case 2: fully-valid empty-answer proof.
+  kSub,         ///< Positive transfer (new query ⊆ cached query).
+  kSuper,       ///< Pruning transfer (cached query ⊆ new query).
+};
+
 /// \brief Cache + Window stores with admission, replacement, validation.
 class CacheManager {
  public:
@@ -44,6 +59,32 @@ class CacheManager {
   CacheEntryId Admit(Graph query, CachedQueryKind kind, DynamicBitset answer,
                      DynamicBitset valid, std::uint64_t now,
                      double est_test_cost_ms);
+
+  /// Like Admit, but never merges: the concurrent engine batches queued
+  /// admissions and runs replacement once per maintenance drain (via
+  /// MaybeMergeWindow).
+  CacheEntryId AdmitDeferred(Graph query, CachedQueryKind kind,
+                             DynamicBitset answer, DynamicBitset valid,
+                             std::uint64_t now, double est_test_cost_ms);
+
+  /// Builds an admission-ready entry (features and WL digest extracted,
+  /// snapshots moved in) without touching any store — the part of
+  /// admission that can run off the exclusive lock.
+  static std::unique_ptr<CachedQuery> PrepareEntry(Graph query,
+                                                   CachedQueryKind kind,
+                                                   DynamicBitset answer,
+                                                   DynamicBitset valid,
+                                                   double est_test_cost_ms);
+
+  /// Window-admits an entry from PrepareEntry; only id assignment,
+  /// timestamps and index registration happen here. Never merges.
+  /// Returns the assigned id.
+  CacheEntryId AdmitPrepared(std::unique_ptr<CachedQuery> entry,
+                             std::uint64_t now);
+
+  /// Runs the window→cache merge iff the window reached capacity — the
+  /// once-per-drain replacement step paired with AdmitDeferred.
+  void MaybeMergeWindow();
 
   /// EVI purge: drops every resident entry (cache and window).
   void Clear();
@@ -59,6 +100,17 @@ class CacheManager {
   /// Records that entry `id` alleviated `tests_saved` sub-iso tests.
   void RecordBenefit(CacheEntryId id, std::uint64_t tests_saved,
                      std::uint64_t now);
+
+  /// Applies one deferred hit credit: RecordBenefit plus the per-entry and
+  /// global counters for `kind`. `zero_test_exact` marks an exact hit that
+  /// required no sub-iso test at all. No-op (except the global counters,
+  /// which record that the hit happened) when the entry was evicted
+  /// between discovery and drain.
+  void CreditHit(CacheEntryId id, HitKind kind, std::uint64_t tests_saved,
+                 std::uint64_t now, bool zero_test_exact = false);
+
+  /// O(1) entry lookup via the id→entry map; nullptr when not resident.
+  const CachedQuery* Find(CacheEntryId id) const;
 
   /// Mutable entry lookup (hit-kind counters); nullptr when not resident.
   CachedQuery* FindMutable(CacheEntryId id);
@@ -105,6 +157,10 @@ class CacheManager {
   CacheManagerOptions options_;
   std::vector<std::unique_ptr<CachedQuery>> cache_;
   std::vector<std::unique_ptr<CachedQuery>> window_;
+  /// Id→entry map over both stores, kept in sync by AdmitDeferred /
+  /// MergeWindowIntoCache / Clear / RestoreEntries. Backs the O(1)
+  /// Find/FindMutable on the per-hit RecordBenefit path.
+  std::unordered_map<CacheEntryId, CachedQuery*> by_id_;
   QueryIndex index_;
   StatisticsManager stats_;
   Rng rng_;

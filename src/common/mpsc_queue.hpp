@@ -1,0 +1,70 @@
+// Bounded multi-producer queue feeding the engine's serialized
+// maintenance phase.
+//
+// Many reader threads finish a query's read phase concurrently and hand
+// their deferred cache mutations (benefit credits, admission offers) to
+// whichever thread next holds the engine's exclusive lock. Producers never
+// block: TryPush fails when the queue is full, signalling the caller to
+// apply backpressure (take the exclusive lock and drain inline). The
+// consumer side is a single DrainAll under that exclusive lock, so batches
+// are applied in FIFO push order.
+
+#ifndef GCP_COMMON_MPSC_QUEUE_HPP_
+#define GCP_COMMON_MPSC_QUEUE_HPP_
+
+#include <algorithm>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace gcp {
+
+/// \brief Bounded FIFO queue: concurrent producers, serialized drain.
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  /// A zero capacity is clamped to 1 (a queue that can never accept an
+  /// item would force every producer down the backpressure path).
+  explicit BoundedMpscQueue(std::size_t capacity)
+      : capacity_(std::max<std::size_t>(1, capacity)) {
+    items_.reserve(capacity_);
+  }
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  /// Enqueues `item`; returns false (leaving `item` untouched) when the
+  /// queue is at capacity.
+  bool TryPush(T&& item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    return true;
+  }
+
+  /// Removes and returns every queued item in push order.
+  std::vector<T> DrainAll() {
+    std::vector<T> out;
+    out.reserve(capacity_);
+    std::lock_guard<std::mutex> lock(mu_);
+    out.swap(items_);
+    return out;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  bool empty() const { return size() == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<T> items_;
+};
+
+}  // namespace gcp
+
+#endif  // GCP_COMMON_MPSC_QUEUE_HPP_

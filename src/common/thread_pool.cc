@@ -22,18 +22,26 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (shutting_down_) return false;
     tasks_.push_back(std::move(task));
     ++in_flight_;
   }
   task_available_.notify_one();
+  return true;
 }
 
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr err = nullptr;
+    std::swap(err, first_error_);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::ParallelFor(std::size_t n,
@@ -48,19 +56,33 @@ void ThreadPool::ParallelFor(std::size_t n,
   std::atomic<std::size_t> remaining{shards};
   std::mutex done_mu;
   std::condition_variable done_cv;
-  for (std::size_t s = 0; s < shards; ++s) {
-    Submit([&] {
+  std::exception_ptr error;  // guarded by done_mu
+  const auto shard = [&] {
+    try {
       for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
         fn(i);
       }
-      if (remaining.fetch_sub(1) == 1) {
-        std::unique_lock<std::mutex> lock(done_mu);
-        done_cv.notify_all();
-      }
-    });
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (error == nullptr) error = std::current_exception();
+    }
+    if (remaining.fetch_sub(1) == 1) {
+      std::unique_lock<std::mutex> lock(done_mu);
+      done_cv.notify_all();
+    }
+  };
+  for (std::size_t s = 0; s < shards; ++s) {
+    // Submit only fails during shutdown; running the shard inline keeps
+    // every index covered and the remaining count balanced.
+    if (!Submit(shard)) shard();
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  std::exception_ptr err = nullptr;
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return remaining.load() == 0; });
+    std::swap(err, error);
+  }
+  if (err != nullptr) std::rethrow_exception(err);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -77,9 +99,17 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
-    task();
+    std::exception_ptr err = nullptr;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (err != nullptr && first_error_ == nullptr) {
+        first_error_ = err;
+      }
       if (--in_flight_ == 0) all_done_.notify_all();
     }
   }

@@ -5,10 +5,10 @@
 #ifndef GCP_COMMON_THREAD_POOL_HPP_
 #define GCP_COMMON_THREAD_POOL_HPP_
 
-#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -26,16 +26,22 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for asynchronous execution.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task for asynchronous execution. Returns false (and drops
+  /// the task) once shutdown has begun — tasks racing the destructor are
+  /// rejected instead of enqueued onto a draining pool.
+  bool Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. If any task threw
+  /// since the last WaitIdle(), rethrows the first such exception here
+  /// (worker threads never let exceptions escape WorkerLoop).
   void WaitIdle();
 
   std::size_t num_threads() const { return workers_.size(); }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  /// Falls back to inline execution for n <= 1.
+  /// Falls back to inline execution for n <= 1. If `fn` throws, the
+  /// throwing shard stops, the remaining shards finish their iterations,
+  /// and the first exception is rethrown on the calling thread.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
@@ -48,6 +54,8 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  /// First exception to escape a Submit()ed task; surfaced by WaitIdle().
+  std::exception_ptr first_error_;
 };
 
 }  // namespace gcp

@@ -1,10 +1,14 @@
 #include "core/graphcache_plus.hpp"
 
+#include <algorithm>
+
+#include "cache/cache_validator.hpp"
 #include "cache/snapshot.hpp"
 #include "cache/statistics.hpp"
 #include "common/stopwatch.hpp"
 #include "core/pruner.hpp"
 #include "dataset/log_analyzer.hpp"
+#include "graph/canonical.hpp"
 
 namespace gcp {
 
@@ -32,30 +36,117 @@ GraphCachePlus::GraphCachePlus(GraphDataset* dataset,
       discovery_(*internal_matcher_, options_),
       cache_(CacheManagerOptions{options.cache_capacity,
                                  options.window_capacity, options.policy,
-                                 options.rng_seed}) {}
+                                 options.rng_seed}),
+      pending_(options.maintenance_queue_capacity) {}
 
-void GraphCachePlus::SyncWithDataset(QueryMetrics* metrics) {
-  ScopedTimer timer(&metrics->t_validate_ns);
+bool GraphCachePlus::NeedsSyncLocked() const {
+  return dataset_->log().HasChangesSince(watermark_) ||
+         (ftv_ != nullptr && !ftv_->InSync());
+}
+
+void GraphCachePlus::SyncWithDatasetLocked(QueryMetrics* metrics) {
   const ChangeLog& log = dataset_->log();
-  if (!log.HasChangesSince(watermark_)) return;
-  if (options_.model == CacheModel::kEvi) {
-    // EVI: the Log Analyzer merely raises the changed flag; the Cache
-    // Validator clears the stores indiscriminately (paper §5.1).
-    cache_.Clear();
-  } else {
-    // CON: Algorithm 1 over the incremental records, then Algorithm 2 on
-    // every resident entry (paper §5.2).
-    const std::vector<ChangeRecord> records = log.ExtractSince(watermark_);
+  if (log.HasChangesSince(watermark_)) {
+    ScopedTimer timer(&metrics->t_validate_ns);
+    if (options_.model == CacheModel::kEvi) {
+      // EVI: the Log Analyzer merely raises the changed flag; the Cache
+      // Validator clears the stores indiscriminately (paper §5.1).
+      cache_.Clear();
+    } else {
+      // CON: Algorithm 1 over the incremental records, then Algorithm 2 on
+      // every resident entry (paper §5.2).
+      const std::vector<ChangeRecord> records = log.ExtractSince(watermark_);
+      const ChangeCounters counters = LogAnalyzer::Analyze(records);
+      cache_.ValidateAll(counters, dataset_->IdHorizon());
+      if (options_.retrospective_budget > 0) {
+        RetrospectiveRefresh(options_.retrospective_budget);
+      }
+    }
+    watermark_ = log.LatestSeq();
+  }
+  if (ftv_ != nullptr && !ftv_->InSync()) {
+    ScopedTimer timer(&metrics->t_index_ns);
+    ftv_->SyncWithDataset();
+  }
+}
+
+void GraphCachePlus::ApplyMaintenanceLocked(PendingMaintenance& batch) {
+  for (const HitCredit& c : batch.credits) {
+    cache_.CreditHit(c.id, c.kind, c.tests_saved, batch.query_id,
+                     c.zero_test_exact);
+  }
+  if (!batch.offer.has_value()) return;
+  AdmissionOffer& offer = *batch.offer;
+  const bool stale = offer.observed_watermark != watermark_;
+  if (stale && options_.model == CacheModel::kEvi) {
+    // EVI keeps no pre-change knowledge: an offer computed before the
+    // change the cache already purged for is dropped, exactly as a
+    // resident entry would have been.
+    return;
+  }
+  const CacheEntryId id =
+      cache_.AdmitPrepared(std::move(offer.entry), batch.query_id);
+  if (stale) {
+    // CON: forward-validate the snapshot through Algorithms 1 + 2 over
+    // exactly the records the cache has already reconciled, so the new
+    // entry joins the resident set at the cache watermark. Records past
+    // the watermark are left for the next sync (which refreshes every
+    // resident entry uniformly).
+    std::vector<ChangeRecord> records =
+        dataset_->log().ExtractSince(offer.observed_watermark);
+    records.erase(std::remove_if(records.begin(), records.end(),
+                                 [this](const ChangeRecord& r) {
+                                   return r.seq > watermark_;
+                                 }),
+                  records.end());
     const ChangeCounters counters = LogAnalyzer::Analyze(records);
-    cache_.ValidateAll(counters, dataset_->IdHorizon());
-    if (options_.retrospective_budget > 0) {
-      RetrospectiveRefresh(options_.retrospective_budget);
+    CachedQuery* e = cache_.FindMutable(id);
+    if (e != nullptr) {
+      CacheValidator::RefreshEntry(*e, counters, dataset_->IdHorizon());
     }
   }
-  watermark_ = log.LatestSeq();
+}
+
+void GraphCachePlus::DrainMaintenanceLocked() {
+  std::vector<PendingMaintenance> batches = pending_.DrainAll();
+  if (batches.empty()) return;
+  for (PendingMaintenance& b : batches) ApplyMaintenanceLocked(b);
+  // Replacement runs once per drain, however many admissions landed.
+  cache_.MaybeMergeWindow();
+}
+
+void GraphCachePlus::ApplyDatasetChanges(
+    const std::function<void(GraphDataset&)>& fn) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  DrainMaintenanceLocked();
+  fn(*dataset_);
+}
+
+void GraphCachePlus::FlushMaintenance() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::int64_t drain_ns = 0;
+  {
+    ScopedTimer timer(&drain_ns);
+    DrainMaintenanceLocked();
+  }
+  // Attribute the quiescing drain to maintenance overhead so end-of-run
+  // flushes (e.g. the runner's) don't make deferral look free.
+  std::lock_guard<std::mutex> agg_lock(agg_mu_);
+  aggregate_.t_maintenance_ns += drain_ns;
+}
+
+void GraphCachePlus::ResetAggregate() {
+  std::lock_guard<std::mutex> lock(agg_mu_);
+  aggregate_ = AggregateMetrics();
+}
+
+AggregateMetrics GraphCachePlus::AggregateSnapshot() const {
+  std::lock_guard<std::mutex> lock(agg_mu_);
+  return aggregate_;
 }
 
 Status GraphCachePlus::SaveCache(const std::string& path) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   CacheSnapshot snapshot;
   snapshot.watermark = watermark_;
   snapshot.id_horizon = dataset_->IdHorizon();
@@ -67,6 +158,7 @@ Status GraphCachePlus::LoadCache(const std::string& path) {
   auto snapshot = ReadCacheSnapshotFromFile(path);
   if (!snapshot.ok()) return snapshot.status();
   CacheSnapshot& s = snapshot.value();
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (s.watermark > dataset_->log().LatestSeq()) {
     return Status::FailedPrecondition(
         "snapshot watermark is ahead of the dataset change log — not the "
@@ -81,6 +173,10 @@ Status GraphCachePlus::LoadCache(const std::string& path) {
       return Status::Corruption("snapshot entry width != snapshot horizon");
     }
   }
+  // Settle queued maintenance before the restore wipes the stores it
+  // refers to (stale credits would silently no-op; admissions from the
+  // pre-restore cache would duplicate restored entries).
+  DrainMaintenanceLocked();
   cache_.RestoreEntries(std::move(s.entries));
   // Resume from the snapshot's watermark: the next query's sync replays
   // the incremental suffix, re-establishing consistency.
@@ -120,112 +216,148 @@ void GraphCachePlus::RetrospectiveRefresh(std::size_t budget) {
 QueryResult GraphCachePlus::Query(const Graph& g, QueryKind kind) {
   QueryResult result;
   QueryMetrics& m = result.metrics;
-  m.query_id = query_counter_++;
+  m.query_id = query_counter_.fetch_add(1, std::memory_order_relaxed);
 
-  // --- Dataset Manager: reconcile dataset changes with the cache. --------
-  SyncWithDataset(&m);
+  PendingMaintenance pending;
+  pending.query_id = m.query_id;
 
-  // --- Method M candidate generation: whole live dataset, or the FTV
-  // filter when Method M is equipped with the updatable index. -------------
-  DynamicBitset csm;
-  if (ftv_ != nullptr) {
-    ScopedTimer timer(&m.t_index_ns);
-    ftv_->SyncWithDataset();
-    csm = ftv_->CandidateSet(
-        GraphFeatures::Extract(g),
-        kind == QueryKind::kSubgraph ? FtvQueryDirection::kSubgraph
-                                     : FtvQueryDirection::kSupergraph);
-  } else {
-    csm = dataset_->LiveMask();
-  }
-  m.candidates_initial = csm.Count();
-
-  // --- Query Processing Runtime: hit discovery. ---------------------------
-  Stopwatch probe_watch;
-  const DiscoveredHits hits = discovery_.Discover(g, kind, cache_, csm, &m);
-  m.t_probe_ns = probe_watch.ElapsedNanos();
-
-  // --- Candidate-set pruning (formulas (1)-(5), §6.3 shortcuts). ----------
-  Stopwatch prune_watch;
-  const PruneOutcome pruned = CandidateSetPruner::Prune(hits, csm, &m);
-  m.t_prune_ns = prune_watch.ElapsedNanos();
-
-  // --- Method M verification on the reduced candidate set. ----------------
-  Stopwatch verify_watch;
   DynamicBitset answer_bits;
-  if (pruned.direct) {
-    answer_bits = pruned.answer_direct;
-  } else {
-    answer_bits =
-        method_m_.VerifyCandidates(g, kind, pruned.candidates, &m.si_tests);
-    // Formula (3): verified graphs plus direct transfers.
-    answer_bits.OrWith(pruned.answer_direct);
-  }
-  m.t_verify_ns = verify_watch.ElapsedNanos();
-  m.answer_size = answer_bits.Count();
-
-  // --- Statistics Manager: credit contributing entries. -------------------
   {
-    StatisticsManager& stats = cache_.stats();
+    // ===== Read phase (shared lock) ======================================
+    std::shared_lock<std::shared_mutex> read_lock(mu_);
+
+    // --- Dataset Manager: reconcile dataset changes with the cache. ------
+    // Upgrade to the exclusive lock only when the change log moved past
+    // the cache watermark (or the FTV index lags); queued maintenance
+    // drains first so deferred admissions are validated like residents.
+    // The loop re-checks after the downgrade: another thread may have
+    // synced for us, or applied a further change.
+    while (NeedsSyncLocked()) {
+      read_lock.unlock();
+      {
+        std::unique_lock<std::shared_mutex> write_lock(mu_);
+        DrainMaintenanceLocked();
+        SyncWithDatasetLocked(&m);
+      }
+      read_lock.lock();
+    }
+
+    // --- Method M candidate generation: whole live dataset, or the FTV
+    // filter when Method M is equipped with the updatable index. ----------
+    DynamicBitset csm;
+    if (ftv_ != nullptr) {
+      ScopedTimer timer(&m.t_index_ns);
+      csm = ftv_->CandidateSet(
+          GraphFeatures::Extract(g),
+          kind == QueryKind::kSubgraph ? FtvQueryDirection::kSubgraph
+                                       : FtvQueryDirection::kSupergraph);
+    } else {
+      csm = dataset_->LiveMask();
+    }
+    m.candidates_initial = csm.Count();
+
+    // --- Query Processing Runtime: hit discovery. -------------------------
+    Stopwatch probe_watch;
+    const DiscoveredHits hits = discovery_.Discover(g, kind, cache_, csm, &m);
+    m.t_probe_ns = probe_watch.ElapsedNanos();
+
+    // --- Candidate-set pruning (formulas (1)-(5), §6.3 shortcuts). --------
+    Stopwatch prune_watch;
+    const PruneOutcome pruned = CandidateSetPruner::Prune(hits, csm, &m);
+    m.t_prune_ns = prune_watch.ElapsedNanos();
+
+    // --- Method M verification on the reduced candidate set. --------------
+    Stopwatch verify_watch;
+    if (pruned.direct) {
+      answer_bits = pruned.answer_direct;
+    } else {
+      answer_bits =
+          method_m_.VerifyCandidates(g, kind, pruned.candidates, &m.si_tests);
+      // Formula (3): verified graphs plus direct transfers.
+      answer_bits.OrWith(pruned.answer_direct);
+    }
+    m.t_verify_ns = verify_watch.ElapsedNanos();
+    m.answer_size = answer_bits.Count();
+
+    // --- Statistics Manager: defer credits for contributing entries. The
+    // hit pointers die with the shared lock, so only ids and computed
+    // benefits leave the read phase. -------------------------------------
     if (hits.exact != nullptr) {
-      cache_.RecordBenefit(hits.exact->id, pruned.saved_positive,
-                           m.query_id);
-      CachedQuery* e = cache_.FindMutable(hits.exact->id);
-      if (e != nullptr) ++e->exact_hits;
-      ++stats.total_exact_hits;
-      if (m.si_tests == 0) ++stats.total_exact_hits_zero_test;
+      pending.credits.push_back({hits.exact->id, HitKind::kExact,
+                                 pruned.saved_positive, m.si_tests == 0});
     }
     if (hits.empty_proof != nullptr) {
-      cache_.RecordBenefit(hits.empty_proof->id, pruned.saved_pruning,
-                           m.query_id);
-      CachedQuery* e = cache_.FindMutable(hits.empty_proof->id);
-      if (e != nullptr) ++e->super_hits;
-      ++stats.total_empty_shortcuts;
+      pending.credits.push_back({hits.empty_proof->id, HitKind::kEmptyProof,
+                                 pruned.saved_pruning, false});
     }
     for (const CachedQuery* hit : hits.positive) {
       const std::uint64_t standalone =
           DynamicBitset::And(hit->valid, hit->answer).CountAnd(csm);
-      cache_.RecordBenefit(hit->id, standalone, m.query_id);
-      CachedQuery* e = cache_.FindMutable(hit->id);
-      if (e != nullptr) ++e->sub_hits;
-      ++stats.total_sub_hits;
+      pending.credits.push_back({hit->id, HitKind::kSub, standalone, false});
     }
     for (const CachedQuery* hit : hits.pruning) {
       const std::uint64_t standalone =
           DynamicBitset::AndNot(hit->valid, hit->answer).CountAnd(csm);
-      cache_.RecordBenefit(hit->id, standalone, m.query_id);
-      CachedQuery* e = cache_.FindMutable(hit->id);
-      if (e != nullptr) ++e->super_hits;
-      ++stats.total_super_hits;
+      pending.credits.push_back({hit->id, HitKind::kSuper, standalone, false});
     }
-  }
 
-  // --- Cache Manager: admission + replacement (maintenance overhead). -----
-  {
-    ScopedTimer timer(&m.t_maintenance_ns);
-    // Exact hits carry no new knowledge — the isomorphic entry is already
-    // resident; everything else executed is offered to the window.
+    // --- Cache Manager: defer the admission offer, stamped with the
+    // watermark the answer snapshot is consistent with. Exact hits carry
+    // no new knowledge — the isomorphic entry is already resident. --------
     if (options_.enable_admission && hits.exact == nullptr) {
+      // Entry preparation is admission work executed early (off the
+      // exclusive lock), so it bills to maintenance, not query time.
+      ScopedTimer timer(&m.t_maintenance_ns);
+      AdmissionOffer offer;
       // C is a *structural* estimate (after [25]), deliberately not a wall
       // time: the paper's Figure 5 premise — "whatever SI method being the
       // Method M, GC+ results exactly the same pruned candidate set" —
       // requires every cache decision (incl. PINC/HD scoring) to be
       // method-independent.
-      const double est_cost = StatisticsManager::StructuralCostEstimateMs(g);
       DynamicBitset valid(dataset_->IdHorizon());
       valid.SetAll();
-      cache_.Admit(g,
-                   kind == QueryKind::kSubgraph ? CachedQueryKind::kSubgraph
-                                                : CachedQueryKind::kSupergraph,
-                   answer_bits, std::move(valid), m.query_id, est_cost);
+      offer.entry = CacheManager::PrepareEntry(
+          g,
+          kind == QueryKind::kSubgraph ? CachedQueryKind::kSubgraph
+                                       : CachedQueryKind::kSupergraph,
+          answer_bits, std::move(valid),
+          StatisticsManager::StructuralCostEstimateMs(g));
+      offer.observed_watermark = watermark_;
+      pending.offer = std::move(offer);
     }
-  }
+  }  // ===== shared lock released =========================================
 
   result.answer.reserve(answer_bits.Count());
   answer_bits.ForEachSetBit([&result](std::size_t id) {
     result.answer.push_back(static_cast<GraphId>(id));
   });
-  aggregate_.Add(m);
+
+  // ===== Maintenance hand-off ============================================
+  if (!pending.credits.empty() || pending.offer.has_value()) {
+    if (pending_.TryPush(std::move(pending))) {
+      // Opportunistic drain: single-threaded callers always win this
+      // try_lock, so maintenance lands immediately (serial behavior is
+      // unchanged); under reader contention the batch simply waits for
+      // the next drain — the "off the critical path" of paper §4.
+      std::unique_lock<std::shared_mutex> write_lock(mu_, std::try_to_lock);
+      if (write_lock.owns_lock()) {
+        ScopedTimer timer(&m.t_maintenance_ns);
+        DrainMaintenanceLocked();
+      }
+    } else {
+      // Backpressure: the bounded queue is full — drain inline.
+      std::unique_lock<std::shared_mutex> write_lock(mu_);
+      ScopedTimer timer(&m.t_maintenance_ns);
+      DrainMaintenanceLocked();
+      ApplyMaintenanceLocked(pending);
+      cache_.MaybeMergeWindow();
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(agg_mu_);
+    aggregate_.Add(m);
+  }
   return result;
 }
 

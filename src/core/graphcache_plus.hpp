@@ -14,14 +14,44 @@
 // the remaining candidates; the answer is assembled (formula (3)); the
 // executed query enters the admission window and replacement may run —
 // accounted as maintenance overhead, off the query's critical path.
+//
+// Concurrency (the paper's §4 line, taken literally): the query path is
+// split into
+//   * a READ PHASE — watermark check, hit discovery, pruning, Method M
+//     verification — executed by many client threads concurrently under a
+//     shared lock against an immutable view of the cache and dataset, and
+//   * a MAINTENANCE PHASE — benefit recording, admission, window→cache
+//     merge, change-log reconciliation — serialized under the exclusive
+//     lock. Read phases hand their deferred mutations (as id-based
+//     credits and watermark-stamped admission offers) to a bounded MPSC
+//     queue; whichever thread next acquires the exclusive lock drains the
+//     queue as one batch, so replacement runs once per drain.
+// Invariants:
+//   1. Answers are exact: a read phase observes a dataset+cache state
+//      that is internally consistent (the recheck loop re-syncs before
+//      reading whenever the change log moved past the cache watermark),
+//      and cache contents only ever prune or transfer — never alter —
+//      the answer (Theorems 3/6).
+//   2. Deferred knowledge is never admitted as fresher than it is: an
+//      admission offer carries the watermark its answer was computed at;
+//      a stale offer is forward-validated through Algorithms 1+2 (CON)
+//      or dropped (EVI) at drain time.
+//   3. Dataset mutations go through ApplyDatasetChanges once queries run
+//      concurrently, making every change atomic w.r.t. read phases.
 
 #ifndef GCP_CORE_GRAPHCACHE_PLUS_HPP_
 #define GCP_CORE_GRAPHCACHE_PLUS_HPP_
 
+#include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
 #include <vector>
 
 #include "cache/cache_manager.hpp"
+#include "common/mpsc_queue.hpp"
 #include "common/thread_pool.hpp"
 #include "core/method_m.hpp"
 #include "core/metrics.hpp"
@@ -56,18 +86,37 @@ class GraphCachePlus {
     return Query(g, QueryKind::kSupergraph);
   }
 
-  /// Executes a query of the given kind.
+  /// Executes a query of the given kind. Thread-safe: any number of
+  /// threads may query one instance concurrently, provided concurrent
+  /// dataset mutations go through ApplyDatasetChanges.
   QueryResult Query(const Graph& g, QueryKind kind);
+
+  /// Runs `fn(dataset)` under the exclusive lock, after draining pending
+  /// maintenance: concurrent read phases never observe a half-applied
+  /// change. The only safe way to mutate the dataset while queries are in
+  /// flight (single-threaded callers may keep mutating the dataset
+  /// directly between queries).
+  void ApplyDatasetChanges(const std::function<void(GraphDataset&)>& fn);
+
+  /// Drains every queued maintenance batch, bringing the cache to a
+  /// quiescent state (exposed for tests, snapshots and benches).
+  void FlushMaintenance();
 
   /// Cumulative metrics since construction or the last ResetAggregate()
   /// (benches reset after warm-up, mirroring the paper's one-window
-  /// warm-up).
+  /// warm-up). Safe only when no queries are in flight; use
+  /// AggregateSnapshot() concurrently.
   const AggregateMetrics& aggregate() const { return aggregate_; }
-  void ResetAggregate() { aggregate_ = AggregateMetrics(); }
+  void ResetAggregate();
+
+  /// Thread-safe copy of the aggregate metrics.
+  AggregateMetrics AggregateSnapshot() const;
 
   /// Persists the warm cache (entries + the change-log watermark they are
   /// consistent with). A later process over the same dataset lineage can
-  /// LoadCache and skip the cold start.
+  /// LoadCache and skip the cold start. Queued-but-undrained admissions
+  /// are not part of the snapshot (call FlushMaintenance first to include
+  /// them).
   Status SaveCache(const std::string& path) const;
 
   /// Restores a snapshot saved by SaveCache. The dataset's change log
@@ -84,12 +133,54 @@ class GraphCachePlus {
   const FtvIndex* ftv_index() const { return ftv_.get(); }
 
  private:
+  /// One deferred hit credit: entry id + benefit, applied at drain time
+  /// by CacheManager::CreditHit. Id-based on purpose — the entry may have
+  /// been evicted by the time the credit lands.
+  struct HitCredit {
+    CacheEntryId id = 0;
+    HitKind kind = HitKind::kSub;
+    std::uint64_t tests_saved = 0;
+    bool zero_test_exact = false;
+  };
+
+  /// A deferred admission: a fully-prepared cache entry (query copy,
+  /// features, WL digest, answer and validity snapshots — all computed in
+  /// the read phase to keep the exclusive section minimal), stamped with
+  /// the watermark the read phase observed so a drain that happens after
+  /// further dataset changes can tell how stale the knowledge is.
+  struct AdmissionOffer {
+    std::unique_ptr<CachedQuery> entry;
+    LogSeq observed_watermark = 0;
+  };
+
+  /// Everything one query defers from its read phase.
+  struct PendingMaintenance {
+    std::uint64_t query_id = 0;
+    std::vector<HitCredit> credits;
+    std::optional<AdmissionOffer> offer;
+  };
+
+  /// True when the next read phase must not start yet: the change log
+  /// moved past the cache watermark, or the FTV index lags. Requires at
+  /// least the shared lock.
+  bool NeedsSyncLocked() const;
+
   /// Dataset Manager sync: reconcile unprocessed change-log records with
-  /// the cache (Algorithms 1 + 2 for CON; full purge for EVI).
-  void SyncWithDataset(QueryMetrics* metrics);
+  /// the cache (Algorithms 1 + 2 for CON; full purge for EVI), then bring
+  /// the FTV index up to date. Requires the exclusive lock.
+  void SyncWithDatasetLocked(QueryMetrics* metrics);
+
+  /// Applies every queued batch, then runs replacement at most once.
+  /// Requires the exclusive lock.
+  void DrainMaintenanceLocked();
+
+  /// Applies one batch: credits, then the admission offer (forward-
+  /// validated or dropped when stale). Requires the exclusive lock.
+  void ApplyMaintenanceLocked(PendingMaintenance& batch);
 
   /// §8 future-work extension: re-verify up to `budget` invalidated
   /// (entry, live graph) pairs, restoring validity with fresh knowledge.
+  /// Requires the exclusive lock.
   void RetrospectiveRefresh(std::size_t budget);
 
   GraphDataset* dataset_;
@@ -99,9 +190,20 @@ class GraphCachePlus {
   MethodM method_m_;
   std::unique_ptr<SubgraphMatcher> internal_matcher_;
   HitDiscovery discovery_;
+
+  /// Guards cache_, watermark_, ftv_ mutation and the dataset: read
+  /// phases hold it shared, maintenance/sync/dataset changes exclusive.
+  mutable std::shared_mutex mu_;
   CacheManager cache_;
   LogSeq watermark_ = 0;
-  std::uint64_t query_counter_ = 0;
+
+  /// Read phases enqueue here; drains happen under the exclusive lock.
+  BoundedMpscQueue<PendingMaintenance> pending_;
+
+  std::atomic<std::uint64_t> query_counter_{0};
+
+  /// Guards aggregate_ — per-thread QueryMetrics merge through here.
+  mutable std::mutex agg_mu_;
   AggregateMetrics aggregate_;
 };
 

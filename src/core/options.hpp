@@ -71,6 +71,12 @@ struct GraphCachePlusOptions {
   /// Worker threads for Method M verification (1 = serial).
   std::size_t verify_threads = 1;
 
+  /// Capacity of the bounded MPSC maintenance queue that decouples the
+  /// shared-lock read phase from the serialized maintenance phase. A
+  /// query whose deferred mutations find the queue full applies
+  /// backpressure: it takes the exclusive lock and drains inline.
+  std::size_t maintenance_queue_capacity = 64;
+
   /// Seed for cache-internal randomness (RANDOM policy).
   std::uint64_t rng_seed = 7;
 };

@@ -74,6 +74,14 @@ class ChangePlanExecutor {
   /// True when every batch has fired.
   bool Exhausted() const { return next_batch_ >= plan_.batches.size(); }
 
+  /// Query id the next unfired batch is scheduled at; kNoBatch when
+  /// exhausted. Lets concurrent runners skip the (serializing) dataset
+  /// lock when no batch is due.
+  static constexpr std::uint32_t kNoBatch = 0xffffffffu;
+  std::uint32_t NextBatchAt() const {
+    return Exhausted() ? kNoBatch : plan_.batches[next_batch_].at_query;
+  }
+
   std::size_t ops_applied() const { return ops_applied_; }
   std::size_t ops_skipped() const { return ops_skipped_; }
 

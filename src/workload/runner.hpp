@@ -42,6 +42,15 @@ struct RunnerConfig {
   /// Queries executed before measurement starts (paper: one window).
   std::size_t warmup_queries = 20;
   std::size_t verify_threads = 1;
+  /// Closed-loop client threads sharing the one GraphCachePlus instance.
+  /// 1 = the classic serial loop. With N > 1, warm-up still runs serially
+  /// (deterministic warm cache), then N threads pull queries from a shared
+  /// ticket; plan batches fire through ApplyDatasetChanges, serialized
+  /// against in-flight read phases. Answers stay exact w.r.t. the dataset
+  /// state each query observes, but the query↔change interleaving is no
+  /// longer deterministic — cross-mode answer equivalence holds only for
+  /// an empty change plan.
+  std::size_t client_threads = 1;
   std::size_t max_sub_hits = 16;
   std::size_t max_super_hits = 16;
   /// CON-only retrospective validation budget per sync (0 = off, §8).
@@ -66,6 +75,18 @@ struct RunReport {
   std::vector<std::vector<GraphId>> answers;
   /// Wall time of the whole run (ms).
   double total_wall_ms = 0.0;
+  /// Wall time of the post-warm-up (measured) span (ms) — the throughput
+  /// denominator for the scaling bench.
+  double measured_wall_ms = 0.0;
+  /// Queries in the measured span.
+  std::size_t measured_queries = 0;
+
+  double qps() const {
+    return measured_wall_ms <= 0.0
+               ? 0.0
+               : static_cast<double>(measured_queries) /
+                     (measured_wall_ms / 1000.0);
+  }
 
   double avg_query_ms() const { return agg.AvgQueryTimeMs(); }
   double avg_overhead_ms() const { return agg.AvgOverheadMs(); }

@@ -147,6 +147,100 @@ TEST(CacheManagerTest, IndexCoversWindowAndCache) {
   EXPECT_EQ(cm.window_size(), 1u);
 }
 
+TEST(CacheManagerTest, FindResolvesBothStores) {
+  CacheManager cm(SmallOptions(4, 3));
+  const CacheEntryId a = AdmitQuery(cm, 0, 5, 0);
+  const CacheEntryId b = AdmitQuery(cm, 1, 5, 1);
+  const CachedQuery* ea = cm.Find(a);
+  ASSERT_NE(ea, nullptr);
+  EXPECT_EQ(ea->id, a);
+  EXPECT_TRUE(ea->in_window);
+  EXPECT_EQ(cm.Find(b), cm.FindMutable(b));
+  EXPECT_EQ(cm.Find(999), nullptr);
+  EXPECT_EQ(cm.FindMutable(999), nullptr);
+}
+
+TEST(CacheManagerTest, IdMapSurvivesMergeAndDropsEvicted) {
+  CacheManager cm(SmallOptions(/*cache=*/2, /*window=*/2));
+  const CacheEntryId a = AdmitQuery(cm, 0, 5, 0);
+  const CacheEntryId b = AdmitQuery(cm, 1, 5, 1);  // merge #1: both fit
+  cm.RecordBenefit(b, 10, 2);
+  const CacheEntryId c = AdmitQuery(cm, 2, 5, 3);
+  cm.RecordBenefit(c, 5, 3);
+  const CacheEntryId d = AdmitQuery(cm, 3, 5, 4);  // merge #2: evicts a and d
+  EXPECT_EQ(cm.Find(a), nullptr);
+  EXPECT_EQ(cm.Find(d), nullptr);
+  ASSERT_NE(cm.Find(b), nullptr);
+  ASSERT_NE(cm.Find(c), nullptr);
+  EXPECT_FALSE(cm.Find(b)->in_window);
+}
+
+TEST(CacheManagerTest, IdMapClearedByClearAndRebuiltByRestore) {
+  CacheManager cm(SmallOptions(4, 3));
+  const CacheEntryId a = AdmitQuery(cm, 0, 5, 0);
+  const std::vector<CachedQuery> exported = cm.ExportEntries();
+  cm.Clear();
+  EXPECT_EQ(cm.Find(a), nullptr);
+  cm.RestoreEntries(exported);
+  ASSERT_EQ(cm.resident(), 1u);
+  // Restore assigns fresh ids; the map must resolve the new id, not the
+  // old one.
+  const std::vector<CacheEntryId> ids = cm.ResidentIdsByBenefit();
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_NE(cm.Find(ids[0]), nullptr);
+  EXPECT_EQ(cm.Find(a), nullptr);
+}
+
+TEST(CacheManagerTest, AdmitDeferredSkipsMergeUntilMaybeMergeWindow) {
+  CacheManager cm(SmallOptions(/*cache=*/4, /*window=*/2));
+  DynamicBitset answer(5);
+  DynamicBitset valid(5, true);
+  cm.AdmitDeferred(MakePath({0, 0}), CachedQueryKind::kSubgraph, answer, valid,
+                   0, 1.0);
+  cm.AdmitDeferred(MakePath({1, 1}), CachedQueryKind::kSubgraph, answer, valid,
+                   1, 1.0);
+  cm.AdmitDeferred(MakePath({2, 2}), CachedQueryKind::kSubgraph, answer, valid,
+                   2, 1.0);
+  // Three deferred admissions overshoot the window capacity of 2 without
+  // triggering replacement...
+  EXPECT_EQ(cm.window_size(), 3u);
+  EXPECT_EQ(cm.cache_size(), 0u);
+  // ...until the once-per-drain merge runs.
+  cm.MaybeMergeWindow();
+  EXPECT_EQ(cm.window_size(), 0u);
+  EXPECT_EQ(cm.cache_size(), 3u);
+  // Below capacity the merge is a no-op.
+  cm.MaybeMergeWindow();
+  EXPECT_EQ(cm.cache_size(), 3u);
+}
+
+TEST(CacheManagerTest, CreditHitBumpsKindCounters) {
+  CacheManager cm(SmallOptions(4, 4));
+  const CacheEntryId a = AdmitQuery(cm, 0, 5, 0);
+  cm.CreditHit(a, HitKind::kExact, 3, 1, /*zero_test_exact=*/true);
+  cm.CreditHit(a, HitKind::kSub, 2, 2);
+  cm.CreditHit(a, HitKind::kSuper, 1, 3);
+  cm.CreditHit(a, HitKind::kEmptyProof, 4, 4);
+  const CachedQuery* e = cm.Find(a);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->exact_hits, 1u);
+  EXPECT_EQ(e->sub_hits, 1u);
+  EXPECT_EQ(e->super_hits, 2u);  // kSuper + kEmptyProof
+  EXPECT_EQ(e->tests_saved, 10u);
+  EXPECT_EQ(e->hits, 4u);
+  EXPECT_EQ(cm.stats().total_exact_hits, 1u);
+  EXPECT_EQ(cm.stats().total_exact_hits_zero_test, 1u);
+  EXPECT_EQ(cm.stats().total_sub_hits, 1u);
+  EXPECT_EQ(cm.stats().total_super_hits, 1u);
+  EXPECT_EQ(cm.stats().total_empty_shortcuts, 1u);
+  EXPECT_EQ(cm.stats().total_tests_saved, 10u);
+  // Credits against an evicted id keep the global counters (the hit did
+  // happen) but touch no entry.
+  cm.CreditHit(999, HitKind::kSub, 7, 5);
+  EXPECT_EQ(cm.stats().total_sub_hits, 2u);
+  EXPECT_EQ(cm.stats().total_tests_saved, 10u);
+}
+
 TEST(CacheManagerTest, HybridPolicyRecordsEffectiveChoice) {
   CacheManager cm(SmallOptions(1, 2, ReplacementPolicy::kHybrid));
   const CacheEntryId a = AdmitQuery(cm, 0, 5, 0, /*cost=*/1.0);

@@ -1,0 +1,82 @@
+#include "common/mpsc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace gcp {
+namespace {
+
+TEST(MpscQueueTest, PushDrainPreservesFifoOrder) {
+  BoundedMpscQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.TryPush(int(i)));
+  EXPECT_EQ(q.size(), 5u);
+  const std::vector<int> drained = q.DrainAll();
+  EXPECT_EQ(drained, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MpscQueueTest, TryPushFailsAtCapacityAndLeavesItemIntact) {
+  BoundedMpscQueue<std::vector<int>> q(2);
+  EXPECT_TRUE(q.TryPush(std::vector<int>{1}));
+  EXPECT_TRUE(q.TryPush(std::vector<int>{2}));
+  std::vector<int> rejected{3, 4, 5};
+  EXPECT_FALSE(q.TryPush(std::move(rejected)));
+  // The rejected item must not have been moved-from.
+  EXPECT_EQ(rejected.size(), 3u);
+  EXPECT_EQ(q.size(), 2u);
+  q.DrainAll();
+  EXPECT_TRUE(q.TryPush(std::move(rejected)));
+}
+
+TEST(MpscQueueTest, ZeroCapacityClampsToOne) {
+  BoundedMpscQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.TryPush(7));
+  EXPECT_FALSE(q.TryPush(8));
+}
+
+TEST(MpscQueueTest, DrainOnEmptyReturnsNothing) {
+  BoundedMpscQueue<int> q(4);
+  EXPECT_TRUE(q.DrainAll().empty());
+}
+
+TEST(MpscQueueTest, ConcurrentProducersLoseNoAcceptedItem) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  BoundedMpscQueue<int> q(64);
+  std::atomic<int> accepted{0};
+  std::vector<int> drained;
+  std::atomic<bool> done{false};
+
+  std::thread consumer([&] {
+    while (!done.load() || q.size() > 0) {
+      for (int v : q.DrainAll()) drained.push_back(v);
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (q.TryPush(p * kPerProducer + i)) accepted.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  done.store(true);
+  consumer.join();
+  for (int v : q.DrainAll()) drained.push_back(v);
+
+  EXPECT_EQ(drained.size(), static_cast<std::size_t>(accepted.load()));
+  // No duplicates: every drained value is unique.
+  std::sort(drained.begin(), drained.end());
+  EXPECT_TRUE(std::adjacent_find(drained.begin(), drained.end()) ==
+              drained.end());
+}
+
+}  // namespace
+}  // namespace gcp

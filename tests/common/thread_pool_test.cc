@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace gcp {
@@ -82,6 +84,72 @@ TEST(ThreadPoolTest, NestedSubmitFromTask) {
   });
   pool.WaitIdle();
   EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, SubmitAcceptedWhileRunning) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.Submit([] {}));
+  pool.WaitIdle();
+}
+
+TEST(ThreadPoolTest, SubmitRejectedDuringShutdown) {
+  // A task that outlives the destructor's shutdown flag tries to enqueue
+  // follow-up work; the pool must reject it instead of leaving it queued
+  // on a draining pool.
+  std::atomic<bool> rejected{false};
+  std::atomic<bool> entered{false};
+  {
+    ThreadPool pool(1);
+    pool.Submit([&] {
+      entered.store(true);
+      // Wait until the destructor raised shutting_down_.
+      while (pool.Submit([] {})) {
+        std::this_thread::yield();
+      }
+      rejected.store(true);
+    });
+    while (!entered.load()) std::this_thread::yield();
+    // Destructor runs now, flips shutting_down_, and joins.
+  }
+  EXPECT_TRUE(rejected.load());
+}
+
+TEST(ThreadPoolTest, WaitIdleRethrowsTaskException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.Submit([] { throw std::runtime_error("task boom"); });
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&completed] { completed.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.WaitIdle(), std::runtime_error);
+  // The error is consumed: the pool is reusable afterwards.
+  pool.Submit([&completed] { completed.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(completed.load(), 9);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  EXPECT_THROW(pool.ParallelFor(64,
+                                [&](std::size_t i) {
+                                  calls.fetch_add(1);
+                                  if (i == 5) {
+                                    throw std::runtime_error("shard boom");
+                                  }
+                                }),
+               std::runtime_error);
+  // Pool stays usable: in_flight bookkeeping survived the exception.
+  pool.ParallelFor(10, [&](std::size_t) { calls.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_GE(calls.load(), 10);
+}
+
+TEST(ThreadPoolTest, ParallelForInlineExceptionForSingleItem) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.ParallelFor(1, [](std::size_t) { throw std::logic_error("n=1"); }),
+      std::logic_error);
 }
 
 }  // namespace

@@ -1,0 +1,238 @@
+// Concurrency stress: N client threads share one GraphCachePlus and fire
+// mixed sub/super queries, interleaved with dataset changes; every answer
+// must be bit-exact vs. (a) uncached Method M on the dataset state the
+// query observed and (b) a serial replay of the same schedule.
+//
+// The oracle leans on the exactness theorems (3/6): a GC+ answer depends
+// ONLY on the dataset state the read phase observes, never on the cache
+// contents — so with changes applied at phase barriers, every query of a
+// phase has one well-defined reference answer, no matter how admissions
+// and drains interleave. The serial replay additionally exercises a cache
+// that evolved along a different admission order.
+//
+// A second test keeps a mutator thread applying changes *during* the
+// query storm (through ApplyDatasetChanges). There the interleaving makes
+// per-query references ill-defined, so it asserts structural invariants
+// only — it exists to give TSan/ASan real reader-vs-maintenance overlap.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/graphcache_plus.hpp"
+#include "dataset/aids_like.hpp"
+#include "workload/type_a.hpp"
+
+namespace gcp {
+namespace {
+
+constexpr std::size_t kThreads = 4;
+constexpr std::size_t kPhases = 3;
+constexpr std::size_t kQueriesPerPhase = 24;
+
+std::vector<Graph> SmallCorpus() {
+  AidsLikeOptions opts;
+  opts.num_graphs = 60;
+  opts.mean_vertices = 10.0;
+  opts.stddev_vertices = 3.0;
+  opts.min_vertices = 4;
+  opts.max_vertices = 16;
+  opts.num_labels = 8;
+  opts.seed = 1234;
+  return AidsLikeGenerator(opts).Generate();
+}
+
+GraphCachePlusOptions StressOptions(CacheModel model) {
+  GraphCachePlusOptions opts;
+  opts.model = model;
+  opts.cache_capacity = 16;
+  opts.window_capacity = 4;
+  // A tiny queue forces the backpressure (inline drain) path too.
+  opts.maintenance_queue_capacity = 8;
+  return opts;
+}
+
+QueryKind KindOf(std::size_t query_idx) {
+  return query_idx % 2 == 0 ? QueryKind::kSubgraph : QueryKind::kSupergraph;
+}
+
+/// Uncached Method M over the full live dataset — the exactness reference.
+std::vector<GraphId> ReferenceAnswer(const GraphDataset& ds, const Graph& q,
+                                     QueryKind kind) {
+  MethodM m(MatcherKind::kVf2, ds);
+  const DynamicBitset bits = m.VerifyCandidates(q, kind, ds.LiveMask());
+  std::vector<GraphId> out;
+  bits.ForEachSetBit(
+      [&out](std::size_t id) { out.push_back(static_cast<GraphId>(id)); });
+  return out;
+}
+
+/// Deterministic phase-barrier change batch: the same ops applied to two
+/// datasets in identical states produce identical states.
+void ApplyPhaseChanges(GraphDataset& ds, const std::vector<Graph>& corpus,
+                       std::size_t phase) {
+  ds.AddGraph(corpus[(7 * phase + 3) % corpus.size()]);
+  const std::vector<GraphId> live = ds.LiveIds();
+  const GraphId victim = live[(11 * phase + 5) % live.size()];
+  ASSERT_TRUE(ds.DeleteGraph(victim).ok());
+  // Edge update on the first live graph with an edge between its first
+  // two vertices (UR) — and re-add it on even phases (UA).
+  for (const GraphId id : ds.LiveIds()) {
+    const Graph& g = ds.graph(id);
+    if (g.NumVertices() >= 2 && g.HasEdge(0, 1)) {
+      ASSERT_TRUE(ds.RemoveEdge(id, 0, 1).ok());
+      if (phase % 2 == 0) {
+        ASSERT_TRUE(ds.AddEdge(id, 0, 1).ok());
+      }
+      break;
+    }
+  }
+}
+
+void RunPhasedStress(CacheModel model) {
+  const std::vector<Graph> corpus = SmallCorpus();
+  const Workload w = GenerateTypeAByName(corpus, "ZU", kPhases * kQueriesPerPhase,
+                                         /*seed=*/77, /*zipf_alpha=*/1.2);
+  ASSERT_EQ(w.size(), kPhases * kQueriesPerPhase);
+
+  GraphDataset ds;
+  ds.Bootstrap(corpus);
+  GraphCachePlus gc(&ds, StressOptions(model));
+
+  // Serial-replay twin: identical initial state, identical schedule, but
+  // queries execute one at a time in index order.
+  GraphDataset ds_serial;
+  ds_serial.Bootstrap(corpus);
+  GraphCachePlus gc_serial(&ds_serial, StressOptions(model));
+
+  std::vector<std::vector<GraphId>> concurrent_answers(w.size());
+
+  for (std::size_t phase = 0; phase < kPhases; ++phase) {
+    const std::size_t begin = phase * kQueriesPerPhase;
+    const std::size_t end = begin + kQueriesPerPhase;
+
+    // Concurrent execution of this phase's slice.
+    std::atomic<std::size_t> ticket{begin};
+    std::vector<std::thread> clients;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      clients.emplace_back([&] {
+        for (std::size_t i = ticket.fetch_add(1); i < end;
+             i = ticket.fetch_add(1)) {
+          concurrent_answers[i] =
+              gc.Query(w.queries[i].query, KindOf(i)).answer;
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+
+    // Oracle 1: uncached Method M on the (fixed-for-the-phase) dataset.
+    // Oracle 2: the serial replay.
+    for (std::size_t i = begin; i < end; ++i) {
+      EXPECT_EQ(concurrent_answers[i],
+                ReferenceAnswer(ds, w.queries[i].query, KindOf(i)))
+          << "phase " << phase << " query " << i << " diverged from Method M";
+      EXPECT_EQ(gc_serial.Query(w.queries[i].query, KindOf(i)).answer,
+                concurrent_answers[i])
+          << "phase " << phase << " query " << i
+          << " diverged from the serial replay";
+    }
+
+    // Identical changes on both twins at the barrier.
+    if (phase + 1 < kPhases) {
+      gc.ApplyDatasetChanges([&corpus, phase](GraphDataset& d) {
+        ApplyPhaseChanges(d, corpus, phase);
+      });
+      gc_serial.ApplyDatasetChanges([&corpus, phase](GraphDataset& d) {
+        ApplyPhaseChanges(d, corpus, phase);
+      });
+      ASSERT_EQ(ds.NumLive(), ds_serial.NumLive());
+      ASSERT_EQ(ds.IdHorizon(), ds_serial.IdHorizon());
+    }
+  }
+
+  // Post-run sanity: quiescent drains leave coherent stores.
+  gc.FlushMaintenance();
+  EXPECT_LE(gc.cache_manager().cache_size(), StressOptions(model).cache_capacity);
+  const AggregateMetrics agg = gc.AggregateSnapshot();
+  EXPECT_EQ(agg.queries, w.size());
+}
+
+TEST(ConcurrentStressTest, PhasedAnswersBitExactCon) {
+  RunPhasedStress(CacheModel::kCon);
+}
+
+TEST(ConcurrentStressTest, PhasedAnswersBitExactEvi) {
+  RunPhasedStress(CacheModel::kEvi);
+}
+
+TEST(ConcurrentStressTest, ChurnWithConcurrentMutatorHoldsInvariants) {
+  const std::vector<Graph> corpus = SmallCorpus();
+  const Workload w =
+      GenerateTypeAByName(corpus, "ZU", 96, /*seed=*/78, /*zipf_alpha=*/1.2);
+
+  GraphDataset ds;
+  ds.Bootstrap(corpus);
+  GraphCachePlus gc(&ds, StressOptions(CacheModel::kCon));
+
+  std::atomic<std::size_t> ticket{0};
+  std::atomic<bool> clients_done{false};
+  std::atomic<std::uint64_t> answered{0};
+  // The horizon only grows, so every answered id must sit below the final
+  // horizon; checked after the join (reading the dataset mid-churn from
+  // the test would itself race the mutator).
+  std::atomic<std::uint64_t> max_answer_id{0};
+
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&] {
+      for (std::size_t i = ticket.fetch_add(1); i < w.size();
+           i = ticket.fetch_add(1)) {
+        const QueryResult r = gc.Query(w.queries[i].query, KindOf(i));
+        if (!r.answer.empty()) {
+          std::uint64_t seen = max_answer_id.load();
+          while (seen < r.answer.back() &&
+                 !max_answer_id.compare_exchange_weak(seen, r.answer.back())) {
+          }
+        }
+        answered.fetch_add(1);
+      }
+    });
+  }
+  // Mutator races the clients through the exclusive-lock door.
+  std::thread mutator([&] {
+    std::size_t round = 0;
+    while (!clients_done.load()) {
+      gc.ApplyDatasetChanges([&corpus, &round](GraphDataset& d) {
+        d.AddGraph(corpus[round % corpus.size()]);
+        const std::vector<GraphId> live = d.LiveIds();
+        if (live.size() > corpus.size() / 2) {
+          d.DeleteGraph(live[(3 * round) % live.size()]).ok();
+        }
+        ++round;
+      });
+      std::this_thread::yield();
+    }
+  });
+  for (auto& c : clients) c.join();
+  clients_done.store(true);
+  mutator.join();
+
+  gc.FlushMaintenance();
+  EXPECT_EQ(answered.load(), w.size());
+  EXPECT_LT(max_answer_id.load(), gc.dataset().IdHorizon());
+  EXPECT_EQ(gc.AggregateSnapshot().queries, w.size());
+  // Residents must all be aligned once a final sync runs (next query
+  // triggers it); force one and check.
+  const Graph probe = w.queries[0].query;
+  gc.Query(probe, QueryKind::kSubgraph);
+  const std::size_t horizon = gc.dataset().IdHorizon();
+  gc.cache_manager().ForEachEntry([&](const CachedQuery& e) {
+    EXPECT_EQ(e.valid.size(), horizon);
+    EXPECT_EQ(e.answer.size(), horizon);
+  });
+}
+
+}  // namespace
+}  // namespace gcp

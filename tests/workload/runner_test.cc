@@ -66,6 +66,40 @@ TEST(RunnerTest, RecordAnswersCoversAllQueries) {
   EXPECT_EQ(r.answers.size(), 30u);
 }
 
+TEST(RunnerTest, ConcurrentClientsMatchSerialAnswersOnStaticDataset) {
+  // With an empty change plan the query↔change interleaving is trivially
+  // deterministic, so the concurrent closed-loop must reproduce the serial
+  // answers bit-exactly (exactness does not depend on cache state).
+  Fixture f = Fixture::Make(5, 60);
+  f.plan = ChangePlan();
+  RunnerConfig serial;
+  serial.mode = RunMode::kCon;
+  serial.warmup_queries = 10;
+  serial.record_answers = true;
+  RunnerConfig concurrent = serial;
+  concurrent.client_threads = 4;
+  const RunReport s = RunWorkload(f.initial, f.workload, f.plan, serial);
+  const RunReport c = RunWorkload(f.initial, f.workload, f.plan, concurrent);
+  EXPECT_EQ(s.answers, c.answers);
+  EXPECT_EQ(c.agg.queries, f.workload.size() - 10);
+  EXPECT_EQ(c.measured_queries, f.workload.size() - 10);
+  EXPECT_GT(c.qps(), 0.0);
+}
+
+TEST(RunnerTest, ConcurrentClientsWithChangePlanStayExactPerQuery) {
+  // With a live change plan the interleaving is nondeterministic, but the
+  // run must still complete every query and aggregate every metric.
+  const Fixture f = Fixture::Make(6, 60);
+  RunnerConfig cfg;
+  cfg.mode = RunMode::kCon;
+  cfg.warmup_queries = 0;
+  cfg.client_threads = 3;
+  cfg.record_answers = true;
+  const RunReport r = RunWorkload(f.initial, f.workload, f.plan, cfg);
+  EXPECT_EQ(r.agg.queries, f.workload.size());
+  EXPECT_EQ(r.answers.size(), f.workload.size());
+}
+
 TEST(RunnerTest, ConSavesTestsOverMethodM) {
   const Fixture f = Fixture::Make(4, 120);
   RunnerConfig base;
