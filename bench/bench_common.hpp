@@ -57,6 +57,11 @@ struct BenchConfig {
   /// Closed-loop client threads sharing one GraphCachePlus (the runner's
   /// --threads flag; bench_throughput_scaling sweeps 1..this).
   std::size_t client_threads = 1;
+  /// Run the legacy hot path (per-pair match state + brute-force
+  /// discovery scan) instead of the optimized one (--legacy).
+  bool legacy_hot_path = false;
+  /// When non-empty, also emit machine-readable results here (--json=...).
+  std::string json_path;
 
   static BenchConfig FromFlags(const Flags& flags) {
     BenchConfig c;
@@ -110,6 +115,8 @@ struct BenchConfig {
         flags.GetInt("verify-threads", c.verify_threads));
     c.client_threads =
         static_cast<std::size_t>(flags.GetInt("threads", c.client_threads));
+    c.legacy_hot_path = flags.GetBool("legacy", c.legacy_hot_path);
+    c.json_path = flags.GetString("json", c.json_path);
     return c;
   }
 
@@ -178,9 +185,75 @@ inline RunnerConfig MakeRunnerConfig(RunMode mode, MatcherKind method,
   rc.client_threads = cfg.client_threads;
   rc.max_sub_hits = cfg.max_sub_hits;
   rc.max_super_hits = cfg.max_super_hits;
+  rc.legacy_hot_path = cfg.legacy_hot_path;
   rc.plan_seed = cfg.seed + 404;
   return rc;
 }
+
+/// Method M verification throughput: sub-iso tests per second of verify
+/// wall time — the Figure 5 "how fast does verification itself run" axis.
+inline double VerifyThroughputTestsPerSec(const RunReport& r) {
+  return r.agg.t_verify_ns <= 0
+             ? 0.0
+             : static_cast<double>(r.agg.si_tests) /
+                   (static_cast<double>(r.agg.t_verify_ns) / 1e9);
+}
+
+/// Average per-query hit-discovery (cache probe) time in ms — candidate
+/// enumeration plus utilities plus containment verification of hits.
+inline double AvgProbeMs(const RunReport& r) {
+  return r.agg.queries == 0
+             ? 0.0
+             : static_cast<double>(r.agg.t_probe_ns) / 1e6 /
+                   static_cast<double>(r.agg.queries);
+}
+
+/// Average per-query candidate-enumeration time in ms (the slice of probe
+/// the inverted feature-signature index attacks).
+inline double AvgDiscoverMs(const RunReport& r) {
+  return r.agg.queries == 0
+             ? 0.0
+             : static_cast<double>(r.agg.t_discover_ns) / 1e6 /
+                   static_cast<double>(r.agg.queries);
+}
+
+/// Minimal JSON writer for the before/after bench reports: an object of
+/// "rows", each a flat field map. Callers pass alternating key/value
+/// already-formatted fields.
+class JsonWriter {
+ public:
+  explicit JsonWriter(const std::string& path, const char* bench,
+                      const BenchConfig& cfg) {
+    f_ = std::fopen(path.c_str(), "w");
+    if (f_ == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      std::exit(2);
+    }
+    std::fprintf(f_,
+                 "{\n  \"bench\": \"%s\",\n  \"config\": {\"graphs\": %u, "
+                 "\"queries\": %u, \"cache\": %zu, \"window\": %zu, "
+                 "\"batches\": %u, \"ops_per_batch\": %u, \"seed\": %llu},\n"
+                 "  \"rows\": [",
+                 bench, cfg.graphs, cfg.queries, cfg.cache_capacity,
+                 cfg.window_capacity, cfg.batches, cfg.ops_per_batch,
+                 static_cast<unsigned long long>(cfg.seed));
+  }
+  ~JsonWriter() {
+    if (f_ != nullptr) {
+      std::fprintf(f_, "\n  ]\n}\n");
+      std::fclose(f_);
+    }
+  }
+
+  void Row(const std::string& fields) {
+    std::fprintf(f_, "%s\n    {%s}", first_ ? "" : ",", fields.c_str());
+    first_ = false;
+  }
+
+ private:
+  std::FILE* f_ = nullptr;
+  bool first_ = true;
+};
 
 inline void PrintConfig(const BenchConfig& cfg, const char* bench_name) {
   std::printf("# %s\n", bench_name);

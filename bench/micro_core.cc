@@ -5,7 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <memory>
+
 #include "cache/cache_validator.hpp"
+#include "cache/query_index.hpp"
 #include "common/bitset.hpp"
 #include "dataset/aids_like.hpp"
 #include "dataset/change_log.hpp"
@@ -148,6 +152,94 @@ void BM_SubIsoGql(benchmark::State& s) {
 BENCHMARK(BM_SubIsoVf2);
 BENCHMARK(BM_SubIsoVf2Plus);
 BENCHMARK(BM_SubIsoGql);
+
+// The same VF2+ kernel with per-query prepared contexts (the Method M
+// usage pattern): BM_SubIsoVf2Plus above is the per-pair "before", this is
+// the reusable-MatchContext "after".
+void BM_SubIsoVf2PlusPrepared(benchmark::State& state) {
+  AidsLikeOptions opts;
+  opts.num_graphs = 64;
+  opts.seed = 5;
+  AidsLikeGenerator gen(opts);
+  const std::vector<Graph> targets = gen.Generate();
+  Rng rng(6);
+  std::vector<Graph> queries;
+  for (int i = 0; i < 16; ++i) {
+    const Graph& src = targets[rng.UniformBelow(targets.size())];
+    queries.push_back(ExtractBfsQuery(
+        src, static_cast<VertexId>(rng.UniformBelow(src.NumVertices())),
+        12));
+  }
+  std::map<Label, std::uint32_t> freq;
+  for (const Graph& t : targets) {
+    for (const auto& [l, c] : t.label_histogram()) freq[l] += c;
+  }
+  const LabelHistogram global(freq.begin(), freq.end());
+  const auto matcher = MakeMatcher(MatcherKind::kVf2Plus);
+  std::vector<std::unique_ptr<PreparedPattern>> prepared;
+  for (const Graph& q : queries) prepared.push_back(matcher->Prepare(q, &global));
+  std::size_t qi = 0, ti = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        matcher->ContainsPrepared(*prepared[qi], targets[ti]));
+    qi = (qi + 1) % queries.size();
+    ti = (ti + 7) % targets.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SubIsoVf2PlusPrepared);
+
+// Hit discovery over a paper-scale resident population (120 entries):
+// brute-force feature scan (before) vs the inverted feature-signature
+// index (after). Both probe the same query stream and return identical
+// candidate sets.
+void QueryIndexKernel(benchmark::State& state, bool indexed) {
+  AidsLikeOptions opts;
+  opts.num_graphs = 64;
+  opts.seed = 11;
+  AidsLikeGenerator gen(opts);
+  const std::vector<Graph> corpus = gen.Generate();
+  Rng rng(12);
+  std::vector<std::unique_ptr<CachedQuery>> entries;
+  QueryIndex index;
+  for (int i = 0; i < 120; ++i) {
+    const Graph& src = corpus[rng.UniformBelow(corpus.size())];
+    Graph q = ExtractBfsQuery(
+        src, static_cast<VertexId>(rng.UniformBelow(src.NumVertices())),
+        4 + rng.UniformBelow(10));
+    auto e = std::make_unique<CachedQuery>();
+    e->id = static_cast<CacheEntryId>(i + 1);
+    e->features = GraphFeatures::Extract(q);
+    e->digest = WlDigest(q);
+    e->query = std::move(q);
+    index.Insert(e.get());
+    entries.push_back(std::move(e));
+  }
+  std::vector<GraphFeatures> probes;
+  for (int i = 0; i < 32; ++i) {
+    const Graph& src = corpus[rng.UniformBelow(corpus.size())];
+    probes.push_back(GraphFeatures::Extract(ExtractBfsQuery(
+        src, static_cast<VertexId>(rng.UniformBelow(src.NumVertices())),
+        4 + rng.UniformBelow(10))));
+  }
+  std::size_t pi = 0;
+  for (auto _ : state) {
+    const GraphFeatures& p = probes[pi];
+    if (indexed) {
+      benchmark::DoNotOptimize(index.SupergraphCandidates(p).size());
+      benchmark::DoNotOptimize(index.SubgraphCandidates(p).size());
+    } else {
+      benchmark::DoNotOptimize(index.SupergraphCandidatesScan(p).size());
+      benchmark::DoNotOptimize(index.SubgraphCandidatesScan(p).size());
+    }
+    pi = (pi + 1) % probes.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+void BM_HitDiscoveryScan(benchmark::State& s) { QueryIndexKernel(s, false); }
+void BM_HitDiscoveryIndexed(benchmark::State& s) { QueryIndexKernel(s, true); }
+BENCHMARK(BM_HitDiscoveryScan);
+BENCHMARK(BM_HitDiscoveryIndexed);
 
 }  // namespace
 }  // namespace gcp

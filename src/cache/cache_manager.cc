@@ -151,6 +151,31 @@ void CacheManager::CreditHit(CacheEntryId id, HitKind kind,
   }
 }
 
+void CacheManager::CreditHitsBatched(
+    const std::vector<EntryCreditSum>& credits) {
+  for (const EntryCreditSum& c : credits) {
+    CachedQuery* e = FindMutable(c.id);
+    if (e != nullptr) {
+      StatisticsManager::RecordBenefitSum(*e, c.tests_saved, c.hit_count,
+                                          c.last_used);
+      e->exact_hits += c.exact;
+      e->sub_hits += c.sub;
+      // kEmptyProof credits count towards super_hits, as in CreditHit.
+      e->super_hits += c.super + c.empty_proof;
+      // Benefit totals only accrue for entries still resident — identical
+      // to RecordBenefit's no-op on evicted ids.
+      stats_.total_tests_saved += c.tests_saved;
+    }
+    // Per-kind global counters record the hits whether or not the entry
+    // survived until the drain — identical to the per-credit path.
+    stats_.total_exact_hits += c.exact;
+    stats_.total_exact_hits_zero_test += c.zero_test_exact;
+    stats_.total_empty_shortcuts += c.empty_proof;
+    stats_.total_sub_hits += c.sub;
+    stats_.total_super_hits += c.super;
+  }
+}
+
 std::vector<CachedQuery> CacheManager::ExportEntries() const {
   std::vector<CachedQuery> out;
   out.reserve(resident());

@@ -109,6 +109,27 @@ class CacheManager {
   void CreditHit(CacheEntryId id, HitKind kind, std::uint64_t tests_saved,
                  std::uint64_t now, bool zero_test_exact = false);
 
+  /// All hit credits one maintenance drain produced for a single entry,
+  /// summed so the exclusive-lock section applies one update per entry
+  /// instead of one per hit. Equivalent to the matching CreditHit
+  /// sequence: `tests_saved` is the benefit sum, `hit_count` the number of
+  /// credits, `last_used` the `now` of the last credit in drain order.
+  struct EntryCreditSum {
+    CacheEntryId id = 0;
+    std::uint64_t tests_saved = 0;
+    std::uint64_t hit_count = 0;
+    std::uint64_t last_used = 0;
+    std::uint32_t exact = 0;
+    std::uint32_t empty_proof = 0;
+    std::uint32_t sub = 0;
+    std::uint32_t super = 0;
+    std::uint32_t zero_test_exact = 0;
+  };
+
+  /// Applies a batch of per-entry credit sums (one entry lookup and one
+  /// counter update per entry per drain).
+  void CreditHitsBatched(const std::vector<EntryCreditSum>& credits);
+
   /// O(1) entry lookup via the id→entry map; nullptr when not resident.
   const CachedQuery* Find(CacheEntryId id) const;
 

@@ -1,36 +1,76 @@
 #include "cache/query_index.hpp"
 
+#include <algorithm>
+#include <bit>
+
 namespace gcp {
+
+std::uint64_t QueryIndex::LabelMaskOf(const GraphFeatures& f) {
+  std::uint64_t mask = 0;
+  for (const auto& [label, count] : f.label_counts) {
+    mask |= 1ULL << (label & 63u);
+  }
+  return mask;
+}
+
+std::uint32_t QueryIndex::BandOf(std::uint32_t num_vertices) {
+  return num_vertices == 0 ? 0 : std::bit_width(num_vertices) - 1;
+}
 
 void QueryIndex::Insert(const CachedQuery* entry) {
   entries_[entry->id] = entry;
-  by_digest_.emplace(entry->digest, entry->id);
+  by_digest_.emplace(entry->digest, entry);
+  bands_[BandOf(entry->features.num_vertices)].push_back(
+      Posting{entry, LabelMaskOf(entry->features),
+              entry->features.num_vertices, entry->features.num_edges});
 }
 
 void QueryIndex::Erase(CacheEntryId id) {
   const auto it = entries_.find(id);
   if (it == entries_.end()) return;
-  const std::uint64_t digest = it->second->digest;
+  const CachedQuery* entry = it->second;
   entries_.erase(it);
-  auto [lo, hi] = by_digest_.equal_range(digest);
+  auto [lo, hi] = by_digest_.equal_range(entry->digest);
   for (auto dit = lo; dit != hi; ++dit) {
-    if (dit->second == id) {
+    if (dit->second->id == id) {
       by_digest_.erase(dit);
       break;
     }
+  }
+  const auto bit = bands_.find(BandOf(entry->features.num_vertices));
+  if (bit != bands_.end()) {
+    auto& postings = bit->second;
+    postings.erase(std::remove_if(postings.begin(), postings.end(),
+                                  [id](const Posting& p) {
+                                    return p.entry->id == id;
+                                  }),
+                   postings.end());
+    if (postings.empty()) bands_.erase(bit);
   }
 }
 
 void QueryIndex::Clear() {
   entries_.clear();
   by_digest_.clear();
+  bands_.clear();
 }
 
 std::vector<const CachedQuery*> QueryIndex::SupergraphCandidates(
     const GraphFeatures& g) const {
   std::vector<const CachedQuery*> out;
-  for (const auto& [id, entry] : entries_) {
-    if (g.CouldBeSubgraphOf(entry->features)) out.push_back(entry);
+  out.reserve(entries_.size());
+  const std::uint64_t mask = LabelMaskOf(g);
+  // Entries that could contain g have num_vertices >= g.num_vertices, so
+  // they live in g's band or above.
+  for (auto it = bands_.lower_bound(BandOf(g.num_vertices));
+       it != bands_.end(); ++it) {
+    for (const Posting& p : it->second) {
+      if (p.num_vertices < g.num_vertices || p.num_edges < g.num_edges ||
+          (mask & ~p.label_mask) != 0) {
+        continue;
+      }
+      if (g.CouldBeSubgraphOf(p.entry->features)) out.push_back(p.entry);
+    }
   }
   return out;
 }
@@ -38,6 +78,38 @@ std::vector<const CachedQuery*> QueryIndex::SupergraphCandidates(
 std::vector<const CachedQuery*> QueryIndex::SubgraphCandidates(
     const GraphFeatures& g) const {
   std::vector<const CachedQuery*> out;
+  out.reserve(entries_.size());
+  const std::uint64_t mask = LabelMaskOf(g);
+  // Entries contained in g have num_vertices <= g.num_vertices: bands up
+  // to and including g's band.
+  const std::uint32_t last_band = BandOf(g.num_vertices);
+  for (auto it = bands_.begin(); it != bands_.end() && it->first <= last_band;
+       ++it) {
+    for (const Posting& p : it->second) {
+      if (p.num_vertices > g.num_vertices || p.num_edges > g.num_edges ||
+          (p.label_mask & ~mask) != 0) {
+        continue;
+      }
+      if (p.entry->features.CouldBeSubgraphOf(g)) out.push_back(p.entry);
+    }
+  }
+  return out;
+}
+
+std::vector<const CachedQuery*> QueryIndex::SupergraphCandidatesScan(
+    const GraphFeatures& g) const {
+  std::vector<const CachedQuery*> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    if (g.CouldBeSubgraphOf(entry->features)) out.push_back(entry);
+  }
+  return out;
+}
+
+std::vector<const CachedQuery*> QueryIndex::SubgraphCandidatesScan(
+    const GraphFeatures& g) const {
+  std::vector<const CachedQuery*> out;
+  out.reserve(entries_.size());
   for (const auto& [id, entry] : entries_) {
     if (entry->features.CouldBeSubgraphOf(g)) out.push_back(entry);
   }
@@ -48,10 +120,8 @@ std::vector<const CachedQuery*> QueryIndex::DigestMatches(
     std::uint64_t digest) const {
   std::vector<const CachedQuery*> out;
   auto [lo, hi] = by_digest_.equal_range(digest);
-  for (auto it = lo; it != hi; ++it) {
-    const auto eit = entries_.find(it->second);
-    if (eit != entries_.end()) out.push_back(eit->second);
-  }
+  out.reserve(static_cast<std::size_t>(std::distance(lo, hi)));
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
   return out;
 }
 

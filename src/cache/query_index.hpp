@@ -8,11 +8,24 @@
 // pattern *to the cache itself* (the role iGQ [25] plays inside
 // GraphCache): feature dominance shortlists candidates, the processors
 // verify survivors with a matcher on query-sized graphs.
+//
+// Discovery is served by an inverted feature-signature index: every
+// resident entry is posted under a vertex-count band together with a
+// 64-bit label-set mask and its vertex/edge counts. A containment probe
+// walks only the bands that can satisfy the count constraint, screens each
+// posting with three integer comparisons plus one mask test (a sound
+// superset of the dominance candidates), and verifies survivors with the
+// full CouldBeSubgraphOf dominance check — cost proportional to the
+// candidates, not to the resident population. The legacy O(resident)
+// scans remain available (*Scan) as the reference implementation for
+// equivalence tests and before/after benchmarks; both paths return
+// identical candidate sets.
 
 #ifndef GCP_CACHE_QUERY_INDEX_HPP_
 #define GCP_CACHE_QUERY_INDEX_HPP_
 
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -45,12 +58,38 @@ class QueryIndex {
   std::vector<const CachedQuery*> SubgraphCandidates(
       const GraphFeatures& g) const;
 
+  /// Brute-force reference implementations: scan every resident entry and
+  /// apply the dominance check. Return exactly the same candidate sets as
+  /// the indexed versions (asserted by the equivalence tests; also the
+  /// "before" side of the discovery benchmarks).
+  std::vector<const CachedQuery*> SupergraphCandidatesScan(
+      const GraphFeatures& g) const;
+  std::vector<const CachedQuery*> SubgraphCandidatesScan(
+      const GraphFeatures& g) const;
+
   /// Cached queries with WL digest `digest` (exact-match / dedup probes).
   std::vector<const CachedQuery*> DigestMatches(std::uint64_t digest) const;
 
  private:
+  /// One inverted-index posting: the screening features of a resident
+  /// entry, flattened so a probe touches one contiguous array per band.
+  struct Posting {
+    const CachedQuery* entry;
+    std::uint64_t label_mask;  ///< Bit l%64 set iff label l occurs.
+    std::uint32_t num_vertices;
+    std::uint32_t num_edges;
+  };
+
+  static std::uint64_t LabelMaskOf(const GraphFeatures& f);
+  /// Band of a vertex count: floor(log2(nv)) — monotone in nv, so a count
+  /// constraint translates into a band range.
+  static std::uint32_t BandOf(std::uint32_t num_vertices);
+
+  /// Band → postings in insertion order (keeps candidate order
+  /// deterministic across runs).
+  std::map<std::uint32_t, std::vector<Posting>> bands_;
   std::unordered_map<CacheEntryId, const CachedQuery*> entries_;
-  std::unordered_multimap<std::uint64_t, CacheEntryId> by_digest_;
+  std::unordered_multimap<std::uint64_t, const CachedQuery*> by_digest_;
 };
 
 }  // namespace gcp

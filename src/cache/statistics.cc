@@ -25,8 +25,15 @@ double StatisticsManager::StructuralCostEstimateMs(const Graph& query) {
 void StatisticsManager::RecordBenefit(CachedQuery& entry,
                                       std::uint64_t tests_saved,
                                       std::uint64_t now) {
+  RecordBenefitSum(entry, tests_saved, 1, now);
+}
+
+void StatisticsManager::RecordBenefitSum(CachedQuery& entry,
+                                         std::uint64_t tests_saved,
+                                         std::uint64_t hit_count,
+                                         std::uint64_t now) {
   entry.tests_saved += tests_saved;
-  ++entry.hits;
+  entry.hits += hit_count;
   entry.last_used_at = now;
 }
 

@@ -34,6 +34,12 @@ class StatisticsManager {
   static void RecordBenefit(CachedQuery& entry, std::uint64_t tests_saved,
                             std::uint64_t now);
 
+  /// Batched form: `hit_count` RecordBenefit calls summing `tests_saved`,
+  /// the last at workload position `now`. Kept here so the per-credit and
+  /// per-drain paths can never diverge on benefit accounting.
+  static void RecordBenefitSum(CachedQuery& entry, std::uint64_t tests_saved,
+                               std::uint64_t hit_count, std::uint64_t now);
+
   // --- Global counters (reported by the hit-anatomy bench) ---------------
   std::uint64_t total_exact_hits = 0;
   std::uint64_t total_exact_hits_zero_test = 0;

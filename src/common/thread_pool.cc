@@ -53,10 +53,10 @@ void ThreadPool::ParallelFor(std::size_t n,
   }
   std::atomic<std::size_t> next{0};
   const std::size_t shards = std::min(workers_.size(), n);
-  std::atomic<std::size_t> remaining{shards};
   std::mutex done_mu;
   std::condition_variable done_cv;
-  std::exception_ptr error;  // guarded by done_mu
+  std::size_t remaining = shards;  // guarded by done_mu
+  std::exception_ptr error;        // guarded by done_mu
   const auto shard = [&] {
     try {
       for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
@@ -66,10 +66,11 @@ void ThreadPool::ParallelFor(std::size_t n,
       std::lock_guard<std::mutex> lock(done_mu);
       if (error == nullptr) error = std::current_exception();
     }
-    if (remaining.fetch_sub(1) == 1) {
-      std::unique_lock<std::mutex> lock(done_mu);
-      done_cv.notify_all();
-    }
+    // The final decrement and its notify both happen under done_mu: the
+    // waiter can only observe remaining == 0 (and destroy these locals)
+    // after the last worker has released the lock.
+    std::lock_guard<std::mutex> lock(done_mu);
+    if (--remaining == 0) done_cv.notify_all();
   };
   for (std::size_t s = 0; s < shards; ++s) {
     // Submit only fails during shutdown; running the shard inline keeps
@@ -79,7 +80,7 @@ void ThreadPool::ParallelFor(std::size_t n,
   std::exception_ptr err = nullptr;
   {
     std::unique_lock<std::mutex> lock(done_mu);
-    done_cv.wait(lock, [&] { return remaining.load() == 0; });
+    done_cv.wait(lock, [&] { return remaining == 0; });
     std::swap(err, error);
   }
   if (err != nullptr) std::rethrow_exception(err);

@@ -31,7 +31,8 @@ GraphCachePlus::GraphCachePlus(GraphDataset* dataset,
                 : nullptr),
       ftv_(options.use_ftv_index ? std::make_unique<FtvIndex>(*dataset)
                                  : nullptr),
-      method_m_(options.method_m, *dataset, pool_.get()),
+      method_m_(options.method_m, *dataset, pool_.get(),
+                options.reuse_match_context),
       internal_matcher_(MakeMatcher(options.internal_matcher)),
       discovery_(*internal_matcher_, options_),
       cache_(CacheManagerOptions{options.cache_capacity,
@@ -70,11 +71,44 @@ void GraphCachePlus::SyncWithDatasetLocked(QueryMetrics* metrics) {
   }
 }
 
-void GraphCachePlus::ApplyMaintenanceLocked(PendingMaintenance& batch) {
-  for (const HitCredit& c : batch.credits) {
-    cache_.CreditHit(c.id, c.kind, c.tests_saved, batch.query_id,
-                     c.zero_test_exact);
+std::vector<CacheManager::EntryCreditSum> GraphCachePlus::SumCredits(
+    std::span<const PendingMaintenance> batches) {
+  // One EntryCreditSum per distinct entry, in first-credit order (the
+  // order CreditHit calls would have touched them).
+  std::vector<CacheManager::EntryCreditSum> sums;
+  std::unordered_map<CacheEntryId, std::size_t> slot_of;
+  for (const PendingMaintenance& batch : batches) {
+    for (const HitCredit& c : batch.credits) {
+      const auto [it, inserted] = slot_of.emplace(c.id, sums.size());
+      if (inserted) {
+        sums.emplace_back();
+        sums.back().id = c.id;
+      }
+      CacheManager::EntryCreditSum& sum = sums[it->second];
+      sum.tests_saved += c.tests_saved;
+      ++sum.hit_count;
+      sum.last_used = batch.query_id;
+      switch (c.kind) {
+        case HitKind::kExact:
+          ++sum.exact;
+          if (c.zero_test_exact) ++sum.zero_test_exact;
+          break;
+        case HitKind::kEmptyProof:
+          ++sum.empty_proof;
+          break;
+        case HitKind::kSub:
+          ++sum.sub;
+          break;
+        case HitKind::kSuper:
+          ++sum.super;
+          break;
+      }
+    }
   }
+  return sums;
+}
+
+void GraphCachePlus::ApplyMaintenanceLocked(PendingMaintenance& batch) {
   if (!batch.offer.has_value()) return;
   AdmissionOffer& offer = *batch.offer;
   const bool stale = offer.observed_watermark != watermark_;
@@ -110,6 +144,12 @@ void GraphCachePlus::ApplyMaintenanceLocked(PendingMaintenance& batch) {
 void GraphCachePlus::DrainMaintenanceLocked() {
   std::vector<PendingMaintenance> batches = pending_.DrainAll();
   if (batches.empty()) return;
+  // Benefit credits are summed per entry across the whole drain and
+  // applied as one update per entry; a credit can never reference an
+  // entry admitted by an offer in the same drain (the entry had to be
+  // resident when the crediting query's read phase discovered it), so
+  // applying all credits before all offers preserves the per-batch order.
+  cache_.CreditHitsBatched(SumCredits(batches));
   for (PendingMaintenance& b : batches) ApplyMaintenanceLocked(b);
   // Replacement runs once per drain, however many admissions landed.
   cache_.MaybeMergeWindow();
@@ -349,6 +389,7 @@ QueryResult GraphCachePlus::Query(const Graph& g, QueryKind kind) {
       std::unique_lock<std::shared_mutex> write_lock(mu_);
       ScopedTimer timer(&m.t_maintenance_ns);
       DrainMaintenanceLocked();
+      cache_.CreditHitsBatched(SumCredits({&pending, 1}));
       ApplyMaintenanceLocked(pending);
       cache_.MaybeMergeWindow();
     }

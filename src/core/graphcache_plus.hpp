@@ -48,6 +48,7 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <span>
 #include <vector>
 
 #include "cache/cache_manager.hpp"
@@ -170,12 +171,18 @@ class GraphCachePlus {
   /// the FTV index up to date. Requires the exclusive lock.
   void SyncWithDatasetLocked(QueryMetrics* metrics);
 
-  /// Applies every queued batch, then runs replacement at most once.
-  /// Requires the exclusive lock.
+  /// Applies every queued batch — credits summed per entry across the
+  /// drain, then each admission offer — and runs replacement at most
+  /// once. Requires the exclusive lock.
   void DrainMaintenanceLocked();
 
-  /// Applies one batch: credits, then the admission offer (forward-
-  /// validated or dropped when stale). Requires the exclusive lock.
+  /// Sums the hit credits of `batches` per entry, in first-credit order.
+  static std::vector<CacheManager::EntryCreditSum> SumCredits(
+      std::span<const PendingMaintenance> batches);
+
+  /// Applies one batch's admission offer (forward-validated or dropped
+  /// when stale); credits are applied separately via CreditHitsBatched.
+  /// Requires the exclusive lock.
   void ApplyMaintenanceLocked(PendingMaintenance& batch);
 
   /// §8 future-work extension: re-verify up to `budget` invalidated

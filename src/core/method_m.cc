@@ -6,9 +6,9 @@
 namespace gcp {
 
 MethodM::MethodM(MatcherKind kind, const GraphDataset& dataset,
-                 ThreadPool* pool)
+                 ThreadPool* pool, bool reuse_context)
     : kind_(kind), matcher_(MakeMatcher(kind)), dataset_(dataset),
-      pool_(pool) {}
+      pool_(pool), reuse_context_(reuse_context) {}
 
 DynamicBitset MethodM::VerifyCandidates(const Graph& query, QueryKind kind,
                                         const DynamicBitset& candidates,
@@ -16,13 +16,27 @@ DynamicBitset MethodM::VerifyCandidates(const Graph& query, QueryKind kind,
   DynamicBitset verified(candidates.size());
   const std::vector<std::size_t> ids = candidates.ToVector();
 
+  // Subgraph queries verify one fixed pattern against every candidate:
+  // prepare its reusable state once (declared after `global_hist` so the
+  // histogram outlives it). Supergraph queries swap roles per candidate —
+  // the pattern varies, so there is nothing to reuse.
+  LabelHistogram global_hist;
+  std::unique_ptr<PreparedPattern> prepared;
+  if (reuse_context_ && kind == QueryKind::kSubgraph && !ids.empty()) {
+    global_hist = dataset_.GlobalLabelHistogram();
+    prepared = matcher_->Prepare(query, &global_hist);
+  }
+
   auto test_one = [&](GraphId id) {
     const Graph& g = dataset_.graph(id);
     // Subgraph query: pattern = query, target = dataset graph.
     // Supergraph query: roles swap (the dataset graph must embed in the
     // query).
-    return kind == QueryKind::kSubgraph ? matcher_->Contains(query, g)
-                                        : matcher_->Contains(g, query);
+    if (kind == QueryKind::kSubgraph) {
+      return prepared != nullptr ? matcher_->ContainsPrepared(*prepared, g)
+                                 : matcher_->Contains(query, g);
+    }
+    return matcher_->Contains(g, query);
   };
 
   if (pool_ == nullptr || ids.size() < 2) {

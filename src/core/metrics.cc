@@ -19,6 +19,7 @@ void AggregateMetrics::Add(const QueryMetrics& m) {
   t_validate_ns += m.t_validate_ns;
   t_index_ns += m.t_index_ns;
   t_probe_ns += m.t_probe_ns;
+  t_discover_ns += m.t_discover_ns;
   t_prune_ns += m.t_prune_ns;
   t_verify_ns += m.t_verify_ns;
   t_maintenance_ns += m.t_maintenance_ns;

@@ -36,6 +36,10 @@ struct QueryMetrics {
   std::int64_t t_validate_ns = 0;     ///< CON: Algorithms 1 + 2 (EVI: purge).
   std::int64_t t_index_ns = 0;        ///< FTV index maintenance + filter.
   std::int64_t t_probe_ns = 0;        ///< Hit discovery in the cache.
+  /// Candidate enumeration inside t_probe_ns: the QueryIndex lookup that
+  /// shortlists resident entries (scan or inverted index), before
+  /// utilities and containment verification.
+  std::int64_t t_discover_ns = 0;
   std::int64_t t_prune_ns = 0;        ///< Bitset algebra of formulas (1)-(5).
   std::int64_t t_verify_ns = 0;       ///< Method M sub-iso testing.
   std::int64_t t_maintenance_ns = 0;  ///< Admission + replacement + indexing.
@@ -66,6 +70,7 @@ struct AggregateMetrics {
   std::int64_t t_validate_ns = 0;
   std::int64_t t_index_ns = 0;
   std::int64_t t_probe_ns = 0;
+  std::int64_t t_discover_ns = 0;
   std::int64_t t_prune_ns = 0;
   std::int64_t t_verify_ns = 0;
   std::int64_t t_maintenance_ns = 0;

@@ -59,6 +59,18 @@ struct GraphCachePlusOptions {
   /// whatever CS_M Method M produces.
   bool use_ftv_index = false;
 
+  /// Reuse per-query match state (SubgraphMatcher::Prepare) across Method
+  /// M candidates and cache-resident containment checks instead of
+  /// re-deriving vertex order and label statistics per pair. Off = the
+  /// legacy per-pair hot path (kept for before/after benchmarking).
+  bool reuse_match_context = true;
+
+  /// Discover cache hits through the QueryIndex's inverted
+  /// feature-signature index instead of the O(resident) brute-force
+  /// feature scan. Both return identical candidate sets; off is the
+  /// legacy discovery path (kept for before/after benchmarking).
+  bool use_discovery_index = true;
+
   /// Retrospective validation (the paper's §8 future-work optimisation),
   /// CON only: after Algorithm 2 fades validity bits, spend up to this
   /// many sub-iso re-verifications per dataset sync restoring them —

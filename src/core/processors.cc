@@ -1,6 +1,9 @@
 #include "core/processors.hpp"
 
 #include <algorithm>
+#include <memory>
+
+#include "common/stopwatch.hpp"
 
 namespace gcp {
 
@@ -68,11 +71,32 @@ DiscoveredHits HitDiscovery::Discover(const Graph& g, QueryKind kind,
   const QueryIndex& index = cache.index();
 
   // GC+sub processor shortlist: cached g' with (possibly) g ⊆ g'.
-  std::vector<const CachedQuery*> sub_candidates =
-      index.SupergraphCandidates(features);
   // GC+super processor shortlist: cached g'' with (possibly) g'' ⊆ g.
-  std::vector<const CachedQuery*> super_candidates =
-      index.SubgraphCandidates(features);
+  // The inverted feature-signature index and the brute-force resident
+  // scan return identical candidate sets; the scan is the legacy path.
+  std::vector<const CachedQuery*> sub_candidates;
+  std::vector<const CachedQuery*> super_candidates;
+  {
+    std::int64_t unused_ns = 0;
+    ScopedTimer discover_timer(metrics != nullptr ? &metrics->t_discover_ns
+                                                  : &unused_ns);
+    sub_candidates = options_.use_discovery_index
+                         ? index.SupergraphCandidates(features)
+                         : index.SupergraphCandidatesScan(features);
+    super_candidates = options_.use_discovery_index
+                           ? index.SubgraphCandidates(features)
+                           : index.SubgraphCandidatesScan(features);
+  }
+
+  // In the direction where g itself is the pattern (g ⊆ cached query) its
+  // per-pattern match state is shared across every verified candidate.
+  // Built lazily: miss-dominated queries (no surviving candidate in that
+  // direction) never pay for the context.
+  std::unique_ptr<PreparedPattern> prepared_g;
+  auto prepared = [&]() -> const PreparedPattern& {
+    if (prepared_g == nullptr) prepared_g = matcher_.Prepare(g);
+    return *prepared_g;
+  };
 
   // Resolve processor outputs into positive/pruning roles: for subgraph
   // queries GC+sub hits are positive; for supergraph queries the roles
@@ -122,9 +146,12 @@ DiscoveredHits HitDiscovery::Discover(const Graph& g, QueryKind kind,
     if (positive_utility[i] == 0 && !maybe_exact) continue;
     // Positive direction: subgraph queries verify g ⊆ g'; supergraph
     // queries verify g'' ⊆ g.
-    const bool contained = positive_from_sub
-                               ? matcher_.Contains(g, e->query)
-                               : matcher_.Contains(e->query, g);
+    const bool contained =
+        positive_from_sub
+            ? (options_.reuse_match_context
+                   ? matcher_.ContainsPrepared(prepared(), e->query)
+                   : matcher_.Contains(g, e->query))
+            : matcher_.Contains(e->query, g);
     if (!contained) continue;
     if (maybe_exact && FullyValid(*e, live)) {
       hits.exact = e;
@@ -143,9 +170,12 @@ DiscoveredHits HitDiscovery::Discover(const Graph& g, QueryKind kind,
     if (pruning_utility[i] == 0 && !useful_for_empty_proof) continue;
     // Pruning direction: subgraph queries verify g'' ⊆ g; supergraph
     // queries verify g ⊆ g'.
-    const bool contained = positive_from_sub
-                               ? matcher_.Contains(e->query, g)
-                               : matcher_.Contains(g, e->query);
+    const bool contained =
+        positive_from_sub
+            ? matcher_.Contains(e->query, g)
+            : (options_.reuse_match_context
+                   ? matcher_.ContainsPrepared(prepared(), e->query)
+                   : matcher_.Contains(g, e->query));
     if (!contained) continue;
     if (useful_for_empty_proof) {
       hits.empty_proof = e;

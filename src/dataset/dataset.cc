@@ -4,13 +4,18 @@ namespace gcp {
 
 void GraphDataset::Bootstrap(std::vector<Graph> graphs) {
   slots_.clear();
+  label_freq_.clear();
   slots_.reserve(graphs.size());
-  for (auto& g : graphs) slots_.emplace_back(std::move(g));
+  for (auto& g : graphs) {
+    CountLabels(g, +1);
+    slots_.emplace_back(std::move(g));
+  }
   num_live_ = slots_.size();
 }
 
 GraphId GraphDataset::AddGraph(Graph g) {
   const auto id = static_cast<GraphId>(slots_.size());
+  CountLabels(g, +1);
   slots_.emplace_back(std::move(g));
   ++num_live_;
   log_.Append(ChangeType::kAdd, id);
@@ -19,10 +24,28 @@ GraphId GraphDataset::AddGraph(Graph g) {
 
 Status GraphDataset::DeleteGraph(GraphId id) {
   if (!IsLive(id)) return Status::NotFound("graph id not live");
+  CountLabels(*slots_[id], -1);
   slots_[id].reset();
   --num_live_;
   log_.Append(ChangeType::kDelete, id);
   return Status::OK();
+}
+
+void GraphDataset::CountLabels(const Graph& g, std::int64_t sign) {
+  for (const auto& [label, count] : g.label_histogram()) {
+    const std::int64_t next =
+        (label_freq_[label] += sign * static_cast<std::int64_t>(count));
+    if (next == 0) label_freq_.erase(label);
+  }
+}
+
+LabelHistogram GraphDataset::GlobalLabelHistogram() const {
+  LabelHistogram hist;
+  hist.reserve(label_freq_.size());
+  for (const auto& [label, count] : label_freq_) {
+    hist.push_back({label, static_cast<std::uint32_t>(count)});
+  }
+  return hist;
 }
 
 Status GraphDataset::AddEdge(GraphId id, VertexId u, VertexId v) {

@@ -8,6 +8,7 @@
 #ifndef GCP_DATASET_DATASET_HPP_
 #define GCP_DATASET_DATASET_HPP_
 
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -69,10 +70,19 @@ class GraphDataset {
   std::size_t TotalLiveVertices() const;
   std::size_t TotalLiveEdges() const;
 
+  /// Dataset-wide label histogram over live graphs (sorted (label, count)
+  /// pairs) — the rarity table Method M hands to SubgraphMatcher::Prepare.
+  /// Maintained incrementally by Bootstrap/AddGraph/DeleteGraph (edge
+  /// changes do not touch labels).
+  LabelHistogram GlobalLabelHistogram() const;
+
  private:
+  void CountLabels(const Graph& g, std::int64_t sign);
+
   std::vector<std::optional<Graph>> slots_;
   std::size_t num_live_ = 0;
   ChangeLog log_;
+  std::map<Label, std::int64_t> label_freq_;
 };
 
 }  // namespace gcp

@@ -1,46 +1,132 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <ostream>
 #include <sstream>
 
 namespace gcp {
 
 namespace {
 
-// Insert `value` into sorted vector `v`; returns false when already present.
-bool SortedInsert(std::vector<VertexId>& v, VertexId value) {
-  const auto it = std::lower_bound(v.begin(), v.end(), value);
-  if (it != v.end() && *it == value) return false;
-  v.insert(it, value);
-  return true;
-}
+// Bucket of a label in the 16-nibble vertex signature.
+inline std::size_t SignatureBucket(Label l) { return l & 15u; }
 
-// Erase `value` from sorted vector `v`; returns false when absent.
-bool SortedErase(std::vector<VertexId>& v, VertexId value) {
-  const auto it = std::lower_bound(v.begin(), v.end(), value);
-  if (it == v.end() || *it != value) return false;
-  v.erase(it);
-  return true;
+// Saturating nibble increment of `sig` at `bucket`.
+inline std::uint64_t SignatureAdd(std::uint64_t sig, std::size_t bucket) {
+  const std::uint64_t nibble = (sig >> (4 * bucket)) & 0xFULL;
+  if (nibble == 0xF) return sig;  // saturated
+  return sig + (1ULL << (4 * bucket));
 }
 
 }  // namespace
+
+void PrintTo(const NeighborRange& range, std::ostream* os) {
+  *os << "[";
+  bool first = true;
+  for (const VertexId v : range) {
+    if (!first) *os << ",";
+    first = false;
+    *os << v;
+  }
+  *os << "]";
+}
 
 Result<Graph> Graph::Create(
     std::vector<Label> labels,
     const std::vector<std::pair<VertexId, VertexId>>& edges) {
   Graph g;
   g.labels_ = std::move(labels);
-  g.adj_.resize(g.labels_.size());
+  const std::size_t n = g.labels_.size();
   for (const auto& [u, v] : edges) {
-    GCP_RETURN_NOT_OK(g.AddEdge(u, v));
+    if (u >= n || v >= n) {
+      return Status::OutOfRange("edge endpoint out of range");
+    }
+    if (u == v) {
+      return Status::InvalidArgument("self-loops are not supported");
+    }
   }
+  // Bulk CSR build: degree count, prefix sums, fill, per-run sort.
+  g.offsets_.assign(n + 1, 0);
+  for (const auto& [u, v] : edges) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) g.offsets_[i] += g.offsets_[i - 1];
+  g.flat_.resize(2 * edges.size());
+  std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.flat_[cursor[u]++] = v;
+    g.flat_[cursor[v]++] = u;
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto lo = g.flat_.begin() + g.offsets_[v];
+    const auto hi = g.flat_.begin() + g.offsets_[v + 1];
+    std::sort(lo, hi);
+    if (std::adjacent_find(lo, hi) != hi) {
+      return Status::AlreadyExists("edge already present");
+    }
+  }
+  g.num_edges_ = edges.size();
+  g.RebuildDerived();
   return g;
 }
 
 VertexId Graph::AddVertex(Label label) {
   labels_.push_back(label);
-  adj_.emplace_back();
+  offsets_.push_back(offsets_.back());
+  vertex_sig_.push_back(0);
+  // Degree 0 keeps the descending degree sequence sorted when appended.
+  degree_seq_.push_back(0);
+  const auto it = std::lower_bound(
+      label_hist_.begin(), label_hist_.end(), label,
+      [](const std::pair<Label, std::uint32_t>& p, Label l) {
+        return p.first < l;
+      });
+  if (it != label_hist_.end() && it->first == label) {
+    ++it->second;
+  } else {
+    label_hist_.insert(it, {label, 1});
+  }
   return static_cast<VertexId>(labels_.size() - 1);
+}
+
+void Graph::RunInsert(VertexId v, VertexId value) {
+  // Both flat arrays share offsets_, so the paired inserts keep every
+  // later run aligned; offsets shift once after both land.
+  const auto lo = flat_.begin() + offsets_[v];
+  const auto hi = flat_.begin() + offsets_[v + 1];
+  flat_.insert(std::lower_bound(lo, hi, value), value);
+  const auto llo = label_flat_.begin() + offsets_[v];
+  const auto lhi = label_flat_.begin() + offsets_[v + 1];
+  label_flat_.insert(
+      std::lower_bound(llo, lhi, value,
+                       [this](VertexId a, VertexId b) {
+                         return labels_[a] != labels_[b]
+                                    ? labels_[a] < labels_[b]
+                                    : a < b;
+                       }),
+      value);
+  for (std::size_t i = v + 1; i < offsets_.size(); ++i) ++offsets_[i];
+}
+
+void Graph::RunErase(VertexId v, VertexId value) {
+  const auto lo = flat_.begin() + offsets_[v];
+  const auto hi = flat_.begin() + offsets_[v + 1];
+  flat_.erase(std::lower_bound(lo, hi, value));
+  const auto llo = label_flat_.begin() + offsets_[v];
+  const auto lhi = label_flat_.begin() + offsets_[v + 1];
+  label_flat_.erase(std::find(llo, lhi, value));
+  for (std::size_t i = v + 1; i < offsets_.size(); ++i) --offsets_[i];
+}
+
+void Graph::ShiftDegree(std::uint32_t old_degree, std::uint32_t new_degree) {
+  // degree_seq_ is sorted descending; moving one occurrence of old_degree
+  // by ±1 preserves order when the leftmost (for +1) or rightmost (for
+  // -1) occurrence is the one rewritten.
+  const auto range =
+      std::equal_range(degree_seq_.begin(), degree_seq_.end(), old_degree,
+                       std::greater<>());
+  (new_degree > old_degree ? *range.first : *(range.second - 1)) = new_degree;
 }
 
 Status Graph::AddEdge(VertexId u, VertexId v) {
@@ -50,11 +136,18 @@ Status Graph::AddEdge(VertexId u, VertexId v) {
   if (u == v) {
     return Status::InvalidArgument("self-loops are not supported");
   }
-  if (!SortedInsert(adj_[u], v)) {
+  if (HasEdge(u, v)) {
     return Status::AlreadyExists("edge already present");
   }
-  SortedInsert(adj_[v], u);
+  const auto du = static_cast<std::uint32_t>(degree(u));
+  const auto dv = static_cast<std::uint32_t>(degree(v));
+  RunInsert(u, v);
+  RunInsert(v, u);
   ++num_edges_;
+  vertex_sig_[u] = SignatureAdd(vertex_sig_[u], SignatureBucket(labels_[v]));
+  vertex_sig_[v] = SignatureAdd(vertex_sig_[v], SignatureBucket(labels_[u]));
+  ShiftDegree(du, du + 1);
+  ShiftDegree(dv, dv + 1);
   return Status::OK();
 }
 
@@ -62,25 +155,87 @@ Status Graph::RemoveEdge(VertexId u, VertexId v) {
   if (u >= NumVertices() || v >= NumVertices()) {
     return Status::OutOfRange("edge endpoint out of range");
   }
-  if (!SortedErase(adj_[u], v)) {
+  if (u == v || !HasEdge(u, v)) {
     return Status::NotFound("edge not present");
   }
-  SortedErase(adj_[v], u);
+  const auto du = static_cast<std::uint32_t>(degree(u));
+  const auto dv = static_cast<std::uint32_t>(degree(v));
+  RunErase(u, v);
+  RunErase(v, u);
   --num_edges_;
+  // Saturating bucket counts are not invertible — recompute from the run.
+  vertex_sig_[u] = ComputeSignature(u);
+  vertex_sig_[v] = ComputeSignature(v);
+  ShiftDegree(du, du - 1);
+  ShiftDegree(dv, dv - 1);
   return Status::OK();
 }
 
 bool Graph::HasEdge(VertexId u, VertexId v) const {
   if (u >= NumVertices() || v >= NumVertices() || u == v) return false;
-  const auto& nu = adj_[u];
-  return std::binary_search(nu.begin(), nu.end(), v);
+  const auto lo = flat_.begin() + offsets_[u];
+  const auto hi = flat_.begin() + offsets_[u + 1];
+  return std::binary_search(lo, hi, v);
+}
+
+NeighborRange Graph::NeighborsWithLabel(VertexId v, Label l) const {
+  const VertexId* base = label_flat_.data();
+  const VertexId* lo = base + offsets_[v];
+  const VertexId* hi = base + offsets_[v + 1];
+  const VertexId* first = std::lower_bound(
+      lo, hi, l, [this](VertexId w, Label lab) { return labels_[w] < lab; });
+  const VertexId* last = std::upper_bound(
+      first, hi, l, [this](Label lab, VertexId w) { return lab < labels_[w]; });
+  return NeighborRange(first, last);
+}
+
+std::uint64_t Graph::ComputeSignature(VertexId v) const {
+  std::uint64_t sig = 0;
+  for (const VertexId w : neighbors(v)) {
+    sig = SignatureAdd(sig, SignatureBucket(labels_[w]));
+  }
+  return sig;
+}
+
+void Graph::RebuildDerived() {
+  const std::size_t n = NumVertices();
+  label_flat_ = flat_;
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(label_flat_.begin() + offsets_[v],
+              label_flat_.begin() + offsets_[v + 1],
+              [this](VertexId a, VertexId b) {
+                return labels_[a] != labels_[b] ? labels_[a] < labels_[b]
+                                                : a < b;
+              });
+  }
+  vertex_sig_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    vertex_sig_[v] = ComputeSignature(static_cast<VertexId>(v));
+  }
+  label_hist_.clear();
+  std::vector<Label> sorted_labels = labels_;
+  std::sort(sorted_labels.begin(), sorted_labels.end());
+  for (std::size_t i = 0; i < sorted_labels.size();) {
+    std::size_t j = i;
+    while (j < sorted_labels.size() && sorted_labels[j] == sorted_labels[i]) {
+      ++j;
+    }
+    label_hist_.push_back(
+        {sorted_labels[i], static_cast<std::uint32_t>(j - i)});
+    i = j;
+  }
+  degree_seq_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    degree_seq_[v] = offsets_[v + 1] - offsets_[v];
+  }
+  std::sort(degree_seq_.begin(), degree_seq_.end(), std::greater<>());
 }
 
 std::vector<std::pair<VertexId, VertexId>> Graph::Edges() const {
   std::vector<std::pair<VertexId, VertexId>> out;
   out.reserve(num_edges_);
   for (VertexId u = 0; u < NumVertices(); ++u) {
-    for (const VertexId v : adj_[u]) {
+    for (const VertexId v : neighbors(u)) {
       if (u < v) out.emplace_back(u, v);
     }
   }
@@ -96,7 +251,7 @@ bool Graph::IsConnected() const {
   while (!stack.empty()) {
     const VertexId u = stack.back();
     stack.pop_back();
-    for (const VertexId v : adj_[u]) {
+    for (const VertexId v : neighbors(u)) {
       if (!seen[v]) {
         seen[v] = true;
         ++visited;

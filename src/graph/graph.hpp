@@ -4,11 +4,26 @@
 // all results generalize to directed/edge-labelled graphs. Dataset graphs
 // must support in-place edge addition (UA) and removal (UR) since those are
 // two of the four dataset change operations GC+ tracks.
+//
+// Storage is CSR (compressed sparse row): one offsets array plus one flat
+// neighbour array, so neighbour iteration is a contiguous scan with no
+// per-vertex heap indirection. Two derived structures are maintained for
+// the matchers' hot path:
+//   * a second flat array ordering each neighbour run by (label, id), so a
+//     matcher can enumerate exactly the neighbours carrying a given label
+//     (NeighborsWithLabel) instead of filtering the whole run, and
+//   * a per-vertex 64-bit label-histogram signature (16 buckets x 4-bit
+//     saturating counts of neighbour labels) whose dominance test is a
+//     sound necessary condition for mapping one vertex onto another.
+// Mutations (UA/UR) edit the primary arrays in place and refresh the
+// derived state; bulk construction (Create) builds everything in one pass.
 
 #ifndef GCP_GRAPH_GRAPH_HPP_
 #define GCP_GRAPH_GRAPH_HPP_
 
+#include <algorithm>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <utility>
 #include <vector>
@@ -22,9 +37,75 @@ using VertexId = std::uint32_t;
 /// Vertex label drawn from a dataset-wide label universe.
 using Label = std::uint32_t;
 
-/// \brief Simple undirected graph with vertex labels.
+/// Sorted (label, multiplicity) pairs — a graph-level label histogram.
+using LabelHistogram = std::vector<std::pair<Label, std::uint32_t>>;
+
+/// \brief Contiguous view over a neighbour run in a CSR array.
 ///
-/// Adjacency lists are kept sorted so HasEdge is a binary search and
+/// Lightweight (two pointers); valid until the next graph mutation.
+class NeighborRange {
+ public:
+  using value_type = VertexId;
+  using const_iterator = const VertexId*;
+
+  NeighborRange() = default;
+  NeighborRange(const VertexId* begin, const VertexId* end)
+      : begin_(begin), end_(end) {}
+
+  const VertexId* begin() const { return begin_; }
+  const VertexId* end() const { return end_; }
+  std::size_t size() const { return static_cast<std::size_t>(end_ - begin_); }
+  bool empty() const { return begin_ == end_; }
+  VertexId operator[](std::size_t i) const { return begin_[i]; }
+  VertexId front() const { return *begin_; }
+  VertexId back() const { return *(end_ - 1); }
+
+  std::vector<VertexId> ToVector() const {
+    return std::vector<VertexId>(begin_, end_);
+  }
+
+  friend bool operator==(const NeighborRange& a, const NeighborRange& b) {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const NeighborRange& a,
+                         const std::vector<VertexId>& b) {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const std::vector<VertexId>& a,
+                         const NeighborRange& b) {
+    return b == a;
+  }
+
+ private:
+  const VertexId* begin_ = nullptr;
+  const VertexId* end_ = nullptr;
+};
+
+/// gtest-friendly printing.
+void PrintTo(const NeighborRange& range, std::ostream* os);
+
+/// Sound nibble-wise dominance test over two vertex signatures: true iff
+/// every 4-bit bucket count of `sub` is <= the matching bucket of `super`.
+/// If pattern vertex u can map onto target vertex v (non-induced,
+/// label-preserving, injective) then SignatureDominates(sig(u), sig(v))
+/// holds — saturation keeps the test conservative, never unsound.
+inline bool SignatureDominates(std::uint64_t sub, std::uint64_t super) {
+  // Split nibbles into even/odd byte lanes so each 4-bit count sits in its
+  // own byte with headroom, then use the classic SWAR borrow test: for
+  // byte values a, b <= 15, b >= a  <=>  ((b | 0x80) - a) keeps bit 7 set.
+  constexpr std::uint64_t kLo = 0x0F0F0F0F0F0F0F0FULL;
+  constexpr std::uint64_t kHi = 0x8080808080808080ULL;
+  const std::uint64_t sub_even = sub & kLo;
+  const std::uint64_t sup_even = super & kLo;
+  const std::uint64_t sub_odd = (sub >> 4) & kLo;
+  const std::uint64_t sup_odd = (super >> 4) & kLo;
+  return ((((sup_even | kHi) - sub_even) & kHi) == kHi) &&
+         ((((sup_odd | kHi) - sub_odd) & kHi) == kHi);
+}
+
+/// \brief Simple undirected graph with vertex labels over CSR storage.
+///
+/// Neighbour runs are kept sorted by id so HasEdge is a binary search and
 /// neighbour iteration is ordered (which the matchers rely on for
 /// deterministic traversal). No self-loops, no parallel edges.
 class Graph {
@@ -57,9 +138,31 @@ class Graph {
   Label label(VertexId v) const { return labels_[v]; }
   const std::vector<Label>& labels() const { return labels_; }
 
-  /// Sorted neighbour list of `v`.
-  const std::vector<VertexId>& neighbors(VertexId v) const { return adj_[v]; }
-  std::size_t degree(VertexId v) const { return adj_[v].size(); }
+  /// Neighbours of `v`, sorted ascending by id.
+  NeighborRange neighbors(VertexId v) const {
+    const VertexId* base = flat_.data();
+    return NeighborRange(base + offsets_[v], base + offsets_[v + 1]);
+  }
+
+  std::size_t degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Neighbours of `v` carrying label `l` (sorted ascending by id) — a
+  /// binary-searched slice of the label-sorted neighbour run.
+  NeighborRange NeighborsWithLabel(VertexId v, Label l) const;
+
+  /// Per-vertex label-histogram signature of `v`'s neighbourhood (16
+  /// buckets x 4-bit saturating counts). See SignatureDominates.
+  std::uint64_t vertex_signature(VertexId v) const { return vertex_sig_[v]; }
+
+  /// Graph-level label histogram: sorted (label, count) pairs.
+  const LabelHistogram& label_histogram() const { return label_hist_; }
+
+  /// Vertex degrees sorted descending.
+  const std::vector<std::uint32_t>& degree_sequence() const {
+    return degree_seq_;
+  }
 
   /// All edges as (u, v) pairs with u < v, lexicographically sorted.
   std::vector<std::pair<VertexId, VertexId>> Edges() const;
@@ -71,15 +174,41 @@ class Graph {
   std::vector<std::pair<VertexId, VertexId>> NonEdges() const;
 
   bool operator==(const Graph& other) const {
-    return labels_ == other.labels_ && adj_ == other.adj_;
+    return labels_ == other.labels_ && offsets_ == other.offsets_ &&
+           flat_ == other.flat_;
   }
 
   /// Debug rendering: "n=3 m=2 labels=[0,1,0] edges=[(0,1),(1,2)]".
   std::string ToString() const;
 
  private:
+  /// Inserts/erases `value` in v's runs of both flat arrays (id-sorted in
+  /// flat_, label-sorted in label_flat_) and shifts the offsets. The
+  /// caller guarantees presence/absence.
+  void RunInsert(VertexId v, VertexId value);
+  void RunErase(VertexId v, VertexId value);
+
+  /// Rewrites one occurrence of `old_degree` in the descending degree
+  /// sequence with `new_degree` (which must differ by exactly 1).
+  void ShiftDegree(std::uint32_t old_degree, std::uint32_t new_degree);
+
+  /// Rebuilds every derived structure from labels_/offsets_/flat_.
+  void RebuildDerived();
+
+  std::uint64_t ComputeSignature(VertexId v) const;
+
   std::vector<Label> labels_;
-  std::vector<std::vector<VertexId>> adj_;
+  /// CSR offsets: size NumVertices() + 1, offsets_[v]..offsets_[v+1] is
+  /// v's run in flat_ and label_flat_.
+  std::vector<std::uint32_t> offsets_{0};
+  /// Neighbour runs sorted ascending by id.
+  std::vector<VertexId> flat_;
+  /// The same runs sorted by (label(neighbour), neighbour id).
+  std::vector<VertexId> label_flat_;
+  /// Per-vertex neighbourhood label signatures.
+  std::vector<std::uint64_t> vertex_sig_;
+  LabelHistogram label_hist_;
+  std::vector<std::uint32_t> degree_seq_;
   std::size_t num_edges_ = 0;
 };
 

@@ -1,0 +1,61 @@
+// MatchContext — per-pattern state precomputed once and reused across many
+// targets.
+//
+// Method M verifies one query against thousands of candidate dataset
+// graphs, and hit discovery verifies it against dozens of cached queries.
+// Everything that depends only on the pattern — the static search order,
+// the per-depth connectivity frontier, the label multiset and the degree
+// sequence — is the same for every one of those verifications, so
+// recomputing it per pair (as the textbook matcher formulation does) burns
+// the bulk of small-pattern verification time. A MatchContext captures that
+// state once; matchers that support it (VF2+) accept the context through
+// SubgraphMatcher::Prepare / ContainsPrepared.
+//
+// The context also bundles sound constant-time early rejects (vertex/edge
+// counts, label-histogram dominance, degree-sequence dominance) applied
+// before any search state is allocated.
+
+#ifndef GCP_MATCH_MATCH_CONTEXT_HPP_
+#define GCP_MATCH_MATCH_CONTEXT_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gcp {
+
+/// \brief Immutable per-pattern precomputation shared across targets.
+///
+/// Thread-compatible: concurrent searches may read one context (all state
+/// is fixed at Build time; search scratch lives in the caller).
+struct MatchContext {
+  const Graph* pattern = nullptr;
+
+  /// Static search order: connectivity to the ordered prefix first, then
+  /// label rarity (w.r.t. `target_stats` when provided, the pattern's own
+  /// histogram otherwise), then descending degree.
+  std::vector<VertexId> order;
+
+  /// Per-depth connectivity frontier, flattened: frontier ids
+  /// frontier[frontier_offsets[d] .. frontier_offsets[d+1]) are the
+  /// pattern neighbours of order[d] placed at depths < d.
+  std::vector<std::uint32_t> frontier_offsets;
+  std::vector<VertexId> frontier;
+
+  /// Builds the context for `pattern`. `target_stats` (optional) supplies
+  /// the label-frequency table rarity is ranked by — typically the
+  /// dataset-wide histogram when verifying against many dataset graphs.
+  /// `pattern` must outlive the context; `target_stats` is consumed here.
+  static MatchContext Build(const Graph& pattern,
+                            const LabelHistogram* target_stats = nullptr);
+
+  /// Sound necessary-condition screen: true when `target` certainly cannot
+  /// contain the pattern (vertex/edge counts, label-histogram dominance,
+  /// degree-sequence dominance). Never true for an actual containment.
+  bool CheapReject(const Graph& target) const;
+};
+
+}  // namespace gcp
+
+#endif  // GCP_MATCH_MATCH_CONTEXT_HPP_

@@ -21,6 +21,18 @@ std::string_view MatcherKindName(MatcherKind kind) {
   return "Unknown";
 }
 
+std::unique_ptr<PreparedPattern> SubgraphMatcher::Prepare(
+    const Graph& pattern, const LabelHistogram* /*target_stats*/) const {
+  return std::make_unique<PreparedPattern>(pattern);
+}
+
+bool SubgraphMatcher::FindEmbeddingPrepared(const PreparedPattern& prepared,
+                                            const Graph& target,
+                                            std::vector<VertexId>* embedding,
+                                            MatchStats* stats) const {
+  return FindEmbedding(prepared.pattern(), target, embedding, stats);
+}
+
 std::unique_ptr<SubgraphMatcher> MakeMatcher(MatcherKind kind) {
   switch (kind) {
     case MatcherKind::kVf2:

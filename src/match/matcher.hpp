@@ -43,6 +43,25 @@ enum class MatcherKind {
 
 std::string_view MatcherKindName(MatcherKind kind);
 
+/// \brief Reusable per-pattern state for one matcher implementation.
+///
+/// Created once per query by SubgraphMatcher::Prepare and reused across
+/// every target that query is verified against (Method M candidates, cache
+/// residents). The base class only pins the pattern; matchers that
+/// precompute real state (VF2+'s MatchContext) subclass it. The referenced
+/// pattern must outlive the prepared object. Immutable after construction,
+/// so one prepared pattern may serve concurrent searches.
+class PreparedPattern {
+ public:
+  explicit PreparedPattern(const Graph& pattern) : pattern_(&pattern) {}
+  virtual ~PreparedPattern() = default;
+
+  const Graph& pattern() const { return *pattern_; }
+
+ private:
+  const Graph* pattern_;
+};
+
 /// \brief Decision-problem subgraph-isomorphism verifier.
 class SubgraphMatcher {
  public:
@@ -63,6 +82,33 @@ class SubgraphMatcher {
   virtual bool FindEmbedding(const Graph& pattern, const Graph& target,
                              std::vector<VertexId>* embedding,
                              MatchStats* stats = nullptr) const = 0;
+
+  /// Precomputes per-pattern state reused across many targets (static
+  /// vertex order, connectivity frontier, early-reject data). The default
+  /// implementation wraps the pattern without precomputation, so
+  /// FindEmbeddingPrepared falls back to FindEmbedding — matchers without
+  /// a specialized prepared path behave exactly as before. `target_stats`
+  /// (optional) supplies the label-frequency table rarity ordering ranks
+  /// by (typically the dataset-wide histogram); it is consumed during
+  /// Prepare and need not outlive the call. `pattern` must outlive the
+  /// returned object.
+  virtual std::unique_ptr<PreparedPattern> Prepare(
+      const Graph& pattern,
+      const LabelHistogram* target_stats = nullptr) const;
+
+  /// FindEmbedding against a prepared pattern. `prepared` must come from
+  /// this matcher's Prepare. Thread-compatible: concurrent calls sharing
+  /// one prepared pattern are safe.
+  virtual bool FindEmbeddingPrepared(const PreparedPattern& prepared,
+                                     const Graph& target,
+                                     std::vector<VertexId>* embedding,
+                                     MatchStats* stats = nullptr) const;
+
+  /// Contains against a prepared pattern.
+  bool ContainsPrepared(const PreparedPattern& prepared, const Graph& target,
+                        MatchStats* stats = nullptr) const {
+    return FindEmbeddingPrepared(prepared, target, nullptr, stats);
+  }
 };
 
 /// Factory for the bundled implementations.

@@ -139,7 +139,150 @@ class Vf2PlusState {
   std::vector<VertexId> core_t_;
 };
 
+// Search state over a prepared MatchContext: the static order and the
+// per-depth connectivity frontier come precomputed, candidate generation
+// is label-filtered through the CSR label runs, and per-vertex signature
+// dominance prunes pairs before the adjacency walk.
+class Vf2PlusPreparedState {
+ public:
+  Vf2PlusPreparedState(const MatchContext& ctx, const Graph& target,
+                       MatchStats* stats)
+      : ctx_(ctx),
+        pattern_(*ctx.pattern),
+        target_(target),
+        stats_(stats),
+        core_p_(pattern_.NumVertices(), kUnmapped),
+        core_t_(target.NumVertices(), kUnmapped) {}
+
+  bool Search(std::size_t depth) {
+    if (depth == ctx_.order.size()) return true;
+    const VertexId u = ctx_.order[depth];
+    const VertexId anchor_image = SmallestFrontierImage(depth);
+    if (anchor_image != kUnmapped) {
+      // Only target neighbours carrying u's label can be feasible; the
+      // label-sorted CSR run enumerates exactly those, in ascending id
+      // order (the same relative order the unfiltered scan would try
+      // feasible candidates in).
+      for (const VertexId v :
+           target_.NeighborsWithLabel(anchor_image, pattern_.label(u))) {
+        if (TryPair(u, v, depth)) return true;
+      }
+    } else {
+      for (VertexId v = 0; v < target_.NumVertices(); ++v) {
+        if (TryPair(u, v, depth)) return true;
+      }
+    }
+    return false;
+  }
+
+  const std::vector<VertexId>& mapping() const { return core_p_; }
+
+ private:
+  bool TryPair(VertexId u, VertexId v, std::size_t depth) {
+    if (stats_ != nullptr) ++stats_->nodes_expanded;
+    if (!Feasible(u, v)) {
+      if (stats_ != nullptr) ++stats_->pruned;
+      return false;
+    }
+    core_p_[u] = v;
+    core_t_[v] = u;
+    if (Search(depth + 1)) return true;
+    core_p_[u] = kUnmapped;
+    core_t_[v] = kUnmapped;
+    return false;
+  }
+
+  // Image (in the target) of the frontier vertex whose image has the
+  // smallest degree — the tightest anchor. All frontier vertices of this
+  // depth are placed by construction.
+  VertexId SmallestFrontierImage(std::size_t depth) const {
+    VertexId best = kUnmapped;
+    std::size_t best_degree = 0;
+    for (std::uint32_t i = ctx_.frontier_offsets[depth];
+         i < ctx_.frontier_offsets[depth + 1]; ++i) {
+      const VertexId img = core_p_[ctx_.frontier[i]];
+      const std::size_t d = target_.degree(img);
+      if (best == kUnmapped || d < best_degree) {
+        best = img;
+        best_degree = d;
+      }
+    }
+    return best;
+  }
+
+  bool Feasible(VertexId u, VertexId v) const {
+    if (core_t_[v] != kUnmapped) return false;
+    if (pattern_.label(u) != target_.label(v)) return false;
+    if (pattern_.degree(u) > target_.degree(v)) return false;
+    // Neighbourhood label-signature dominance: u's neighbour-label
+    // histogram must fit inside v's (sound — the mapping is injective and
+    // label-preserving on N(u)).
+    if (!SignatureDominates(pattern_.vertex_signature(u),
+                            target_.vertex_signature(v))) {
+      return false;
+    }
+    // Adjacency consistency plus unmapped-neighbour lookahead, as in the
+    // per-pair path.
+    std::size_t unmapped_p = 0;
+    for (const VertexId w : pattern_.neighbors(u)) {
+      const VertexId mapped = core_p_[w];
+      if (mapped == kUnmapped) {
+        ++unmapped_p;
+      } else if (!target_.HasEdge(v, mapped)) {
+        return false;
+      }
+    }
+    std::size_t unmapped_t = 0;
+    for (const VertexId w : target_.neighbors(v)) {
+      if (core_t_[w] == kUnmapped) ++unmapped_t;
+    }
+    return unmapped_p <= unmapped_t;
+  }
+
+  const MatchContext& ctx_;
+  const Graph& pattern_;
+  const Graph& target_;
+  MatchStats* stats_;
+  std::vector<VertexId> core_p_;
+  std::vector<VertexId> core_t_;
+};
+
+// Prepared wrapper owning the reusable context.
+class Vf2PlusPrepared : public PreparedPattern {
+ public:
+  Vf2PlusPrepared(const Graph& pattern, const LabelHistogram* target_stats)
+      : PreparedPattern(pattern),
+        ctx_(MatchContext::Build(pattern, target_stats)) {}
+
+  const MatchContext& ctx() const { return ctx_; }
+
+ private:
+  MatchContext ctx_;
+};
+
 }  // namespace
+
+std::unique_ptr<PreparedPattern> Vf2PlusMatcher::Prepare(
+    const Graph& pattern, const LabelHistogram* target_stats) const {
+  return std::make_unique<Vf2PlusPrepared>(pattern, target_stats);
+}
+
+bool Vf2PlusMatcher::FindEmbeddingPrepared(const PreparedPattern& prepared,
+                                           const Graph& target,
+                                           std::vector<VertexId>* embedding,
+                                           MatchStats* stats) const {
+  const auto& p = static_cast<const Vf2PlusPrepared&>(prepared);
+  const MatchContext& ctx = p.ctx();
+  if (ctx.pattern->NumVertices() == 0) {
+    if (embedding != nullptr) embedding->clear();
+    return true;
+  }
+  if (ctx.CheapReject(target)) return false;
+  Vf2PlusPreparedState state(ctx, target, stats);
+  if (!state.Search(0)) return false;
+  if (embedding != nullptr) *embedding = state.mapping();
+  return true;
+}
 
 bool Vf2PlusMatcher::FindEmbedding(const Graph& pattern, const Graph& target,
                                    std::vector<VertexId>* embedding,

@@ -12,11 +12,21 @@
 #ifndef GCP_MATCH_VF2_PLUS_HPP_
 #define GCP_MATCH_VF2_PLUS_HPP_
 
+#include "match/match_context.hpp"
 #include "match/matcher.hpp"
 
 namespace gcp {
 
 /// \brief VF2 with static rarity ordering and lookahead ("VF2+").
+///
+/// Supports the prepared-pattern protocol: Prepare builds a MatchContext
+/// (static order, per-depth connectivity frontier, early-reject data) that
+/// FindEmbeddingPrepared reuses across every target, with label-filtered
+/// candidate generation (Graph::NeighborsWithLabel) and per-vertex
+/// signature dominance pruning on top of the classic VF2+ feasibility
+/// rules. FindEmbedding keeps the per-pair formulation (target-specific
+/// rarity ordering) — it is the reference/legacy path benches compare
+/// against.
 class Vf2PlusMatcher : public SubgraphMatcher {
  public:
   std::string_view name() const override { return "VF2+"; }
@@ -24,6 +34,15 @@ class Vf2PlusMatcher : public SubgraphMatcher {
   bool FindEmbedding(const Graph& pattern, const Graph& target,
                      std::vector<VertexId>* embedding,
                      MatchStats* stats = nullptr) const override;
+
+  std::unique_ptr<PreparedPattern> Prepare(
+      const Graph& pattern,
+      const LabelHistogram* target_stats = nullptr) const override;
+
+  bool FindEmbeddingPrepared(const PreparedPattern& prepared,
+                             const Graph& target,
+                             std::vector<VertexId>* embedding,
+                             MatchStats* stats = nullptr) const override;
 };
 
 }  // namespace gcp

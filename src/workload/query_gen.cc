@@ -46,7 +46,7 @@ Graph ExtractBfsQuery(const Graph& source, VertexId start,
     queue.pop_front();
     // Deterministic neighbour order (sorted adjacency): repeated
     // extractions from one (source, start) are prefixes of each other.
-    const std::vector<VertexId>& neigh = source.neighbors(u);
+    const NeighborRange neigh = source.neighbors(u);
     for (const VertexId v : neigh) {
       if (edges.size() >= num_edges) break;
       if (visited[v]) continue;

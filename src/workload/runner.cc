@@ -74,6 +74,8 @@ RunReport RunWorkload(const std::vector<Graph>& initial,
   opts.max_super_hits = config.max_super_hits;
   opts.retrospective_budget = config.retrospective_budget;
   opts.use_ftv_index = config.use_ftv;
+  opts.reuse_match_context = !config.legacy_hot_path;
+  opts.use_discovery_index = !config.legacy_hot_path;
   switch (config.mode) {
     case RunMode::kMethodM:
       // Bare Method M: no admission ⇒ the cache stays empty and every

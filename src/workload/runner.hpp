@@ -57,6 +57,11 @@ struct RunnerConfig {
   std::size_t retrospective_budget = 0;
   /// Equip Method M with the updatable FTV index (src/ftv).
   bool use_ftv = false;
+  /// Run the legacy hot path: per-pair match-state recomputation and
+  /// brute-force O(resident) hit discovery instead of reusable match
+  /// contexts and the inverted feature-signature index. Answers are
+  /// identical either way — this is the "before" side of the perf benches.
+  bool legacy_hot_path = false;
   /// Seed of the change-plan executor (same seed across modes ⇒ same
   /// dataset evolution).
   std::uint64_t plan_seed = 99;

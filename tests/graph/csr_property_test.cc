@@ -1,0 +1,203 @@
+// Property suite for the CSR graph representation: on random graphs (bulk
+// Create builds and incremental mutation sequences alike) the CSR
+// accessors must agree with an independently maintained legacy adjacency
+// model — neighbour runs, label-sorted runs, per-vertex signatures, the
+// graph-level label histogram and the degree sequence — and the SWAR
+// signature dominance test must agree with a per-nibble reference.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace gcp {
+namespace {
+
+// Legacy vector-of-vectors adjacency, maintained alongside the Graph.
+struct LegacyAdjacency {
+  std::vector<Label> labels;
+  std::vector<std::vector<VertexId>> adj;  // id-sorted
+
+  void AddVertex(Label l) {
+    labels.push_back(l);
+    adj.emplace_back();
+  }
+  void AddEdge(VertexId u, VertexId v) {
+    adj[u].insert(std::lower_bound(adj[u].begin(), adj[u].end(), v), v);
+    adj[v].insert(std::lower_bound(adj[v].begin(), adj[v].end(), u), u);
+  }
+  void RemoveEdge(VertexId u, VertexId v) {
+    adj[u].erase(std::find(adj[u].begin(), adj[u].end(), v));
+    adj[v].erase(std::find(adj[v].begin(), adj[v].end(), u));
+  }
+  bool HasEdge(VertexId u, VertexId v) const {
+    return std::binary_search(adj[u].begin(), adj[u].end(), v);
+  }
+};
+
+// Reference vertex signature: 16 nibble buckets (label & 15), saturating
+// at 15 — mirrors the documented layout independently of the CSR code.
+std::uint64_t ReferenceSignature(const LegacyAdjacency& m, VertexId v) {
+  std::uint64_t sig = 0;
+  for (const VertexId w : m.adj[v]) {
+    const std::size_t bucket = m.labels[w] & 15u;
+    const std::uint64_t nibble = (sig >> (4 * bucket)) & 0xFULL;
+    if (nibble < 0xF) sig += 1ULL << (4 * bucket);
+  }
+  return sig;
+}
+
+void ExpectCsrMatchesLegacy(const Graph& g, const LegacyAdjacency& m) {
+  ASSERT_EQ(g.NumVertices(), m.labels.size());
+  std::size_t edges = 0;
+  std::map<Label, std::uint32_t> label_counts;
+  std::vector<std::uint32_t> degrees;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    ++label_counts[m.labels[v]];
+    degrees.push_back(static_cast<std::uint32_t>(m.adj[v].size()));
+    edges += m.adj[v].size();
+
+    // Primary run: id-sorted neighbours.
+    EXPECT_EQ(g.neighbors(v), m.adj[v]) << "vertex " << v;
+    EXPECT_EQ(g.degree(v), m.adj[v].size());
+
+    // Label-sorted run: NeighborsWithLabel(v, l) is exactly the id-sorted
+    // subset of neighbours labelled l, for every label that occurs (and
+    // empty for one that does not).
+    std::map<Label, std::vector<VertexId>> by_label;
+    for (const VertexId w : m.adj[v]) by_label[m.labels[w]].push_back(w);
+    std::size_t covered = 0;
+    for (const auto& [l, expected] : by_label) {
+      EXPECT_EQ(g.NeighborsWithLabel(v, l), expected)
+          << "vertex " << v << " label " << l;
+      covered += expected.size();
+    }
+    EXPECT_EQ(covered, g.degree(v));
+    EXPECT_TRUE(g.NeighborsWithLabel(v, 9999).empty());
+
+    EXPECT_EQ(g.vertex_signature(v), ReferenceSignature(m, v))
+        << "vertex " << v;
+
+    for (VertexId w = 0; w < g.NumVertices(); ++w) {
+      EXPECT_EQ(g.HasEdge(v, w), v != w && m.HasEdge(v, w));
+    }
+  }
+  EXPECT_EQ(g.NumEdges(), edges / 2);
+
+  LabelHistogram expected_hist(label_counts.begin(), label_counts.end());
+  EXPECT_EQ(g.label_histogram(), expected_hist);
+
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  EXPECT_EQ(g.degree_sequence(), degrees);
+}
+
+class CsrPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsrPropertyTest, RandomMutationSequenceMatchesLegacyAdjacency) {
+  Rng rng(GetParam());
+  Graph g;
+  LegacyAdjacency m;
+  for (int step = 0; step < 400; ++step) {
+    const std::size_t n = g.NumVertices();
+    switch (rng.UniformBelow(3)) {
+      case 0: {
+        const Label l = static_cast<Label>(rng.UniformBelow(40));
+        g.AddVertex(l);
+        m.AddVertex(l);
+        break;
+      }
+      case 1: {
+        if (n < 2) break;
+        const auto u = static_cast<VertexId>(rng.UniformBelow(n));
+        const auto v = static_cast<VertexId>(rng.UniformBelow(n));
+        if (u == v || m.HasEdge(u, v)) break;
+        ASSERT_TRUE(g.AddEdge(u, v).ok());
+        m.AddEdge(u, v);
+        break;
+      }
+      default: {
+        if (n < 2) break;
+        const auto u = static_cast<VertexId>(rng.UniformBelow(n));
+        if (m.adj[u].empty()) break;
+        const VertexId v = m.adj[u][rng.UniformBelow(m.adj[u].size())];
+        ASSERT_TRUE(g.RemoveEdge(u, v).ok());
+        m.RemoveEdge(u, v);
+        break;
+      }
+    }
+    if (step % 25 == 0) ExpectCsrMatchesLegacy(g, m);
+  }
+  ExpectCsrMatchesLegacy(g, m);
+}
+
+TEST_P(CsrPropertyTest, BulkCreateMatchesIncrementalBuild) {
+  Rng rng(GetParam() + 77);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + rng.UniformBelow(25);
+    std::vector<Label> labels;
+    for (std::size_t i = 0; i < n; ++i) {
+      labels.push_back(static_cast<Label>(rng.UniformBelow(6)));
+    }
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) {
+        if (rng.UniformBelow(4) == 0) edges.emplace_back(u, v);
+      }
+    }
+    auto bulk = Graph::Create(labels, edges);
+    ASSERT_TRUE(bulk.ok());
+
+    Graph incremental;
+    LegacyAdjacency m;
+    for (const Label l : labels) {
+      incremental.AddVertex(l);
+      m.AddVertex(l);
+    }
+    for (const auto& [u, v] : edges) {
+      ASSERT_TRUE(incremental.AddEdge(u, v).ok());
+      m.AddEdge(u, v);
+    }
+    EXPECT_EQ(bulk.value(), incremental);
+    ExpectCsrMatchesLegacy(bulk.value(), m);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrPropertyTest,
+                         ::testing::Values(31001, 31002, 31003, 31004));
+
+// SWAR nibble dominance vs a per-nibble reference, over random and
+// adversarial (saturated / near-boundary) signature pairs.
+TEST(SignatureDominatesTest, AgreesWithPerNibbleReference) {
+  auto reference = [](std::uint64_t sub, std::uint64_t super) {
+    for (int b = 0; b < 16; ++b) {
+      if (((sub >> (4 * b)) & 0xF) > ((super >> (4 * b)) & 0xF)) return false;
+    }
+    return true;
+  };
+  Rng rng(424242);
+  for (int i = 0; i < 20000; ++i) {
+    std::uint64_t a = rng.Next();
+    std::uint64_t b = rng.Next();
+    // Mix in adversarial patterns: saturated nibbles and equal values.
+    switch (rng.UniformBelow(5)) {
+      case 0: a = b; break;
+      case 1: a |= 0xF0F0F0F0F0F0F0F0ULL; break;
+      case 2: b |= 0x0F0F0F0F0F0F0F0FULL; break;
+      case 3: b = a | (1ULL << (4 * rng.UniformBelow(16))); break;
+      default: break;
+    }
+    EXPECT_EQ(SignatureDominates(a, b), reference(a, b))
+        << std::hex << a << " vs " << b;
+  }
+  EXPECT_TRUE(SignatureDominates(0, 0));
+  EXPECT_TRUE(SignatureDominates(0, ~0ULL));
+  EXPECT_FALSE(SignatureDominates(~0ULL, 0));
+  EXPECT_TRUE(SignatureDominates(~0ULL, ~0ULL));
+}
+
+}  // namespace
+}  // namespace gcp

@@ -1,0 +1,133 @@
+// The prepared-pattern protocol must be answer-preserving: for every
+// matcher, ContainsPrepared/FindEmbeddingPrepared through Prepare must
+// agree with the per-pair FindEmbedding on randomized corpora (planted
+// positives, isomorphs, random negatives), witnesses must stay valid, and
+// sharing one prepared pattern across many targets must not leak state
+// between searches.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "../test_util.hpp"
+#include "graph/generators.hpp"
+#include "match/matcher.hpp"
+#include "workload/query_gen.hpp"
+
+namespace gcp {
+namespace {
+
+struct Corpus {
+  std::vector<std::pair<Graph, Graph>> pairs;  // (pattern, target)
+};
+
+Corpus BuildCorpus(std::uint64_t seed) {
+  Rng rng(seed);
+  Corpus c;
+  for (int i = 0; i < 12; ++i) {
+    const Graph target = RandomConnectedGraph(rng, 6 + rng.UniformBelow(10),
+                                              rng.UniformBelow(6), 3);
+    const Graph query = ExtractBfsQuery(
+        target,
+        static_cast<VertexId>(rng.UniformBelow(target.NumVertices())),
+        2 + rng.UniformBelow(6));
+    c.pairs.emplace_back(query, target);
+  }
+  for (int i = 0; i < 6; ++i) {
+    const Graph g = RandomConnectedGraph(rng, 5 + rng.UniformBelow(6),
+                                         rng.UniformBelow(4), 3);
+    c.pairs.emplace_back(g, RandomlyPermuted(rng, g));
+  }
+  for (int i = 0; i < 18; ++i) {
+    c.pairs.emplace_back(
+        RandomConnectedGraph(rng, 4 + rng.UniformBelow(5),
+                             rng.UniformBelow(3), 3),
+        RandomConnectedGraph(rng, 6 + rng.UniformBelow(8),
+                             rng.UniformBelow(5), 3));
+  }
+  return c;
+}
+
+class PreparedMatcherTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PreparedMatcherTest, PreparedAgreesWithPerPairOnAllMatchers) {
+  const Corpus corpus = BuildCorpus(GetParam());
+  for (const MatcherKind kind :
+       {MatcherKind::kVf2, MatcherKind::kVf2Plus, MatcherKind::kGraphQl,
+        MatcherKind::kUllmann}) {
+    const auto matcher = MakeMatcher(kind);
+    for (const auto& [pattern, target] : corpus.pairs) {
+      const bool expected = matcher->Contains(pattern, target);
+      const auto prepared = matcher->Prepare(pattern);
+      ASSERT_NE(prepared, nullptr);
+      EXPECT_EQ(matcher->ContainsPrepared(*prepared, target), expected)
+          << matcher->name() << " pattern=" << pattern.ToString()
+          << " target=" << target.ToString();
+      std::vector<VertexId> embedding;
+      if (matcher->FindEmbeddingPrepared(*prepared, target, &embedding)) {
+        EXPECT_TRUE(IsValidEmbedding(pattern, target, embedding))
+            << matcher->name() << " pattern=" << pattern.ToString()
+            << " target=" << target.ToString();
+      }
+    }
+  }
+}
+
+TEST_P(PreparedMatcherTest, OnePreparedPatternServesManyTargets) {
+  // The MethodM usage pattern: one pattern, many targets, with a rarity
+  // table. Reusing the context (sequentially and with stats attached)
+  // must give the same answers as fresh per-pair searches.
+  Rng rng(GetParam() + 500);
+  const auto vf2p = MakeMatcher(MatcherKind::kVf2Plus);
+  for (int round = 0; round < 6; ++round) {
+    std::vector<Graph> targets;
+    LabelHistogram global;
+    {
+      std::map<Label, std::uint32_t> freq;
+      for (int i = 0; i < 20; ++i) {
+        targets.push_back(RandomConnectedGraph(
+            rng, 6 + rng.UniformBelow(12), rng.UniformBelow(5), 3));
+        for (const auto& [l, c] : targets.back().label_histogram()) {
+          freq[l] += c;
+        }
+      }
+      global.assign(freq.begin(), freq.end());
+    }
+    const Graph pattern = ExtractBfsQuery(
+        targets[0], static_cast<VertexId>(rng.UniformBelow(
+                        targets[0].NumVertices())),
+        2 + rng.UniformBelow(5));
+    const auto prepared = vf2p->Prepare(pattern, &global);
+    MatchStats stats;
+    for (const Graph& t : targets) {
+      EXPECT_EQ(vf2p->ContainsPrepared(*prepared, t, &stats),
+                vf2p->Contains(pattern, t));
+    }
+  }
+}
+
+TEST(PreparedMatcherTest, EmptyAndTrivialPatterns) {
+  const auto vf2p = MakeMatcher(MatcherKind::kVf2Plus);
+  const Graph empty;
+  const Graph target = testing::MakePath({1, 2, 3});
+  const auto prepared_empty = vf2p->Prepare(empty);
+  EXPECT_TRUE(vf2p->ContainsPrepared(*prepared_empty, target));
+  EXPECT_TRUE(vf2p->ContainsPrepared(*prepared_empty, empty));
+
+  Graph single;
+  single.AddVertex(2);
+  const auto prepared_single = vf2p->Prepare(single);
+  EXPECT_TRUE(vf2p->ContainsPrepared(*prepared_single, target));
+  Graph wrong_label;
+  wrong_label.AddVertex(9);
+  EXPECT_FALSE(vf2p->ContainsPrepared(*prepared_single, wrong_label));
+  // Pattern larger than target.
+  const auto prepared_path = vf2p->Prepare(target);
+  EXPECT_FALSE(vf2p->ContainsPrepared(*prepared_path, single));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreparedMatcherTest,
+                         ::testing::Values(61001, 61002, 61003, 61004));
+
+}  // namespace
+}  // namespace gcp
