@@ -57,6 +57,10 @@ struct BenchConfig {
   /// Closed-loop client threads sharing one GraphCachePlus (the runner's
   /// --threads flag; bench_throughput_scaling sweeps 1..this).
   std::size_t client_threads = 1;
+  /// Digest-sharded cache stores (--shards; 1 = single-store legacy).
+  std::size_t shards = 1;
+  /// Dedicated maintenance drain thread (--maintenance-thread).
+  bool maintenance_thread = false;
   /// Run the legacy hot path (per-pair match state + brute-force
   /// discovery scan) instead of the optimized one (--legacy).
   bool legacy_hot_path = false;
@@ -115,6 +119,9 @@ struct BenchConfig {
         flags.GetInt("verify-threads", c.verify_threads));
     c.client_threads =
         static_cast<std::size_t>(flags.GetInt("threads", c.client_threads));
+    c.shards = static_cast<std::size_t>(flags.GetInt("shards", c.shards));
+    c.maintenance_thread =
+        flags.GetBool("maintenance-thread", c.maintenance_thread);
     c.legacy_hot_path = flags.GetBool("legacy", c.legacy_hot_path);
     c.json_path = flags.GetString("json", c.json_path);
     return c;
@@ -183,6 +190,8 @@ inline RunnerConfig MakeRunnerConfig(RunMode mode, MatcherKind method,
   rc.warmup_queries = cfg.warmup;
   rc.verify_threads = cfg.verify_threads;
   rc.client_threads = cfg.client_threads;
+  rc.shards = cfg.shards;
+  rc.maintenance_thread = cfg.maintenance_thread;
   rc.max_sub_hits = cfg.max_sub_hits;
   rc.max_super_hits = cfg.max_super_hits;
   rc.legacy_hot_path = cfg.legacy_hot_path;

@@ -1,23 +1,55 @@
 // Concurrent-serving throughput: queries/sec of one shared GraphCachePlus
-// under 1 / 2 / 4 / 8 closed-loop client threads (Type-A workload).
+// under 1 / 2 / 4 / 8 closed-loop client threads (Type-A workload),
+// swept across cache shard counts — the PR 4 earn-out: with N shards a
+// maintenance drain serializes one shard instead of the whole cache, and
+// the dedicated maintenance thread takes drains off the query tail
+// entirely.
 //
-// This is the read-phase/maintenance-phase split's earn-out: discovery,
-// pruning and Method M verification run under the shared lock, so
-// queries/sec should climb from 1 → 4 clients; maintenance (admission,
-// replacement, validation) stays serialized and bounds the curve.
+// Sweeps threads (1,2,4,.. up to --max-threads / --threads) x shard
+// configurations (--shard-sweep, default "1,4"). --maintenance-thread
+// applies to every configuration; shards=1 without it is the PR 2/3
+// engine bit-exactly.
 //
-// One JSON line per configuration for the BENCH_* trajectory, e.g.:
-//   {"bench":"throughput_scaling","workload":"ZZ","mode":"CON", ...}
+// One JSON line per configuration on stdout for the BENCH_* trajectory;
+// --json=PATH additionally writes the whole sweep as one report
+// (committed as BENCH_04.json).
 //
 // Flags: --threads N caps the sweep (default 8); --workload ZZ|ZU|UU;
-// the usual corpus/cache knobs from bench_common.
+// --shard-sweep a,b,c; --maintenance-thread; the usual corpus/cache knobs
+// from bench_common.
 
+#include <cstdlib>
+#include <memory>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
 
 using namespace gcp;
 using namespace gcp::bench;
+
+namespace {
+
+std::vector<std::size_t> ParseShardSweep(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok = csv.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!tok.empty()) {
+      const long v = std::strtol(tok.c_str(), nullptr, 10);
+      if (v > 0) out.push_back(static_cast<std::size_t>(v));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::Parse(argc, argv);
@@ -27,8 +59,11 @@ int main(int argc, char** argv) {
                                       : static_cast<std::size_t>(
                                             flags.GetInt("max-threads", 8));
   const std::string wname = flags.GetString("workload", "ZZ");
+  const std::vector<std::size_t> shard_sweep =
+      ParseShardSweep(flags.GetString("shard-sweep", "1,4"));
   const unsigned cores = std::thread::hardware_concurrency();
-  PrintConfig(cfg, "Throughput scaling: one shared GC+ vs. client threads");
+  PrintConfig(cfg, "Throughput scaling: one shared GC+ vs. client threads "
+                   "x cache shards");
   std::printf("# hardware_concurrency: %u — scaling beyond this is not "
               "expected\n", cores);
 
@@ -36,33 +71,51 @@ int main(int argc, char** argv) {
   const ChangePlan plan = BuildPlan(cfg, corpus.size());
   const Workload w = BuildWorkload(wname, corpus, cfg);
 
-  std::printf("\n%-8s %12s %14s %12s %10s\n", "threads", "qps",
-              "measured ms", "avg q ms", "scaling");
-  double qps_at_1 = 0.0;
-  for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
-    cfg.client_threads = threads;
-    RunnerConfig rc = MakeRunnerConfig(RunMode::kCon, MatcherKind::kVf2, cfg);
-    const RunReport r = RunWorkload(corpus, w, plan, rc);
-    if (threads == 1) qps_at_1 = r.qps();
-    const double scaling = qps_at_1 > 0.0 ? r.qps() / qps_at_1 : 0.0;
-    std::printf("%-8zu %12.1f %14.2f %12.4f %9.2fx\n", threads, r.qps(),
-                r.measured_wall_ms, r.avg_query_ms(), scaling);
-    std::printf(
-        "{\"bench\":\"throughput_scaling\",\"workload\":\"%s\",\"mode\":"
-        "\"CON\",\"method\":\"VF2\",\"client_threads\":%zu,\"cores\":%u,"
-        "\"queries\":%zu,\"measured_queries\":%zu,\"measured_wall_ms\":%.3f,"
-        "\"qps\":%.2f,\"avg_query_ms\":%.5f,\"avg_overhead_ms\":%.5f,"
-        "\"scaling_vs_1\":%.3f}\n",
-        wname.c_str(), threads, cores, w.size(), r.measured_queries,
-        r.measured_wall_ms, r.qps(), r.avg_query_ms(), r.avg_overhead_ms(),
-        scaling);
-    std::fflush(stdout);
+  std::unique_ptr<JsonWriter> json;
+  if (!cfg.json_path.empty()) {
+    json = std::make_unique<JsonWriter>(cfg.json_path, "throughput_scaling",
+                                        cfg);
+  }
+
+  for (const std::size_t shards : shard_sweep) {
+    cfg.shards = shards;
+    std::printf("\n## shards=%zu maintenance_thread=%s\n", shards,
+                cfg.maintenance_thread ? "on" : "off");
+    std::printf("%-8s %12s %14s %12s %10s\n", "threads", "qps",
+                "measured ms", "avg q ms", "scaling");
+    double qps_at_1 = 0.0;
+    for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
+      cfg.client_threads = threads;
+      RunnerConfig rc =
+          MakeRunnerConfig(RunMode::kCon, MatcherKind::kVf2, cfg);
+      const RunReport r = RunWorkload(corpus, w, plan, rc);
+      if (threads == 1) qps_at_1 = r.qps();
+      const double scaling = qps_at_1 > 0.0 ? r.qps() / qps_at_1 : 0.0;
+      std::printf("%-8zu %12.1f %14.2f %12.4f %9.2fx\n", threads, r.qps(),
+                  r.measured_wall_ms, r.avg_query_ms(), scaling);
+      char row[512];
+      std::snprintf(
+          row, sizeof(row),
+          "\"workload\":\"%s\",\"mode\":\"CON\",\"method\":\"VF2\","
+          "\"client_threads\":%zu,\"shards\":%zu,"
+          "\"maintenance_thread\":%s,\"cores\":%u,\"queries\":%zu,"
+          "\"measured_queries\":%zu,\"measured_wall_ms\":%.3f,\"qps\":%.2f,"
+          "\"avg_query_ms\":%.5f,\"avg_overhead_ms\":%.5f,"
+          "\"scaling_vs_1\":%.3f",
+          wname.c_str(), threads, shards,
+          cfg.maintenance_thread ? "true" : "false", cores, w.size(),
+          r.measured_queries, r.measured_wall_ms, r.qps(), r.avg_query_ms(),
+          r.avg_overhead_ms(), scaling);
+      std::printf("{\"bench\":\"throughput_scaling\",%s}\n", row);
+      if (json != nullptr) json->Row(row);
+      std::fflush(stdout);
+    }
   }
   std::printf(
       "\n# Expected shape: qps grows 1 → 4 threads while threads <= cores "
-      "(read phases share the lock);\n# the curve flattens where "
-      "serialized maintenance or core count binds. On a single-core\n"
-      "# machine flat ~1.0x scaling is the correct result — the split's "
-      "win is bounded by hardware.\n");
+      "(read phases share the lock);\n# sharding moves the curve where "
+      "maintenance drains bind — a drain on shard k no longer\n# stalls "
+      "readers of shard j. On a single-core machine flat ~1.0x scaling is "
+      "the correct\n# result — the split's win is bounded by hardware.\n");
   return 0;
 }

@@ -1,0 +1,156 @@
+#include "cache/sharded_cache.hpp"
+
+namespace gcp {
+
+namespace {
+
+/// Thread-local shard being drained by this thread; -1 = none.
+thread_local int tls_drain_shard = -1;
+
+CacheManagerOptions SplitOptions(const CacheManagerOptions& total,
+                                 std::size_t num_shards) {
+  CacheManagerOptions per = total;
+  per.cache_capacity =
+      std::max<std::size_t>(1, (total.cache_capacity + num_shards - 1) /
+                                   num_shards);
+  per.window_capacity =
+      std::max<std::size_t>(1, (total.window_capacity + num_shards - 1) /
+                                   num_shards);
+  return per;
+}
+
+}  // namespace
+
+ShardedCache::ShardedCache(std::size_t num_shards,
+                           const CacheManagerOptions& total) {
+  const std::size_t n = std::max<std::size_t>(1, num_shards);
+  const CacheManagerOptions per = SplitOptions(total, n);
+  shards_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    // Distinct RNG streams keep the RANDOM policy from making identical
+    // eviction picks in every shard.
+    CacheManagerOptions opts = per;
+    opts.rng_seed = total.rng_seed + s;
+    shards_.push_back(std::make_unique<Shard>(opts));
+  }
+}
+
+void ShardedCache::NoteLock(std::size_t s) const {
+  const int draining = tls_drain_shard;
+  if (draining >= 0 && static_cast<std::size_t>(draining) != s) {
+    violations_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::shared_lock<std::shared_mutex> ShardedCache::LockShared(
+    std::size_t s) const {
+  NoteLock(s);
+  return std::shared_lock<std::shared_mutex>(shards_[s]->mu);
+}
+
+std::unique_lock<std::shared_mutex> ShardedCache::LockExclusive(
+    std::size_t s) const {
+  NoteLock(s);
+  return std::unique_lock<std::shared_mutex>(shards_[s]->mu);
+}
+
+std::unique_lock<std::shared_mutex> ShardedCache::TryLockExclusive(
+    std::size_t s) const {
+  NoteLock(s);
+  return std::unique_lock<std::shared_mutex>(shards_[s]->mu,
+                                             std::try_to_lock);
+}
+
+std::vector<std::shared_lock<std::shared_mutex>> ShardedCache::LockAllShared()
+    const {
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    locks.push_back(LockShared(s));
+  }
+  return locks;
+}
+
+std::vector<std::unique_lock<std::shared_mutex>>
+ShardedCache::LockAllExclusive() const {
+  std::vector<std::unique_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    locks.push_back(LockExclusive(s));
+  }
+  return locks;
+}
+
+ShardedCache::DrainScope::DrainScope(std::size_t s) {
+  tls_drain_shard = static_cast<int>(s);
+}
+
+ShardedCache::DrainScope::~DrainScope() { tls_drain_shard = -1; }
+
+std::size_t ShardedCache::resident() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->store.resident();
+  return n;
+}
+
+std::size_t ShardedCache::cache_size() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->store.cache_size();
+  return n;
+}
+
+std::size_t ShardedCache::window_size() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->store.window_size();
+  return n;
+}
+
+StatisticsManager ShardedCache::AggregateStats() const {
+  StatisticsManager sum;
+  for (const auto& s : shards_) {
+    const StatisticsManager& st = s->store.stats();
+    sum.total_exact_hits += st.total_exact_hits;
+    sum.total_exact_hits_zero_test += st.total_exact_hits_zero_test;
+    sum.total_sub_hits += st.total_sub_hits;
+    sum.total_super_hits += st.total_super_hits;
+    sum.total_empty_shortcuts += st.total_empty_shortcuts;
+    sum.total_tests_saved += st.total_tests_saved;
+    sum.total_admissions += st.total_admissions;
+    sum.total_admission_dedups += st.total_admission_dedups;
+    sum.total_evictions += st.total_evictions;
+    sum.total_cache_clears += st.total_cache_clears;
+    sum.total_retro_refreshes += st.total_retro_refreshes;
+  }
+  return sum;
+}
+
+void ShardedCache::Clear() {
+  for (auto& s : shards_) s->store.Clear();
+}
+
+void ShardedCache::ValidateAll(const ChangeCounters& counters,
+                               std::size_t id_horizon) {
+  for (auto& s : shards_) s->store.ValidateAll(counters, id_horizon);
+}
+
+std::vector<CachedQuery> ShardedCache::ExportEntries() const {
+  std::vector<CachedQuery> out;
+  out.reserve(resident());
+  for (const auto& s : shards_) {
+    std::vector<CachedQuery> part = s->store.ExportEntries();
+    for (CachedQuery& e : part) out.push_back(std::move(e));
+  }
+  return out;
+}
+
+void ShardedCache::RestoreEntries(std::vector<CachedQuery> entries) {
+  std::vector<std::vector<CachedQuery>> routed(shards_.size());
+  for (CachedQuery& e : entries) {
+    routed[ShardOfDigest(e.digest)].push_back(std::move(e));
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->store.RestoreEntries(std::move(routed[s]));
+  }
+}
+
+}  // namespace gcp

@@ -48,6 +48,9 @@ class StatisticsManager {
   std::uint64_t total_empty_shortcuts = 0;
   std::uint64_t total_tests_saved = 0;
   std::uint64_t total_admissions = 0;
+  /// Drain-time twin drops: admission offers rejected because an
+  /// isomorphic, fully-valid resident already covers the query.
+  std::uint64_t total_admission_dedups = 0;
   std::uint64_t total_evictions = 0;
   std::uint64_t total_cache_clears = 0;  ///< EVI purges.
   std::uint64_t total_retro_refreshes = 0;  ///< Retrospective re-tests (§8).

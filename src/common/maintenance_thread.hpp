@@ -1,0 +1,79 @@
+// MaintenanceThread — a dedicated background worker that drains deferred
+// cache maintenance off the query critical path.
+//
+// PR 2 drained opportunistically: whichever query thread next won a
+// try_lock paid for the whole backlog, so query tail latency carried the
+// drains. With a dedicated thread, producers just enqueue and Notify();
+// the thread wakes on queue pressure (Notify) or on a timer (so trickling
+// batches never sit longer than one interval) and runs the drain callback
+// with no query waiting on it.
+//
+// The callback runs on the maintenance thread only — never concurrently
+// with itself — and must do its own locking (the engine's drain takes the
+// engine lock shared plus one shard lock exclusive per shard drained).
+// Stop() is idempotent, joins the thread, and runs one final drain so
+// work enqueued up to the stop point is not stranded.
+
+#ifndef GCP_COMMON_MAINTENANCE_THREAD_HPP_
+#define GCP_COMMON_MAINTENANCE_THREAD_HPP_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace gcp {
+
+/// \brief Wake-on-pressure-or-timer background drain loop.
+class MaintenanceThread {
+ public:
+  /// Starts the thread. `drain` is invoked once per wakeup.
+  MaintenanceThread(std::function<void()> drain,
+                    std::chrono::microseconds interval);
+
+  /// Stops and joins (idempotent).
+  ~MaintenanceThread();
+
+  MaintenanceThread(const MaintenanceThread&) = delete;
+  MaintenanceThread& operator=(const MaintenanceThread&) = delete;
+
+  /// Queue-pressure signal: wake the thread now instead of at the next
+  /// timer tick. Callable from any thread; never blocks on the drain.
+  void Notify();
+
+  /// Stops the loop, runs one final drain on the worker, joins. Safe to
+  /// call repeatedly and from the destructor.
+  void Stop();
+
+  /// Total drain invocations (timer + notified).
+  std::uint64_t wakeups() const {
+    return wakeups_.load(std::memory_order_relaxed);
+  }
+  /// Drain invocations triggered by Notify rather than the timer.
+  std::uint64_t notified_wakeups() const {
+    return notified_wakeups_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  std::function<void()> drain_;
+  std::chrono::microseconds interval_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool notified_ = false;  ///< Guarded by mu_.
+  bool stop_ = false;      ///< Guarded by mu_.
+
+  std::atomic<std::uint64_t> wakeups_{0};
+  std::atomic<std::uint64_t> notified_wakeups_{0};
+
+  std::thread thread_;  ///< Last member: starts after the state above.
+};
+
+}  // namespace gcp
+
+#endif  // GCP_COMMON_MAINTENANCE_THREAD_HPP_

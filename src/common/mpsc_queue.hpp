@@ -35,11 +35,14 @@ class BoundedMpscQueue {
   BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
 
   /// Enqueues `item`; returns false (leaving `item` untouched) when the
-  /// queue is at capacity.
-  bool TryPush(T&& item) {
+  /// queue is at capacity. `size_after` (optional) receives the queue size
+  /// right after the push — the producer-side pressure signal that decides
+  /// whether to wake the maintenance thread early.
+  bool TryPush(T&& item, std::size_t* size_after = nullptr) {
     std::lock_guard<std::mutex> lock(mu_);
     if (items_.size() >= capacity_) return false;
     items_.push_back(std::move(item));
+    if (size_after != nullptr) *size_after = items_.size();
     return true;
   }
 

@@ -1,6 +1,7 @@
 #include "core/graphcache_plus.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "cache/cache_validator.hpp"
 #include "cache/snapshot.hpp"
@@ -35,10 +36,28 @@ GraphCachePlus::GraphCachePlus(GraphDataset* dataset,
                 options.reuse_match_context),
       internal_matcher_(MakeMatcher(options.internal_matcher)),
       discovery_(*internal_matcher_, options_),
-      cache_(CacheManagerOptions{options.cache_capacity,
+      cache_(options.num_shards,
+             CacheManagerOptions{options.cache_capacity,
                                  options.window_capacity, options.policy,
-                                 options.rng_seed}),
-      pending_(options.maintenance_queue_capacity) {}
+                                 options.rng_seed}) {
+  pending_.reserve(cache_.num_shards());
+  shard_ptrs_.reserve(cache_.num_shards());
+  for (std::size_t s = 0; s < cache_.num_shards(); ++s) {
+    pending_.push_back(std::make_unique<BoundedMpscQueue<PendingMaintenance>>(
+        options.maintenance_queue_capacity));
+    shard_ptrs_.push_back(&cache_.shard(s));
+  }
+  if (options.maintenance_thread) {
+    maintenance_ = std::make_unique<MaintenanceThread>(
+        [this] { MaintenanceDrainPass(); },
+        std::chrono::microseconds(options.maintenance_interval_us));
+  }
+}
+
+GraphCachePlus::~GraphCachePlus() {
+  // Join the drain thread before any member it touches is torn down.
+  if (maintenance_ != nullptr) maintenance_->Stop();
+}
 
 bool GraphCachePlus::NeedsSyncLocked() const {
   return dataset_->log().HasChangesSince(watermark_) ||
@@ -55,7 +74,7 @@ void GraphCachePlus::SyncWithDatasetLocked(QueryMetrics* metrics) {
       cache_.Clear();
     } else {
       // CON: Algorithm 1 over the incremental records, then Algorithm 2 on
-      // every resident entry (paper §5.2).
+      // every resident entry of every shard (paper §5.2).
       const std::vector<ChangeRecord> records = log.ExtractSince(watermark_);
       const ChangeCounters counters = LogAnalyzer::Analyze(records);
       cache_.ValidateAll(counters, dataset_->IdHorizon());
@@ -108,7 +127,40 @@ std::vector<CacheManager::EntryCreditSum> GraphCachePlus::SumCredits(
   return sums;
 }
 
-void GraphCachePlus::ApplyMaintenanceLocked(PendingMaintenance& batch) {
+bool GraphCachePlus::IsDuplicateAdmissionLocked(
+    std::size_t s, const CachedQuery& entry) const {
+  // The probe mirrors the serial §6.3 exact-hit precondition (same-kind
+  // isomorphic resident, fully valid over the live dataset): under that
+  // condition the serial engine would not have produced this offer, so a
+  // concurrent twin that did slip past the read-phase check is dropped
+  // here. Residents that are isomorphic but NOT fully valid do not block
+  // admission — the serial engine admits those too (their knowledge is
+  // strictly weaker than the fresh offer's). Gated on the exact shortcut
+  // so configurations that never detect exact hits keep admitting twins
+  // exactly as before.
+  if (!options_.enable_exact_shortcut) return false;
+  const std::vector<const CachedQuery*> twins =
+      cache_.shard(s).index().DigestMatches(entry.digest);
+  if (twins.empty()) return false;
+  const DynamicBitset live = dataset_->LiveMask();
+  for (const CachedQuery* twin : twins) {
+    if (twin->kind != entry.kind ||
+        twin->query.NumVertices() != entry.query.NumVertices() ||
+        twin->query.NumEdges() != entry.query.NumEdges()) {
+      continue;
+    }
+    if (twin->valid.size() != live.size() || !live.IsSubsetOf(twin->valid)) {
+      continue;
+    }
+    // Equal counts + one-way containment ⇒ isomorphic (the §6.3 case-1
+    // argument): the embedding is a bijection and edge counts match.
+    if (internal_matcher_->Contains(entry.query, twin->query)) return true;
+  }
+  return false;
+}
+
+void GraphCachePlus::ApplyMaintenanceLocked(std::size_t s,
+                                            PendingMaintenance& batch) {
   if (!batch.offer.has_value()) return;
   AdmissionOffer& offer = *batch.offer;
   const bool stale = offer.observed_watermark != watermark_;
@@ -118,8 +170,16 @@ void GraphCachePlus::ApplyMaintenanceLocked(PendingMaintenance& batch) {
     // resident entry would have been.
     return;
   }
+  if (IsDuplicateAdmissionLocked(s, *offer.entry)) {
+    // Concurrent twin: an isomorphic, fully-valid resident landed between
+    // this query's read phase and its drain. Admitting both would split
+    // capacity and benefit statistics across identical knowledge.
+    ++cache_.shard(s).stats().total_admission_dedups;
+    return;
+  }
+  CacheManager& shard = cache_.shard(s);
   const CacheEntryId id =
-      cache_.AdmitPrepared(std::move(offer.entry), batch.query_id);
+      shard.AdmitPrepared(std::move(offer.entry), batch.query_id);
   if (stale) {
     // CON: forward-validate the snapshot through Algorithms 1 + 2 over
     // exactly the records the cache has already reconciled, so the new
@@ -134,31 +194,65 @@ void GraphCachePlus::ApplyMaintenanceLocked(PendingMaintenance& batch) {
                                  }),
                   records.end());
     const ChangeCounters counters = LogAnalyzer::Analyze(records);
-    CachedQuery* e = cache_.FindMutable(id);
+    CachedQuery* e = shard.FindMutable(id);
     if (e != nullptr) {
       CacheValidator::RefreshEntry(*e, counters, dataset_->IdHorizon());
     }
   }
 }
 
-void GraphCachePlus::DrainMaintenanceLocked() {
-  std::vector<PendingMaintenance> batches = pending_.DrainAll();
+void GraphCachePlus::DrainShardLocked(std::size_t s) {
+  std::vector<PendingMaintenance> batches = pending_[s]->DrainAll();
   if (batches.empty()) return;
   // Benefit credits are summed per entry across the whole drain and
   // applied as one update per entry; a credit can never reference an
   // entry admitted by an offer in the same drain (the entry had to be
   // resident when the crediting query's read phase discovered it), so
   // applying all credits before all offers preserves the per-batch order.
-  cache_.CreditHitsBatched(SumCredits(batches));
-  for (PendingMaintenance& b : batches) ApplyMaintenanceLocked(b);
+  cache_.shard(s).CreditHitsBatched(SumCredits(batches));
+  for (PendingMaintenance& b : batches) ApplyMaintenanceLocked(s, b);
   // Replacement runs once per drain, however many admissions landed.
-  cache_.MaybeMergeWindow();
+  cache_.shard(s).MaybeMergeWindow();
+}
+
+bool GraphCachePlus::DrainShard(std::size_t s, bool try_lock) {
+  ShardedCache::DrainScope scope(s);
+  auto lock =
+      try_lock ? cache_.TryLockExclusive(s) : cache_.LockExclusive(s);
+  if (!lock.owns_lock()) return false;
+  DrainShardLocked(s);
+  return true;
+}
+
+void GraphCachePlus::DrainAllShardsLocked() {
+  for (std::size_t s = 0; s < pending_.size(); ++s) DrainShardLocked(s);
+}
+
+void GraphCachePlus::MaintenanceDrainPass() {
+  bool drained = false;
+  std::int64_t drain_ns = 0;
+  {
+    ScopedTimer timer(&drain_ns);
+    std::shared_lock<std::shared_mutex> engine_read(mu_);
+    for (std::size_t s = 0; s < pending_.size(); ++s) {
+      if (!pending_[s]->empty()) drained |= DrainShard(s, /*try_lock=*/false);
+    }
+  }
+  if (drained) {
+    // Drains run on the dedicated thread still count as maintenance
+    // overhead — deferral moves the cost off the query, not off the books.
+    std::lock_guard<std::mutex> agg_lock(agg_mu_);
+    aggregate_.t_maintenance_ns += drain_ns;
+  }
 }
 
 void GraphCachePlus::ApplyDatasetChanges(
     const std::function<void(GraphDataset&)>& fn) {
   std::unique_lock<std::shared_mutex> lock(mu_);
-  DrainMaintenanceLocked();
+  // Stop-the-world barrier: every shard lock, so no drain or discovery is
+  // in flight anywhere while the dataset mutates.
+  const auto shard_locks = cache_.LockAllExclusive();
+  DrainAllShardsLocked();
   fn(*dataset_);
 }
 
@@ -167,7 +261,8 @@ void GraphCachePlus::FlushMaintenance() {
   std::int64_t drain_ns = 0;
   {
     ScopedTimer timer(&drain_ns);
-    DrainMaintenanceLocked();
+    const auto shard_locks = cache_.LockAllExclusive();
+    DrainAllShardsLocked();
   }
   // Attribute the quiescing drain to maintenance overhead so end-of-run
   // flushes (e.g. the runner's) don't make deferral look free.
@@ -185,8 +280,15 @@ AggregateMetrics GraphCachePlus::AggregateSnapshot() const {
   return aggregate_;
 }
 
+StatisticsManager GraphCachePlus::CacheStatsSnapshot() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto shard_locks = cache_.LockAllShared();
+  return cache_.AggregateStats();
+}
+
 Status GraphCachePlus::SaveCache(const std::string& path) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto shard_locks = cache_.LockAllShared();
   CacheSnapshot snapshot;
   snapshot.watermark = watermark_;
   snapshot.id_horizon = dataset_->IdHorizon();
@@ -213,10 +315,11 @@ Status GraphCachePlus::LoadCache(const std::string& path) {
       return Status::Corruption("snapshot entry width != snapshot horizon");
     }
   }
+  const auto shard_locks = cache_.LockAllExclusive();
   // Settle queued maintenance before the restore wipes the stores it
   // refers to (stale credits would silently no-op; admissions from the
   // pre-restore cache would duplicate restored entries).
-  DrainMaintenanceLocked();
+  DrainAllShardsLocked();
   cache_.RestoreEntries(std::move(s.entries));
   // Resume from the snapshot's watermark: the next query's sync replays
   // the incremental suffix, re-establishing consistency.
@@ -228,27 +331,32 @@ void GraphCachePlus::RetrospectiveRefresh(std::size_t budget) {
   // The paper's §8 future-work optimisation: re-verify invalidated
   // (cached query, live graph) pairs against the current dataset so the
   // relation becomes known (and valid) again. Most-beneficial entries
-  // first; cost is bounded by `budget` sub-iso tests per sync.
+  // first within each shard; cost is bounded by `budget` sub-iso tests
+  // per sync.
   const DynamicBitset live = dataset_->LiveMask();
   const SubgraphMatcher& verifier = method_m_.matcher();
-  for (const CacheEntryId id : cache_.ResidentIdsByBenefit()) {
-    if (budget == 0) return;
-    CachedQuery* e = cache_.FindMutable(id);
-    if (e == nullptr || e->valid.size() != live.size()) continue;
-    // Unknown pairs: live graphs whose validity bit is off.
-    DynamicBitset unknown = DynamicBitset::Not(e->valid);
-    unknown.AndWith(live);
-    for (std::size_t i = unknown.FindFirst();
-         i != DynamicBitset::npos && budget > 0;
-         i = unknown.FindNext(i + 1)) {
-      const Graph& g = dataset_->graph(static_cast<GraphId>(i));
-      const bool contained = e->kind == CachedQueryKind::kSubgraph
-                                 ? verifier.Contains(e->query, g)
-                                 : verifier.Contains(g, e->query);
-      e->answer.Set(i, contained);
-      e->valid.Set(i, true);
-      --budget;
-      ++cache_.stats().total_retro_refreshes;
+  for (std::size_t shard_idx = 0;
+       shard_idx < cache_.num_shards() && budget > 0; ++shard_idx) {
+    CacheManager& shard = cache_.shard(shard_idx);
+    for (const CacheEntryId id : shard.ResidentIdsByBenefit()) {
+      if (budget == 0) return;
+      CachedQuery* e = shard.FindMutable(id);
+      if (e == nullptr || e->valid.size() != live.size()) continue;
+      // Unknown pairs: live graphs whose validity bit is off.
+      DynamicBitset unknown = DynamicBitset::Not(e->valid);
+      unknown.AndWith(live);
+      for (std::size_t i = unknown.FindFirst();
+           i != DynamicBitset::npos && budget > 0;
+           i = unknown.FindNext(i + 1)) {
+        const Graph& g = dataset_->graph(static_cast<GraphId>(i));
+        const bool contained = e->kind == CachedQueryKind::kSubgraph
+                                   ? verifier.Contains(e->query, g)
+                                   : verifier.Contains(g, e->query);
+        e->answer.Set(i, contained);
+        e->valid.Set(i, true);
+        --budget;
+        ++shard.stats().total_retro_refreshes;
+      }
     }
   }
 }
@@ -258,17 +366,27 @@ QueryResult GraphCachePlus::Query(const Graph& g, QueryKind kind) {
   QueryMetrics& m = result.metrics;
   m.query_id = query_counter_.fetch_add(1, std::memory_order_relaxed);
 
-  PendingMaintenance pending;
-  pending.query_id = m.query_id;
+  // Deferred mutations, routed per home shard (most queries touch one or
+  // two shards; linear probe beats a map at that size).
+  std::vector<std::pair<std::size_t, PendingMaintenance>> deferred;
+  auto batch_for = [&](std::size_t s) -> PendingMaintenance& {
+    for (auto& [shard, batch] : deferred) {
+      if (shard == s) return batch;
+    }
+    deferred.emplace_back(s, PendingMaintenance{});
+    deferred.back().second.query_id = m.query_id;
+    return deferred.back().second;
+  };
 
   DynamicBitset answer_bits;
+  bool had_exact = false;
   {
-    // ===== Read phase (shared lock) ======================================
+    // ===== Read phase (engine shared lock) ===============================
     std::shared_lock<std::shared_mutex> read_lock(mu_);
 
     // --- Dataset Manager: reconcile dataset changes with the cache. ------
-    // Upgrade to the exclusive lock only when the change log moved past
-    // the cache watermark (or the FTV index lags); queued maintenance
+    // Upgrade to the stop-the-world barrier only when the change log moved
+    // past the cache watermark (or the FTV index lags); queued maintenance
     // drains first so deferred admissions are validated like residents.
     // The loop re-checks after the downgrade: another thread may have
     // synced for us, or applied a further change.
@@ -276,7 +394,8 @@ QueryResult GraphCachePlus::Query(const Graph& g, QueryKind kind) {
       read_lock.unlock();
       {
         std::unique_lock<std::shared_mutex> write_lock(mu_);
-        DrainMaintenanceLocked();
+        const auto shard_locks = cache_.LockAllExclusive();
+        DrainAllShardsLocked();
         SyncWithDatasetLocked(&m);
       }
       read_lock.lock();
@@ -296,15 +415,57 @@ QueryResult GraphCachePlus::Query(const Graph& g, QueryKind kind) {
     }
     m.candidates_initial = csm.Count();
 
-    // --- Query Processing Runtime: hit discovery. -------------------------
-    Stopwatch probe_watch;
-    const DiscoveredHits hits = discovery_.Discover(g, kind, cache_, csm, &m);
-    m.t_probe_ns = probe_watch.ElapsedNanos();
+    PruneOutcome pruned;
+    {
+      // --- Shard-locked slice: hit discovery, pruning, credit extraction.
+      // Every shard lock is held shared, so resident entry pointers stay
+      // valid exactly this long; only ids, digests and value bitsets
+      // escape the block. Method M verification — the dominant read-phase
+      // cost — runs after release, so a drain (shard-exclusive) overlaps
+      // it freely.
+      const auto shard_locks = cache_.LockAllShared();
 
-    // --- Candidate-set pruning (formulas (1)-(5), §6.3 shortcuts). --------
-    Stopwatch prune_watch;
-    const PruneOutcome pruned = CandidateSetPruner::Prune(hits, csm, &m);
-    m.t_prune_ns = prune_watch.ElapsedNanos();
+      Stopwatch probe_watch;
+      const DiscoveredHits hits =
+          discovery_.Discover(g, kind, shard_ptrs_, csm, &m);
+      m.t_probe_ns = probe_watch.ElapsedNanos();
+
+      // --- Candidate-set pruning (formulas (1)-(5), §6.3 shortcuts). -----
+      Stopwatch prune_watch;
+      pruned = CandidateSetPruner::Prune(hits, csm, &m);
+      m.t_prune_ns = prune_watch.ElapsedNanos();
+
+      // --- Statistics Manager: defer credits for contributing entries,
+      // routed to each entry's home shard. -------------------------------
+      had_exact = hits.exact != nullptr;
+      if (hits.exact != nullptr) {
+        // An exact hit short-circuits the query (pruned.direct below), so
+        // Method M never runs and the hit is zero-test by construction —
+        // recorded explicitly rather than via m.si_tests, which is only
+        // written by the (skipped) verification step.
+        batch_for(cache_.ShardOfDigest(hits.exact->digest))
+            .credits.push_back({hits.exact->id, HitKind::kExact,
+                                pruned.saved_positive,
+                                /*zero_test_exact=*/true});
+      }
+      if (hits.empty_proof != nullptr) {
+        batch_for(cache_.ShardOfDigest(hits.empty_proof->digest))
+            .credits.push_back({hits.empty_proof->id, HitKind::kEmptyProof,
+                                pruned.saved_pruning, false});
+      }
+      for (const CachedQuery* hit : hits.positive) {
+        const std::uint64_t standalone =
+            DynamicBitset::And(hit->valid, hit->answer).CountAnd(csm);
+        batch_for(cache_.ShardOfDigest(hit->digest))
+            .credits.push_back({hit->id, HitKind::kSub, standalone, false});
+      }
+      for (const CachedQuery* hit : hits.pruning) {
+        const std::uint64_t standalone =
+            DynamicBitset::AndNot(hit->valid, hit->answer).CountAnd(csm);
+        batch_for(cache_.ShardOfDigest(hit->digest))
+            .credits.push_back({hit->id, HitKind::kSuper, standalone, false});
+      }
+    }  // --- shard locks released -----------------------------------------
 
     // --- Method M verification on the reduced candidate set. --------------
     Stopwatch verify_watch;
@@ -319,33 +480,12 @@ QueryResult GraphCachePlus::Query(const Graph& g, QueryKind kind) {
     m.t_verify_ns = verify_watch.ElapsedNanos();
     m.answer_size = answer_bits.Count();
 
-    // --- Statistics Manager: defer credits for contributing entries. The
-    // hit pointers die with the shared lock, so only ids and computed
-    // benefits leave the read phase. -------------------------------------
-    if (hits.exact != nullptr) {
-      pending.credits.push_back({hits.exact->id, HitKind::kExact,
-                                 pruned.saved_positive, m.si_tests == 0});
-    }
-    if (hits.empty_proof != nullptr) {
-      pending.credits.push_back({hits.empty_proof->id, HitKind::kEmptyProof,
-                                 pruned.saved_pruning, false});
-    }
-    for (const CachedQuery* hit : hits.positive) {
-      const std::uint64_t standalone =
-          DynamicBitset::And(hit->valid, hit->answer).CountAnd(csm);
-      pending.credits.push_back({hit->id, HitKind::kSub, standalone, false});
-    }
-    for (const CachedQuery* hit : hits.pruning) {
-      const std::uint64_t standalone =
-          DynamicBitset::AndNot(hit->valid, hit->answer).CountAnd(csm);
-      pending.credits.push_back({hit->id, HitKind::kSuper, standalone, false});
-    }
-
     // --- Cache Manager: defer the admission offer, stamped with the
-    // watermark the answer snapshot is consistent with. Exact hits carry
-    // no new knowledge — the isomorphic entry is already resident. --------
-    if (options_.enable_admission && hits.exact == nullptr) {
-      // Entry preparation is admission work executed early (off the
+    // watermark the answer snapshot is consistent with and routed to the
+    // query digest's home shard. Exact hits carry no new knowledge — the
+    // isomorphic entry is already resident. ------------------------------
+    if (options_.enable_admission && !had_exact) {
+      // Entry preparation is admission work executed early (off any
       // exclusive lock), so it bills to maintenance, not query time.
       ScopedTimer timer(&m.t_maintenance_ns);
       AdmissionOffer offer;
@@ -363,9 +503,10 @@ QueryResult GraphCachePlus::Query(const Graph& g, QueryKind kind) {
           answer_bits, std::move(valid),
           StatisticsManager::StructuralCostEstimateMs(g));
       offer.observed_watermark = watermark_;
-      pending.offer = std::move(offer);
+      const std::size_t home = cache_.ShardOfDigest(offer.entry->digest);
+      batch_for(home).offer = std::move(offer);
     }
-  }  // ===== shared lock released =========================================
+  }  // ===== engine shared lock released ===================================
 
   result.answer.reserve(answer_bits.Count());
   answer_bits.ForEachSetBit([&result](std::size_t id) {
@@ -373,25 +514,37 @@ QueryResult GraphCachePlus::Query(const Graph& g, QueryKind kind) {
   });
 
   // ===== Maintenance hand-off ============================================
-  if (!pending.credits.empty() || pending.offer.has_value()) {
-    if (pending_.TryPush(std::move(pending))) {
-      // Opportunistic drain: single-threaded callers always win this
-      // try_lock, so maintenance lands immediately (serial behavior is
-      // unchanged); under reader contention the batch simply waits for
-      // the next drain — the "off the critical path" of paper §4.
-      std::unique_lock<std::shared_mutex> write_lock(mu_, std::try_to_lock);
-      if (write_lock.owns_lock()) {
+  if (!deferred.empty()) {
+    std::shared_lock<std::shared_mutex> read_lock(mu_);
+    for (auto& [s, batch] : deferred) {
+      std::size_t size_after = 0;
+      if (pending_[s]->TryPush(std::move(batch), &size_after)) {
+        if (maintenance_ != nullptr) {
+          // Queue-pressure wakeup: don't let a half-full queue wait for
+          // the timer. Below the threshold the timer tick picks it up.
+          if (size_after * 2 >= pending_[s]->capacity()) {
+            maintenance_->Notify();
+          }
+        } else {
+          // Opportunistic per-shard drain: single-threaded callers always
+          // win this try_lock, so maintenance lands immediately (serial
+          // behavior is unchanged); under contention the batch simply
+          // waits for the next drain — the "off the critical path" of
+          // paper §4. Only shard s's lock is taken: readers and drains of
+          // other shards are never disturbed.
+          ScopedTimer timer(&m.t_maintenance_ns);
+          DrainShard(s, /*try_lock=*/true);
+        }
+      } else {
+        // Backpressure: shard s's bounded queue is full — drain inline.
         ScopedTimer timer(&m.t_maintenance_ns);
-        DrainMaintenanceLocked();
+        ShardedCache::DrainScope scope(s);
+        const auto shard_lock = cache_.LockExclusive(s);
+        DrainShardLocked(s);
+        cache_.shard(s).CreditHitsBatched(SumCredits({&batch, 1}));
+        ApplyMaintenanceLocked(s, batch);
+        cache_.shard(s).MaybeMergeWindow();
       }
-    } else {
-      // Backpressure: the bounded queue is full — drain inline.
-      std::unique_lock<std::shared_mutex> write_lock(mu_);
-      ScopedTimer timer(&m.t_maintenance_ns);
-      DrainMaintenanceLocked();
-      cache_.CreditHitsBatched(SumCredits({&pending, 1}));
-      ApplyMaintenanceLocked(pending);
-      cache_.MaybeMergeWindow();
     }
   }
 

@@ -15,18 +15,25 @@
 // executed query enters the admission window and replacement may run —
 // accounted as maintenance overhead, off the query's critical path.
 //
-// Concurrency (the paper's §4 line, taken literally): the query path is
-// split into
-//   * a READ PHASE — watermark check, hit discovery, pruning, Method M
-//     verification — executed by many client threads concurrently under a
-//     shared lock against an immutable view of the cache and dataset, and
-//   * a MAINTENANCE PHASE — benefit recording, admission, window→cache
-//     merge, change-log reconciliation — serialized under the exclusive
-//     lock. Read phases hand their deferred mutations (as id-based
-//     credits and watermark-stamped admission offers) to a bounded MPSC
-//     queue; whichever thread next acquires the exclusive lock drains the
-//     queue as one batch, so replacement runs once per drain.
-// Invariants:
+// Concurrency (PR 4): two lock levels.
+//   * The ENGINE lock (mu_) guards the dataset, the change-log watermark
+//     and the FTV index. Read phases hold it shared; dataset mutations,
+//     syncs and snapshot restores hold it exclusive — those are the
+//     stop-the-world barriers, which additionally take every shard lock.
+//   * The cache stores are partitioned into N digest-sharded
+//     CacheManager stores (cache/sharded_cache.hpp), each behind its own
+//     shared_mutex. Hit discovery takes all shard locks shared (only for
+//     the discovery+pruning slice of the read phase — Method M
+//     verification, the dominant cost, runs outside them); a maintenance
+//     drain takes exactly ONE shard lock exclusive, so a drain on shard k
+//     never blocks discovery or drains on shard j.
+// Deferred mutations (id-based hit credits, watermark-stamped admission
+// offers) are routed by entry digest to per-shard bounded MPSC queues.
+// Drains happen (a) opportunistically after a query (per-shard try-lock),
+// (b) on the dedicated maintenance thread (options.maintenance_thread)
+// woken by queue pressure or a timer, and (c) inline under backpressure
+// when a shard queue is full.
+// Invariants (PR 2's, preserved per shard):
 //   1. Answers are exact: a read phase observes a dataset+cache state
 //      that is internally consistent (the recheck loop re-syncs before
 //      reading whenever the change log moved past the cache watermark),
@@ -34,10 +41,12 @@
 //      the answer (Theorems 3/6).
 //   2. Deferred knowledge is never admitted as fresher than it is: an
 //      admission offer carries the watermark its answer was computed at;
-//      a stale offer is forward-validated through Algorithms 1+2 (CON)
-//      or dropped (EVI) at drain time.
+//      at drain time a stale offer is forward-validated through
+//      Algorithms 1+2 (CON) or dropped (EVI), per shard.
 //   3. Dataset mutations go through ApplyDatasetChanges once queries run
 //      concurrently, making every change atomic w.r.t. read phases.
+// Lock order: engine lock before shard locks; shard locks in ascending
+// index order; never the reverse.
 
 #ifndef GCP_CORE_GRAPHCACHE_PLUS_HPP_
 #define GCP_CORE_GRAPHCACHE_PLUS_HPP_
@@ -52,6 +61,8 @@
 #include <vector>
 
 #include "cache/cache_manager.hpp"
+#include "cache/sharded_cache.hpp"
+#include "common/maintenance_thread.hpp"
 #include "common/mpsc_queue.hpp"
 #include "common/thread_pool.hpp"
 #include "core/method_m.hpp"
@@ -77,6 +88,10 @@ class GraphCachePlus {
   /// queries are picked up through its change log.
   GraphCachePlus(GraphDataset* dataset, GraphCachePlusOptions options);
 
+  /// Stops the maintenance thread (if any); queued-but-undrained batches
+  /// are discarded with the stores.
+  ~GraphCachePlus();
+
   /// Executes a subgraph query: all live G with g ⊆ G.
   QueryResult SubgraphQuery(const Graph& g) {
     return Query(g, QueryKind::kSubgraph);
@@ -92,15 +107,16 @@ class GraphCachePlus {
   /// dataset mutations go through ApplyDatasetChanges.
   QueryResult Query(const Graph& g, QueryKind kind);
 
-  /// Runs `fn(dataset)` under the exclusive lock, after draining pending
+  /// Runs `fn(dataset)` under the engine exclusive lock with every shard
+  /// lock held (the stop-the-world barrier), after draining pending
   /// maintenance: concurrent read phases never observe a half-applied
   /// change. The only safe way to mutate the dataset while queries are in
   /// flight (single-threaded callers may keep mutating the dataset
   /// directly between queries).
   void ApplyDatasetChanges(const std::function<void(GraphDataset&)>& fn);
 
-  /// Drains every queued maintenance batch, bringing the cache to a
-  /// quiescent state (exposed for tests, snapshots and benches).
+  /// Drains every queued maintenance batch on every shard, bringing the
+  /// cache to a quiescent state (exposed for tests, snapshots, benches).
   void FlushMaintenance();
 
   /// Cumulative metrics since construction or the last ResetAggregate()
@@ -120,14 +136,32 @@ class GraphCachePlus {
   /// them).
   Status SaveCache(const std::string& path) const;
 
-  /// Restores a snapshot saved by SaveCache. The dataset's change log
-  /// must still contain every record after the snapshot's watermark; the
-  /// incremental suffix is reconciled on the next query (Algorithms 1+2
-  /// for CON, purge for EVI), so stale snapshots remain exact.
+  /// Restores a snapshot saved by SaveCache (entries re-routed to their
+  /// digest's home shard). The dataset's change log must still contain
+  /// every record after the snapshot's watermark; the incremental suffix
+  /// is reconciled on the next query (Algorithms 1+2 for CON, purge for
+  /// EVI), so stale snapshots remain exact.
   Status LoadCache(const std::string& path);
 
-  CacheManager& cache_manager() { return cache_; }
-  const CacheManager& cache_manager() const { return cache_; }
+  /// Shard 0's store — the full cache when options().num_shards == 1 (the
+  /// default), one slice otherwise. Sharded callers use cache_shards() /
+  /// CacheStatsSnapshot().
+  CacheManager& cache_manager() { return cache_.shard(0); }
+  const CacheManager& cache_manager() const { return cache_.shard(0); }
+
+  /// The sharded store router (shard access, lock-violation counter).
+  ShardedCache& cache_shards() { return cache_; }
+  const ShardedCache& cache_shards() const { return cache_; }
+
+  /// Thread-safe cross-shard sum of the cache statistics counters.
+  StatisticsManager CacheStatsSnapshot() const;
+
+  /// The maintenance thread, or nullptr when options().maintenance_thread
+  /// is off (introspection for tests/benches).
+  const MaintenanceThread* maintenance_thread() const {
+    return maintenance_.get();
+  }
+
   const GraphCachePlusOptions& options() const { return options_; }
   const GraphDataset& dataset() const { return *dataset_; }
   /// The FTV index, or nullptr when options().use_ftv_index is off.
@@ -135,8 +169,8 @@ class GraphCachePlus {
 
  private:
   /// One deferred hit credit: entry id + benefit, applied at drain time
-  /// by CacheManager::CreditHit. Id-based on purpose — the entry may have
-  /// been evicted by the time the credit lands.
+  /// by CacheManager::CreditHitsBatched. Id-based on purpose — the entry
+  /// may have been evicted by the time the credit lands.
   struct HitCredit {
     CacheEntryId id = 0;
     HitKind kind = HitKind::kSub;
@@ -154,7 +188,9 @@ class GraphCachePlus {
     LogSeq observed_watermark = 0;
   };
 
-  /// Everything one query defers from its read phase.
+  /// Everything one query defers to ONE shard: the credits for entries
+  /// homed there plus (at most) the admission offer routed there by the
+  /// query's digest.
   struct PendingMaintenance {
     std::uint64_t query_id = 0;
     std::vector<HitCredit> credits;
@@ -163,31 +199,56 @@ class GraphCachePlus {
 
   /// True when the next read phase must not start yet: the change log
   /// moved past the cache watermark, or the FTV index lags. Requires at
-  /// least the shared lock.
+  /// least the engine shared lock.
   bool NeedsSyncLocked() const;
 
   /// Dataset Manager sync: reconcile unprocessed change-log records with
   /// the cache (Algorithms 1 + 2 for CON; full purge for EVI), then bring
-  /// the FTV index up to date. Requires the exclusive lock.
+  /// the FTV index up to date. Requires the engine exclusive lock; takes
+  /// every shard lock (stop-the-world).
   void SyncWithDatasetLocked(QueryMetrics* metrics);
 
-  /// Applies every queued batch — credits summed per entry across the
-  /// drain, then each admission offer — and runs replacement at most
-  /// once. Requires the exclusive lock.
-  void DrainMaintenanceLocked();
+  /// Drains shard `s`'s queue and applies it — credits summed per entry,
+  /// offers dedup-probed/validated/admitted, replacement at most once.
+  /// Requires shard `s`'s exclusive lock plus the engine lock (shared
+  /// suffices; exclusive on the stop-the-world paths).
+  void DrainShardLocked(std::size_t s);
+
+  /// Per-shard drain entry point for the post-query and maintenance-
+  /// thread paths: engine shared lock held by the caller; takes shard
+  /// `s`'s exclusive lock under a DrainScope. With `try_lock`, gives up
+  /// (returns false) when the shard lock is contended.
+  bool DrainShard(std::size_t s, bool try_lock);
+
+  /// Drains every shard under the engine exclusive lock (stop-the-world
+  /// paths: sync, dataset change, flush, restore).
+  void DrainAllShardsLocked();
+
+  /// Maintenance-thread body: drain every shard with a non-empty queue
+  /// under the engine shared lock, one shard lock at a time.
+  void MaintenanceDrainPass();
 
   /// Sums the hit credits of `batches` per entry, in first-credit order.
   static std::vector<CacheManager::EntryCreditSum> SumCredits(
       std::span<const PendingMaintenance> batches);
 
-  /// Applies one batch's admission offer (forward-validated or dropped
-  /// when stale); credits are applied separately via CreditHitsBatched.
-  /// Requires the exclusive lock.
-  void ApplyMaintenanceLocked(PendingMaintenance& batch);
+  /// Applies one batch's admission offer to shard `s` (dedup-dropped when
+  /// an isomorphic fully-valid twin is resident; forward-validated or
+  /// dropped when stale). Requires shard `s`'s exclusive lock + engine
+  /// lock.
+  void ApplyMaintenanceLocked(std::size_t s, PendingMaintenance& batch);
+
+  /// True when shard `s` already holds an entry isomorphic to `entry`
+  /// (same kind, same WL digest, equal counts, containment) that is fully
+  /// valid over the live dataset — the §6.3 exact-hit precondition, which
+  /// is exactly when the serial engine would not have produced this offer
+  /// in the first place. Requires shard `s`'s lock + engine lock.
+  bool IsDuplicateAdmissionLocked(std::size_t s,
+                                  const CachedQuery& entry) const;
 
   /// §8 future-work extension: re-verify up to `budget` invalidated
   /// (entry, live graph) pairs, restoring validity with fresh knowledge.
-  /// Requires the exclusive lock.
+  /// Requires the engine exclusive lock + all shard locks.
   void RetrospectiveRefresh(std::size_t budget);
 
   GraphDataset* dataset_;
@@ -198,14 +259,22 @@ class GraphCachePlus {
   std::unique_ptr<SubgraphMatcher> internal_matcher_;
   HitDiscovery discovery_;
 
-  /// Guards cache_, watermark_, ftv_ mutation and the dataset: read
-  /// phases hold it shared, maintenance/sync/dataset changes exclusive.
+  /// Engine lock: guards watermark_, ftv_ mutation and the dataset. Read
+  /// phases hold it shared; sync/dataset changes exclusive. Always taken
+  /// before any shard lock.
   mutable std::shared_mutex mu_;
-  CacheManager cache_;
+  ShardedCache cache_;
+  /// Stable per-shard store pointers handed to HitDiscovery::Discover.
+  std::vector<const CacheManager*> shard_ptrs_;
   LogSeq watermark_ = 0;
 
-  /// Read phases enqueue here; drains happen under the exclusive lock.
-  BoundedMpscQueue<PendingMaintenance> pending_;
+  /// Per-shard maintenance queues: read phases enqueue batches routed by
+  /// digest; drains pop under that shard's exclusive lock.
+  std::vector<std::unique_ptr<BoundedMpscQueue<PendingMaintenance>>> pending_;
+
+  /// Dedicated drain thread (options.maintenance_thread); else null and
+  /// drains happen opportunistically post-query.
+  std::unique_ptr<MaintenanceThread> maintenance_;
 
   std::atomic<std::uint64_t> query_counter_{0};
 

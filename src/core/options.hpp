@@ -83,11 +83,29 @@ struct GraphCachePlusOptions {
   /// Worker threads for Method M verification (1 = serial).
   std::size_t verify_threads = 1;
 
-  /// Capacity of the bounded MPSC maintenance queue that decouples the
-  /// shared-lock read phase from the serialized maintenance phase. A
-  /// query whose deferred mutations find the queue full applies
-  /// backpressure: it takes the exclusive lock and drains inline.
+  /// Capacity of each per-shard bounded MPSC maintenance queue that
+  /// decouples the shared-lock read phase from the per-shard maintenance
+  /// phase. A query whose deferred mutations find a shard's queue full
+  /// applies backpressure: it takes that shard's exclusive lock and
+  /// drains inline.
   std::size_t maintenance_queue_capacity = 64;
+
+  /// Number of digest-sharded cache stores. Each shard owns its slice of
+  /// the entries, inverted postings, statistics and replacement state
+  /// under its own reader/writer lock, so a maintenance drain on one
+  /// shard never blocks hit discovery on another. 1 reproduces the PR 2/3
+  /// single-store engine bit-exactly (same admission order, same
+  /// replacement decisions).
+  std::size_t num_shards = 1;
+
+  /// Run a dedicated maintenance thread that drains shard queues on
+  /// queue-pressure or a timer, instead of the opportunistic post-query
+  /// try-lock drain. Takes query tail latency off the hook for drains.
+  bool maintenance_thread = false;
+
+  /// Timer period of the maintenance thread (also the staleness bound on
+  /// a queued batch when no pressure wakeup fires).
+  std::size_t maintenance_interval_us = 200;
 
   /// Seed for cache-internal randomness (RANDOM policy).
   std::uint64_t rng_seed = 7;

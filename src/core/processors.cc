@@ -39,15 +39,22 @@ bool EmptyLiveAnswer(const CachedQuery& e, const DynamicBitset& live) {
   return e.answer.size() == live.size() && !e.answer.Intersects(live);
 }
 
-// Sorts candidates by descending precomputed utility (stable for
-// determinism across runs).
+// Sorts candidates by descending precomputed utility. Ties break on
+// (WL digest, entry id) so the verification order — and with it which
+// hits the caps select — does not depend on candidate enumeration order,
+// i.e. on how entries are distributed across shards (entry ids are
+// per-shard sequences, so they only disambiguate digest collisions).
 void SortByUtility(std::vector<const CachedQuery*>& pool,
                    std::vector<std::size_t>& utility) {
   std::vector<std::size_t> order(pool.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
                                                    std::size_t b) {
-    return utility[a] > utility[b];
+    if (utility[a] != utility[b]) return utility[a] > utility[b];
+    if (pool[a]->digest != pool[b]->digest) {
+      return pool[a]->digest < pool[b]->digest;
+    }
+    return pool[a]->id < pool[b]->id;
   });
   std::vector<const CachedQuery*> sorted_pool(pool.size());
   std::vector<std::size_t> sorted_utility(pool.size());
@@ -62,30 +69,43 @@ void SortByUtility(std::vector<const CachedQuery*>& pool,
 }  // namespace
 
 DiscoveredHits HitDiscovery::Discover(const Graph& g, QueryKind kind,
-                                      const CacheManager& cache,
+                                      std::span<const CacheManager* const>
+                                          shards,
                                       const DynamicBitset& live,
                                       QueryMetrics* metrics) const {
   DiscoveredHits hits;
   const GraphFeatures features = GraphFeatures::Extract(g);
   const CachedQueryKind ckind = ToCachedKind(kind);
-  const QueryIndex& index = cache.index();
 
   // GC+sub processor shortlist: cached g' with (possibly) g ⊆ g'.
   // GC+super processor shortlist: cached g'' with (possibly) g'' ⊆ g.
-  // The inverted feature-signature index and the brute-force resident
-  // scan return identical candidate sets; the scan is the legacy path.
+  // Each shard's inverted feature-signature index (or brute-force scan on
+  // the legacy path — identical candidate sets) contributes its postings;
+  // the merged pool then goes through one utility ordering, so the caps
+  // pick the same hits however the entries are distributed.
   std::vector<const CachedQuery*> sub_candidates;
   std::vector<const CachedQuery*> super_candidates;
   {
     std::int64_t unused_ns = 0;
     ScopedTimer discover_timer(metrics != nullptr ? &metrics->t_discover_ns
                                                   : &unused_ns);
-    sub_candidates = options_.use_discovery_index
-                         ? index.SupergraphCandidates(features)
-                         : index.SupergraphCandidatesScan(features);
-    super_candidates = options_.use_discovery_index
-                           ? index.SubgraphCandidates(features)
-                           : index.SubgraphCandidatesScan(features);
+    for (const CacheManager* shard : shards) {
+      const QueryIndex& index = shard->index();
+      auto append = [](std::vector<const CachedQuery*>& out,
+                       std::vector<const CachedQuery*> part) {
+        if (out.empty()) {
+          out = std::move(part);
+        } else {
+          out.insert(out.end(), part.begin(), part.end());
+        }
+      };
+      append(sub_candidates, options_.use_discovery_index
+                                 ? index.SupergraphCandidates(features)
+                                 : index.SupergraphCandidatesScan(features));
+      append(super_candidates, options_.use_discovery_index
+                                   ? index.SubgraphCandidates(features)
+                                   : index.SubgraphCandidatesScan(features));
+    }
   }
 
   // In the direction where g itself is the pattern (g ⊆ cached query) its

@@ -17,6 +17,7 @@
 #ifndef GCP_CORE_PROCESSORS_HPP_
 #define GCP_CORE_PROCESSORS_HPP_
 
+#include <span>
 #include <vector>
 
 #include "cache/cache_manager.hpp"
@@ -57,11 +58,28 @@ class HitDiscovery {
                const GraphCachePlusOptions& options)
       : matcher_(internal_matcher), options_(options) {}
 
-  /// Runs GC+sub and GC+super discovery for `g`.
-  /// `live` is the live-graph mask (CS_M); metrics get hit counts.
+  /// Runs GC+sub and GC+super discovery for `g` across every store in
+  /// `shards` (candidates are shortlisted per shard, then utilities,
+  /// ordering, caps and containment verification apply to the merged
+  /// pool, ordered by (utility, WL digest, id) — so hit selection is
+  /// independent of how entries are sharded, up to WL-digest collisions
+  /// between distinct resident queries).
+  /// `live` is the live-graph mask (CS_M); metrics get hit counts. The
+  /// caller holds every shard's lock for the duration of the call and for
+  /// as long as it dereferences the returned entry pointers.
+  DiscoveredHits Discover(const Graph& g, QueryKind kind,
+                          std::span<const CacheManager* const> shards,
+                          const DynamicBitset& live,
+                          QueryMetrics* metrics) const;
+
+  /// Single-store convenience overload.
   DiscoveredHits Discover(const Graph& g, QueryKind kind,
                           const CacheManager& cache, const DynamicBitset& live,
-                          QueryMetrics* metrics) const;
+                          QueryMetrics* metrics) const {
+    const CacheManager* one = &cache;
+    return Discover(g, kind, std::span<const CacheManager* const>(&one, 1),
+                    live, metrics);
+  }
 
  private:
   const SubgraphMatcher& matcher_;

@@ -72,11 +72,17 @@ Result<Graph> Graph::Create(
 }
 
 VertexId Graph::AddVertex(Label label) {
+  const VertexId id = static_cast<VertexId>(labels_.size());
   labels_.push_back(label);
   offsets_.push_back(offsets_.back());
   vertex_sig_.push_back(0);
   // Degree 0 keeps the descending degree sequence sorted when appended.
   degree_seq_.push_back(0);
+  // The new id is the largest, so it slots at the end of its label's run.
+  verts_by_label_.insert(
+      std::upper_bound(verts_by_label_.begin(), verts_by_label_.end(), label,
+                       [this](Label l, VertexId v) { return l < labels_[v]; }),
+      id);
   const auto it = std::lower_bound(
       label_hist_.begin(), label_hist_.end(), label,
       [](const std::pair<Label, std::uint32_t>& p, Label l) {
@@ -189,6 +195,17 @@ NeighborRange Graph::NeighborsWithLabel(VertexId v, Label l) const {
   return NeighborRange(first, last);
 }
 
+NeighborRange Graph::VerticesWithLabel(Label l) const {
+  const VertexId* base = verts_by_label_.data();
+  const VertexId* lo = base;
+  const VertexId* hi = base + verts_by_label_.size();
+  const VertexId* first = std::lower_bound(
+      lo, hi, l, [this](VertexId v, Label lab) { return labels_[v] < lab; });
+  const VertexId* last = std::upper_bound(
+      first, hi, l, [this](Label lab, VertexId v) { return lab < labels_[v]; });
+  return NeighborRange(first, last);
+}
+
 std::uint64_t Graph::ComputeSignature(VertexId v) const {
   std::uint64_t sig = 0;
   for (const VertexId w : neighbors(v)) {
@@ -212,6 +229,15 @@ void Graph::RebuildDerived() {
   for (std::size_t v = 0; v < n; ++v) {
     vertex_sig_[v] = ComputeSignature(static_cast<VertexId>(v));
   }
+  verts_by_label_.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    verts_by_label_[v] = static_cast<VertexId>(v);
+  }
+  std::sort(verts_by_label_.begin(), verts_by_label_.end(),
+            [this](VertexId a, VertexId b) {
+              return labels_[a] != labels_[b] ? labels_[a] < labels_[b]
+                                              : a < b;
+            });
   label_hist_.clear();
   std::vector<Label> sorted_labels = labels_;
   std::sort(sorted_labels.begin(), sorted_labels.end());

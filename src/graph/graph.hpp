@@ -40,6 +40,33 @@ using Label = std::uint32_t;
 /// Sorted (label, multiplicity) pairs — a graph-level label histogram.
 using LabelHistogram = std::vector<std::pair<Label, std::uint32_t>>;
 
+/// Multiplicity of `l` in a sorted histogram; absent labels count 0.
+inline std::uint32_t HistogramCount(const LabelHistogram& hist, Label l) {
+  const auto it = std::lower_bound(
+      hist.begin(), hist.end(), l,
+      [](const std::pair<Label, std::uint32_t>& p, Label lab) {
+        return p.first < lab;
+      });
+  return (it != hist.end() && it->first == l) ? it->second : 0;
+}
+
+/// True iff every (label, count) of `sub` is covered by `super`: a sound
+/// necessary condition for an injective label-preserving mapping of a
+/// graph with histogram `sub` into one with histogram `super`. Both
+/// histograms are sorted by label.
+inline bool HistogramDominates(const LabelHistogram& sub,
+                               const LabelHistogram& super) {
+  std::size_t j = 0;
+  for (const auto& [label, count] : sub) {
+    while (j < super.size() && super[j].first < label) ++j;
+    if (j == super.size() || super[j].first != label ||
+        super[j].second < count) {
+      return false;
+    }
+  }
+  return true;
+}
+
 /// \brief Contiguous view over a neighbour run in a CSR array.
 ///
 /// Lightweight (two pointers); valid until the next graph mutation.
@@ -152,6 +179,12 @@ class Graph {
   /// binary-searched slice of the label-sorted neighbour run.
   NeighborRange NeighborsWithLabel(VertexId v, Label l) const;
 
+  /// All vertices carrying label `l` (sorted ascending by id) — a
+  /// binary-searched slice of the label-sorted vertex array. Lets a
+  /// matcher seed unanchored candidates by label instead of scanning
+  /// every target vertex.
+  NeighborRange VerticesWithLabel(Label l) const;
+
   /// Per-vertex label-histogram signature of `v`'s neighbourhood (16
   /// buckets x 4-bit saturating counts). See SignatureDominates.
   std::uint64_t vertex_signature(VertexId v) const { return vertex_sig_[v]; }
@@ -205,6 +238,8 @@ class Graph {
   std::vector<VertexId> flat_;
   /// The same runs sorted by (label(neighbour), neighbour id).
   std::vector<VertexId> label_flat_;
+  /// All vertex ids sorted by (label, id) — the label→vertices index.
+  std::vector<VertexId> verts_by_label_;
   /// Per-vertex neighbourhood label signatures.
   std::vector<std::uint64_t> vertex_sig_;
   LabelHistogram label_hist_;

@@ -9,17 +9,6 @@ namespace {
 
 constexpr VertexId kUnplaced = static_cast<VertexId>(-1);
 
-// Frequency of `l` in a sorted (label, count) histogram; absent labels
-// count 0 (rarest).
-std::uint32_t FrequencyOf(const LabelHistogram& hist, Label l) {
-  const auto it = std::lower_bound(
-      hist.begin(), hist.end(), l,
-      [](const std::pair<Label, std::uint32_t>& p, Label lab) {
-        return p.first < lab;
-      });
-  return (it != hist.end() && it->first == l) ? it->second : 0;
-}
-
 }  // namespace
 
 MatchContext MatchContext::Build(const Graph& pattern,
@@ -49,7 +38,7 @@ MatchContext MatchContext::Build(const Graph& pattern,
       }
       const auto key = [&](VertexId x) {
         return std::make_tuple(-placed_neighbors[x],
-                               FrequencyOf(rarity_hist, pattern.label(x)),
+                               HistogramCount(rarity_hist, pattern.label(x)),
                                -static_cast<int>(pattern.degree(x)));
       };
       if (key(u) < key(best)) best = u;
@@ -85,17 +74,9 @@ bool MatchContext::CheapReject(const Graph& target) const {
     return true;
   }
   // Label-histogram dominance: the pattern cannot need more vertices of a
-  // label than the target has. Both histograms are sorted by label.
-  {
-    const LabelHistogram& ph = p.label_histogram();
-    const LabelHistogram& th = target.label_histogram();
-    std::size_t j = 0;
-    for (const auto& [label, count] : ph) {
-      while (j < th.size() && th[j].first < label) ++j;
-      if (j == th.size() || th[j].first != label || th[j].second < count) {
-        return true;
-      }
-    }
+  // label than the target has.
+  if (!HistogramDominates(p.label_histogram(), target.label_histogram())) {
+    return true;
   }
   // Degree-sequence dominance: the i-th largest pattern degree must not
   // exceed the i-th largest target degree (counting argument over the

@@ -1,7 +1,6 @@
 #include "match/vf2_plus.hpp"
 
 #include <algorithm>
-#include <map>
 
 namespace gcp {
 
@@ -11,10 +10,10 @@ constexpr VertexId kUnmapped = static_cast<VertexId>(-1);
 
 // Static order: greedily pick the unplaced vertex with (most placed
 // neighbours, rarest target label, highest degree). The first vertex is
-// chosen by (rarest label, highest degree) alone.
+// chosen by (rarest label, highest degree) alone. Rarity is ranked by the
+// target's precomputed label histogram.
 std::vector<VertexId> StaticOrder(const Graph& pattern,
-                                  const std::map<Label, std::uint32_t>&
-                                      target_label_freq) {
+                                  const LabelHistogram& target_hist) {
   const std::size_t n = pattern.NumVertices();
   std::vector<VertexId> order;
   order.reserve(n);
@@ -22,8 +21,7 @@ std::vector<VertexId> StaticOrder(const Graph& pattern,
   std::vector<int> placed_neighbors(n, 0);
 
   auto rarity = [&](VertexId u) -> std::uint32_t {
-    const auto it = target_label_freq.find(pattern.label(u));
-    return it == target_label_freq.end() ? 0 : it->second;
+    return HistogramCount(target_hist, pattern.label(u));
   };
 
   for (std::size_t step = 0; step < n; ++step) {
@@ -168,7 +166,11 @@ class Vf2PlusPreparedState {
         if (TryPair(u, v, depth)) return true;
       }
     } else {
-      for (VertexId v = 0; v < target_.NumVertices(); ++v) {
+      // Unanchored (depth 0, or a new connected component): only target
+      // vertices carrying u's label are feasible — the label→vertices
+      // index enumerates exactly those, ascending by id (the same
+      // relative order the full scan would try feasible candidates in).
+      for (const VertexId v : target_.VerticesWithLabel(pattern_.label(u))) {
         if (TryPair(u, v, depth)) return true;
       }
     }
@@ -295,22 +297,17 @@ bool Vf2PlusMatcher::FindEmbedding(const Graph& pattern, const Graph& target,
       pattern.NumEdges() > target.NumEdges()) {
     return false;
   }
-  // Quick label-multiset screen: the pattern cannot need more vertices of a
-  // label than the target has.
-  std::map<Label, std::uint32_t> target_label_freq;
-  for (VertexId v = 0; v < target.NumVertices(); ++v) {
-    ++target_label_freq[target.label(v)];
-  }
-  std::map<Label, std::uint32_t> pattern_label_freq;
-  for (VertexId u = 0; u < pattern.NumVertices(); ++u) {
-    ++pattern_label_freq[pattern.label(u)];
-  }
-  for (const auto& [label, count] : pattern_label_freq) {
-    const auto it = target_label_freq.find(label);
-    if (it == target_label_freq.end() || count > it->second) return false;
+  // Quick label-multiset screen on the graphs' precomputed histograms
+  // (maintained incrementally by the Graph itself — no per-pair counting
+  // pass): the pattern cannot need more vertices of a label than the
+  // target has.
+  if (!HistogramDominates(pattern.label_histogram(),
+                          target.label_histogram())) {
+    return false;
   }
 
-  const std::vector<VertexId> order = StaticOrder(pattern, target_label_freq);
+  const std::vector<VertexId> order =
+      StaticOrder(pattern, target.label_histogram());
   Vf2PlusState state(pattern, target, order, stats);
   if (!state.Search(0)) return false;
   if (embedding != nullptr) *embedding = state.mapping();

@@ -70,6 +70,8 @@ RunReport RunWorkload(const std::vector<Graph>& initial,
   opts.cache_capacity = config.cache_capacity;
   opts.window_capacity = config.window_capacity;
   opts.verify_threads = config.verify_threads;
+  opts.num_shards = config.shards;
+  opts.maintenance_thread = config.maintenance_thread;
   opts.max_sub_hits = config.max_sub_hits;
   opts.max_super_hits = config.max_super_hits;
   opts.retrospective_budget = config.retrospective_budget;
@@ -136,7 +138,7 @@ RunReport RunWorkload(const std::vector<Graph>& initial,
   report.total_wall_ms = wall.ElapsedMillis();
   gc.FlushMaintenance();
   report.agg = gc.AggregateSnapshot();
-  report.cache_stats = gc.cache_manager().stats();
+  report.cache_stats = gc.CacheStatsSnapshot();
   return report;
 }
 

@@ -51,6 +51,12 @@ struct RunnerConfig {
   /// longer deterministic — cross-mode answer equivalence holds only for
   /// an empty change plan.
   std::size_t client_threads = 1;
+  /// Digest-sharded cache stores (1 = the single-store legacy engine,
+  /// bit-exact with PR 2/3 including replacement decisions).
+  std::size_t shards = 1;
+  /// Drain maintenance on a dedicated thread (queue-pressure/timer
+  /// wakeups) instead of opportunistic post-query try-lock drains.
+  bool maintenance_thread = false;
   std::size_t max_sub_hits = 16;
   std::size_t max_super_hits = 16;
   /// CON-only retrospective validation budget per sync (0 = off, §8).

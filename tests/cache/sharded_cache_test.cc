@@ -1,0 +1,136 @@
+// ShardedCache router: digest routing, capacity splitting, cross-shard
+// aggregation, snapshot re-routing, and the drain-scope lock-violation
+// detector the stress tests lean on.
+
+#include "cache/sharded_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/canonical.hpp"
+#include "../test_util.hpp"
+
+namespace gcp {
+namespace {
+
+CacheManagerOptions TotalOptions() {
+  CacheManagerOptions o;
+  o.cache_capacity = 10;
+  o.window_capacity = 4;
+  return o;
+}
+
+// Window-admits a tiny path query into its digest's home shard and
+// returns (shard, id).
+std::pair<std::size_t, CacheEntryId> AdmitPath(ShardedCache& cache,
+                                               std::size_t num_labels,
+                                               std::uint64_t now) {
+  std::vector<Label> labels;
+  for (std::size_t i = 0; i < num_labels; ++i) {
+    labels.push_back(static_cast<Label>(i % 3));
+  }
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (std::size_t i = 0; i + 1 < num_labels; ++i) {
+    edges.emplace_back(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  }
+  Graph g = testing::MakeGraph(labels, edges);
+  const std::size_t s = cache.ShardOfDigest(WlDigest(g));
+  auto entry = CacheManager::PrepareEntry(std::move(g),
+                                          CachedQueryKind::kSubgraph,
+                                          DynamicBitset(4), DynamicBitset(4),
+                                          1.0);
+  const CacheEntryId id = cache.shard(s).AdmitPrepared(std::move(entry), now);
+  return {s, id};
+}
+
+TEST(ShardedCacheTest, ZeroShardCountClampsToOne) {
+  ShardedCache cache(0, TotalOptions());
+  EXPECT_EQ(cache.num_shards(), 1u);
+  EXPECT_EQ(cache.ShardOfDigest(0xdeadbeef), 0u);
+}
+
+TEST(ShardedCacheTest, SingleShardKeepsTotalCapacities) {
+  ShardedCache cache(1, TotalOptions());
+  EXPECT_EQ(cache.shard(0).options().cache_capacity, 10u);
+  EXPECT_EQ(cache.shard(0).options().window_capacity, 4u);
+}
+
+TEST(ShardedCacheTest, CapacitiesSplitCeilWithFloorOfOne) {
+  ShardedCache cache(4, TotalOptions());
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(cache.shard(s).options().cache_capacity, 3u);  // ceil(10/4)
+    EXPECT_EQ(cache.shard(s).options().window_capacity, 1u);
+  }
+  ShardedCache many(64, TotalOptions());
+  EXPECT_EQ(many.shard(63).options().cache_capacity, 1u);  // floor of 1
+}
+
+TEST(ShardedCacheTest, DigestRoutingIsStableAndInRange) {
+  ShardedCache cache(8, TotalOptions());
+  for (std::uint64_t d = 0; d < 100; ++d) {
+    const std::size_t s = cache.ShardOfDigest(d * 0x9e3779b97f4a7c15ULL);
+    EXPECT_LT(s, 8u);
+    EXPECT_EQ(s, cache.ShardOfDigest(d * 0x9e3779b97f4a7c15ULL));
+  }
+}
+
+TEST(ShardedCacheTest, AggregatesSumAcrossShards) {
+  ShardedCache cache(4, TotalOptions());
+  std::size_t touched = 0;
+  for (std::size_t n = 2; n <= 9; ++n) {
+    AdmitPath(cache, n, n);
+    ++touched;
+  }
+  EXPECT_EQ(cache.resident(), touched);
+  EXPECT_EQ(cache.AggregateStats().total_admissions, touched);
+  std::size_t seen = 0;
+  cache.ForEachEntry([&seen](const CachedQuery&) { ++seen; });
+  EXPECT_EQ(seen, touched);
+}
+
+TEST(ShardedCacheTest, RestoreRoutesEntriesToTheirHomeShard) {
+  ShardedCache cache(4, TotalOptions());
+  for (std::size_t n = 2; n <= 9; ++n) AdmitPath(cache, n, n);
+  std::vector<CachedQuery> exported = cache.ExportEntries();
+
+  ShardedCache restored(4, TotalOptions());
+  restored.RestoreEntries(std::move(exported));
+  // Per-shard capacity truncation may trim a shard that drew more than
+  // ceil(capacity / shards) entries; nothing beyond that is lost.
+  EXPECT_LE(restored.resident(), cache.resident());
+  EXPECT_GE(restored.resident(), cache.resident() - 2);
+  for (std::size_t s = 0; s < restored.num_shards(); ++s) {
+    EXPECT_LE(restored.shard(s).cache_size(),
+              restored.shard(s).options().cache_capacity);
+    restored.shard(s).ForEachEntry([&](const CachedQuery& e) {
+      EXPECT_EQ(restored.ShardOfDigest(e.digest), s)
+          << "entry restored into a foreign shard";
+    });
+  }
+}
+
+TEST(ShardedCacheTest, ClearPurgesEveryShard) {
+  ShardedCache cache(4, TotalOptions());
+  for (std::size_t n = 2; n <= 9; ++n) AdmitPath(cache, n, n);
+  cache.Clear();
+  EXPECT_EQ(cache.resident(), 0u);
+  EXPECT_GE(cache.AggregateStats().total_cache_clears, 1u);
+}
+
+TEST(ShardedCacheTest, DrainScopeDetectsForeignShardLocks) {
+  ShardedCache cache(4, TotalOptions());
+  EXPECT_EQ(cache.lock_violations(), 0u);
+  {
+    ShardedCache::DrainScope scope(1);
+    { const auto own = cache.LockExclusive(1); }
+    EXPECT_EQ(cache.lock_violations(), 0u);  // own shard: fine
+    { const auto foreign = cache.LockShared(2); }
+    EXPECT_EQ(cache.lock_violations(), 1u);  // foreign shard: flagged
+  }
+  // Outside any drain scope, cross-shard locking is legitimate (read
+  // phases and stop-the-world barriers take them all).
+  { const auto all = cache.LockAllShared(); }
+  EXPECT_EQ(cache.lock_violations(), 1u);
+}
+
+}  // namespace
+}  // namespace gcp

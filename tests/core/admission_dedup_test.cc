@@ -1,0 +1,116 @@
+// Drain-time admission dedup: two concurrent executions of the same query
+// can both miss the read-phase exact-hit check and offer isomorphic twin
+// entries. The per-shard apply path probes the shard's digest index and
+// drops the second offer — but ONLY when the resident twin is fully valid
+// over the live dataset (the serial engine's §6.3 exact-hit
+// precondition); isomorphic-but-not-fully-valid residents do not block
+// admission, because the serial engine admits those too.
+//
+// The tests make the race deterministic: the maintenance thread is given
+// an hour-long timer and queues big enough that no pressure wakeup fires,
+// so offers pile up unapplied until FlushMaintenance drains them in
+// order.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/graphcache_plus.hpp"
+#include "../test_util.hpp"
+
+namespace gcp {
+namespace {
+
+GraphCachePlusOptions ParkedMaintenanceOptions(std::size_t shards) {
+  GraphCachePlusOptions opts;
+  opts.model = CacheModel::kCon;
+  opts.cache_capacity = 8;
+  opts.window_capacity = 4;
+  opts.num_shards = shards;
+  opts.maintenance_thread = true;
+  // Park the drain thread: no timer tick within the test, and queues far
+  // from the pressure threshold — offers stay queued until an explicit
+  // flush.
+  opts.maintenance_interval_us = 3'600'000'000ULL;
+  opts.maintenance_queue_capacity = 64;
+  return opts;
+}
+
+class AdmissionDedupTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  void SetUp() override {
+    // g0, g1 contain the A-B path; g2 (all-C path) does not and has a
+    // free non-edge (0,2) to target with a UA later.
+    corpus_.push_back(testing::MakePath({0, 1, 2}));  // A-B-C
+    corpus_.push_back(testing::MakeTriangle(0, 1, 2));
+    corpus_.push_back(testing::MakePath({2, 2, 2}));
+    ds_.Bootstrap(corpus_);
+    gc_ = std::make_unique<GraphCachePlus>(
+        &ds_, ParkedMaintenanceOptions(GetParam()));
+  }
+
+  std::vector<Graph> corpus_;
+  GraphDataset ds_;
+  std::unique_ptr<GraphCachePlus> gc_;
+  const Graph query_ = testing::MakePath({0, 1});  // A-B
+};
+
+TEST_P(AdmissionDedupTest, SecondTwinOfferIsDroppedAtDrain) {
+  // Two executions of the same query before any drain: both read phases
+  // see an empty cache, both defer an admission offer.
+  const auto a1 = gc_->SubgraphQuery(query_).answer;
+  const auto a2 = gc_->SubgraphQuery(query_).answer;
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(gc_->cache_shards().resident(), 0u)
+      << "offers must still be queued";
+
+  gc_->FlushMaintenance();
+  EXPECT_EQ(gc_->cache_shards().resident(), 1u)
+      << "exactly one of the two isomorphic offers may be admitted";
+  const StatisticsManager stats = gc_->CacheStatsSnapshot();
+  EXPECT_EQ(stats.total_admissions, 1u);
+  EXPECT_EQ(stats.total_admission_dedups, 1u);
+
+  // A third execution now sees the resident twin: exact hit, no offer.
+  gc_->SubgraphQuery(query_);
+  gc_->FlushMaintenance();
+  EXPECT_EQ(gc_->cache_shards().resident(), 1u);
+  EXPECT_EQ(gc_->CacheStatsSnapshot().total_exact_hits, 1u);
+}
+
+TEST_P(AdmissionDedupTest, NotFullyValidTwinDoesNotBlockAdmission) {
+  // Admit the query once.
+  gc_->SubgraphQuery(query_);
+  gc_->FlushMaintenance();
+  ASSERT_EQ(gc_->cache_shards().resident(), 1u);
+
+  // UA on g2 — a live graph OUTSIDE the entry's answer — fades the
+  // entry's validity bit for g2 at the next sync (edge additions only
+  // preserve positive results for subgraph-query entries).
+  gc_->ApplyDatasetChanges([](GraphDataset& d) {
+    ASSERT_TRUE(d.AddEdge(2, 0, 2).ok());
+  });
+
+  // Two more executions: the resident twin is isomorphic but no longer
+  // fully valid, so neither read phase takes the exact shortcut and both
+  // defer offers, exactly like the serial engine would.
+  gc_->SubgraphQuery(query_);
+  gc_->SubgraphQuery(query_);
+  gc_->FlushMaintenance();
+
+  // Serial semantics preserved: the first fresh offer is admitted
+  // alongside the faded twin; the second is dedup-dropped against the
+  // (fully valid) first.
+  EXPECT_EQ(gc_->cache_shards().resident(), 2u);
+  const StatisticsManager stats = gc_->CacheStatsSnapshot();
+  EXPECT_EQ(stats.total_admissions, 2u);
+  EXPECT_EQ(stats.total_admission_dedups, 1u);
+  EXPECT_EQ(stats.total_exact_hits, 0u);
+  EXPECT_EQ(gc_->cache_shards().lock_violations(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, AdmissionDedupTest,
+                         ::testing::Values(1u, 4u));
+
+}  // namespace
+}  // namespace gcp
