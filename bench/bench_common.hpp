@@ -61,6 +61,8 @@ struct BenchConfig {
   std::size_t shards = 1;
   /// Dedicated maintenance drain thread (--maintenance-thread).
   bool maintenance_thread = false;
+  /// Epoch-protected read path (--epoch; off = the PR 4 lock path).
+  bool epoch = false;
   /// Run the legacy hot path (per-pair match state + brute-force
   /// discovery scan) instead of the optimized one (--legacy).
   bool legacy_hot_path = false;
@@ -122,6 +124,7 @@ struct BenchConfig {
     c.shards = static_cast<std::size_t>(flags.GetInt("shards", c.shards));
     c.maintenance_thread =
         flags.GetBool("maintenance-thread", c.maintenance_thread);
+    c.epoch = flags.GetBool("epoch", c.epoch);
     c.legacy_hot_path = flags.GetBool("legacy", c.legacy_hot_path);
     c.json_path = flags.GetString("json", c.json_path);
     return c;
@@ -192,6 +195,7 @@ inline RunnerConfig MakeRunnerConfig(RunMode mode, MatcherKind method,
   rc.client_threads = cfg.client_threads;
   rc.shards = cfg.shards;
   rc.maintenance_thread = cfg.maintenance_thread;
+  rc.epoch_reads = cfg.epoch;
   rc.max_sub_hits = cfg.max_sub_hits;
   rc.max_super_hits = cfg.max_super_hits;
   rc.legacy_hot_path = cfg.legacy_hot_path;

@@ -152,6 +152,13 @@ class CacheManager {
   StatisticsManager& stats() { return stats_; }
   const StatisticsManager& stats() const { return stats_; }
 
+  /// Change-log position this store's validity state is reconciled to.
+  /// Under the epoch engine each shard advances independently (shard-local
+  /// CON/EVI reconciliation); under the lock engine every shard tracks the
+  /// engine watermark. Guarded by this store's shard lock.
+  LogSeq watermark() const { return watermark_; }
+  void set_watermark(LogSeq w) { watermark_ = w; }
+
   /// Policy the last merge actually applied (HD resolves to PIN or PINC).
   ReplacementPolicy last_effective_policy() const { return last_effective_; }
 
@@ -186,6 +193,7 @@ class CacheManager {
   StatisticsManager stats_;
   Rng rng_;
   CacheEntryId next_id_ = 1;
+  LogSeq watermark_ = 0;
   ReplacementPolicy last_effective_ = ReplacementPolicy::kHybrid;
 };
 

@@ -13,16 +13,18 @@ std::uint64_t QueryIndex::LabelMaskOf(const GraphFeatures& f) {
   return mask;
 }
 
-std::uint32_t QueryIndex::BandOf(std::uint32_t num_vertices) {
-  return num_vertices == 0 ? 0 : std::bit_width(num_vertices) - 1;
+std::uint32_t QueryIndex::BandOf(std::uint32_t count) {
+  return count == 0 ? 0 : std::bit_width(count) - 1;
 }
 
 void QueryIndex::Insert(const CachedQuery* entry) {
   entries_[entry->id] = entry;
   by_digest_.emplace(entry->digest, entry);
-  bands_[BandOf(entry->features.num_vertices)].push_back(
-      Posting{entry, LabelMaskOf(entry->features),
-              entry->features.num_vertices, entry->features.num_edges});
+  bands_[BandKey(BandOf(entry->features.num_vertices),
+                 BandOf(entry->features.num_edges))]
+      .push_back(Posting{entry, LabelMaskOf(entry->features),
+                         entry->features.num_vertices,
+                         entry->features.num_edges});
 }
 
 void QueryIndex::Erase(CacheEntryId id) {
@@ -37,7 +39,8 @@ void QueryIndex::Erase(CacheEntryId id) {
       break;
     }
   }
-  const auto bit = bands_.find(BandOf(entry->features.num_vertices));
+  const auto bit = bands_.find(BandKey(BandOf(entry->features.num_vertices),
+                                       BandOf(entry->features.num_edges)));
   if (bit != bands_.end()) {
     auto& postings = bit->second;
     postings.erase(std::remove_if(postings.begin(), postings.end(),
@@ -60,10 +63,19 @@ std::vector<const CachedQuery*> QueryIndex::SupergraphCandidates(
   std::vector<const CachedQuery*> out;
   out.reserve(entries_.size());
   const std::uint64_t mask = LabelMaskOf(g);
-  // Entries that could contain g have num_vertices >= g.num_vertices, so
-  // they live in g's band or above.
-  for (auto it = bands_.lower_bound(BandOf(g.num_vertices));
-       it != bands_.end(); ++it) {
+  // Entries that could contain g have num_vertices >= g.num_vertices AND
+  // num_edges >= g.num_edges: vertex bands from g's upward, and within
+  // each vertex band only edge bands from g's upward (a posting in a
+  // lower edge band has num_edges < g.num_edges by band monotonicity, so
+  // the whole bucket is skipped with one map jump).
+  const std::uint32_t vband = BandOf(g.num_vertices);
+  const std::uint32_t eband = BandOf(g.num_edges);
+  for (auto it = bands_.lower_bound(BandKey(vband, eband));
+       it != bands_.end();) {
+    if (EBandOf(it->first) < eband) {
+      it = bands_.lower_bound(BandKey(VBandOf(it->first), eband));
+      continue;
+    }
     for (const Posting& p : it->second) {
       if (p.num_vertices < g.num_vertices || p.num_edges < g.num_edges ||
           (mask & ~p.label_mask) != 0) {
@@ -71,6 +83,7 @@ std::vector<const CachedQuery*> QueryIndex::SupergraphCandidates(
       }
       if (g.CouldBeSubgraphOf(p.entry->features)) out.push_back(p.entry);
     }
+    ++it;
   }
   return out;
 }
@@ -80,11 +93,19 @@ std::vector<const CachedQuery*> QueryIndex::SubgraphCandidates(
   std::vector<const CachedQuery*> out;
   out.reserve(entries_.size());
   const std::uint64_t mask = LabelMaskOf(g);
-  // Entries contained in g have num_vertices <= g.num_vertices: bands up
-  // to and including g's band.
-  const std::uint32_t last_band = BandOf(g.num_vertices);
-  for (auto it = bands_.begin(); it != bands_.end() && it->first <= last_band;
-       ++it) {
+  // Entries contained in g have num_vertices <= g.num_vertices AND
+  // num_edges <= g.num_edges: vertex bands up to and including g's, edge
+  // bands up to and including g's within each (a higher edge band implies
+  // num_edges > g.num_edges — jump straight to the next vertex band).
+  const std::uint32_t vband = BandOf(g.num_vertices);
+  const std::uint32_t eband = BandOf(g.num_edges);
+  const std::uint64_t last_key = BandKey(vband, eband);
+  for (auto it = bands_.begin();
+       it != bands_.end() && it->first <= last_key;) {
+    if (EBandOf(it->first) > eband) {
+      it = bands_.lower_bound(BandKey(VBandOf(it->first) + 1, 0));
+      continue;
+    }
     for (const Posting& p : it->second) {
       if (p.num_vertices > g.num_vertices || p.num_edges > g.num_edges ||
           (p.label_mask & ~mask) != 0) {
@@ -92,6 +113,7 @@ std::vector<const CachedQuery*> QueryIndex::SubgraphCandidates(
       }
       if (p.entry->features.CouldBeSubgraphOf(g)) out.push_back(p.entry);
     }
+    ++it;
   }
   return out;
 }

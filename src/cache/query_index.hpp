@@ -10,12 +10,15 @@
 // verify survivors with a matcher on query-sized graphs.
 //
 // Discovery is served by an inverted feature-signature index: every
-// resident entry is posted under a vertex-count band together with a
-// 64-bit label-set mask and its vertex/edge counts. A containment probe
-// walks only the bands that can satisfy the count constraint, screens each
-// posting with three integer comparisons plus one mask test (a sound
-// superset of the dominance candidates), and verifies survivors with the
-// full CouldBeSubgraphOf dominance check — cost proportional to the
+// resident entry is posted under a two-dimensional (vertex-count band,
+// edge-count band) key together with a 64-bit label-set mask and its
+// vertex/edge counts. A containment probe walks only the band buckets
+// that can satisfy both count constraints — the edge dimension keeps the
+// screen selective for populations where many residents share a vertex
+// band (paper-scale residency and beyond) — screens each posting with
+// three integer comparisons plus one mask test (a sound superset of the
+// dominance candidates), and verifies survivors with the full
+// CouldBeSubgraphOf dominance check — cost proportional to the
 // candidates, not to the resident population. The legacy O(resident)
 // scans remain available (*Scan) as the reference implementation for
 // equivalence tests and before/after benchmarks; both paths return
@@ -81,13 +84,24 @@ class QueryIndex {
   };
 
   static std::uint64_t LabelMaskOf(const GraphFeatures& f);
-  /// Band of a vertex count: floor(log2(nv)) — monotone in nv, so a count
-  /// constraint translates into a band range.
-  static std::uint32_t BandOf(std::uint32_t num_vertices);
+  /// Band of a count: floor(log2(n)) (0 for n == 0) — monotone in n, so a
+  /// count constraint translates into a band range.
+  static std::uint32_t BandOf(std::uint32_t count);
+  /// Composite ordered key: vertex band in the high 32 bits, edge band in
+  /// the low 32 — map order is (vertex band, then edge band).
+  static std::uint64_t BandKey(std::uint32_t vband, std::uint32_t eband) {
+    return (static_cast<std::uint64_t>(vband) << 32) | eband;
+  }
+  static std::uint32_t VBandOf(std::uint64_t key) {
+    return static_cast<std::uint32_t>(key >> 32);
+  }
+  static std::uint32_t EBandOf(std::uint64_t key) {
+    return static_cast<std::uint32_t>(key);
+  }
 
-  /// Band → postings in insertion order (keeps candidate order
-  /// deterministic across runs).
-  std::map<std::uint32_t, std::vector<Posting>> bands_;
+  /// (vertex band, edge band) → postings in insertion order (keeps
+  /// candidate order deterministic across runs).
+  std::map<std::uint64_t, std::vector<Posting>> bands_;
   std::unordered_map<CacheEntryId, const CachedQuery*> entries_;
   std::unordered_multimap<std::uint64_t, const CachedQuery*> by_digest_;
 };

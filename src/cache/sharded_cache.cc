@@ -120,6 +120,10 @@ StatisticsManager ShardedCache::AggregateStats() const {
     sum.total_evictions += st.total_evictions;
     sum.total_cache_clears += st.total_cache_clears;
     sum.total_retro_refreshes += st.total_retro_refreshes;
+    sum.snapshots_published += st.snapshots_published;
+    sum.epochs_retired += st.epochs_retired;
+    sum.read_phase_engine_lock_acquisitions +=
+        st.read_phase_engine_lock_acquisitions;
   }
   return sum;
 }

@@ -54,6 +54,18 @@ class StatisticsManager {
   std::uint64_t total_evictions = 0;
   std::uint64_t total_cache_clears = 0;  ///< EVI purges.
   std::uint64_t total_retro_refreshes = 0;  ///< Retrospective re-tests (§8).
+
+  // --- Epoch-engine counters (engine-level; per-shard stores report 0,
+  // the engine overlays them onto aggregated snapshots) ------------------
+  /// Immutable EngineSnapshots published through the atomic pointer.
+  std::uint64_t snapshots_published = 0;
+  /// Completed epoch grace periods (retired snapshots reclaimed behind
+  /// them).
+  std::uint64_t epochs_retired = 0;
+  /// Engine-lock acquisitions made by query read phases — zero under
+  /// --epoch (asserted by the epoch stress suite), >= 1 per query on the
+  /// lock path.
+  std::uint64_t read_phase_engine_lock_acquisitions = 0;
 };
 
 }  // namespace gcp

@@ -1,0 +1,101 @@
+#include "common/epoch.hpp"
+
+#include <limits>
+#include <thread>
+
+namespace gcp {
+
+EpochManager::~EpochManager() {
+  // Contract: no guard is alive. Everything retired is past its grace
+  // period by definition.
+  for (const Retired& r : retired_) r.deleter(r.ptr);
+  retired_.clear();
+}
+
+void EpochManager::Guard::Release() {
+  if (mgr_ == nullptr) return;
+  mgr_->slots_[slot_].state.store(kFree, std::memory_order_seq_cst);
+  mgr_ = nullptr;
+}
+
+EpochManager::Guard EpochManager::Pin() {
+  // Start probing at a thread-dependent slot so unrelated threads rarely
+  // contend on the same CAS line.
+  const std::size_t start =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kMaxSlots;
+  for (;;) {
+    for (std::size_t i = 0; i < kMaxSlots; ++i) {
+      const std::size_t s = (start + i) % kMaxSlots;
+      std::uint64_t expected = kFree;
+      // Read the epoch before claiming the slot; a concurrent advance
+      // leaves the pinned value one low, which is merely conservative
+      // (delays reclamation, never enables it).
+      const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+      if (slots_[s].state.compare_exchange_strong(
+              expected, 2 * e + 1, std::memory_order_seq_cst)) {
+        return Guard(this, s, e);
+      }
+    }
+    // All slots pinned — more readers than capacity; wait for one.
+    std::this_thread::yield();
+  }
+}
+
+void EpochManager::Retire(void* ptr, void (*deleter)(void*)) {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  retired_.push_back(
+      Retired{ptr, deleter, global_epoch_.load(std::memory_order_seq_cst)});
+  CollectLocked();
+}
+
+std::size_t EpochManager::Collect() {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  return CollectLocked();
+}
+
+std::size_t EpochManager::CollectLocked() {
+  const std::uint64_t cur = global_epoch_.load(std::memory_order_seq_cst);
+  std::uint64_t min_pinned = std::numeric_limits<std::uint64_t>::max();
+  bool all_current = true;
+  for (const Slot& slot : slots_) {
+    const std::uint64_t v = slot.state.load(std::memory_order_seq_cst);
+    if (v == kFree) continue;
+    const std::uint64_t e = (v - 1) / 2;
+    if (e < min_pinned) min_pinned = e;
+    if (e != cur) all_current = false;
+  }
+  if (all_current) {
+    // Grace period complete: every pinned reader observed `cur`.
+    global_epoch_.store(cur + 1, std::memory_order_seq_cst);
+    advances_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // A reader pinned at e can only hold objects retired at epochs >= e.
+  std::size_t freed = 0;
+  for (std::size_t i = 0; i < retired_.size();) {
+    if (retired_[i].epoch < min_pinned) {
+      retired_[i].deleter(retired_[i].ptr);
+      retired_[i] = retired_.back();
+      retired_.pop_back();
+      ++freed;
+    } else {
+      ++i;
+    }
+  }
+  reclaimed_.fetch_add(freed, std::memory_order_relaxed);
+  return freed;
+}
+
+std::size_t EpochManager::retired_pending() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  return retired_.size();
+}
+
+std::size_t EpochManager::pinned_readers() const {
+  std::size_t n = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.state.load(std::memory_order_seq_cst) != kFree) ++n;
+  }
+  return n;
+}
+
+}  // namespace gcp

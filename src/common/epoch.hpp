@@ -1,0 +1,161 @@
+// Epoch-based reclamation (EBR) for read-mostly shared structures.
+//
+// The engine publishes immutable snapshots through a single atomic
+// pointer; readers must be able to dereference the pointer they loaded
+// without any lock, even while a writer swaps in a successor and wants to
+// free the predecessor. EBR solves the reclamation side: a reader *pins*
+// an epoch for the duration of its read-side critical section, a writer
+// *retires* the unlinked object, and the object is physically freed only
+// after a grace period — once no reader pinned at (or before) the retire
+// epoch can still exist.
+//
+// Protocol (all epoch/slot/pointer operations are seq_cst; the total
+// order is what makes the no-early-reclamation argument go through):
+//   * Pin(): load the global epoch E, CAS a free per-thread slot from
+//     kFree to "pinned at E". Any protected pointer is loaded *after* the
+//     slot store, so if a writer's slot scan missed this reader, the scan
+//     preceded the slot CAS in the seq_cst order — and then the reader's
+//     later pointer load necessarily observes the writer's earlier swap,
+//     i.e. the reader holds the successor, never the retired object.
+//   * Retire(ptr, deleter): tag the object with the current epoch and
+//     queue it. The object must already be unlinked (unreachable from the
+//     published pointer).
+//   * Collect(): advance the global epoch when every pinned slot has
+//     observed it, then free every retired object whose tag is strictly
+//     below the minimum pinned epoch (all of them when nothing is
+//     pinned). A reader pinned at e can only hold objects retired at
+//     epochs >= e, so `tag < min-pinned` is a sufficient grace period.
+//
+// Writers are expected to be rare (one per dataset-mutation batch), so
+// the retire list is guarded by a plain mutex; the read side is two
+// seq_cst atomics per pin/unpin and never blocks. Capacity is bounded:
+// at most kMaxSlots concurrently pinned readers (Pin spins when all slots
+// are taken — size it generously above the thread count).
+
+#ifndef GCP_COMMON_EPOCH_HPP_
+#define GCP_COMMON_EPOCH_HPP_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace gcp {
+
+/// \brief Grace-period manager: pinned-reader guards + retire lists.
+class EpochManager {
+ public:
+  /// Maximum concurrently pinned readers.
+  static constexpr std::size_t kMaxSlots = 64;
+
+  EpochManager() = default;
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Frees every still-retired object. The caller guarantees no guard is
+  /// alive (the engine joins all readers before tearing down).
+  ~EpochManager();
+
+  /// \brief RAII pin: the read-side critical section.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& other) noexcept { *this = std::move(other); }
+    Guard& operator=(Guard&& other) noexcept {
+      Release();
+      mgr_ = other.mgr_;
+      slot_ = other.slot_;
+      epoch_ = other.epoch_;
+      other.mgr_ = nullptr;
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { Release(); }
+
+    /// Unpins early (idempotent). After this, pointers loaded under the
+    /// guard must no longer be dereferenced.
+    void Release();
+
+    bool pinned() const { return mgr_ != nullptr; }
+    /// Epoch this guard is pinned at (meaningful while pinned()).
+    std::uint64_t epoch() const { return epoch_; }
+
+   private:
+    friend class EpochManager;
+    Guard(EpochManager* mgr, std::size_t slot, std::uint64_t epoch)
+        : mgr_(mgr), slot_(slot), epoch_(epoch) {}
+
+    EpochManager* mgr_ = nullptr;
+    std::size_t slot_ = 0;
+    std::uint64_t epoch_ = 0;
+  };
+
+  /// Pins the current epoch. Spins (yielding) when more than kMaxSlots
+  /// readers are simultaneously pinned.
+  Guard Pin();
+
+  /// Queues `ptr` for deletion once no pinned reader can still hold it.
+  /// `ptr` must already be unreachable from the published pointer.
+  /// Attempts an immediate Collect().
+  void Retire(void* ptr, void (*deleter)(void*));
+
+  /// Typed convenience: retire with `delete static_cast<T*>(ptr)`.
+  template <typename T>
+  void Retire(const T* ptr) {
+    Retire(const_cast<void*>(static_cast<const void*>(ptr)),
+           [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  /// Advances the epoch if every pinned reader observed the current one,
+  /// then frees all retired objects past their grace period. Returns the
+  /// number of objects freed.
+  std::size_t Collect();
+
+  std::uint64_t global_epoch() const {
+    return global_epoch_.load(std::memory_order_seq_cst);
+  }
+  /// Completed grace periods (epoch advances).
+  std::uint64_t advances() const {
+    return advances_.load(std::memory_order_relaxed);
+  }
+  /// Objects freed so far.
+  std::uint64_t reclaimed() const {
+    return reclaimed_.load(std::memory_order_relaxed);
+  }
+  /// Objects retired but not yet freed.
+  std::size_t retired_pending() const;
+  /// Currently pinned readers (diagnostic; racy by nature).
+  std::size_t pinned_readers() const;
+
+ private:
+  /// Slot encoding: kFree, or 2 * epoch + 1 (odd = pinned at `epoch`).
+  static constexpr std::uint64_t kFree = 0;
+
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> state{kFree};
+  };
+
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+    std::uint64_t epoch;
+  };
+
+  /// Advance + reclaim with retire_mu_ held.
+  std::size_t CollectLocked();
+
+  std::atomic<std::uint64_t> global_epoch_{1};
+  Slot slots_[kMaxSlots];
+
+  mutable std::mutex retire_mu_;
+  std::vector<Retired> retired_;  ///< Guarded by retire_mu_.
+
+  std::atomic<std::uint64_t> advances_{0};
+  std::atomic<std::uint64_t> reclaimed_{0};
+};
+
+}  // namespace gcp
+
+#endif  // GCP_COMMON_EPOCH_HPP_

@@ -1,0 +1,94 @@
+#include "core/engine_snapshot.hpp"
+
+#include <algorithm>
+
+namespace gcp {
+
+std::vector<ChangeRecord> EngineSnapshot::RecordsBetween(LogSeq after,
+                                                         LogSeq upto) const {
+  std::vector<ChangeRecord> out;
+  if (upto <= after) return out;
+  // Walk the segment chain newest-to-oldest, collecting overlapping
+  // slices, then restore ascending order.
+  std::vector<const LogSegment*> overlapping;
+  for (const LogSegment* seg = log_tail.get(); seg != nullptr;
+       seg = seg->prev.get()) {
+    if (seg->last <= after) break;  // everything older is <= after too
+    if (seg->first > upto) continue;
+    overlapping.push_back(seg);
+  }
+  std::reverse(overlapping.begin(), overlapping.end());
+  for (const LogSegment* seg : overlapping) {
+    for (const ChangeRecord& r : seg->records) {
+      if (r.seq > after && r.seq <= upto) out.push_back(r);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void FillCommon(EngineSnapshot& snap, const GraphDataset& dataset,
+                const FtvIndex* ftv) {
+  snap.id_horizon = dataset.IdHorizon();
+  snap.num_live = dataset.NumLive();
+  snap.live = dataset.LiveMask();
+  snap.global_label_histogram = dataset.GlobalLabelHistogram();
+  snap.watermark = dataset.log().LatestSeq();
+  if (ftv != nullptr) {
+    snap.has_ftv = true;
+    snap.ftv_summaries = ftv->summaries();
+  }
+}
+
+std::shared_ptr<const LogSegment> MakeSegment(
+    std::shared_ptr<const LogSegment> prev,
+    std::vector<ChangeRecord> records) {
+  if (records.empty()) return prev;
+  auto seg = std::make_shared<LogSegment>();
+  seg->prev = std::move(prev);
+  seg->first = records.front().seq;
+  seg->last = records.back().seq;
+  seg->records = std::move(records);
+  return seg;
+}
+
+}  // namespace
+
+std::unique_ptr<const EngineSnapshot> EngineSnapshot::Initial(
+    const GraphDataset& dataset, const FtvIndex* ftv) {
+  auto snap = std::make_unique<EngineSnapshot>();
+  FillCommon(*snap, dataset, ftv);
+  snap->graphs.resize(snap->id_horizon);
+  for (const GraphId id : dataset.LiveIds()) {
+    snap->graphs[id] = std::make_shared<const Graph>(dataset.graph(id));
+  }
+  // The full log in one segment: any watermark in the lineage can be
+  // forward-validated from this snapshot.
+  std::vector<ChangeRecord> all(dataset.log().records());
+  snap->log_tail = MakeSegment(nullptr, std::move(all));
+  return snap;
+}
+
+std::unique_ptr<const EngineSnapshot> EngineSnapshot::Next(
+    const EngineSnapshot& prev, const GraphDataset& dataset,
+    const FtvIndex* ftv, std::vector<ChangeRecord> new_records) {
+  auto snap = std::make_unique<EngineSnapshot>();
+  FillCommon(*snap, dataset, ftv);
+  // Copy-on-write graph table: share every untouched graph with `prev`,
+  // re-materialize only the ids the new records touched.
+  snap->graphs = prev.graphs;
+  snap->graphs.resize(snap->id_horizon);
+  for (const ChangeRecord& r : new_records) {
+    if (dataset.IsLive(r.graph_id)) {
+      snap->graphs[r.graph_id] =
+          std::make_shared<const Graph>(dataset.graph(r.graph_id));
+    } else {
+      snap->graphs[r.graph_id] = nullptr;
+    }
+  }
+  snap->log_tail = MakeSegment(prev.log_tail, std::move(new_records));
+  return snap;
+}
+
+}  // namespace gcp

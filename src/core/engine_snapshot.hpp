@@ -1,0 +1,98 @@
+// EngineSnapshot — the immutable read-side view the epoch engine
+// publishes through a single atomic pointer.
+//
+// Under --epoch the query read phase never touches the engine lock, the
+// GraphDataset, the change log or the FTV index directly: it pins an
+// epoch (common/epoch.hpp), loads the current snapshot, and reads
+// everything from there — dataset version (watermark), live mask,
+// per-graph immutable Graph objects for Method M verification, the global
+// label histogram for match-context rarity ordering, the change records
+// needed to forward-validate stale admission offers, and (when the FTV
+// index is on) the exported feature summaries for candidate filtering.
+// A dataset mutation builds the successor off the current snapshot
+// (copy-on-write: the graph-pointer table is copied, only touched graphs
+// are re-materialized), publishes it with one atomic store, and retires
+// the predecessor to the epoch manager for grace-period reclamation.
+//
+// Change records ride along as a persistent chain of immutable
+// LogSegments — each publish appends one segment holding exactly the
+// records of that mutation batch, so RecordsBetween never copies the
+// whole log and never reads the (mutating) ChangeLog.
+
+#ifndef GCP_CORE_ENGINE_SNAPSHOT_HPP_
+#define GCP_CORE_ENGINE_SNAPSHOT_HPP_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "dataset/dataset.hpp"
+#include "ftv/ftv_index.hpp"
+#include "graph/features.hpp"
+#include "graph/graph.hpp"
+
+namespace gcp {
+
+/// \brief One immutable batch of change records, chained to its
+/// predecessors. Seq numbers inside a segment are contiguous ascending.
+struct LogSegment {
+  std::shared_ptr<const LogSegment> prev;
+  LogSeq first = 0;  ///< Seq of the oldest record in this segment.
+  LogSeq last = 0;   ///< Seq of the newest record in this segment.
+  std::vector<ChangeRecord> records;
+};
+
+/// \brief Immutable engine state at one dataset version.
+struct EngineSnapshot {
+  /// Change-log position this snapshot reflects.
+  LogSeq watermark = 0;
+
+  std::size_t id_horizon = 0;
+  std::size_t num_live = 0;
+
+  /// Live-graph mask over [0, id_horizon).
+  DynamicBitset live;
+
+  /// Per-id immutable graphs (null for dead ids). Shared with successor
+  /// snapshots for untouched ids.
+  std::vector<std::shared_ptr<const Graph>> graphs;
+
+  /// Dataset-wide label histogram (match-context rarity table).
+  LabelHistogram global_label_histogram;
+
+  /// Newest change-record segment; chains back to the oldest. Null when
+  /// the log was empty at snapshot time.
+  std::shared_ptr<const LogSegment> log_tail;
+
+  /// FTV feature summaries exported at snapshot time (empty + false when
+  /// the engine runs without the FTV index).
+  bool has_ftv = false;
+  std::vector<std::optional<GraphFeatures>> ftv_summaries;
+
+  /// Live graph accessor; `id` must be live in this snapshot.
+  const Graph& graph(GraphId id) const { return *graphs[id]; }
+
+  /// Records with `after < seq <= upto`, ascending. Both bounds must be
+  /// covered by this snapshot (upto <= watermark).
+  std::vector<ChangeRecord> RecordsBetween(LogSeq after, LogSeq upto) const;
+
+  /// Snapshot of the dataset's current state. Copies every live graph
+  /// once and the full change log into the initial segment (so offers and
+  /// cache restores watermarked anywhere in the lineage can be
+  /// forward-validated).
+  static std::unique_ptr<const EngineSnapshot> Initial(
+      const GraphDataset& dataset, const FtvIndex* ftv);
+
+  /// Successor of `prev` after the dataset absorbed `new_records` (the
+  /// suffix since prev.watermark, ascending). Touched graphs are
+  /// re-materialized from the dataset; everything else is shared with
+  /// `prev`. `ftv` (if any) must already be in sync with the dataset.
+  static std::unique_ptr<const EngineSnapshot> Next(
+      const EngineSnapshot& prev, const GraphDataset& dataset,
+      const FtvIndex* ftv, std::vector<ChangeRecord> new_records);
+};
+
+}  // namespace gcp
+
+#endif  // GCP_CORE_ENGINE_SNAPSHOT_HPP_

@@ -1,6 +1,7 @@
 #include "core/graphcache_plus.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 
 #include "cache/cache_validator.hpp"
@@ -41,11 +42,20 @@ GraphCachePlus::GraphCachePlus(GraphDataset* dataset,
                                  options.window_capacity, options.policy,
                                  options.rng_seed}) {
   pending_.reserve(cache_.num_shards());
-  shard_ptrs_.reserve(cache_.num_shards());
   for (std::size_t s = 0; s < cache_.num_shards(); ++s) {
     pending_.push_back(std::make_unique<BoundedMpscQueue<PendingMaintenance>>(
         options.maintenance_queue_capacity));
-    shard_ptrs_.push_back(&cache_.shard(s));
+  }
+  if (options.epoch_reads) {
+    // The first snapshot reflects the dataset as constructed; every shard
+    // starts reconciled to it.
+    auto initial = EngineSnapshot::Initial(*dataset_, ftv_.get());
+    watermark_ = initial->watermark;
+    for (std::size_t s = 0; s < cache_.num_shards(); ++s) {
+      cache_.shard(s).set_watermark(initial->watermark);
+    }
+    snapshot_.store(initial.release(), std::memory_order_seq_cst);
+    snapshots_published_.fetch_add(1, std::memory_order_relaxed);
   }
   if (options.maintenance_thread) {
     maintenance_ = std::make_unique<MaintenanceThread>(
@@ -57,6 +67,9 @@ GraphCachePlus::GraphCachePlus(GraphDataset* dataset,
 GraphCachePlus::~GraphCachePlus() {
   // Join the drain thread before any member it touches is torn down.
   if (maintenance_ != nullptr) maintenance_->Stop();
+  // No reader can be pinned anymore (contract): free the live snapshot;
+  // the epoch manager's destructor frees everything still retired.
+  delete snapshot_.exchange(nullptr, std::memory_order_acq_rel);
 }
 
 bool GraphCachePlus::NeedsSyncLocked() const {
@@ -79,10 +92,20 @@ void GraphCachePlus::SyncWithDatasetLocked(QueryMetrics* metrics) {
       const ChangeCounters counters = LogAnalyzer::Analyze(records);
       cache_.ValidateAll(counters, dataset_->IdHorizon());
       if (options_.retrospective_budget > 0) {
-        RetrospectiveRefresh(options_.retrospective_budget);
+        std::size_t budget = options_.retrospective_budget;
+        const DynamicBitset live = dataset_->LiveMask();
+        for (std::size_t s = 0; s < cache_.num_shards() && budget > 0; ++s) {
+          RetrospectiveRefreshShard(s, live, &budget);
+        }
       }
     }
     watermark_ = log.LatestSeq();
+    // Shard watermarks track the engine watermark on the lock path
+    // (introspective invariant; the lock-path drains reference
+    // watermark_ directly).
+    for (std::size_t s = 0; s < cache_.num_shards(); ++s) {
+      cache_.shard(s).set_watermark(watermark_);
+    }
   }
   if (ftv_ != nullptr && !ftv_->InSync()) {
     ScopedTimer timer(&metrics->t_index_ns);
@@ -128,7 +151,8 @@ std::vector<CacheManager::EntryCreditSum> GraphCachePlus::SumCredits(
 }
 
 bool GraphCachePlus::IsDuplicateAdmissionLocked(
-    std::size_t s, const CachedQuery& entry) const {
+    std::size_t s, const CachedQuery& entry,
+    const DynamicBitset& live) const {
   // The probe mirrors the serial §6.3 exact-hit precondition (same-kind
   // isomorphic resident, fully valid over the live dataset): under that
   // condition the serial engine would not have produced this offer, so a
@@ -142,7 +166,6 @@ bool GraphCachePlus::IsDuplicateAdmissionLocked(
   const std::vector<const CachedQuery*> twins =
       cache_.shard(s).index().DigestMatches(entry.digest);
   if (twins.empty()) return false;
-  const DynamicBitset live = dataset_->LiveMask();
   for (const CachedQuery* twin : twins) {
     if (twin->kind != entry.kind ||
         twin->query.NumVertices() != entry.query.NumVertices() ||
@@ -160,17 +183,33 @@ bool GraphCachePlus::IsDuplicateAdmissionLocked(
 }
 
 void GraphCachePlus::ApplyMaintenanceLocked(std::size_t s,
-                                            PendingMaintenance& batch) {
+                                            PendingMaintenance& batch,
+                                            const DrainEnv& env) {
   if (!batch.offer.has_value()) return;
   AdmissionOffer& offer = *batch.offer;
-  const bool stale = offer.observed_watermark != watermark_;
+  if (offer.observed_watermark > env.watermark) {
+    // Knowledge from a snapshot newer than this drain's reference — only
+    // possible on the epoch path when a publish raced the pop, and then a
+    // later drain (whose snapshot covers the offer) would still be unable
+    // to rewind it. Dropping is the only exact option; the pop-then-load
+    // ordering in DrainShard makes this unreachable in practice.
+    return;
+  }
+  const bool stale = offer.observed_watermark != env.watermark;
   if (stale && options_.model == CacheModel::kEvi) {
     // EVI keeps no pre-change knowledge: an offer computed before the
     // change the cache already purged for is dropped, exactly as a
     // resident entry would have been.
     return;
   }
-  if (IsDuplicateAdmissionLocked(s, *offer.entry)) {
+  // Lock path (env.live == nullptr): recompute the live mask from the
+  // dataset per offer, exactly as PR 4 — the bit-exact oracle. Epoch
+  // path: the snapshot's precomputed mask, no dataset access.
+  const DynamicBitset live_storage =
+      env.live == nullptr ? dataset_->LiveMask() : DynamicBitset();
+  const DynamicBitset& live =
+      env.live == nullptr ? live_storage : *env.live;
+  if (IsDuplicateAdmissionLocked(s, *offer.entry, live)) {
     // Concurrent twin: an isomorphic, fully-valid resident landed between
     // this query's read phase and its drain. Admitting both would split
     // capacity and benefit statistics across identical knowledge.
@@ -182,27 +221,36 @@ void GraphCachePlus::ApplyMaintenanceLocked(std::size_t s,
       shard.AdmitPrepared(std::move(offer.entry), batch.query_id);
   if (stale) {
     // CON: forward-validate the snapshot through Algorithms 1 + 2 over
-    // exactly the records the cache has already reconciled, so the new
-    // entry joins the resident set at the cache watermark. Records past
-    // the watermark are left for the next sync (which refreshes every
-    // resident entry uniformly).
-    std::vector<ChangeRecord> records =
-        dataset_->log().ExtractSince(offer.observed_watermark);
-    records.erase(std::remove_if(records.begin(), records.end(),
-                                 [this](const ChangeRecord& r) {
-                                   return r.seq > watermark_;
-                                 }),
-                  records.end());
+    // exactly the records the store has already reconciled, so the new
+    // entry joins the resident set at the store's watermark. Records past
+    // it are left for the next reconcile (which refreshes every resident
+    // entry uniformly).
+    std::vector<ChangeRecord> records;
+    if (env.snap != nullptr) {
+      records = env.snap->RecordsBetween(offer.observed_watermark,
+                                         env.watermark);
+    } else {
+      records = dataset_->log().ExtractSince(offer.observed_watermark);
+      records.erase(std::remove_if(records.begin(), records.end(),
+                                   [&env](const ChangeRecord& r) {
+                                     return r.seq > env.watermark;
+                                   }),
+                    records.end());
+    }
     const ChangeCounters counters = LogAnalyzer::Analyze(records);
     CachedQuery* e = shard.FindMutable(id);
     if (e != nullptr) {
-      CacheValidator::RefreshEntry(*e, counters, dataset_->IdHorizon());
+      const std::size_t horizon = env.snap != nullptr
+                                      ? env.snap->id_horizon
+                                      : dataset_->IdHorizon();
+      CacheValidator::RefreshEntry(*e, counters, horizon);
     }
   }
 }
 
-void GraphCachePlus::DrainShardLocked(std::size_t s) {
-  std::vector<PendingMaintenance> batches = pending_[s]->DrainAll();
+void GraphCachePlus::ApplyBatchesLocked(std::size_t s,
+                                        std::span<PendingMaintenance> batches,
+                                        const DrainEnv& env) {
   if (batches.empty()) return;
   // Benefit credits are summed per entry across the whole drain and
   // applied as one update per entry; a credit can never reference an
@@ -210,22 +258,65 @@ void GraphCachePlus::DrainShardLocked(std::size_t s) {
   // resident when the crediting query's read phase discovered it), so
   // applying all credits before all offers preserves the per-batch order.
   cache_.shard(s).CreditHitsBatched(SumCredits(batches));
-  for (PendingMaintenance& b : batches) ApplyMaintenanceLocked(s, b);
+  for (PendingMaintenance& b : batches) ApplyMaintenanceLocked(s, b, env);
   // Replacement runs once per drain, however many admissions landed.
   cache_.shard(s).MaybeMergeWindow();
 }
 
-bool GraphCachePlus::DrainShard(std::size_t s, bool try_lock) {
+void GraphCachePlus::DrainShardLocked(std::size_t s, const DrainEnv& env) {
+  std::vector<PendingMaintenance> batches = pending_[s]->DrainAll();
+  ApplyBatchesLocked(s, batches, env);
+}
+
+bool GraphCachePlus::DrainShard(std::size_t s, bool try_lock,
+                                PendingMaintenance* extra) {
+  if (!options_.epoch_reads) {
+    // Lock path: caller holds the engine lock (shared suffices).
+    ShardedCache::DrainScope scope(s);
+    auto lock =
+        try_lock ? cache_.TryLockExclusive(s) : cache_.LockExclusive(s);
+    if (!lock.owns_lock()) return false;
+    const DrainEnv env{watermark_, nullptr, nullptr};
+    DrainShardLocked(s, env);
+    if (extra != nullptr) {
+      ApplyBatchesLocked(s, std::span<PendingMaintenance>(extra, 1), env);
+    }
+    return true;
+  }
+  // Epoch path: no engine lock anywhere. Pin first so every snapshot
+  // loaded below stays alive for the whole drain.
+  EpochManager::Guard guard = epochs_.Pin();
   ShardedCache::DrainScope scope(s);
-  auto lock =
-      try_lock ? cache_.TryLockExclusive(s) : cache_.LockExclusive(s);
+  auto lock = try_lock ? cache_.TryLockExclusive(s) : cache_.LockExclusive(s);
   if (!lock.owns_lock()) return false;
-  DrainShardLocked(s);
+  // Pop BEFORE loading the snapshot: every popped offer was stamped from
+  // a snapshot published before its push, and push happens-before pop, so
+  // the snapshot loaded here covers every popped watermark — and is never
+  // older than the shard watermark (a shard only advances to a published
+  // snapshot's watermark).
+  std::vector<PendingMaintenance> batches = pending_[s]->DrainAll();
+  // seq_cst pairs with the epoch slot scan: either the publisher's slot
+  // scan saw our pin (no reclamation until we unpin), or this load is
+  // ordered after the publish and returns the successor.
+  const EngineSnapshot* snap = snapshot_.load(std::memory_order_seq_cst);
+  if (cache_.shard(s).watermark() != snap->watermark) {
+    // Fast-forward a lagging shard (the mutator publishes before it
+    // reconciles; drains help) so offers validate against a store whose
+    // validity state matches the reference watermark.
+    ReconcileShardLocked(s, *snap, nullptr);
+  }
+  const DrainEnv env{snap->watermark, &snap->live, snap};
+  ApplyBatchesLocked(s, batches, env);
+  if (extra != nullptr) {
+    ApplyBatchesLocked(s, std::span<PendingMaintenance>(extra, 1), env);
+  }
   return true;
 }
 
 void GraphCachePlus::DrainAllShardsLocked() {
-  for (std::size_t s = 0; s < pending_.size(); ++s) DrainShardLocked(s);
+  for (std::size_t s = 0; s < pending_.size(); ++s) {
+    DrainShardLocked(s, DrainEnv{watermark_, nullptr, nullptr});
+  }
 }
 
 void GraphCachePlus::MaintenanceDrainPass() {
@@ -233,9 +324,20 @@ void GraphCachePlus::MaintenanceDrainPass() {
   std::int64_t drain_ns = 0;
   {
     ScopedTimer timer(&drain_ns);
-    std::shared_lock<std::shared_mutex> engine_read(mu_);
-    for (std::size_t s = 0; s < pending_.size(); ++s) {
-      if (!pending_[s]->empty()) drained |= DrainShard(s, /*try_lock=*/false);
+    if (options_.epoch_reads) {
+      // Epoch path: per-shard drains pin their own epoch; no engine lock.
+      for (std::size_t s = 0; s < pending_.size(); ++s) {
+        if (!pending_[s]->empty()) {
+          drained |= DrainShard(s, /*try_lock=*/false);
+        }
+      }
+    } else {
+      std::shared_lock<std::shared_mutex> engine_read(mu_);
+      for (std::size_t s = 0; s < pending_.size(); ++s) {
+        if (!pending_[s]->empty()) {
+          drained |= DrainShard(s, /*try_lock=*/false);
+        }
+      }
     }
   }
   if (drained) {
@@ -246,23 +348,111 @@ void GraphCachePlus::MaintenanceDrainPass() {
   }
 }
 
+void GraphCachePlus::ReconcileShardLocked(std::size_t s,
+                                          const EngineSnapshot& snap,
+                                          std::size_t* retro_budget) {
+  CacheManager& shard = cache_.shard(s);
+  const LogSeq from = shard.watermark();
+  if (from == snap.watermark) return;
+  if (options_.model == CacheModel::kEvi) {
+    // EVI: any dataset change purges — shard-locally here.
+    shard.Clear();
+  } else {
+    const ChangeCounters counters =
+        LogAnalyzer::Analyze(snap.RecordsBetween(from, snap.watermark));
+    shard.ValidateAll(counters, snap.id_horizon);
+    if (retro_budget != nullptr && *retro_budget > 0) {
+      RetrospectiveRefreshShard(s, snap.live, retro_budget);
+    }
+  }
+  shard.set_watermark(snap.watermark);
+}
+
+void GraphCachePlus::PublishAndReconcile(QueryMetrics* metrics) {
+  // mutation_mu_ held: we are the only publisher; the log cannot move.
+  const EngineSnapshot* prev = snapshot_.load(std::memory_order_seq_cst);
+  const bool log_moved = dataset_->log().LatestSeq() != prev->watermark;
+  const bool ftv_lag = ftv_ != nullptr && !ftv_->InSync();
+  if (!log_moved && !ftv_lag) return;
+
+  if (ftv_lag) {
+    std::int64_t unused_ns = 0;
+    ScopedTimer timer(metrics != nullptr ? &metrics->t_index_ns : &unused_ns);
+    ftv_->SyncWithDataset();
+  }
+  std::vector<ChangeRecord> records =
+      dataset_->log().ExtractSince(prev->watermark);
+  const EngineSnapshot* next =
+      EngineSnapshot::Next(*prev, *dataset_, ftv_.get(), std::move(records))
+          .release();
+  snapshot_.store(next, std::memory_order_seq_cst);
+  snapshots_published_.fetch_add(1, std::memory_order_relaxed);
+
+  // Shard-by-shard reconciliation under per-shard exclusive locks: drain
+  // the shard's pending batches at its OLD watermark first (they were
+  // prepared against the old snapshot — mirrors the lock path's
+  // drain-before-sync), then purge (EVI) / validate + retrospective
+  // refresh (CON) and advance the shard watermark. Readers of other
+  // shards — and of this shard, on the old snapshot — are never stalled.
+  std::int64_t unused_ns = 0;
+  ScopedTimer timer(metrics != nullptr && log_moved
+                        ? &metrics->t_validate_ns
+                        : &unused_ns);
+  std::size_t retro_budget =
+      options_.model == CacheModel::kCon ? options_.retrospective_budget : 0;
+  for (std::size_t s = 0; s < cache_.num_shards(); ++s) {
+    ShardedCache::DrainScope scope(s);
+    auto lock = cache_.LockExclusive(s);
+    // Reconcile first, then drain at the new watermark: pre-publish
+    // offers take the stale forward-validation path, offers from readers
+    // already on `next` admit plainly. (Serially the queue is empty here
+    // — the pre-mutation settle drains ran — so this matches the lock
+    // path's drain-before-validate order bit-exactly.)
+    ReconcileShardLocked(s, *next,
+                         retro_budget > 0 ? &retro_budget : nullptr);
+    DrainShardLocked(s, DrainEnv{next->watermark, &next->live, next});
+  }
+  watermark_ = next->watermark;
+  epochs_.Retire(prev);
+  epochs_.Collect();
+}
+
 void GraphCachePlus::ApplyDatasetChanges(
     const std::function<void(GraphDataset&)>& fn) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  // Stop-the-world barrier: every shard lock, so no drain or discovery is
-  // in flight anywhere while the dataset mutates.
-  const auto shard_locks = cache_.LockAllExclusive();
-  DrainAllShardsLocked();
+  if (!options_.epoch_reads) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    // Stop-the-world barrier: every shard lock, so no drain or discovery
+    // is in flight anywhere while the dataset mutates.
+    const auto shard_locks = cache_.LockAllExclusive();
+    DrainAllShardsLocked();
+    fn(*dataset_);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  // Settle pending maintenance at the pre-change watermark (mirrors the
+  // lock path's drain-before-mutation), one shard at a time — readers
+  // keep flowing.
+  for (std::size_t s = 0; s < pending_.size(); ++s) {
+    if (!pending_[s]->empty()) DrainShard(s, /*try_lock=*/false);
+  }
   fn(*dataset_);
+  PublishAndReconcile(nullptr);
 }
 
 void GraphCachePlus::FlushMaintenance() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
   std::int64_t drain_ns = 0;
-  {
+  if (!options_.epoch_reads) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
     ScopedTimer timer(&drain_ns);
     const auto shard_locks = cache_.LockAllExclusive();
     DrainAllShardsLocked();
+  } else {
+    std::lock_guard<std::mutex> lock(mutation_mu_);
+    ScopedTimer timer(&drain_ns);
+    for (std::size_t s = 0; s < pending_.size(); ++s) {
+      DrainShard(s, /*try_lock=*/false);
+    }
+    epochs_.Collect();
   }
   // Attribute the quiescing drain to maintenance overhead so end-of-run
   // flushes (e.g. the runner's) don't make deferral look free.
@@ -281,17 +471,44 @@ AggregateMetrics GraphCachePlus::AggregateSnapshot() const {
 }
 
 StatisticsManager GraphCachePlus::CacheStatsSnapshot() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  const auto shard_locks = cache_.LockAllShared();
-  return cache_.AggregateStats();
+  StatisticsManager stats;
+  if (!options_.epoch_reads) {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto shard_locks = cache_.LockAllShared();
+    stats = cache_.AggregateStats();
+  } else {
+    // Shard locks alone give a consistent per-shard view; the engine lock
+    // guards nothing the stores need on the epoch path.
+    const auto shard_locks = cache_.LockAllShared();
+    stats = cache_.AggregateStats();
+  }
+  stats.snapshots_published =
+      snapshots_published_.load(std::memory_order_relaxed);
+  stats.epochs_retired = epochs_.advances();
+  stats.read_phase_engine_lock_acquisitions =
+      engine_lock_acquisitions_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 Status GraphCachePlus::SaveCache(const std::string& path) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!options_.epoch_reads) {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto shard_locks = cache_.LockAllShared();
+    CacheSnapshot snapshot;
+    snapshot.watermark = watermark_;
+    snapshot.id_horizon = dataset_->IdHorizon();
+    snapshot.entries = cache_.ExportEntries();
+    return WriteCacheSnapshotToFile(path, snapshot);
+  }
+  // Epoch path: exclude publishes (mutation_mu_), then all shard locks
+  // shared give a consistent export at the current snapshot's watermark.
+  std::lock_guard<std::mutex> lock(
+      const_cast<GraphCachePlus*>(this)->mutation_mu_);
+  const EngineSnapshot* snap = snapshot_.load(std::memory_order_acquire);
   const auto shard_locks = cache_.LockAllShared();
   CacheSnapshot snapshot;
-  snapshot.watermark = watermark_;
-  snapshot.id_horizon = dataset_->IdHorizon();
+  snapshot.watermark = snap->watermark;
+  snapshot.id_horizon = snap->id_horizon;
   snapshot.entries = cache_.ExportEntries();
   return WriteCacheSnapshotToFile(path, snapshot);
 }
@@ -300,75 +517,100 @@ Status GraphCachePlus::LoadCache(const std::string& path) {
   auto snapshot = ReadCacheSnapshotFromFile(path);
   if (!snapshot.ok()) return snapshot.status();
   CacheSnapshot& s = snapshot.value();
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  if (s.watermark > dataset_->log().LatestSeq()) {
-    return Status::FailedPrecondition(
-        "snapshot watermark is ahead of the dataset change log — not the "
-        "same dataset lineage");
-  }
-  if (s.id_horizon > dataset_->IdHorizon()) {
-    return Status::FailedPrecondition(
-        "snapshot horizon exceeds the dataset's id horizon");
-  }
-  for (const CachedQuery& e : s.entries) {
-    if (e.valid.size() != s.id_horizon || e.answer.size() != s.id_horizon) {
-      return Status::Corruption("snapshot entry width != snapshot horizon");
+  auto validate = [this, &s]() -> Status {
+    if (s.watermark > dataset_->log().LatestSeq()) {
+      return Status::FailedPrecondition(
+          "snapshot watermark is ahead of the dataset change log — not the "
+          "same dataset lineage");
     }
+    if (s.id_horizon > dataset_->IdHorizon()) {
+      return Status::FailedPrecondition(
+          "snapshot horizon exceeds the dataset's id horizon");
+    }
+    for (const CachedQuery& e : s.entries) {
+      if (e.valid.size() != s.id_horizon || e.answer.size() != s.id_horizon) {
+        return Status::Corruption("snapshot entry width != snapshot horizon");
+      }
+    }
+    return Status::OK();
+  };
+  if (!options_.epoch_reads) {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    if (Status st = validate(); !st.ok()) return st;
+    const auto shard_locks = cache_.LockAllExclusive();
+    // Settle queued maintenance before the restore wipes the stores it
+    // refers to (stale credits would silently no-op; admissions from the
+    // pre-restore cache would duplicate restored entries).
+    DrainAllShardsLocked();
+    cache_.RestoreEntries(std::move(s.entries));
+    // Resume from the snapshot's watermark: the next query's sync replays
+    // the incremental suffix, re-establishing consistency.
+    watermark_ = s.watermark;
+    for (std::size_t sh = 0; sh < cache_.num_shards(); ++sh) {
+      cache_.shard(sh).set_watermark(watermark_);
+    }
+    return Status::OK();
   }
-  const auto shard_locks = cache_.LockAllExclusive();
-  // Settle queued maintenance before the restore wipes the stores it
-  // refers to (stale credits would silently no-op; admissions from the
-  // pre-restore cache would duplicate restored entries).
-  DrainAllShardsLocked();
-  cache_.RestoreEntries(std::move(s.entries));
-  // Resume from the snapshot's watermark: the next query's sync replays
-  // the incremental suffix, re-establishing consistency.
-  watermark_ = s.watermark;
+  // Epoch path: restore shard-by-shard at the file's watermark, then
+  // reconcile each shard straight up to the current snapshot (the epoch
+  // engine has no "sync on next query" — shards are only readable at the
+  // snapshot watermark).
+  std::lock_guard<std::mutex> lock(mutation_mu_);
+  if (Status st = validate(); !st.ok()) return st;
+  EpochManager::Guard guard = epochs_.Pin();
+  const EngineSnapshot* snap = snapshot_.load(std::memory_order_seq_cst);
+  std::vector<std::vector<CachedQuery>> routed(cache_.num_shards());
+  for (CachedQuery& e : s.entries) {
+    routed[cache_.ShardOfDigest(e.digest)].push_back(std::move(e));
+  }
+  for (std::size_t sh = 0; sh < cache_.num_shards(); ++sh) {
+    ShardedCache::DrainScope scope(sh);
+    auto shard_lock = cache_.LockExclusive(sh);
+    CacheManager& shard = cache_.shard(sh);
+    DrainShardLocked(sh, DrainEnv{shard.watermark(), &snap->live, snap});
+    shard.RestoreEntries(std::move(routed[sh]));
+    shard.set_watermark(s.watermark);
+    ReconcileShardLocked(sh, *snap, nullptr);
+  }
   return Status::OK();
 }
 
-void GraphCachePlus::RetrospectiveRefresh(std::size_t budget) {
+void GraphCachePlus::RetrospectiveRefreshShard(std::size_t s,
+                                               const DynamicBitset& live,
+                                               std::size_t* budget) {
   // The paper's §8 future-work optimisation: re-verify invalidated
   // (cached query, live graph) pairs against the current dataset so the
   // relation becomes known (and valid) again. Most-beneficial entries
-  // first within each shard; cost is bounded by `budget` sub-iso tests
-  // per sync.
-  const DynamicBitset live = dataset_->LiveMask();
+  // first; cost is bounded by the remaining budget.
   const SubgraphMatcher& verifier = method_m_.matcher();
-  for (std::size_t shard_idx = 0;
-       shard_idx < cache_.num_shards() && budget > 0; ++shard_idx) {
-    CacheManager& shard = cache_.shard(shard_idx);
-    for (const CacheEntryId id : shard.ResidentIdsByBenefit()) {
-      if (budget == 0) return;
-      CachedQuery* e = shard.FindMutable(id);
-      if (e == nullptr || e->valid.size() != live.size()) continue;
-      // Unknown pairs: live graphs whose validity bit is off.
-      DynamicBitset unknown = DynamicBitset::Not(e->valid);
-      unknown.AndWith(live);
-      for (std::size_t i = unknown.FindFirst();
-           i != DynamicBitset::npos && budget > 0;
-           i = unknown.FindNext(i + 1)) {
-        const Graph& g = dataset_->graph(static_cast<GraphId>(i));
-        const bool contained = e->kind == CachedQueryKind::kSubgraph
-                                   ? verifier.Contains(e->query, g)
-                                   : verifier.Contains(g, e->query);
-        e->answer.Set(i, contained);
-        e->valid.Set(i, true);
-        --budget;
-        ++shard.stats().total_retro_refreshes;
-      }
+  CacheManager& shard = cache_.shard(s);
+  for (const CacheEntryId id : shard.ResidentIdsByBenefit()) {
+    if (*budget == 0) return;
+    CachedQuery* e = shard.FindMutable(id);
+    if (e == nullptr || e->valid.size() != live.size()) continue;
+    // Unknown pairs: live graphs whose validity bit is off.
+    DynamicBitset unknown = DynamicBitset::Not(e->valid);
+    unknown.AndWith(live);
+    for (std::size_t i = unknown.FindFirst();
+         i != DynamicBitset::npos && *budget > 0;
+         i = unknown.FindNext(i + 1)) {
+      const Graph& g = dataset_->graph(static_cast<GraphId>(i));
+      const bool contained = e->kind == CachedQueryKind::kSubgraph
+                                 ? verifier.Contains(e->query, g)
+                                 : verifier.Contains(g, e->query);
+      e->answer.Set(i, contained);
+      e->valid.Set(i, true);
+      --*budget;
+      ++shard.stats().total_retro_refreshes;
     }
   }
 }
 
-QueryResult GraphCachePlus::Query(const Graph& g, QueryKind kind) {
-  QueryResult result;
-  QueryMetrics& m = result.metrics;
-  m.query_id = query_counter_.fetch_add(1, std::memory_order_relaxed);
-
-  // Deferred mutations, routed per home shard (most queries touch one or
-  // two shards; linear probe beats a map at that size).
-  std::vector<std::pair<std::size_t, PendingMaintenance>> deferred;
+void GraphCachePlus::ExecuteReadSlice(
+    const Graph& g, QueryKind kind, const DynamicBitset& csm,
+    const EngineSnapshot* snap, LogSeq watermark, std::size_t id_horizon,
+    QueryMetrics& m, Deferred& deferred, DynamicBitset& answer_bits,
+    bool& had_exact) {
   auto batch_for = [&](std::size_t s) -> PendingMaintenance& {
     for (auto& [shard, batch] : deferred) {
       if (shard == s) return batch;
@@ -378,135 +620,222 @@ QueryResult GraphCachePlus::Query(const Graph& g, QueryKind kind) {
     return deferred.back().second;
   };
 
+  m.candidates_initial = csm.Count();
+
+  // --- Shard-local hit discovery: one shared shard lock at a time, held
+  // only for that shard's prescreen; survivors are copied out, so the
+  // merge, the utility ordering, containment verification, pruning and
+  // Method M verification all run with NO shard lock held. A drain
+  // (shard-exclusive) therefore overlaps everything but the one-shard
+  // prescreen it contends with.
+  Stopwatch probe_watch;
+  DiscoveredHits hits;
+  {
+    const GraphFeatures features = GraphFeatures::Extract(g);
+    std::vector<HitDiscovery::Candidate> pool;
+    for (std::size_t s = 0; s < cache_.num_shards(); ++s) {
+      const auto shard_lock = cache_.LockShared(s);
+      if (snap != nullptr &&
+          cache_.shard(s).watermark() != snap->watermark) {
+        // Epoch path: this shard's validity state is at a different
+        // dataset version than our snapshot (a mutation is mid-
+        // reconciliation, or our snapshot is already superseded). Its
+        // knowledge cannot be mixed into this answer — skip it; hits are
+        // an optimization, exactness never depends on them.
+        continue;
+      }
+      discovery_.CollectShard(g, features, kind, cache_.shard(s), csm, &pool,
+                              &m);
+    }
+    hits = discovery_.ResolveHits(g, kind, std::move(pool), csm, &m);
+  }
+  m.t_probe_ns = probe_watch.ElapsedNanos();
+
+  // --- Candidate-set pruning (formulas (1)-(5), §6.3 shortcuts). --------
+  Stopwatch prune_watch;
+  const PruneOutcome pruned = CandidateSetPruner::Prune(hits, csm, &m);
+  m.t_prune_ns = prune_watch.ElapsedNanos();
+
+  // --- Statistics Manager: defer credits for contributing entries,
+  // routed to each entry's home shard. ----------------------------------
+  had_exact = hits.exact.has_value();
+  if (hits.exact.has_value()) {
+    // An exact hit short-circuits the query (pruned.direct below), so
+    // Method M never runs and the hit is zero-test by construction —
+    // recorded explicitly rather than via m.si_tests, which is only
+    // written by the (skipped) verification step.
+    batch_for(cache_.ShardOfDigest(hits.exact->digest))
+        .credits.push_back({hits.exact->id, HitKind::kExact,
+                            pruned.saved_positive,
+                            /*zero_test_exact=*/true});
+  }
+  if (hits.empty_proof.has_value()) {
+    batch_for(cache_.ShardOfDigest(hits.empty_proof->digest))
+        .credits.push_back({hits.empty_proof->id, HitKind::kEmptyProof,
+                            pruned.saved_pruning, false});
+  }
+  for (const DiscoveredHit& hit : hits.positive) {
+    const std::uint64_t standalone =
+        DynamicBitset::And(hit.valid, hit.answer).CountAnd(csm);
+    batch_for(cache_.ShardOfDigest(hit.digest))
+        .credits.push_back({hit.id, HitKind::kSub, standalone, false});
+  }
+  for (const DiscoveredHit& hit : hits.pruning) {
+    const std::uint64_t standalone =
+        DynamicBitset::AndNot(hit.valid, hit.answer).CountAnd(csm);
+    batch_for(cache_.ShardOfDigest(hit.digest))
+        .credits.push_back({hit.id, HitKind::kSuper, standalone, false});
+  }
+
+  // --- Method M verification on the reduced candidate set. --------------
+  Stopwatch verify_watch;
+  if (pruned.direct) {
+    answer_bits = pruned.answer_direct;
+  } else {
+    answer_bits =
+        snap != nullptr
+            ? method_m_.VerifyCandidatesOn(*snap, g, kind, pruned.candidates,
+                                           &m.si_tests)
+            : method_m_.VerifyCandidates(g, kind, pruned.candidates,
+                                         &m.si_tests);
+    // Formula (3): verified graphs plus direct transfers.
+    answer_bits.OrWith(pruned.answer_direct);
+  }
+  m.t_verify_ns = verify_watch.ElapsedNanos();
+  m.answer_size = answer_bits.Count();
+
+  // --- Cache Manager: defer the admission offer, stamped with the
+  // watermark the answer snapshot is consistent with and routed to the
+  // query digest's home shard. Exact hits carry no new knowledge — the
+  // isomorphic entry is already resident. ------------------------------
+  if (options_.enable_admission && !had_exact) {
+    // Entry preparation is admission work executed early (off any
+    // exclusive lock), so it bills to maintenance, not query time.
+    ScopedTimer timer(&m.t_maintenance_ns);
+    AdmissionOffer offer;
+    // C is a *structural* estimate (after [25]), deliberately not a wall
+    // time: the paper's Figure 5 premise — "whatever SI method being the
+    // Method M, GC+ results exactly the same pruned candidate set" —
+    // requires every cache decision (incl. PINC/HD scoring) to be
+    // method-independent.
+    DynamicBitset valid(id_horizon);
+    valid.SetAll();
+    offer.entry = CacheManager::PrepareEntry(
+        g,
+        kind == QueryKind::kSubgraph ? CachedQueryKind::kSubgraph
+                                     : CachedQueryKind::kSupergraph,
+        answer_bits, std::move(valid),
+        StatisticsManager::StructuralCostEstimateMs(g));
+    offer.observed_watermark = watermark;
+    const std::size_t home = cache_.ShardOfDigest(offer.entry->digest);
+    batch_for(home).offer = std::move(offer);
+  }
+}
+
+void GraphCachePlus::ReadPhaseLocked(const Graph& g, QueryKind kind,
+                                     QueryMetrics& m, Deferred& deferred,
+                                     DynamicBitset& answer_bits,
+                                     bool& had_exact) {
+  // ===== Read phase (engine shared lock) =================================
+  std::shared_lock<std::shared_mutex> read_lock(mu_);
+  engine_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+
+  // --- Dataset Manager: reconcile dataset changes with the cache. -------
+  // Upgrade to the stop-the-world barrier only when the change log moved
+  // past the cache watermark (or the FTV index lags); queued maintenance
+  // drains first so deferred admissions are validated like residents.
+  // The loop re-checks after the downgrade: another thread may have
+  // synced for us, or applied a further change.
+  while (NeedsSyncLocked()) {
+    read_lock.unlock();
+    {
+      std::unique_lock<std::shared_mutex> write_lock(mu_);
+      engine_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+      const auto shard_locks = cache_.LockAllExclusive();
+      DrainAllShardsLocked();
+      SyncWithDatasetLocked(&m);
+    }
+    read_lock.lock();
+    engine_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- Method M candidate generation: whole live dataset, or the FTV
+  // filter when Method M is equipped with the updatable index. -----------
+  DynamicBitset csm;
+  if (ftv_ != nullptr) {
+    ScopedTimer timer(&m.t_index_ns);
+    csm = ftv_->CandidateSet(
+        GraphFeatures::Extract(g),
+        kind == QueryKind::kSubgraph ? FtvQueryDirection::kSubgraph
+                                     : FtvQueryDirection::kSupergraph);
+  } else {
+    csm = dataset_->LiveMask();
+  }
+
+  ExecuteReadSlice(g, kind, csm, /*snap=*/nullptr, watermark_,
+                   dataset_->IdHorizon(), m, deferred, answer_bits,
+                   had_exact);
+}  // ===== engine shared lock released =====================================
+
+void GraphCachePlus::ReadPhaseEpoch(const Graph& g, QueryKind kind,
+                                    QueryMetrics& m, Deferred& deferred,
+                                    DynamicBitset& answer_bits,
+                                    bool& had_exact) {
+  // ===== Read phase (epoch pin — no engine lock anywhere) ================
+  EpochManager::Guard guard;
+  const EngineSnapshot* snap = nullptr;
+  for (;;) {
+    guard = epochs_.Pin();
+    snap = snapshot_.load(std::memory_order_seq_cst);
+    // Out-of-band serial mutation support: callers that mutate the
+    // dataset directly between queries (no ApplyDatasetChanges) leave the
+    // snapshot stale. Detect via the log's atomic tail and republish —
+    // the epoch-path equivalent of the lock path's sync upgrade, billed
+    // to the same validation bucket.
+    if (dataset_->log().LatestSeq() == snap->watermark) break;
+    // Stale. Either a single-threaded caller mutated the dataset
+    // directly (we must republish before reading), or a concurrent
+    // ApplyDatasetChanges is mid-publish — then the mutex is held, and
+    // reading the still-current snapshot is the linearizable outcome
+    // for a query concurrent with that mutation: keep flowing, don't
+    // block behind the mutator.
+    std::unique_lock<std::mutex> lock(mutation_mu_, std::try_to_lock);
+    if (!lock.owns_lock()) break;
+    guard.Release();
+    PublishAndReconcile(&m);
+  }
+
+  DynamicBitset csm;
+  if (snap->has_ftv) {
+    ScopedTimer timer(&m.t_index_ns);
+    csm = FtvIndex::CandidateSetOver(
+        snap->ftv_summaries, snap->live, GraphFeatures::Extract(g),
+        kind == QueryKind::kSubgraph ? FtvQueryDirection::kSubgraph
+                                     : FtvQueryDirection::kSupergraph);
+  } else {
+    csm = snap->live;
+  }
+
+  ExecuteReadSlice(g, kind, csm, snap, snap->watermark, snap->id_horizon, m,
+                   deferred, answer_bits, had_exact);
+}  // ===== epoch unpinned on guard destruction =============================
+
+QueryResult GraphCachePlus::Query(const Graph& g, QueryKind kind) {
+  QueryResult result;
+  QueryMetrics& m = result.metrics;
+  m.query_id = query_counter_.fetch_add(1, std::memory_order_relaxed);
+
+  // Deferred mutations, routed per home shard (most queries touch one or
+  // two shards; linear probe beats a map at that size).
+  Deferred deferred;
+
   DynamicBitset answer_bits;
   bool had_exact = false;
-  {
-    // ===== Read phase (engine shared lock) ===============================
-    std::shared_lock<std::shared_mutex> read_lock(mu_);
-
-    // --- Dataset Manager: reconcile dataset changes with the cache. ------
-    // Upgrade to the stop-the-world barrier only when the change log moved
-    // past the cache watermark (or the FTV index lags); queued maintenance
-    // drains first so deferred admissions are validated like residents.
-    // The loop re-checks after the downgrade: another thread may have
-    // synced for us, or applied a further change.
-    while (NeedsSyncLocked()) {
-      read_lock.unlock();
-      {
-        std::unique_lock<std::shared_mutex> write_lock(mu_);
-        const auto shard_locks = cache_.LockAllExclusive();
-        DrainAllShardsLocked();
-        SyncWithDatasetLocked(&m);
-      }
-      read_lock.lock();
-    }
-
-    // --- Method M candidate generation: whole live dataset, or the FTV
-    // filter when Method M is equipped with the updatable index. ----------
-    DynamicBitset csm;
-    if (ftv_ != nullptr) {
-      ScopedTimer timer(&m.t_index_ns);
-      csm = ftv_->CandidateSet(
-          GraphFeatures::Extract(g),
-          kind == QueryKind::kSubgraph ? FtvQueryDirection::kSubgraph
-                                       : FtvQueryDirection::kSupergraph);
-    } else {
-      csm = dataset_->LiveMask();
-    }
-    m.candidates_initial = csm.Count();
-
-    PruneOutcome pruned;
-    {
-      // --- Shard-locked slice: hit discovery, pruning, credit extraction.
-      // Every shard lock is held shared, so resident entry pointers stay
-      // valid exactly this long; only ids, digests and value bitsets
-      // escape the block. Method M verification — the dominant read-phase
-      // cost — runs after release, so a drain (shard-exclusive) overlaps
-      // it freely.
-      const auto shard_locks = cache_.LockAllShared();
-
-      Stopwatch probe_watch;
-      const DiscoveredHits hits =
-          discovery_.Discover(g, kind, shard_ptrs_, csm, &m);
-      m.t_probe_ns = probe_watch.ElapsedNanos();
-
-      // --- Candidate-set pruning (formulas (1)-(5), §6.3 shortcuts). -----
-      Stopwatch prune_watch;
-      pruned = CandidateSetPruner::Prune(hits, csm, &m);
-      m.t_prune_ns = prune_watch.ElapsedNanos();
-
-      // --- Statistics Manager: defer credits for contributing entries,
-      // routed to each entry's home shard. -------------------------------
-      had_exact = hits.exact != nullptr;
-      if (hits.exact != nullptr) {
-        // An exact hit short-circuits the query (pruned.direct below), so
-        // Method M never runs and the hit is zero-test by construction —
-        // recorded explicitly rather than via m.si_tests, which is only
-        // written by the (skipped) verification step.
-        batch_for(cache_.ShardOfDigest(hits.exact->digest))
-            .credits.push_back({hits.exact->id, HitKind::kExact,
-                                pruned.saved_positive,
-                                /*zero_test_exact=*/true});
-      }
-      if (hits.empty_proof != nullptr) {
-        batch_for(cache_.ShardOfDigest(hits.empty_proof->digest))
-            .credits.push_back({hits.empty_proof->id, HitKind::kEmptyProof,
-                                pruned.saved_pruning, false});
-      }
-      for (const CachedQuery* hit : hits.positive) {
-        const std::uint64_t standalone =
-            DynamicBitset::And(hit->valid, hit->answer).CountAnd(csm);
-        batch_for(cache_.ShardOfDigest(hit->digest))
-            .credits.push_back({hit->id, HitKind::kSub, standalone, false});
-      }
-      for (const CachedQuery* hit : hits.pruning) {
-        const std::uint64_t standalone =
-            DynamicBitset::AndNot(hit->valid, hit->answer).CountAnd(csm);
-        batch_for(cache_.ShardOfDigest(hit->digest))
-            .credits.push_back({hit->id, HitKind::kSuper, standalone, false});
-      }
-    }  // --- shard locks released -----------------------------------------
-
-    // --- Method M verification on the reduced candidate set. --------------
-    Stopwatch verify_watch;
-    if (pruned.direct) {
-      answer_bits = pruned.answer_direct;
-    } else {
-      answer_bits =
-          method_m_.VerifyCandidates(g, kind, pruned.candidates, &m.si_tests);
-      // Formula (3): verified graphs plus direct transfers.
-      answer_bits.OrWith(pruned.answer_direct);
-    }
-    m.t_verify_ns = verify_watch.ElapsedNanos();
-    m.answer_size = answer_bits.Count();
-
-    // --- Cache Manager: defer the admission offer, stamped with the
-    // watermark the answer snapshot is consistent with and routed to the
-    // query digest's home shard. Exact hits carry no new knowledge — the
-    // isomorphic entry is already resident. ------------------------------
-    if (options_.enable_admission && !had_exact) {
-      // Entry preparation is admission work executed early (off any
-      // exclusive lock), so it bills to maintenance, not query time.
-      ScopedTimer timer(&m.t_maintenance_ns);
-      AdmissionOffer offer;
-      // C is a *structural* estimate (after [25]), deliberately not a wall
-      // time: the paper's Figure 5 premise — "whatever SI method being the
-      // Method M, GC+ results exactly the same pruned candidate set" —
-      // requires every cache decision (incl. PINC/HD scoring) to be
-      // method-independent.
-      DynamicBitset valid(dataset_->IdHorizon());
-      valid.SetAll();
-      offer.entry = CacheManager::PrepareEntry(
-          g,
-          kind == QueryKind::kSubgraph ? CachedQueryKind::kSubgraph
-                                       : CachedQueryKind::kSupergraph,
-          answer_bits, std::move(valid),
-          StatisticsManager::StructuralCostEstimateMs(g));
-      offer.observed_watermark = watermark_;
-      const std::size_t home = cache_.ShardOfDigest(offer.entry->digest);
-      batch_for(home).offer = std::move(offer);
-    }
-  }  // ===== engine shared lock released ===================================
+  if (options_.epoch_reads) {
+    ReadPhaseEpoch(g, kind, m, deferred, answer_bits, had_exact);
+  } else {
+    ReadPhaseLocked(g, kind, m, deferred, answer_bits, had_exact);
+  }
 
   result.answer.reserve(answer_bits.Count());
   answer_bits.ForEachSetBit([&result](std::size_t id) {
@@ -515,7 +844,14 @@ QueryResult GraphCachePlus::Query(const Graph& g, QueryKind kind) {
 
   // ===== Maintenance hand-off ============================================
   if (!deferred.empty()) {
-    std::shared_lock<std::shared_mutex> read_lock(mu_);
+    // Lock path: the engine shared lock spans the hand-off exactly as in
+    // PR 4. Epoch path: no engine lock — queues are MPSC-safe and drains
+    // pin their own epoch.
+    std::shared_lock<std::shared_mutex> read_lock(mu_, std::defer_lock);
+    if (!options_.epoch_reads) {
+      read_lock.lock();
+      engine_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    }
     for (auto& [s, batch] : deferred) {
       std::size_t size_after = 0;
       if (pending_[s]->TryPush(std::move(batch), &size_after)) {
@@ -536,14 +872,10 @@ QueryResult GraphCachePlus::Query(const Graph& g, QueryKind kind) {
           DrainShard(s, /*try_lock=*/true);
         }
       } else {
-        // Backpressure: shard s's bounded queue is full — drain inline.
+        // Backpressure: shard s's bounded queue is full — drain inline,
+        // then apply this query's own rejected batch under the same env.
         ScopedTimer timer(&m.t_maintenance_ns);
-        ShardedCache::DrainScope scope(s);
-        const auto shard_lock = cache_.LockExclusive(s);
-        DrainShardLocked(s);
-        cache_.shard(s).CreditHitsBatched(SumCredits({&batch, 1}));
-        ApplyMaintenanceLocked(s, batch);
-        cache_.shard(s).MaybeMergeWindow();
+        DrainShard(s, /*try_lock=*/false, &batch);
       }
     }
   }

@@ -15,18 +15,41 @@
 // executed query enters the admission window and replacement may run —
 // accounted as maintenance overhead, off the query's critical path.
 //
-// Concurrency (PR 4): two lock levels.
-//   * The ENGINE lock (mu_) guards the dataset, the change-log watermark
-//     and the FTV index. Read phases hold it shared; dataset mutations,
-//     syncs and snapshot restores hold it exclusive — those are the
-//     stop-the-world barriers, which additionally take every shard lock.
-//   * The cache stores are partitioned into N digest-sharded
-//     CacheManager stores (cache/sharded_cache.hpp), each behind its own
-//     shared_mutex. Hit discovery takes all shard locks shared (only for
-//     the discovery+pruning slice of the read phase — Method M
-//     verification, the dominant cost, runs outside them); a maintenance
-//     drain takes exactly ONE shard lock exclusive, so a drain on shard k
-//     never blocks discovery or drains on shard j.
+// Concurrency (PR 5): two read-path admission-control modes share one
+// engine.
+//
+//   LOCK PATH (options.epoch_reads == false — the PR 4 engine, preserved
+//   bit-exactly as the equivalence oracle): the ENGINE lock (mu_) guards
+//   the dataset, the change-log watermark and the FTV index. Read phases
+//   hold it shared; dataset mutations, syncs and snapshot restores hold
+//   it exclusive together with every shard lock (stop-the-world).
+//
+//   EPOCH PATH (options.epoch_reads == true): the engine publishes an
+//   immutable EngineSnapshot (core/engine_snapshot.hpp — watermark, live
+//   mask, copy-on-write graph table, label histogram, chained change
+//   records, FTV summary view) through one atomic pointer. A query read
+//   phase pins an epoch (common/epoch.hpp), loads the snapshot and runs
+//   entirely against it — engine-lock acquisitions on the read path are
+//   ZERO (counted, and asserted zero by the epoch stress suite). A
+//   dataset mutation serializes on mutation_mu_, applies the change,
+//   publishes the successor snapshot, retires the predecessor to the
+//   epoch manager (freed after a grace period), and then reconciles
+//   CON/EVI validity shard-by-shard under per-shard exclusive locks — no
+//   stop-the-world barrier, readers on the old snapshot keep flowing. A
+//   shard whose watermark lags a reader's snapshot is simply skipped by
+//   that reader's discovery (fewer hits, never a wrong answer); drains
+//   fast-forward a lagging shard before applying batches.
+//
+// In BOTH modes the cache stores are partitioned into N digest-sharded
+// CacheManager stores (cache/sharded_cache.hpp), each behind its own
+// shared_mutex, and hit discovery is shard-local: the read phase visits
+// shards one at a time (one shared lock each), runs the per-shard
+// utility/cap prescreen and COPIES the survivors, then merges, orders and
+// verifies them with no lock held (hit selection is shard-layout-
+// independent — ties break on WL digest then entry id). A maintenance
+// drain takes exactly ONE shard lock exclusive, so a drain on shard k
+// never blocks discovery or drains on shard j.
+//
 // Deferred mutations (id-based hit credits, watermark-stamped admission
 // offers) are routed by entry digest to per-shard bounded MPSC queues.
 // Drains happen (a) opportunistically after a query (per-shard try-lock),
@@ -35,18 +58,20 @@
 // when a shard queue is full.
 // Invariants (PR 2's, preserved per shard):
 //   1. Answers are exact: a read phase observes a dataset+cache state
-//      that is internally consistent (the recheck loop re-syncs before
-//      reading whenever the change log moved past the cache watermark),
-//      and cache contents only ever prune or transfer — never alter —
-//      the answer (Theorems 3/6).
+//      that is internally consistent — on the lock path via the recheck
+//      loop that re-syncs before reading; on the epoch path because a
+//      snapshot is immutable and only same-watermark shards contribute
+//      hits — and cache contents only ever prune or transfer — never
+//      alter — the answer (Theorems 3/6).
 //   2. Deferred knowledge is never admitted as fresher than it is: an
 //      admission offer carries the watermark its answer was computed at;
 //      at drain time a stale offer is forward-validated through
-//      Algorithms 1+2 (CON) or dropped (EVI), per shard.
+//      Algorithms 1+2 (CON) or dropped (EVI), per shard, against that
+//      shard's own watermark.
 //   3. Dataset mutations go through ApplyDatasetChanges once queries run
 //      concurrently, making every change atomic w.r.t. read phases.
-// Lock order: engine lock before shard locks; shard locks in ascending
-// index order; never the reverse.
+// Lock order: engine lock (lock path) / mutation_mu_ (epoch path) before
+// shard locks; shard locks in ascending index order; never the reverse.
 
 #ifndef GCP_CORE_GRAPHCACHE_PLUS_HPP_
 #define GCP_CORE_GRAPHCACHE_PLUS_HPP_
@@ -62,9 +87,11 @@
 
 #include "cache/cache_manager.hpp"
 #include "cache/sharded_cache.hpp"
+#include "common/epoch.hpp"
 #include "common/maintenance_thread.hpp"
 #include "common/mpsc_queue.hpp"
 #include "common/thread_pool.hpp"
+#include "core/engine_snapshot.hpp"
 #include "core/method_m.hpp"
 #include "core/metrics.hpp"
 #include "core/options.hpp"
@@ -89,7 +116,7 @@ class GraphCachePlus {
   GraphCachePlus(GraphDataset* dataset, GraphCachePlusOptions options);
 
   /// Stops the maintenance thread (if any); queued-but-undrained batches
-  /// are discarded with the stores.
+  /// are discarded with the stores. No query may be in flight.
   ~GraphCachePlus();
 
   /// Executes a subgraph query: all live G with g ⊆ G.
@@ -107,12 +134,14 @@ class GraphCachePlus {
   /// dataset mutations go through ApplyDatasetChanges.
   QueryResult Query(const Graph& g, QueryKind kind);
 
-  /// Runs `fn(dataset)` under the engine exclusive lock with every shard
-  /// lock held (the stop-the-world barrier), after draining pending
-  /// maintenance: concurrent read phases never observe a half-applied
-  /// change. The only safe way to mutate the dataset while queries are in
-  /// flight (single-threaded callers may keep mutating the dataset
-  /// directly between queries).
+  /// Runs `fn(dataset)` atomically w.r.t. concurrent read phases, after
+  /// draining pending maintenance. Lock path: the stop-the-world barrier
+  /// (engine exclusive + every shard lock). Epoch path: serializes on the
+  /// mutation mutex, mutates, publishes the successor snapshot, retires
+  /// the predecessor and reconciles shard-by-shard — concurrent readers
+  /// keep flowing on the old snapshot throughout. The only safe way to
+  /// mutate the dataset while queries are in flight (single-threaded
+  /// callers may keep mutating the dataset directly between queries).
   void ApplyDatasetChanges(const std::function<void(GraphDataset&)>& fn);
 
   /// Drains every queued maintenance batch on every shard, bringing the
@@ -139,8 +168,9 @@ class GraphCachePlus {
   /// Restores a snapshot saved by SaveCache (entries re-routed to their
   /// digest's home shard). The dataset's change log must still contain
   /// every record after the snapshot's watermark; the incremental suffix
-  /// is reconciled on the next query (Algorithms 1+2 for CON, purge for
-  /// EVI), so stale snapshots remain exact.
+  /// is reconciled through Algorithms 1+2 for CON (purge for EVI) — on
+  /// the next query (lock path) or immediately per shard (epoch path) —
+  /// so stale snapshots remain exact.
   Status LoadCache(const std::string& path);
 
   /// Shard 0's store — the full cache when options().num_shards == 1 (the
@@ -153,7 +183,9 @@ class GraphCachePlus {
   ShardedCache& cache_shards() { return cache_; }
   const ShardedCache& cache_shards() const { return cache_; }
 
-  /// Thread-safe cross-shard sum of the cache statistics counters.
+  /// Thread-safe cross-shard sum of the cache statistics counters, with
+  /// the engine-level epoch counters (snapshots_published, epochs_retired,
+  /// read_phase_engine_lock_acquisitions) overlaid.
   StatisticsManager CacheStatsSnapshot() const;
 
   /// The maintenance thread, or nullptr when options().maintenance_thread
@@ -161,6 +193,18 @@ class GraphCachePlus {
   const MaintenanceThread* maintenance_thread() const {
     return maintenance_.get();
   }
+
+  /// Engine-lock acquisitions made by query paths since construction —
+  /// zero under options().epoch_reads.
+  std::uint64_t read_phase_engine_lock_acquisitions() const {
+    return engine_lock_acquisitions_.load(std::memory_order_relaxed);
+  }
+  /// EngineSnapshots published (epoch path; 0 on the lock path).
+  std::uint64_t snapshots_published() const {
+    return snapshots_published_.load(std::memory_order_relaxed);
+  }
+  /// The epoch manager (grace-period counters; introspection for tests).
+  const EpochManager& epoch_manager() const { return epochs_; }
 
   const GraphCachePlusOptions& options() const { return options_; }
   const GraphDataset& dataset() const { return *dataset_; }
@@ -197,35 +241,92 @@ class GraphCachePlus {
     std::optional<AdmissionOffer> offer;
   };
 
+  /// Context a drain applies batches under. Legacy (lock-path) drains
+  /// leave `live`/`snap` null and read the dataset under the engine lock
+  /// exactly as PR 4 did; epoch drains carry the snapshot's live mask and
+  /// record segments so they never touch the dataset.
+  struct DrainEnv {
+    /// Staleness reference: the watermark the target store's validity
+    /// state is reconciled to (engine watermark on the lock path, shard
+    /// watermark == snapshot watermark on the epoch path).
+    LogSeq watermark = 0;
+    /// Live mask for the admission-dedup probe; nullptr → recompute from
+    /// the dataset per offer (PR 4 lock-path fidelity).
+    const DynamicBitset* live = nullptr;
+    /// Record source for forward validation; nullptr → the change log.
+    const EngineSnapshot* snap = nullptr;
+  };
+
   /// True when the next read phase must not start yet: the change log
   /// moved past the cache watermark, or the FTV index lags. Requires at
-  /// least the engine shared lock.
+  /// least the engine shared lock. Lock path only.
   bool NeedsSyncLocked() const;
 
   /// Dataset Manager sync: reconcile unprocessed change-log records with
   /// the cache (Algorithms 1 + 2 for CON; full purge for EVI), then bring
   /// the FTV index up to date. Requires the engine exclusive lock; takes
-  /// every shard lock (stop-the-world).
+  /// every shard lock (stop-the-world). Lock path only.
   void SyncWithDatasetLocked(QueryMetrics* metrics);
 
-  /// Drains shard `s`'s queue and applies it — credits summed per entry,
-  /// offers dedup-probed/validated/admitted, replacement at most once.
-  /// Requires shard `s`'s exclusive lock plus the engine lock (shared
-  /// suffices; exclusive on the stop-the-world paths).
-  void DrainShardLocked(std::size_t s);
+  // --- Read phases --------------------------------------------------------
+
+  using Deferred = std::vector<std::pair<std::size_t, PendingMaintenance>>;
+
+  /// Lock-path read phase: engine shared lock + sync recheck loop, then
+  /// the shared read slice. Bumps engine_lock_acquisitions_ per mu_
+  /// acquisition.
+  void ReadPhaseLocked(const Graph& g, QueryKind kind, QueryMetrics& m,
+                       Deferred& deferred, DynamicBitset& answer_bits,
+                       bool& had_exact);
+
+  /// Epoch-path read phase: pin, load snapshot, republish-if-stale (only
+  /// out-of-band serial mutations trigger that), then the shared read
+  /// slice against the snapshot. Never touches mu_.
+  void ReadPhaseEpoch(const Graph& g, QueryKind kind, QueryMetrics& m,
+                      Deferred& deferred, DynamicBitset& answer_bits,
+                      bool& had_exact);
+
+  /// The mode-independent read slice: shard-local discovery (one shared
+  /// shard lock at a time; epoch mode skips shards whose watermark is not
+  /// `watermark`), pruning, credit extraction, Method M verification, and
+  /// admission-offer preparation. `snap` null on the lock path.
+  void ExecuteReadSlice(const Graph& g, QueryKind kind,
+                        const DynamicBitset& csm, const EngineSnapshot* snap,
+                        LogSeq watermark, std::size_t id_horizon,
+                        QueryMetrics& m, Deferred& deferred,
+                        DynamicBitset& answer_bits, bool& had_exact);
+
+  // --- Maintenance --------------------------------------------------------
+
+  /// Pops shard `s`'s queue and applies it under `env` — credits summed
+  /// per entry, offers dedup-probed/validated/admitted, replacement at
+  /// most once. Requires shard `s`'s exclusive lock (plus, on the lock
+  /// path, the engine lock).
+  void DrainShardLocked(std::size_t s, const DrainEnv& env);
+
+  /// Applies already-popped batches (the tail of DrainShardLocked, also
+  /// used by the backpressure path for the caller's own batch).
+  void ApplyBatchesLocked(std::size_t s,
+                          std::span<PendingMaintenance> batches,
+                          const DrainEnv& env);
 
   /// Per-shard drain entry point for the post-query and maintenance-
-  /// thread paths: engine shared lock held by the caller; takes shard
-  /// `s`'s exclusive lock under a DrainScope. With `try_lock`, gives up
-  /// (returns false) when the shard lock is contended.
-  bool DrainShard(std::size_t s, bool try_lock);
+  /// thread paths. Lock path: engine shared lock held by the caller;
+  /// takes shard `s`'s exclusive lock under a DrainScope. Epoch path:
+  /// pins an epoch, fast-forwards the shard to the current snapshot's
+  /// watermark if it lags, then drains. With `try_lock`, gives up
+  /// (returns false) when the shard lock is contended. `extra`
+  /// (nullable) is one additional batch applied after the queue — the
+  /// backpressure path's own rejected batch.
+  bool DrainShard(std::size_t s, bool try_lock,
+                  PendingMaintenance* extra = nullptr);
 
-  /// Drains every shard under the engine exclusive lock (stop-the-world
-  /// paths: sync, dataset change, flush, restore).
+  /// Drains every shard under the engine exclusive lock (lock-path
+  /// stop-the-world: sync, dataset change, flush, restore).
   void DrainAllShardsLocked();
 
-  /// Maintenance-thread body: drain every shard with a non-empty queue
-  /// under the engine shared lock, one shard lock at a time.
+  /// Maintenance-thread body: drain every shard with a non-empty queue,
+  /// one shard lock at a time.
   void MaintenanceDrainPass();
 
   /// Sums the hit credits of `batches` per entry, in first-credit order.
@@ -234,22 +335,41 @@ class GraphCachePlus {
 
   /// Applies one batch's admission offer to shard `s` (dedup-dropped when
   /// an isomorphic fully-valid twin is resident; forward-validated or
-  /// dropped when stale). Requires shard `s`'s exclusive lock + engine
-  /// lock.
-  void ApplyMaintenanceLocked(std::size_t s, PendingMaintenance& batch);
+  /// dropped when stale). Requires shard `s`'s exclusive lock.
+  void ApplyMaintenanceLocked(std::size_t s, PendingMaintenance& batch,
+                              const DrainEnv& env);
 
   /// True when shard `s` already holds an entry isomorphic to `entry`
   /// (same kind, same WL digest, equal counts, containment) that is fully
-  /// valid over the live dataset — the §6.3 exact-hit precondition, which
-  /// is exactly when the serial engine would not have produced this offer
-  /// in the first place. Requires shard `s`'s lock + engine lock.
-  bool IsDuplicateAdmissionLocked(std::size_t s,
-                                  const CachedQuery& entry) const;
+  /// valid over `live` — the §6.3 exact-hit precondition, which is
+  /// exactly when the serial engine would not have produced this offer in
+  /// the first place. Requires shard `s`'s lock.
+  bool IsDuplicateAdmissionLocked(std::size_t s, const CachedQuery& entry,
+                                  const DynamicBitset& live) const;
 
-  /// §8 future-work extension: re-verify up to `budget` invalidated
-  /// (entry, live graph) pairs, restoring validity with fresh knowledge.
-  /// Requires the engine exclusive lock + all shard locks.
-  void RetrospectiveRefresh(std::size_t budget);
+  // --- Epoch path ---------------------------------------------------------
+
+  /// Publishes the successor snapshot for the dataset's current state and
+  /// reconciles every shard to it (per-shard exclusive locks, one at a
+  /// time: drain pending batches at the shard's old watermark, then EVI
+  /// purge / CON ValidateAll + optional retrospective refresh, then
+  /// advance the shard watermark). No-op when nothing changed. Requires
+  /// mutation_mu_. `metrics` (nullable) receives validation/index time.
+  void PublishAndReconcile(QueryMetrics* metrics);
+
+  /// Brings shard `s` from its watermark to `snap`'s (EVI: purge; CON:
+  /// Algorithms 1+2 over the snapshot's record segments). Requires shard
+  /// `s`'s exclusive lock. `retro_budget` (nullable) enables the §8
+  /// retrospective refresh — mutator context only (reads the dataset).
+  void ReconcileShardLocked(std::size_t s, const EngineSnapshot& snap,
+                            std::size_t* retro_budget);
+
+  /// §8 future-work extension, one shard's slice: re-verify up to
+  /// `*budget` invalidated (entry, live graph) pairs, restoring validity
+  /// with fresh knowledge. Requires shard `s`'s exclusive lock and a
+  /// quiescent dataset (mutator context / stop-the-world).
+  void RetrospectiveRefreshShard(std::size_t s, const DynamicBitset& live,
+                                 std::size_t* budget);
 
   GraphDataset* dataset_;
   GraphCachePlusOptions options_;
@@ -259,14 +379,21 @@ class GraphCachePlus {
   std::unique_ptr<SubgraphMatcher> internal_matcher_;
   HitDiscovery discovery_;
 
-  /// Engine lock: guards watermark_, ftv_ mutation and the dataset. Read
-  /// phases hold it shared; sync/dataset changes exclusive. Always taken
-  /// before any shard lock.
+  /// Engine lock (lock path): guards watermark_, ftv_ mutation and the
+  /// dataset. Read phases hold it shared; sync/dataset changes exclusive.
+  /// Always taken before any shard lock. Unused on the epoch path.
   mutable std::shared_mutex mu_;
   ShardedCache cache_;
-  /// Stable per-shard store pointers handed to HitDiscovery::Discover.
-  std::vector<const CacheManager*> shard_ptrs_;
   LogSeq watermark_ = 0;
+
+  /// Epoch path: current snapshot (null on the lock path), its epoch
+  /// manager, and the mutator serialization lock.
+  std::atomic<const EngineSnapshot*> snapshot_{nullptr};
+  EpochManager epochs_;
+  std::mutex mutation_mu_;
+
+  std::atomic<std::uint64_t> snapshots_published_{0};
+  std::atomic<std::uint64_t> engine_lock_acquisitions_{0};
 
   /// Per-shard maintenance queues: read phases enqueue batches routed by
   /// digest; drains pop under that shard's exclusive lock.

@@ -39,74 +39,112 @@ bool EmptyLiveAnswer(const CachedQuery& e, const DynamicBitset& live) {
   return e.answer.size() == live.size() && !e.answer.Intersects(live);
 }
 
-// Sorts candidates by descending precomputed utility. Ties break on
-// (WL digest, entry id) so the verification order — and with it which
-// hits the caps select — does not depend on candidate enumeration order,
-// i.e. on how entries are distributed across shards (entry ids are
-// per-shard sequences, so they only disambiguate digest collisions).
-void SortByUtility(std::vector<const CachedQuery*>& pool,
-                   std::vector<std::size_t>& utility) {
-  std::vector<std::size_t> order(pool.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
-                                                   std::size_t b) {
-    if (utility[a] != utility[b]) return utility[a] > utility[b];
-    if (pool[a]->digest != pool[b]->digest) {
-      return pool[a]->digest < pool[b]->digest;
-    }
-    return pool[a]->id < pool[b]->id;
-  });
-  std::vector<const CachedQuery*> sorted_pool(pool.size());
-  std::vector<std::size_t> sorted_utility(pool.size());
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    sorted_pool[i] = pool[order[i]];
-    sorted_utility[i] = utility[order[i]];
-  }
-  pool = std::move(sorted_pool);
-  utility = std::move(sorted_utility);
+// Moves the bitsets out of the (consumed) candidate — each candidate
+// yields at most one hit.
+DiscoveredHit TakeHit(HitDiscovery::Candidate& c) {
+  DiscoveredHit hit;
+  hit.id = c.id;
+  hit.digest = c.digest;
+  hit.answer = std::move(c.answer);
+  hit.valid = std::move(c.valid);
+  return hit;
 }
 
 }  // namespace
 
-DiscoveredHits HitDiscovery::Discover(const Graph& g, QueryKind kind,
-                                      std::span<const CacheManager* const>
-                                          shards,
-                                      const DynamicBitset& live,
-                                      QueryMetrics* metrics) const {
-  DiscoveredHits hits;
-  const GraphFeatures features = GraphFeatures::Extract(g);
+void HitDiscovery::CollectShard(const Graph& g, const GraphFeatures& features,
+                                QueryKind kind, const CacheManager& shard,
+                                const DynamicBitset& live,
+                                std::vector<Candidate>* out,
+                                QueryMetrics* metrics) const {
   const CachedQueryKind ckind = ToCachedKind(kind);
 
   // GC+sub processor shortlist: cached g' with (possibly) g ⊆ g'.
   // GC+super processor shortlist: cached g'' with (possibly) g'' ⊆ g.
-  // Each shard's inverted feature-signature index (or brute-force scan on
-  // the legacy path — identical candidate sets) contributes its postings;
-  // the merged pool then goes through one utility ordering, so the caps
-  // pick the same hits however the entries are distributed.
+  // The shard's inverted feature-signature index (or brute-force scan on
+  // the legacy path — identical candidate sets) supplies the postings.
   std::vector<const CachedQuery*> sub_candidates;
   std::vector<const CachedQuery*> super_candidates;
   {
     std::int64_t unused_ns = 0;
     ScopedTimer discover_timer(metrics != nullptr ? &metrics->t_discover_ns
                                                   : &unused_ns);
-    for (const CacheManager* shard : shards) {
-      const QueryIndex& index = shard->index();
-      auto append = [](std::vector<const CachedQuery*>& out,
-                       std::vector<const CachedQuery*> part) {
-        if (out.empty()) {
-          out = std::move(part);
-        } else {
-          out.insert(out.end(), part.begin(), part.end());
-        }
-      };
-      append(sub_candidates, options_.use_discovery_index
-                                 ? index.SupergraphCandidates(features)
-                                 : index.SupergraphCandidatesScan(features));
-      append(super_candidates, options_.use_discovery_index
-                                   ? index.SubgraphCandidates(features)
-                                   : index.SubgraphCandidatesScan(features));
-    }
+    const QueryIndex& index = shard.index();
+    sub_candidates = options_.use_discovery_index
+                         ? index.SupergraphCandidates(features)
+                         : index.SupergraphCandidatesScan(features);
+    super_candidates = options_.use_discovery_index
+                           ? index.SubgraphCandidates(features)
+                           : index.SubgraphCandidatesScan(features);
   }
+
+  // Resolve processor outputs into positive/pruning roles: for subgraph
+  // queries GC+sub hits are positive; for supergraph queries the roles
+  // flip (§6: "supergraph queries follow the exact inverse logic").
+  const bool positive_from_sub = (kind == QueryKind::kSubgraph);
+
+  // Prescreen: drop wrong-kind entries and zero-utility candidates that
+  // can serve no §6.3 shortcut; copy the survivors so nothing references
+  // the shard after its lock is dropped. An entry may survive in both
+  // roles (it is then copied twice, once per role — rare by
+  // construction: it must pass both direction shortlists).
+  auto keep = [&](const CachedQuery* e, bool positive_role) {
+    if (e->kind != ckind) return;
+    Candidate c;
+    c.positive_role = positive_role;
+    if (positive_role) {
+      c.utility = PositiveUtility(*e, live);
+      c.maybe_exact = options_.enable_exact_shortcut &&
+                      e->query.NumVertices() == g.NumVertices() &&
+                      e->query.NumEdges() == g.NumEdges();
+      if (c.utility == 0 && !c.maybe_exact) return;
+    } else {
+      c.utility = PruningUtility(*e, live);
+      c.empty_eligible = options_.enable_empty_answer_shortcut &&
+                         EmptyLiveAnswer(*e, live) && FullyValid(*e, live);
+      if (c.utility == 0 && !c.empty_eligible) return;
+    }
+    c.query = e->query;
+    c.answer = e->answer;
+    c.valid = e->valid;
+    c.id = e->id;
+    c.digest = e->digest;
+    out->push_back(std::move(c));
+  };
+  for (const CachedQuery* e : (positive_from_sub ? sub_candidates
+                                                 : super_candidates)) {
+    keep(e, /*positive_role=*/true);
+  }
+  for (const CachedQuery* e : (positive_from_sub ? super_candidates
+                                                 : sub_candidates)) {
+    keep(e, /*positive_role=*/false);
+  }
+}
+
+DiscoveredHits HitDiscovery::ResolveHits(const Graph& g, QueryKind kind,
+                                         std::vector<Candidate> candidates,
+                                         const DynamicBitset& live,
+                                         QueryMetrics* metrics) const {
+  DiscoveredHits hits;
+  const bool positive_from_sub = (kind == QueryKind::kSubgraph);
+
+  // One global ordering over the merged pool: descending utility, ties on
+  // (WL digest, entry id) so the verification order — and with it which
+  // hits the caps select — does not depend on candidate enumeration
+  // order, i.e. on how entries are distributed across shards (entry ids
+  // are per-shard sequences, so they only disambiguate digest
+  // collisions).
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const Candidate& ca = candidates[a];
+                     const Candidate& cb = candidates[b];
+                     if (ca.utility != cb.utility)
+                       return ca.utility > cb.utility;
+                     if (ca.digest != cb.digest) return ca.digest < cb.digest;
+                     return ca.id < cb.id;
+                   });
 
   // In the direction where g itself is the pattern (g ⊆ cached query) its
   // per-pattern match state is shared across every verified candidate.
@@ -118,91 +156,60 @@ DiscoveredHits HitDiscovery::Discover(const Graph& g, QueryKind kind,
     return *prepared_g;
   };
 
-  // Resolve processor outputs into positive/pruning roles: for subgraph
-  // queries GC+sub hits are positive; for supergraph queries the roles
-  // flip (§6: "supergraph queries follow the exact inverse logic").
-  const bool positive_from_sub = (kind == QueryKind::kSubgraph);
-  std::vector<const CachedQuery*>& positive_pool =
-      positive_from_sub ? sub_candidates : super_candidates;
-  std::vector<const CachedQuery*>& pruning_pool =
-      positive_from_sub ? super_candidates : sub_candidates;
-
-  // Drop wrong-kind entries, precompute standalone utilities, and verify
-  // highest-utility candidates first so the hit caps spend exact
-  // containment checks where they pay off most.
-  auto prepare = [&](std::vector<const CachedQuery*>& pool, auto utility_fn,
-                     std::vector<std::size_t>& utility) {
-    std::vector<const CachedQuery*> filtered;
-    filtered.reserve(pool.size());
-    for (const CachedQuery* e : pool) {
-      if (e->kind == ckind) filtered.push_back(e);
-    }
-    pool = std::move(filtered);
-    utility.resize(pool.size());
-    for (std::size_t i = 0; i < pool.size(); ++i) {
-      utility[i] = utility_fn(*pool[i], live);
-    }
-    SortByUtility(pool, utility);
-  };
-  std::vector<std::size_t> positive_utility;
-  std::vector<std::size_t> pruning_utility;
-  prepare(positive_pool, PositiveUtility, positive_utility);
-  prepare(pruning_pool, PruningUtility, pruning_utility);
-
   const std::size_t positive_cap =
-      options_.max_sub_hits == 0 ? positive_pool.size() : options_.max_sub_hits;
-  const std::size_t pruning_cap = options_.max_super_hits == 0
-                                      ? pruning_pool.size()
-                                      : options_.max_super_hits;
+      options_.max_sub_hits == 0 ? candidates.size() : options_.max_sub_hits;
+  const std::size_t pruning_cap =
+      options_.max_super_hits == 0 ? candidates.size()
+                                   : options_.max_super_hits;
 
-  for (std::size_t i = 0; i < positive_pool.size(); ++i) {
+  // Positive pool first (mirrors the serial engine: an exact hit
+  // short-circuits before any pruning-direction verification happens).
+  for (const std::size_t i : order) {
+    Candidate& c = candidates[i];
+    if (!c.positive_role) continue;
     if (hits.positive.size() >= positive_cap) break;
-    const CachedQuery* e = positive_pool[i];
-    // §6.3 case 1 precheck: same vertex/edge count + one-way containment
-    // ⇒ isomorphic; worth verifying even at zero transfer utility.
-    const bool maybe_exact = options_.enable_exact_shortcut &&
-                             e->query.NumVertices() == g.NumVertices() &&
-                             e->query.NumEdges() == g.NumEdges();
-    if (positive_utility[i] == 0 && !maybe_exact) continue;
     // Positive direction: subgraph queries verify g ⊆ g'; supergraph
     // queries verify g'' ⊆ g.
     const bool contained =
         positive_from_sub
             ? (options_.reuse_match_context
-                   ? matcher_.ContainsPrepared(prepared(), e->query)
-                   : matcher_.Contains(g, e->query))
-            : matcher_.Contains(e->query, g);
+                   ? matcher_.ContainsPrepared(prepared(), c.query)
+                   : matcher_.Contains(g, c.query))
+            : matcher_.Contains(c.query, g);
     if (!contained) continue;
-    if (maybe_exact && FullyValid(*e, live)) {
-      hits.exact = e;
+    // §6.3 case 1: equal counts + one-way containment ⇒ isomorphic; with
+    // full validity the cached answer is final.
+    if (c.maybe_exact && c.valid.size() == live.size() &&
+        live.IsSubsetOf(c.valid)) {
+      hits.exact = TakeHit(c);
       if (metrics != nullptr) metrics->exact_hit = true;
       return hits;
     }
-    if (positive_utility[i] > 0) hits.positive.push_back(e);
+    if (c.utility > 0) hits.positive.push_back(TakeHit(c));
   }
 
-  for (std::size_t i = 0; i < pruning_pool.size(); ++i) {
+  for (const std::size_t i : order) {
+    Candidate& c = candidates[i];
+    if (c.positive_role) continue;
     if (hits.pruning.size() >= pruning_cap) break;
-    const CachedQuery* e = pruning_pool[i];
     const bool useful_for_empty_proof =
-        options_.enable_empty_answer_shortcut && hits.empty_proof == nullptr &&
-        EmptyLiveAnswer(*e, live) && FullyValid(*e, live);
-    if (pruning_utility[i] == 0 && !useful_for_empty_proof) continue;
+        c.empty_eligible && !hits.empty_proof.has_value();
+    if (c.utility == 0 && !useful_for_empty_proof) continue;
     // Pruning direction: subgraph queries verify g'' ⊆ g; supergraph
     // queries verify g ⊆ g'.
     const bool contained =
         positive_from_sub
-            ? matcher_.Contains(e->query, g)
+            ? matcher_.Contains(c.query, g)
             : (options_.reuse_match_context
-                   ? matcher_.ContainsPrepared(prepared(), e->query)
-                   : matcher_.Contains(g, e->query));
+                   ? matcher_.ContainsPrepared(prepared(), c.query)
+                   : matcher_.Contains(g, c.query));
     if (!contained) continue;
     if (useful_for_empty_proof) {
-      hits.empty_proof = e;
+      hits.empty_proof = TakeHit(c);
       if (metrics != nullptr) metrics->empty_shortcut = true;
       return hits;
     }
-    hits.pruning.push_back(e);
+    hits.pruning.push_back(TakeHit(c));
   }
 
   if (metrics != nullptr) {
@@ -212,6 +219,19 @@ DiscoveredHits HitDiscovery::Discover(const Graph& g, QueryKind kind,
         positive_from_sub ? hits.pruning.size() : hits.positive.size());
   }
   return hits;
+}
+
+DiscoveredHits HitDiscovery::Discover(const Graph& g, QueryKind kind,
+                                      std::span<const CacheManager* const>
+                                          shards,
+                                      const DynamicBitset& live,
+                                      QueryMetrics* metrics) const {
+  const GraphFeatures features = GraphFeatures::Extract(g);
+  std::vector<Candidate> pool;
+  for (const CacheManager* shard : shards) {
+    CollectShard(g, features, kind, *shard, live, &pool, metrics);
+  }
+  return ResolveHits(g, kind, std::move(pool), live, metrics);
 }
 
 }  // namespace gcp

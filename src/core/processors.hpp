@@ -13,10 +13,21 @@
 // *useful* candidates (non-zero standalone benefit) are verified at all.
 // The processors also recognize the §6.3 optimal cases: an isomorphic
 // cached query (exact hit) and an empty-answer proof.
+//
+// Discovery is shard-local (PR 5): CollectShard runs the per-shard
+// prescreen — candidate enumeration, kind filter, utility computation,
+// zero-utility drop — under ONE shard's lock and COPIES the survivors
+// (query graph + answer/valid bitsets), so no resident-entry pointer ever
+// escapes a shard lock. ResolveHits then merges the per-shard survivor
+// lists, applies the single global utility ordering (ties on WL digest,
+// then entry id — hit selection is shard-layout-independent), and runs
+// containment verification and the §6.3 shortcuts with no lock held at
+// all. The resulting DiscoveredHits own their data outright.
 
 #ifndef GCP_CORE_PROCESSORS_HPP_
 #define GCP_CORE_PROCESSORS_HPP_
 
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -28,29 +39,53 @@
 
 namespace gcp {
 
-/// Result of cache-hit discovery for one query.
+/// One exploited cache hit: the slices of the resident entry the pruner
+/// and the deferred-credit machinery need, copied out under the entry's
+/// home-shard lock (safe to use after every lock is released).
+struct DiscoveredHit {
+  CacheEntryId id = 0;        ///< For deferred benefit credits.
+  std::uint64_t digest = 0;   ///< Routes the credit to the home shard.
+  DynamicBitset answer;
+  DynamicBitset valid;
+};
+
+/// Result of cache-hit discovery for one query. Owns all data.
 struct DiscoveredHits {
   /// Same-kind cached queries whose valid answers inject directly into the
   /// new query's answer set (g ⊆ g' for subgraph queries; g'' ⊆ g for
   /// supergraph queries).
-  std::vector<const CachedQuery*> positive;
+  std::vector<DiscoveredHit> positive;
 
   /// Same-kind cached queries whose valid negative results eliminate
   /// candidates (formula (5) resp. its inverse).
-  std::vector<const CachedQuery*> pruning;
+  std::vector<DiscoveredHit> pruning;
 
   /// §6.3 case 1: resident query isomorphic to g with full validity over
   /// the live dataset; its answer is returned directly.
-  const CachedQuery* exact = nullptr;
+  std::optional<DiscoveredHit> exact;
 
   /// §6.3 case 2: a pruning-direction entry with (still fully valid) empty
   /// answer proving the new query's answer is empty.
-  const CachedQuery* empty_proof = nullptr;
+  std::optional<DiscoveredHit> empty_proof;
 };
 
 /// \brief Implements both processors over the cache index.
 class HitDiscovery {
  public:
+  /// One prescreen survivor: an owned copy of the entry slices that the
+  /// resolve stage (verification + shortcuts) consumes lock-free.
+  struct Candidate {
+    Graph query;  ///< For containment verification after the merge.
+    DynamicBitset answer;
+    DynamicBitset valid;
+    CacheEntryId id = 0;
+    std::uint64_t digest = 0;
+    std::size_t utility = 0;
+    bool positive_role = false;  ///< Positive pool vs pruning pool.
+    bool maybe_exact = false;    ///< §6.3 case-1 precheck passed.
+    bool empty_eligible = false; ///< §6.3 case-2 precondition holds.
+  };
+
   /// `internal_matcher` verifies query-vs-cached-query containment; the
   /// options supply hit caps and shortcut switches. Both must outlive the
   /// discovery object.
@@ -58,15 +93,33 @@ class HitDiscovery {
                const GraphCachePlusOptions& options)
       : matcher_(internal_matcher), options_(options) {}
 
-  /// Runs GC+sub and GC+super discovery for `g` across every store in
-  /// `shards` (candidates are shortlisted per shard, then utilities,
-  /// ordering, caps and containment verification apply to the merged
-  /// pool, ordered by (utility, WL digest, id) — so hit selection is
-  /// independent of how entries are sharded, up to WL-digest collisions
-  /// between distinct resident queries).
-  /// `live` is the live-graph mask (CS_M); metrics get hit counts. The
-  /// caller holds every shard's lock for the duration of the call and for
-  /// as long as it dereferences the returned entry pointers.
+  /// Per-shard prescreen: enumerates `shard`'s index candidates for `g`
+  /// in both directions, filters by kind, computes standalone utilities
+  /// against `live`, drops zero-utility candidates that can serve no §6.3
+  /// shortcut, and appends owned copies of the survivors to `out`. The
+  /// caller holds this shard's lock (shared suffices) for exactly this
+  /// call. `features` must be GraphFeatures::Extract(g). Adds candidate
+  /// enumeration time to metrics->t_discover_ns.
+  void CollectShard(const Graph& g, const GraphFeatures& features,
+                    QueryKind kind, const CacheManager& shard,
+                    const DynamicBitset& live,
+                    std::vector<Candidate>* out,
+                    QueryMetrics* metrics) const;
+
+  /// Merge + verify stage, lock-free: globally orders the merged survivor
+  /// pool by (utility desc, WL digest, entry id), verifies containment in
+  /// that order under the hit caps, and recognizes the §6.3 shortcuts —
+  /// so hit selection is independent of how entries are sharded, up to WL
+  /// digest collisions between distinct resident queries. Consumes
+  /// `candidates`.
+  DiscoveredHits ResolveHits(const Graph& g, QueryKind kind,
+                             std::vector<Candidate> candidates,
+                             const DynamicBitset& live,
+                             QueryMetrics* metrics) const;
+
+  /// Convenience composition for callers that already hold every shard
+  /// lock (tests, single-store uses): collect across `shards`, then
+  /// resolve.
   DiscoveredHits Discover(const Graph& g, QueryKind kind,
                           std::span<const CacheManager* const> shards,
                           const DynamicBitset& live,

@@ -12,7 +12,7 @@ PruneOutcome CandidateSetPruner::Prune(const DiscoveredHits& hits,
 
   // §6.3 case 1 — exact hit: the cached answer restricted to the live
   // dataset is the final answer; every sub-iso test is alleviated.
-  if (hits.exact != nullptr) {
+  if (hits.exact.has_value()) {
     assert(hits.exact->answer.size() == horizon);
     out.direct = true;
     out.answer_direct = DynamicBitset::And(hits.exact->answer, csm);
@@ -26,7 +26,7 @@ PruneOutcome CandidateSetPruner::Prune(const DiscoveredHits& hits,
   }
 
   // §6.3 case 2 — empty-answer proof: the answer is provably empty.
-  if (hits.empty_proof != nullptr) {
+  if (hits.empty_proof.has_value()) {
     out.direct = true;
     out.answer_direct = DynamicBitset(horizon);
     out.candidates = DynamicBitset(horizon);
@@ -40,9 +40,9 @@ PruneOutcome CandidateSetPruner::Prune(const DiscoveredHits& hits,
 
   // Formula (1): union of still-valid positive results.
   DynamicBitset answer_direct(horizon);
-  for (const CachedQuery* e : hits.positive) {
-    assert(e->valid.size() == horizon && e->answer.size() == horizon);
-    answer_direct.OrWith(e->ValidAnswer());
+  for (const DiscoveredHit& e : hits.positive) {
+    assert(e.valid.size() == horizon && e.answer.size() == horizon);
+    answer_direct.OrWith(DynamicBitset::And(e.valid, e.answer));
   }
 
   // Formula (2): remove direct answers from the candidate set. (The
@@ -54,10 +54,10 @@ PruneOutcome CandidateSetPruner::Prune(const DiscoveredHits& hits,
 
   // Formula (5): intersect with each pruning hit's possible-answer set
   // (formula (4): complement of validity ∪ answers).
-  for (const CachedQuery* e : hits.pruning) {
-    assert(e->valid.size() == horizon && e->answer.size() == horizon);
-    DynamicBitset possible = DynamicBitset::Not(e->valid);
-    possible.OrWith(e->answer);
+  for (const DiscoveredHit& e : hits.pruning) {
+    assert(e.valid.size() == horizon && e.answer.size() == horizon);
+    DynamicBitset possible = DynamicBitset::Not(e.valid);
+    possible.OrWith(e.answer);
     candidates.AndWith(possible);
   }
   out.saved_pruning = csm.Count() - out.saved_positive - candidates.Count();

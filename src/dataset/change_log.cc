@@ -19,12 +19,15 @@ std::string_view ChangeTypeName(ChangeType type) {
 LogSeq ChangeLog::Append(ChangeType type, GraphId graph_id, VertexId u,
                          VertexId v) {
   ChangeRecord rec;
-  rec.seq = next_seq_++;
+  rec.seq = next_seq_.load(std::memory_order_relaxed);
   rec.type = type;
   rec.graph_id = graph_id;
   rec.edge_u = u;
   rec.edge_v = v;
   records_.push_back(rec);
+  // Publish the new sequence only after the record is in place, so a
+  // LatestSeq probe never claims a record that is still being written.
+  next_seq_.store(rec.seq + 1, std::memory_order_release);
   return rec.seq;
 }
 

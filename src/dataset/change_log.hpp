@@ -8,6 +8,7 @@
 #ifndef GCP_DATASET_CHANGE_LOG_HPP_
 #define GCP_DATASET_CHANGE_LOG_HPP_
 
+#include <atomic>
 #include <vector>
 
 #include "dataset/change.hpp"
@@ -17,13 +18,31 @@ namespace gcp {
 /// \brief In-memory append-only change log with monotone sequence numbers.
 class ChangeLog {
  public:
+  ChangeLog() = default;
+  // Movable despite the atomic tail (single-threaded contexts only, e.g.
+  // returning a freshly built dataset by value).
+  ChangeLog(ChangeLog&& other) noexcept
+      : records_(std::move(other.records_)),
+        next_seq_(other.next_seq_.load(std::memory_order_relaxed)) {}
+  ChangeLog& operator=(ChangeLog&& other) noexcept {
+    records_ = std::move(other.records_);
+    next_seq_.store(other.next_seq_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    return *this;
+  }
+
   /// Appends a record, assigning the next sequence number (starting at 1).
   /// Returns the assigned sequence number.
   LogSeq Append(ChangeType type, GraphId graph_id, VertexId u = 0,
                 VertexId v = 0);
 
   /// Sequence number of the newest record; 0 when the log is empty.
-  LogSeq LatestSeq() const { return next_seq_ - 1; }
+  /// Safe to call concurrently with Append (the epoch read path probes it
+  /// to detect out-of-band serial mutations); every other accessor still
+  /// requires external synchronization against appends.
+  LogSeq LatestSeq() const {
+    return next_seq_.load(std::memory_order_acquire) - 1;
+  }
 
   /// Records with seq > `watermark`, oldest first.
   std::vector<ChangeRecord> ExtractSince(LogSeq watermark) const;
@@ -38,7 +57,7 @@ class ChangeLog {
 
  private:
   std::vector<ChangeRecord> records_;
-  LogSeq next_seq_ = 1;
+  std::atomic<LogSeq> next_seq_{1};
 };
 
 }  // namespace gcp

@@ -64,6 +64,23 @@ DynamicBitset FtvIndex::CandidateSet(const GraphFeatures& query_features,
   return candidates;
 }
 
+DynamicBitset FtvIndex::CandidateSetOver(
+    const std::vector<std::optional<GraphFeatures>>& summaries,
+    const DynamicBitset& live, const GraphFeatures& query_features,
+    FtvQueryDirection direction) {
+  DynamicBitset candidates(live.size());
+  const std::size_t limit = std::min(summaries.size(), live.size());
+  for (std::size_t id = 0; id < limit; ++id) {
+    const auto& summary = summaries[id];
+    if (!summary.has_value() || !live.Test(id)) continue;
+    const bool pass = direction == FtvQueryDirection::kSubgraph
+                          ? query_features.CouldBeSubgraphOf(*summary)
+                          : summary->CouldBeSubgraphOf(query_features);
+    if (pass) candidates.Set(id);
+  }
+  return candidates;
+}
+
 std::size_t FtvIndex::IndexedCount() const {
   std::size_t count = 0;
   for (const auto& s : summaries_) {

@@ -64,6 +64,22 @@ class FtvIndex {
   /// Summary accessor (nullptr when `id` is not live / not indexed).
   const GraphFeatures* SummaryOf(GraphId id) const;
 
+  /// The per-graph-id summaries (holes for deleted ids) — copied into the
+  /// engine's immutable snapshots so the epoch read path can filter
+  /// without touching the index or the dataset.
+  const std::vector<std::optional<GraphFeatures>>& summaries() const {
+    return summaries_;
+  }
+
+  /// Candidate set over an exported summary view: same filter as
+  /// CandidateSet, but reading `summaries` and the `live` mask instead of
+  /// the backing dataset (lock-free snapshot path). Returns a bitset over
+  /// [0, live.size()).
+  static DynamicBitset CandidateSetOver(
+      const std::vector<std::optional<GraphFeatures>>& summaries,
+      const DynamicBitset& live, const GraphFeatures& query_features,
+      FtvQueryDirection direction);
+
  private:
   void IndexGraph(GraphId id);
 

@@ -72,6 +72,7 @@ RunReport RunWorkload(const std::vector<Graph>& initial,
   opts.verify_threads = config.verify_threads;
   opts.num_shards = config.shards;
   opts.maintenance_thread = config.maintenance_thread;
+  opts.epoch_reads = config.epoch_reads;
   opts.max_sub_hits = config.max_sub_hits;
   opts.max_super_hits = config.max_super_hits;
   opts.retrospective_budget = config.retrospective_budget;

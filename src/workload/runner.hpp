@@ -57,6 +57,11 @@ struct RunnerConfig {
   /// Drain maintenance on a dedicated thread (queue-pressure/timer
   /// wakeups) instead of opportunistic post-query try-lock drains.
   bool maintenance_thread = false;
+  /// Epoch-protected read path: read phases pin an epoch and read an
+  /// immutable published snapshot instead of taking the engine lock;
+  /// dataset changes publish + retire instead of stopping the world. Off
+  /// (default) is the PR 4 lock path — bit-exact, the equivalence oracle.
+  bool epoch_reads = false;
   std::size_t max_sub_hits = 16;
   std::size_t max_super_hits = 16;
   /// CON-only retrospective validation budget per sync (0 = off, §8).

@@ -95,6 +95,58 @@ TEST(QueryIndexTest, DuplicateDigestsBothReturned) {
   EXPECT_EQ(rest[0]->id, 2u);
 }
 
+// Edge-count banding (second index dimension): entries sharing a vertex
+// band but differing widely in edge count must be separable by the edge
+// screen in both directions.
+TEST(QueryIndexTest, EdgeBandSeparatesSameVertexBand) {
+  QueryIndex index;
+  // Both graphs sit in vertex band 2 (4 resp. 5 vertices) but straddle
+  // the 3→4 edge band boundary (floor(log2): band 1 vs band 2), so the
+  // two entries land in DIFFERENT (vband, eband) buckets: the supergraph
+  // probe starts past the sparse bucket (lower_bound on the composite
+  // key) and the subgraph probe jumps over the dense bucket (the
+  // edge-band re-seek).
+  auto sparse = MakeIndexedEntry(1, MakePath({0, 1, 0, 1}));      // 3 edges
+  auto dense = MakeIndexedEntry(2, MakeCycle({0, 1, 0, 1}));      // 4 edges
+  index.Insert(sparse.get());
+  index.Insert(dense.get());
+
+  // A probe with 4 edges can only be contained by entries with >= 4
+  // edges: the sparse path's whole (vband 2, eband 1) bucket is skipped.
+  const GraphFeatures cycle_probe =
+      GraphFeatures::Extract(MakeCycle({0, 1, 0, 1}));
+  const auto supers = index.SupergraphCandidates(cycle_probe);
+  ASSERT_EQ(supers.size(), 1u);
+  EXPECT_EQ(supers[0]->id, 2u);
+
+  // Conversely, subgraph candidates of the 3-edge path cannot include the
+  // 4-edge cycle: the (vband 2, eband 2) bucket is jumped over.
+  const GraphFeatures path_probe =
+      GraphFeatures::Extract(MakePath({0, 1, 0, 1}));
+  const auto subs = index.SubgraphCandidates(path_probe);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0]->id, 1u);
+}
+
+// Zero-edge entries (singleton queries) land in edge band 0 and must stay
+// discoverable from any larger probe.
+TEST(QueryIndexTest, ZeroEdgeBandHandled) {
+  QueryIndex index;
+  auto singleton = MakeIndexedEntry(1, testing::MakeSingleton(3));
+  index.Insert(singleton.get());
+  const GraphFeatures probe =
+      GraphFeatures::Extract(MakePath({3, 1, 2}));
+  const auto subs = index.SubgraphCandidates(probe);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0]->id, 1u);
+  // And a singleton probe finds the singleton entry as a supergraph
+  // candidate (equal features).
+  const auto supers =
+      index.SupergraphCandidates(GraphFeatures::Extract(
+          testing::MakeSingleton(3)));
+  ASSERT_EQ(supers.size(), 1u);
+}
+
 // No-false-drop property: every true containment between a probe and an
 // indexed query must appear in the candidate shortlists.
 TEST(QueryIndexTest, NoFalseDropsOnRandomCorpus) {

@@ -44,8 +44,8 @@ TEST_F(ProcessorsTest, EmptyCacheFindsNothing) {
                                          DynamicBitset(4, true), &m);
   EXPECT_TRUE(hits.positive.empty());
   EXPECT_TRUE(hits.pruning.empty());
-  EXPECT_EQ(hits.exact, nullptr);
-  EXPECT_EQ(hits.empty_proof, nullptr);
+  EXPECT_FALSE(hits.exact.has_value());
+  EXPECT_FALSE(hits.empty_proof.has_value());
   EXPECT_EQ(m.sub_hits, 0u);
   EXPECT_EQ(m.super_hits, 0u);
 }
@@ -112,7 +112,7 @@ TEST_F(ProcessorsTest, ExactHitRequiresFullValidity) {
   const DiscoveredHits hits = d.Discover(MakePath({0, 1}),
                                          QueryKind::kSubgraph, cache_,
                                          DynamicBitset(4, true), &m);
-  EXPECT_EQ(hits.exact, nullptr);
+  EXPECT_FALSE(hits.exact.has_value());
   EXPECT_EQ(hits.positive.size(), 1u);
   EXPECT_FALSE(m.exact_hit);
 }
@@ -125,7 +125,7 @@ TEST_F(ProcessorsTest, ExactHitDetectedWithFullValidity) {
   const DiscoveredHits hits = d.Discover(MakePath({1, 0}),
                                          QueryKind::kSubgraph, cache_,
                                          DynamicBitset(4, true), &m);
-  ASSERT_NE(hits.exact, nullptr);
+  ASSERT_TRUE(hits.exact.has_value());
   EXPECT_TRUE(m.exact_hit);
   EXPECT_TRUE(hits.positive.empty());  // short-circuited
 }
@@ -138,7 +138,7 @@ TEST_F(ProcessorsTest, ExactHitIgnoredWhenDisabled) {
   const DiscoveredHits hits = d.Discover(MakePath({0, 1}),
                                          QueryKind::kSubgraph, cache_,
                                          DynamicBitset(4, true), &m);
-  EXPECT_EQ(hits.exact, nullptr);
+  EXPECT_FALSE(hits.exact.has_value());
   EXPECT_EQ(hits.positive.size(), 1u);  // falls back to a plain hit
 }
 
@@ -151,7 +151,7 @@ TEST_F(ProcessorsTest, EmptyProofDetected) {
   const DiscoveredHits hits = d.Discover(MakePath({0, 1}),
                                          QueryKind::kSubgraph, cache_,
                                          DynamicBitset(4, true), &m);
-  ASSERT_NE(hits.empty_proof, nullptr);
+  ASSERT_TRUE(hits.empty_proof.has_value());
   EXPECT_TRUE(m.empty_shortcut);
 }
 
@@ -162,7 +162,7 @@ TEST_F(ProcessorsTest, EmptyProofRequiresFullValidity) {
   const DiscoveredHits hits = d.Discover(MakePath({0, 1}),
                                          QueryKind::kSubgraph, cache_,
                                          DynamicBitset(4, true), &m);
-  EXPECT_EQ(hits.empty_proof, nullptr);
+  EXPECT_FALSE(hits.empty_proof.has_value());
   // Not even a pruning hit when nothing can be eliminated… here bits
   // {0,1,3} are valid negatives, so it still prunes.
   EXPECT_EQ(hits.pruning.size(), 1u);
@@ -176,7 +176,7 @@ TEST_F(ProcessorsTest, EmptyProofIgnoredWhenDisabled) {
   const DiscoveredHits hits = d.Discover(MakePath({0, 1}),
                                          QueryKind::kSubgraph, cache_,
                                          DynamicBitset(4, true), &m);
-  EXPECT_EQ(hits.empty_proof, nullptr);
+  EXPECT_FALSE(hits.empty_proof.has_value());
   EXPECT_EQ(hits.pruning.size(), 1u);  // full pruning is equivalent here
 }
 
@@ -186,7 +186,7 @@ TEST_F(ProcessorsTest, HitCapsRespected) {
   AdmitEntry(MakePath({0, 1, 3}), 4, {1});
   AdmitEntry(MakePath({0, 1, 4}), 4, {2});
   AdmitEntry(MakePath({0, 1, 5}), 4, {3});
-  AdmitEntry(MakePath({0, 1, 6}), 4, {0, 1});
+  const CacheEntryId best = AdmitEntry(MakePath({0, 1, 6}), 4, {0, 1});
   options_.max_sub_hits = 2;
   const HitDiscovery d = MakeDiscovery();
   const DiscoveredHits hits = d.Discover(MakePath({0, 1}),
@@ -194,7 +194,7 @@ TEST_F(ProcessorsTest, HitCapsRespected) {
                                          DynamicBitset(4, true), nullptr);
   EXPECT_EQ(hits.positive.size(), 2u);
   // Utility ordering: the entry transferring 2 answers is taken first.
-  EXPECT_EQ(hits.positive[0]->features.label_counts.count(6), 1u);
+  EXPECT_EQ(hits.positive[0].id, best);
 }
 
 TEST_F(ProcessorsTest, ZeroUtilityEntriesSkipped) {

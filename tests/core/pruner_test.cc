@@ -18,12 +18,11 @@ DynamicBitset Bits(std::size_t n, std::initializer_list<std::size_t> set) {
   return b;
 }
 
-CachedQuery MakeHitEntry(std::size_t horizon,
-                         std::initializer_list<std::size_t> answer,
-                         std::initializer_list<std::size_t> valid) {
-  CachedQuery e;
+DiscoveredHit MakeHitEntry(std::size_t horizon,
+                           std::initializer_list<std::size_t> answer,
+                           std::initializer_list<std::size_t> valid) {
+  DiscoveredHit e;
   e.id = 1;
-  e.query = MakePath({0, 1});
   e.answer = Bits(horizon, answer);
   e.valid = Bits(horizon, valid);
   return e;
@@ -47,10 +46,10 @@ TEST(PrunerTest, PaperFigure3aSubgraphCase) {
   // Answer(g') = {G2, G3}, CGvalid(g') = {G2}.
   // Expected: Answer_sub = {G2}; CS = {G1, G3, G4}.
   const DynamicBitset csm = Bits(5, {1, 2, 3, 4});
-  const CachedQuery g_prime = MakeHitEntry(5, /*answer=*/{2, 3},
+  const DiscoveredHit g_prime = MakeHitEntry(5, /*answer=*/{2, 3},
                                            /*valid=*/{2});
   DiscoveredHits hits;
-  hits.positive.push_back(&g_prime);
+  hits.positive.push_back(g_prime);
   QueryMetrics m;
   const PruneOutcome out = CandidateSetPruner::Prune(hits, csm, &m);
   EXPECT_FALSE(out.direct);
@@ -66,10 +65,10 @@ TEST(PrunerTest, PaperFigure3bSupergraphCase) {
   // Formula (4): ¬CGvalid ∪ Answer = {G0, G1} ∪ {G2, G3} (over horizon 5).
   // Expected: CS = CS_M ∩ that = {G1, G2, G3} — G4 is sub-iso test free.
   const DynamicBitset csm = Bits(5, {1, 2, 3, 4});
-  const CachedQuery g_dprime = MakeHitEntry(5, /*answer=*/{2, 3},
+  const DiscoveredHit g_dprime = MakeHitEntry(5, /*answer=*/{2, 3},
                                             /*valid=*/{2, 3, 4});
   DiscoveredHits hits;
-  hits.pruning.push_back(&g_dprime);
+  hits.pruning.push_back(g_dprime);
   QueryMetrics m;
   const PruneOutcome out = CandidateSetPruner::Prune(hits, csm, &m);
   EXPECT_FALSE(out.direct);
@@ -82,13 +81,13 @@ TEST(PrunerTest, PaperFigure3bSupergraphCase) {
 TEST(PrunerTest, CombinedSubThenSuper) {
   // §6.3 "putting it all together": formula (2) first, then (5).
   const DynamicBitset csm = Bits(6, {0, 1, 2, 3, 4, 5});
-  const CachedQuery positive = MakeHitEntry(6, {0, 1}, {0, 1, 2, 3, 4, 5});
-  const CachedQuery pruning = MakeHitEntry(6, {0, 1, 2}, {0, 1, 2, 3, 4});
+  const DiscoveredHit positive = MakeHitEntry(6, {0, 1}, {0, 1, 2, 3, 4, 5});
+  const DiscoveredHit pruning = MakeHitEntry(6, {0, 1, 2}, {0, 1, 2, 3, 4});
   // positive: transfers {0,1}; remaining CS = {2,3,4,5};
   // pruning: possible = ¬{0..4} ∪ {0,1,2} = {0,1,2,5}; CS ∩ = {2,5}.
   DiscoveredHits hits;
-  hits.positive.push_back(&positive);
-  hits.pruning.push_back(&pruning);
+  hits.positive.push_back(positive);
+  hits.pruning.push_back(pruning);
   QueryMetrics m;
   const PruneOutcome out = CandidateSetPruner::Prune(hits, csm, &m);
   EXPECT_EQ(out.answer_direct, Bits(6, {0, 1}));
@@ -102,11 +101,11 @@ TEST(PrunerTest, CombinedSubThenSuper) {
 TEST(PrunerTest, MultiplePositiveHitsUnion) {
   // Formula (1) is a union over all sub-hits.
   const DynamicBitset csm = Bits(4, {0, 1, 2, 3});
-  const CachedQuery h1 = MakeHitEntry(4, {0, 1}, {0, 3});   // contributes {0}
-  const CachedQuery h2 = MakeHitEntry(4, {1, 2}, {1, 2});   // contributes {1,2}
+  const DiscoveredHit h1 = MakeHitEntry(4, {0, 1}, {0, 3});   // contributes {0}
+  const DiscoveredHit h2 = MakeHitEntry(4, {1, 2}, {1, 2});   // contributes {1,2}
   DiscoveredHits hits;
-  hits.positive.push_back(&h1);
-  hits.positive.push_back(&h2);
+  hits.positive.push_back(h1);
+  hits.positive.push_back(h2);
   const PruneOutcome out = CandidateSetPruner::Prune(hits, csm, nullptr);
   EXPECT_EQ(out.answer_direct, Bits(4, {0, 1, 2}));
   EXPECT_EQ(out.candidates, Bits(4, {3}));
@@ -115,11 +114,11 @@ TEST(PrunerTest, MultiplePositiveHitsUnion) {
 TEST(PrunerTest, MultiplePruningHitsIntersect) {
   // Formula (5) intersects over all super-hits.
   const DynamicBitset csm = Bits(4, {0, 1, 2, 3});
-  const CachedQuery h1 = MakeHitEntry(4, {0, 1}, {0, 1, 2, 3});  // possible {0,1}
-  const CachedQuery h2 = MakeHitEntry(4, {1, 2}, {0, 1, 2, 3});  // possible {1,2}
+  const DiscoveredHit h1 = MakeHitEntry(4, {0, 1}, {0, 1, 2, 3});  // possible {0,1}
+  const DiscoveredHit h2 = MakeHitEntry(4, {1, 2}, {0, 1, 2, 3});  // possible {1,2}
   DiscoveredHits hits;
-  hits.pruning.push_back(&h1);
-  hits.pruning.push_back(&h2);
+  hits.pruning.push_back(h1);
+  hits.pruning.push_back(h2);
   const PruneOutcome out = CandidateSetPruner::Prune(hits, csm, nullptr);
   EXPECT_EQ(out.candidates, Bits(4, {1}));
   EXPECT_EQ(out.saved_pruning, 3u);
@@ -129,18 +128,18 @@ TEST(PrunerTest, InvalidBitsNeutralizePruningHit) {
   // A fully-invalid pruning hit may not eliminate anything: formula (4)
   // complement covers the whole horizon.
   const DynamicBitset csm = Bits(3, {0, 1, 2});
-  const CachedQuery h = MakeHitEntry(3, {}, {});  // valid = ∅
+  const DiscoveredHit h = MakeHitEntry(3, {}, {});  // valid = ∅
   DiscoveredHits hits;
-  hits.pruning.push_back(&h);
+  hits.pruning.push_back(h);
   const PruneOutcome out = CandidateSetPruner::Prune(hits, csm, nullptr);
   EXPECT_EQ(out.candidates, csm);
 }
 
 TEST(PrunerTest, ExactHitShortCircuits) {
   const DynamicBitset csm = Bits(4, {0, 1, 3});
-  CachedQuery exact = MakeHitEntry(4, {1, 2}, {0, 1, 2, 3});
+  DiscoveredHit exact = MakeHitEntry(4, {1, 2}, {0, 1, 2, 3});
   DiscoveredHits hits;
-  hits.exact = &exact;
+  hits.exact = exact;
   QueryMetrics m;
   const PruneOutcome out = CandidateSetPruner::Prune(hits, csm, &m);
   EXPECT_TRUE(out.direct);
@@ -153,9 +152,9 @@ TEST(PrunerTest, ExactHitShortCircuits) {
 
 TEST(PrunerTest, EmptyProofShortCircuits) {
   const DynamicBitset csm = Bits(4, {0, 1, 2, 3});
-  CachedQuery proof = MakeHitEntry(4, {}, {0, 1, 2, 3});
+  DiscoveredHit proof = MakeHitEntry(4, {}, {0, 1, 2, 3});
   DiscoveredHits hits;
-  hits.empty_proof = &proof;
+  hits.empty_proof = proof;
   QueryMetrics m;
   const PruneOutcome out = CandidateSetPruner::Prune(hits, csm, &m);
   EXPECT_TRUE(out.direct);

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -118,8 +119,14 @@ void RunStorm(CacheModel model) {
   // shard's lock, however the storm interleaved.
   EXPECT_EQ(gc.cache_shards().lock_violations(), 0u);
 
-  // The dedicated thread really ran drains (timer or pressure).
+  // The dedicated thread really ran drains (timer or pressure). On a
+  // loaded 1-core runner the thread may not have been scheduled yet when
+  // the clients finish — give it a bounded window to take its first tick.
   ASSERT_NE(gc.maintenance_thread(), nullptr);
+  for (int spin = 0; spin < 2000 && gc.maintenance_thread()->wakeups() == 0;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
   EXPECT_GT(gc.maintenance_thread()->wakeups(), 0u);
 
   // Coherent quiescent stores: force a final sync, then every resident
