@@ -15,7 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/flags.hpp"
+#include "common/simd.hpp"
 #include "dataset/aids_like.hpp"
 #include "dataset/change_plan.hpp"
 #include "workload/runner.hpp"
@@ -66,6 +68,16 @@ struct BenchConfig {
   /// Run the legacy hot path (per-pair match state + brute-force
   /// discovery scan) instead of the optimized one (--legacy).
   bool legacy_hot_path = false;
+  /// Deep-copy discovery survivors under the shard lock instead of
+  /// sharing ownership (--copy-survivors; the pre-PR 6 oracle path).
+  bool copy_survivors = false;
+  /// SIMD dispatch cap (--simd=off|scalar|popcnt|avx2|auto; empty/auto =
+  /// use whatever the CPU supports). "off"/"scalar" is the bit-exact
+  /// scalar oracle.
+  std::string simd;
+  /// Thread arenas for per-query matcher scratch (--arena=off = the
+  /// plain-heap oracle path).
+  bool arena = true;
   /// When non-empty, also emit machine-readable results here (--json=...).
   std::string json_path;
 
@@ -126,6 +138,9 @@ struct BenchConfig {
         flags.GetBool("maintenance-thread", c.maintenance_thread);
     c.epoch = flags.GetBool("epoch", c.epoch);
     c.legacy_hot_path = flags.GetBool("legacy", c.legacy_hot_path);
+    c.copy_survivors = flags.GetBool("copy-survivors", c.copy_survivors);
+    c.simd = flags.GetString("simd", c.simd);
+    c.arena = flags.GetBool("arena", c.arena);
     c.json_path = flags.GetString("json", c.json_path);
     return c;
   }
@@ -199,8 +214,27 @@ inline RunnerConfig MakeRunnerConfig(RunMode mode, MatcherKind method,
   rc.max_sub_hits = cfg.max_sub_hits;
   rc.max_super_hits = cfg.max_super_hits;
   rc.legacy_hot_path = cfg.legacy_hot_path;
+  rc.copy_discovery_survivors = cfg.copy_survivors;
   rc.plan_seed = cfg.seed + 404;
   return rc;
+}
+
+/// Applies the process-global oracle toggles (--simd, --arena) for this
+/// bench run. Call once from main before measuring; idempotent.
+inline void ApplyProcessToggles(const BenchConfig& cfg) {
+  SetArenaEnabled(cfg.arena);
+  if (cfg.simd.empty() || cfg.simd == "auto") {
+    simd::SetSimdLevel(simd::DetectedSimdLevel());
+  } else if (cfg.simd == "off" || cfg.simd == "scalar") {
+    simd::SetSimdLevel(simd::SimdLevel::kScalar);
+  } else if (cfg.simd == "popcnt") {
+    simd::SetSimdLevel(simd::SimdLevel::kPopcnt);
+  } else if (cfg.simd == "avx2") {
+    simd::SetSimdLevel(simd::SimdLevel::kAvx2);
+  } else {
+    std::fprintf(stderr, "unknown --simd level '%s'\n", cfg.simd.c_str());
+    std::exit(2);
+  }
 }
 
 /// Method M verification throughput: sub-iso tests per second of verify

@@ -211,7 +211,7 @@ void QueryIndexKernel(benchmark::State& state, bool indexed) {
     e->id = static_cast<CacheEntryId>(i + 1);
     e->features = GraphFeatures::Extract(q);
     e->digest = WlDigest(q);
-    e->query = std::move(q);
+    e->query = std::make_shared<const Graph>(std::move(q));
     index.Insert(e.get());
     entries.push_back(std::move(e));
   }

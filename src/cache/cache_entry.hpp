@@ -7,6 +7,7 @@
 #define GCP_CACHE_CACHE_ENTRY_HPP_
 
 #include <cstdint>
+#include <memory>
 
 #include "common/bitset.hpp"
 #include "dataset/change.hpp"
@@ -33,8 +34,13 @@ enum class CachedQueryKind : std::uint8_t {
 struct CachedQuery {
   CacheEntryId id = 0;
 
-  /// The query graph as executed.
-  Graph query;
+  /// The query graph as executed — shared and immutable after admission.
+  /// Hit-discovery survivors, exported checkpoints and entry copies alias
+  /// this one Graph instead of deep-copying it; refcounted lifetime means
+  /// an evicted entry's graph stays reachable for any in-flight reader
+  /// that grabbed the pointer under the shard lock (the shared-ownership
+  /// leg of the epoch reclamation story).
+  std::shared_ptr<const Graph> query;
 
   /// Which kind of query produced this entry.
   CachedQueryKind kind = CachedQueryKind::kSubgraph;

@@ -21,13 +21,14 @@ CacheEntryId CacheManager::Admit(Graph query, CachedQueryKind kind,
 }
 
 std::unique_ptr<CachedQuery> CacheManager::PrepareEntry(
-    Graph query, CachedQueryKind kind, DynamicBitset answer,
-    DynamicBitset valid, double est_test_cost_ms) {
+    std::shared_ptr<const Graph> query, CachedQueryKind kind,
+    DynamicBitset answer, DynamicBitset valid, double est_test_cost_ms) {
   auto entry = std::make_unique<CachedQuery>();
   entry->kind = kind;
-  entry->features = GraphFeatures::Extract(query);
-  entry->digest = WlDigest(query);
-  entry->query = std::move(query);
+  entry->features = GraphFeatures::Extract(*query);
+  entry->digest = WlDigest(*query);
+  entry->query = std::move(query);  // pointer handoff — the Graph itself
+                                    // is neither copied nor moved
   entry->answer = std::move(answer);
   entry->valid = std::move(valid);
   entry->est_test_cost_ms = est_test_cost_ms;
@@ -39,9 +40,12 @@ CacheEntryId CacheManager::AdmitDeferred(Graph query, CachedQueryKind kind,
                                          DynamicBitset valid,
                                          std::uint64_t now,
                                          double est_test_cost_ms) {
-  return AdmitPrepared(PrepareEntry(std::move(query), kind, std::move(answer),
-                                    std::move(valid), est_test_cost_ms),
-                       now);
+  // The by-value Graph becomes shared storage in this one move; every
+  // later stage passes the pointer.
+  return AdmitPrepared(
+      PrepareEntry(std::make_shared<const Graph>(std::move(query)), kind,
+                   std::move(answer), std::move(valid), est_test_cost_ms),
+      now);
 }
 
 CacheEntryId CacheManager::AdmitPrepared(std::unique_ptr<CachedQuery> entry,
@@ -196,8 +200,8 @@ void CacheManager::RestoreEntries(std::vector<CachedQuery> entries) {
     auto owned = std::make_unique<CachedQuery>(std::move(e));
     owned->id = next_id_++;
     owned->in_window = false;
-    owned->features = GraphFeatures::Extract(owned->query);
-    owned->digest = WlDigest(owned->query);
+    owned->features = GraphFeatures::Extract(*owned->query);
+    owned->digest = WlDigest(*owned->query);
     index_.Insert(owned.get());
     by_id_.emplace(owned->id, owned.get());
     cache_.push_back(std::move(owned));

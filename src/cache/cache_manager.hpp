@@ -69,12 +69,11 @@ class CacheManager {
 
   /// Builds an admission-ready entry (features and WL digest extracted,
   /// snapshots moved in) without touching any store — the part of
-  /// admission that can run off the exclusive lock.
-  static std::unique_ptr<CachedQuery> PrepareEntry(Graph query,
-                                                   CachedQueryKind kind,
-                                                   DynamicBitset answer,
-                                                   DynamicBitset valid,
-                                                   double est_test_cost_ms);
+  /// admission that can run off the exclusive lock. The shared graph is
+  /// handed over exactly once; no copy or re-wrap happens downstream.
+  static std::unique_ptr<CachedQuery> PrepareEntry(
+      std::shared_ptr<const Graph> query, CachedQueryKind kind,
+      DynamicBitset answer, DynamicBitset valid, double est_test_cost_ms);
 
   /// Window-admits an entry from PrepareEntry; only id assignment,
   /// timestamps and index registration happen here. Never merges.
@@ -172,8 +171,9 @@ class CacheManager {
   /// Forces the window→cache merge immediately (exposed for tests).
   void MergeWindowIntoCache();
 
-  /// Deep-copies every resident entry (cache store first, then window) —
-  /// the payload of a cache snapshot.
+  /// Copies every resident entry (cache store first, then window) — the
+  /// payload of a cache snapshot. Entry copies alias the shared query
+  /// graphs, so exporting is bitsets + metadata, not graph deep copies.
   std::vector<CachedQuery> ExportEntries() const;
 
   /// Replaces the resident contents with `entries` (fresh ids are

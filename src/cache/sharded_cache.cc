@@ -124,6 +124,8 @@ StatisticsManager ShardedCache::AggregateStats() const {
     sum.epochs_retired += st.epochs_retired;
     sum.read_phase_engine_lock_acquisitions +=
         st.read_phase_engine_lock_acquisitions;
+    sum.snapshot_summary_copies += st.snapshot_summary_copies;
+    sum.shard_lock_graph_copies += st.shard_lock_graph_copies;
   }
   return sum;
 }

@@ -116,7 +116,8 @@ class ShardedCache {
     for (const auto& s : shards_) s->store.ForEachEntry(fn);
   }
 
-  /// Deep-copies every resident entry (shard 0 first) — snapshot payload.
+  /// Copies every resident entry (shard 0 first) — snapshot payload.
+  /// Copies alias the shared query graphs (no graph deep copies).
   std::vector<CachedQuery> ExportEntries() const;
 
   /// Replaces the resident contents with `entries`, each routed to its

@@ -37,7 +37,9 @@ void WriteCacheSnapshot(std::ostream& os, const CacheSnapshot& snapshot) {
        << " super=" << e.super_hits << " cost=" << e.est_test_cost_ms << "\n";
     os << "answer " << e.answer.ToString() << "\n";
     os << "valid " << e.valid.ToString() << "\n";
-    os << GraphToGSpan(e.query);
+    // Serializes through the shared graph reference — exporting a
+    // checkpoint never deep-copies resident graphs.
+    os << GraphToGSpan(*e.query);
     os << "endentry\n";
   }
 }
@@ -133,7 +135,7 @@ Result<CacheSnapshot> ReadCacheSnapshot(std::istream& is) {
     if (!terminated) return Status::Corruption("unterminated entry block");
     auto g = GraphFromGSpan(graph_text.str());
     if (!g.ok()) return g.status();
-    e.query = std::move(g).value();
+    e.query = std::make_shared<const Graph>(std::move(g).value());
     snapshot.entries.push_back(std::move(e));
   }
   return snapshot;

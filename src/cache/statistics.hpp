@@ -66,6 +66,14 @@ class StatisticsManager {
   /// --epoch (asserted by the epoch stress suite), >= 1 per query on the
   /// lock path.
   std::uint64_t read_phase_engine_lock_acquisitions = 0;
+  /// Copy-on-write clones of the FTV summary vector — one per
+  /// FTV-mutating sync batch; snapshot publishes alias the vector and
+  /// never add to this.
+  std::uint64_t snapshot_summary_copies = 0;
+  /// Survivor Graphs deep-copied under a shard lock by hit discovery —
+  /// zero when survivors share ownership of the resident graph (the
+  /// default), > 0 only on the copy_discovery_survivors oracle path.
+  std::uint64_t shard_lock_graph_copies = 0;
 };
 
 }  // namespace gcp

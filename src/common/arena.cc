@@ -1,0 +1,85 @@
+#include "common/arena.hpp"
+
+#include <atomic>
+
+namespace gcp {
+
+namespace {
+
+inline std::size_t AlignUp(std::size_t offset, std::size_t align) {
+  return (offset + align - 1) & ~(align - 1);
+}
+
+std::atomic<bool> g_arena_enabled{true};
+
+}  // namespace
+
+void* Arena::Allocate(std::size_t bytes, std::size_t align) {
+  assert(align != 0 && (align & (align - 1)) == 0);
+  assert(align <= alignof(std::max_align_t));
+  // Try the active block, then any retained (empty) successor, then a
+  // fresh block sized for the request.
+  for (;;) {
+    if (current_ < blocks_.size()) {
+      Block& b = blocks_[current_];
+      const std::size_t at = AlignUp(b.used, align);
+      if (at + bytes <= b.size) {
+        b.used = at + bytes;
+        return b.data.get() + at;
+      }
+      if (current_ + 1 < blocks_.size() &&
+          blocks_[current_ + 1].size >= bytes + align) {
+        ++current_;
+        assert(blocks_[current_].used == 0);
+        continue;
+      }
+    }
+    Block fresh;
+    fresh.size = std::max(block_bytes_, bytes + align);
+    fresh.data = std::make_unique<std::byte[]>(fresh.size);
+    if (blocks_.empty()) {
+      blocks_.push_back(std::move(fresh));
+      current_ = 0;
+    } else {
+      // Insert right after the active block so Rewind's "later blocks are
+      // empty" invariant keeps holding.
+      blocks_.insert(blocks_.begin() + static_cast<std::ptrdiff_t>(current_) +
+                         1,
+                     std::move(fresh));
+      ++current_;
+    }
+  }
+}
+
+void Arena::Rewind(const Checkpoint& cp) {
+  if (blocks_.empty()) return;
+  assert(cp.block <= current_);
+  for (std::size_t i = cp.block + 1; i <= current_; ++i) blocks_[i].used = 0;
+  current_ = cp.block;
+  assert(cp.used <= blocks_[current_].used);
+  blocks_[current_].used = cp.used;
+}
+
+std::size_t Arena::BytesInUse() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < blocks_.size() && i <= current_; ++i) {
+    total += blocks_[i].used;
+  }
+  return total;
+}
+
+void SetArenaEnabled(bool enabled) {
+  g_arena_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool ArenaEnabled() {
+  return g_arena_enabled.load(std::memory_order_relaxed);
+}
+
+Arena* ThreadArena() {
+  if (!ArenaEnabled()) return nullptr;
+  thread_local Arena arena;
+  return &arena;
+}
+
+}  // namespace gcp

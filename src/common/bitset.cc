@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "common/simd.hpp"
+
 namespace gcp {
 
 void DynamicBitset::Resize(std::size_t size, bool value) {
@@ -27,32 +29,32 @@ void DynamicBitset::ResetAll() {
   for (auto& w : words_) w = 0;
 }
 
+// The bulk word kernels below dispatch through common/simd: AVX2/POPCNT
+// when the CPU has them, the original scalar loops otherwise (and always
+// under simd::SetSimdLevel(kScalar), the benches' oracle toggle). Results
+// are bit-identical at every level.
+
 std::size_t DynamicBitset::Count() const {
-  std::size_t total = 0;
-  for (auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
-  return total;
+  return simd::PopcountWords(words_.data(), words_.size());
 }
 
 bool DynamicBitset::Any() const {
-  for (auto w : words_) {
-    if (w != 0) return true;
-  }
-  return false;
+  return simd::AnyWord(words_.data(), words_.size());
 }
 
 void DynamicBitset::AndWith(const DynamicBitset& other) {
   assert(size_ == other.size_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  simd::AndWords(words_.data(), other.words_.data(), words_.size());
 }
 
 void DynamicBitset::OrWith(const DynamicBitset& other) {
   assert(size_ == other.size_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  simd::OrWords(words_.data(), other.words_.data(), words_.size());
 }
 
 void DynamicBitset::AndNotWith(const DynamicBitset& other) {
   assert(size_ == other.size_);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  simd::AndNotWords(words_.data(), other.words_.data(), words_.size());
 }
 
 void DynamicBitset::Complement() {
@@ -89,27 +91,20 @@ DynamicBitset DynamicBitset::Not(const DynamicBitset& v) {
 
 std::size_t DynamicBitset::CountAnd(const DynamicBitset& other) const {
   assert(size_ == other.size_);
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    total += static_cast<std::size_t>(std::popcount(words_[i] & other.words_[i]));
-  }
-  return total;
+  return simd::PopcountAndWords(words_.data(), other.words_.data(),
+                                words_.size());
 }
 
 bool DynamicBitset::Intersects(const DynamicBitset& other) const {
   assert(size_ == other.size_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & other.words_[i]) != 0) return true;
-  }
-  return false;
+  return simd::IntersectsWords(words_.data(), other.words_.data(),
+                               words_.size());
 }
 
 bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
   assert(size_ == other.size_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & ~other.words_[i]) != 0) return false;
-  }
-  return true;
+  return simd::SubsetWords(words_.data(), other.words_.data(),
+                           words_.size());
 }
 
 std::size_t DynamicBitset::FindNext(std::size_t from) const {

@@ -1,0 +1,508 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <bit>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define GCP_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define GCP_SIMD_X86 0
+#endif
+
+namespace gcp::simd {
+
+namespace {
+
+constexpr std::uint64_t kNibbleLo = 0x0F0F0F0F0F0F0F0FULL;
+constexpr std::uint64_t kByteHi = 0x8080808080808080ULL;
+
+// ---------------------------------------------------------------------
+// Scalar kernels — the oracle. These are the loops DynamicBitset shipped
+// with before vectorization; every other level must match them bit for
+// bit on any input.
+// ---------------------------------------------------------------------
+
+void AndScalar(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+
+void OrScalar(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+void AndNotScalar(std::uint64_t* dst, const std::uint64_t* src,
+                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] &= ~src[i];
+}
+
+std::size_t PopcountScalar(const std::uint64_t* w, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(w[i]));
+  }
+  return total;
+}
+
+std::size_t PopcountAndScalar(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+bool IntersectsScalar(const std::uint64_t* a, const std::uint64_t* b,
+                      std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool AnyScalar(const std::uint64_t* w, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (w[i] != 0) return true;
+  }
+  return false;
+}
+
+bool SubsetScalar(const std::uint64_t* sub, const std::uint64_t* super,
+                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((sub[i] & ~super[i]) != 0) return false;
+  }
+  return true;
+}
+
+// Scalar mirror of graph.hpp SignatureDominates (see there for the SWAR
+// borrow argument).
+inline bool DominatesScalar(std::uint64_t sub, std::uint64_t super) {
+  const std::uint64_t sub_even = sub & kNibbleLo;
+  const std::uint64_t sup_even = super & kNibbleLo;
+  const std::uint64_t sub_odd = (sub >> 4) & kNibbleLo;
+  const std::uint64_t sup_odd = (super >> 4) & kNibbleLo;
+  return ((((sup_even | kByteHi) - sub_even) & kByteHi) == kByteHi) &&
+         ((((sup_odd | kByteHi) - sub_odd) & kByteHi) == kByteHi);
+}
+
+std::size_t ScreenScalar(std::uint64_t sub, const std::uint64_t* supers,
+                         std::size_t n, std::uint32_t* survivors) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (DominatesScalar(sub, supers[i])) {
+      survivors[kept++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return kept;
+}
+
+#if GCP_SIMD_X86
+
+// ---------------------------------------------------------------------
+// SSE4.2-class kernels: hardware POPCNT; 128-bit vectors where they pay.
+// ---------------------------------------------------------------------
+
+__attribute__((target("popcnt"))) std::size_t PopcountPopcnt(
+    const std::uint64_t* w, std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::uint64_t>(_mm_popcnt_u64(w[i]));
+  }
+  return static_cast<std::size_t>(total);
+}
+
+__attribute__((target("popcnt"))) std::size_t PopcountAndPopcnt(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::uint64_t>(_mm_popcnt_u64(a[i] & b[i]));
+  }
+  return static_cast<std::size_t>(total);
+}
+
+__attribute__((target("sse4.2"))) std::size_t ScreenSse(
+    std::uint64_t sub, const std::uint64_t* supers, std::size_t n,
+    std::uint32_t* survivors) {
+  const __m128i lo = _mm_set1_epi64x(static_cast<long long>(kNibbleLo));
+  const __m128i hi = _mm_set1_epi64x(static_cast<long long>(kByteHi));
+  const __m128i sub_even =
+      _mm_set1_epi64x(static_cast<long long>(sub & kNibbleLo));
+  const __m128i sub_odd =
+      _mm_set1_epi64x(static_cast<long long>((sub >> 4) & kNibbleLo));
+  std::size_t kept = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i sup =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(supers + i));
+    const __m128i sup_even = _mm_and_si128(sup, lo);
+    const __m128i sup_odd = _mm_and_si128(_mm_srli_epi64(sup, 4), lo);
+    // Byte-wise borrows cannot cross byte boundaries here (each byte of
+    // sup|hi is >= 0x80 and each byte of sub is <= 0x0F), so the 64-bit
+    // subtract is exactly the scalar SWAR test.
+    const __m128i ok_even = _mm_cmpeq_epi64(
+        _mm_and_si128(_mm_sub_epi64(_mm_or_si128(sup_even, hi), sub_even),
+                      hi),
+        hi);
+    const __m128i ok_odd = _mm_cmpeq_epi64(
+        _mm_and_si128(_mm_sub_epi64(_mm_or_si128(sup_odd, hi), sub_odd), hi),
+        hi);
+    int mask = _mm_movemask_pd(
+        _mm_castsi128_pd(_mm_and_si128(ok_even, ok_odd)));
+    while (mask != 0) {
+      const int lane = std::countr_zero(static_cast<unsigned>(mask));
+      survivors[kept++] = static_cast<std::uint32_t>(i) +
+                          static_cast<std::uint32_t>(lane);
+      mask &= mask - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if (DominatesScalar(sub, supers[i])) {
+      survivors[kept++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return kept;
+}
+
+// ---------------------------------------------------------------------
+// AVX2 kernels.
+// ---------------------------------------------------------------------
+
+__attribute__((target("avx2"))) void AndAvx2(std::uint64_t* dst,
+                                             const std::uint64_t* src,
+                                             std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(a, b));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+__attribute__((target("avx2"))) void OrAvx2(std::uint64_t* dst,
+                                            const std::uint64_t* src,
+                                            std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(a, b));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+__attribute__((target("avx2"))) void AndNotAvx2(std::uint64_t* dst,
+                                                const std::uint64_t* src,
+                                                std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    // andnot computes ~first & second.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_andnot_si256(b, a));
+  }
+  for (; i < n; ++i) dst[i] &= ~src[i];
+}
+
+// Per-byte popcount via two 16-entry nibble LUT shuffles, horizontally
+// summed into the four 64-bit lanes by SAD against zero.
+__attribute__((target("avx2"))) inline __m256i PopcountLanesAvx2(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low = _mm256_set1_epi8(0x0F);
+  const __m256i lo = _mm256_and_si256(v, low);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                         _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2,popcnt"))) std::size_t PopcountAvx2(
+    const std::uint64_t* w, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    acc = _mm256_add_epi64(acc, PopcountLanesAvx2(v));
+  }
+  std::uint64_t total =
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 0)) +
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 1)) +
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 2)) +
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 3));
+  for (; i < n; ++i) {
+    total += static_cast<std::uint64_t>(_mm_popcnt_u64(w[i]));
+  }
+  return static_cast<std::size_t>(total);
+}
+
+__attribute__((target("avx2,popcnt"))) std::size_t PopcountAndAvx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi64(acc, PopcountLanesAvx2(_mm256_and_si256(va, vb)));
+  }
+  std::uint64_t total =
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 0)) +
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 1)) +
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 2)) +
+      static_cast<std::uint64_t>(_mm256_extract_epi64(acc, 3));
+  for (; i < n; ++i) {
+    total += static_cast<std::uint64_t>(_mm_popcnt_u64(a[i] & b[i]));
+  }
+  return static_cast<std::size_t>(total);
+}
+
+__attribute__((target("avx2"))) bool IntersectsAvx2(const std::uint64_t* a,
+                                                    const std::uint64_t* b,
+                                                    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    if (_mm256_testz_si256(va, vb) == 0) return true;
+  }
+  for (; i < n; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+__attribute__((target("avx2"))) bool AnyAvx2(const std::uint64_t* w,
+                                             std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + i));
+    if (_mm256_testz_si256(v, v) == 0) return true;
+  }
+  for (; i < n; ++i) {
+    if (w[i] != 0) return true;
+  }
+  return false;
+}
+
+__attribute__((target("avx2"))) bool SubsetAvx2(const std::uint64_t* sub,
+                                                const std::uint64_t* super,
+                                                std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vsub =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sub + i));
+    const __m256i vsup =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(super + i));
+    // testc(a, b) sets CF iff b & ~a == 0.
+    if (_mm256_testc_si256(vsup, vsub) == 0) return false;
+  }
+  for (; i < n; ++i) {
+    if ((sub[i] & ~super[i]) != 0) return false;
+  }
+  return true;
+}
+
+__attribute__((target("avx2"))) std::size_t ScreenAvx2(
+    std::uint64_t sub, const std::uint64_t* supers, std::size_t n,
+    std::uint32_t* survivors) {
+  const __m256i lo = _mm256_set1_epi64x(static_cast<long long>(kNibbleLo));
+  const __m256i hi = _mm256_set1_epi64x(static_cast<long long>(kByteHi));
+  const __m256i sub_even =
+      _mm256_set1_epi64x(static_cast<long long>(sub & kNibbleLo));
+  const __m256i sub_odd =
+      _mm256_set1_epi64x(static_cast<long long>((sub >> 4) & kNibbleLo));
+  std::size_t kept = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i sup =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(supers + i));
+    const __m256i sup_even = _mm256_and_si256(sup, lo);
+    const __m256i sup_odd = _mm256_and_si256(_mm256_srli_epi64(sup, 4), lo);
+    const __m256i ok_even = _mm256_cmpeq_epi64(
+        _mm256_and_si256(
+            _mm256_sub_epi64(_mm256_or_si256(sup_even, hi), sub_even), hi),
+        hi);
+    const __m256i ok_odd = _mm256_cmpeq_epi64(
+        _mm256_and_si256(
+            _mm256_sub_epi64(_mm256_or_si256(sup_odd, hi), sub_odd), hi),
+        hi);
+    int mask = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_and_si256(ok_even, ok_odd)));
+    while (mask != 0) {
+      const int lane = std::countr_zero(static_cast<unsigned>(mask));
+      survivors[kept++] = static_cast<std::uint32_t>(i) +
+                          static_cast<std::uint32_t>(lane);
+      mask &= mask - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if (DominatesScalar(sub, supers[i])) {
+      survivors[kept++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return kept;
+}
+
+#endif  // GCP_SIMD_X86
+
+// -1 = "use DetectedSimdLevel()" so static init needs no CPUID ordering.
+std::atomic<int> g_level_override{-1};
+
+}  // namespace
+
+SimdLevel DetectedSimdLevel() {
+#if GCP_SIMD_X86
+  static const SimdLevel detected = [] {
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("popcnt")) {
+      return SimdLevel::kAvx2;
+    }
+    if (__builtin_cpu_supports("sse4.2") &&
+        __builtin_cpu_supports("popcnt")) {
+      return SimdLevel::kPopcnt;
+    }
+    return SimdLevel::kScalar;
+  }();
+  return detected;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel ActiveSimdLevel() {
+  const int forced = g_level_override.load(std::memory_order_relaxed);
+  if (forced < 0) return DetectedSimdLevel();
+  const SimdLevel detected = DetectedSimdLevel();
+  return static_cast<int>(detected) < forced ? detected
+                                             : static_cast<SimdLevel>(forced);
+}
+
+void SetSimdLevel(SimdLevel level) {
+  g_level_override.store(static_cast<int>(level),
+                         std::memory_order_relaxed);
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kPopcnt:
+      return "popcnt";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+void AndWords(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+#if GCP_SIMD_X86
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) return AndAvx2(dst, src, n);
+#endif
+  AndScalar(dst, src, n);
+}
+
+void OrWords(std::uint64_t* dst, const std::uint64_t* src, std::size_t n) {
+#if GCP_SIMD_X86
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) return OrAvx2(dst, src, n);
+#endif
+  OrScalar(dst, src, n);
+}
+
+void AndNotWords(std::uint64_t* dst, const std::uint64_t* src,
+                 std::size_t n) {
+#if GCP_SIMD_X86
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) return AndNotAvx2(dst, src, n);
+#endif
+  AndNotScalar(dst, src, n);
+}
+
+std::size_t PopcountWords(const std::uint64_t* w, std::size_t n) {
+#if GCP_SIMD_X86
+  switch (ActiveSimdLevel()) {
+    case SimdLevel::kAvx2:
+      return PopcountAvx2(w, n);
+    case SimdLevel::kPopcnt:
+      return PopcountPopcnt(w, n);
+    case SimdLevel::kScalar:
+      break;
+  }
+#endif
+  return PopcountScalar(w, n);
+}
+
+std::size_t PopcountAndWords(const std::uint64_t* a, const std::uint64_t* b,
+                             std::size_t n) {
+#if GCP_SIMD_X86
+  switch (ActiveSimdLevel()) {
+    case SimdLevel::kAvx2:
+      return PopcountAndAvx2(a, b, n);
+    case SimdLevel::kPopcnt:
+      return PopcountAndPopcnt(a, b, n);
+    case SimdLevel::kScalar:
+      break;
+  }
+#endif
+  return PopcountAndScalar(a, b, n);
+}
+
+bool IntersectsWords(const std::uint64_t* a, const std::uint64_t* b,
+                     std::size_t n) {
+#if GCP_SIMD_X86
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) return IntersectsAvx2(a, b, n);
+#endif
+  return IntersectsScalar(a, b, n);
+}
+
+bool AnyWord(const std::uint64_t* w, std::size_t n) {
+#if GCP_SIMD_X86
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) return AnyAvx2(w, n);
+#endif
+  return AnyScalar(w, n);
+}
+
+bool SubsetWords(const std::uint64_t* sub, const std::uint64_t* super,
+                 std::size_t n) {
+#if GCP_SIMD_X86
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    return SubsetAvx2(sub, super, n);
+  }
+#endif
+  return SubsetScalar(sub, super, n);
+}
+
+std::size_t SignatureDominanceScreen(std::uint64_t sub,
+                                     const std::uint64_t* supers,
+                                     std::size_t n,
+                                     std::uint32_t* survivors) {
+#if GCP_SIMD_X86
+  switch (ActiveSimdLevel()) {
+    case SimdLevel::kAvx2:
+      return ScreenAvx2(sub, supers, n, survivors);
+    case SimdLevel::kPopcnt:
+      return ScreenSse(sub, supers, n, survivors);
+    case SimdLevel::kScalar:
+      break;
+  }
+#endif
+  return ScreenScalar(sub, supers, n, survivors);
+}
+
+}  // namespace gcp::simd

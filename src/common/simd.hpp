@@ -1,0 +1,74 @@
+// Runtime-dispatched SIMD kernels for the two word-level hot loops:
+// DynamicBitset's bulk and/or/count operations and the SWAR signature
+// dominance screen (graph.hpp SignatureDominates).
+//
+// The build stays plain -O2 with no -march flags; vector code is emitted
+// per-function via target attributes and selected at runtime from CPUID
+// (AVX2, then SSE4.2-class hardware popcount, then portable scalar). The
+// scalar implementations are the originals, kept verbatim as the
+// bit-exact oracle: SetSimdLevel(SimdLevel::kScalar) forces them
+// process-wide (the benches' --simd=off toggle), and the differential
+// tests drive every level against them on the same inputs.
+//
+// All kernels tolerate unaligned word pointers and any length, including
+// zero. Level selection is a relaxed atomic — flipping it mid-run only
+// changes which (bit-identical) implementation executes.
+
+#ifndef GCP_COMMON_SIMD_HPP_
+#define GCP_COMMON_SIMD_HPP_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gcp::simd {
+
+enum class SimdLevel : int {
+  kScalar = 0,  ///< Portable C++ (the oracle path).
+  kPopcnt = 1,  ///< SSE4.2-class: hardware POPCNT + 128-bit vectors.
+  kAvx2 = 2,    ///< 256-bit integer vectors.
+};
+
+/// Best level the running CPU supports (probed once).
+SimdLevel DetectedSimdLevel();
+
+/// Level kernels actually dispatch to: min(DetectedSimdLevel, override).
+SimdLevel ActiveSimdLevel();
+
+/// Caps the dispatch level process-wide (kScalar = oracle). Levels above
+/// DetectedSimdLevel are clamped.
+void SetSimdLevel(SimdLevel level);
+
+const char* SimdLevelName(SimdLevel level);
+
+/// dst[i] &= src[i].
+void AndWords(std::uint64_t* dst, const std::uint64_t* src, std::size_t n);
+/// dst[i] |= src[i].
+void OrWords(std::uint64_t* dst, const std::uint64_t* src, std::size_t n);
+/// dst[i] &= ~src[i].
+void AndNotWords(std::uint64_t* dst, const std::uint64_t* src,
+                 std::size_t n);
+/// Total set bits in w[0..n).
+std::size_t PopcountWords(const std::uint64_t* w, std::size_t n);
+/// Total set bits in a[i] & b[i] without materializing the intersection.
+std::size_t PopcountAndWords(const std::uint64_t* a, const std::uint64_t* b,
+                             std::size_t n);
+/// True iff any a[i] & b[i] is non-zero.
+bool IntersectsWords(const std::uint64_t* a, const std::uint64_t* b,
+                     std::size_t n);
+/// True iff any w[i] is non-zero.
+bool AnyWord(const std::uint64_t* w, std::size_t n);
+/// True iff sub[i] & ~super[i] == 0 for all i (bitset inclusion).
+bool SubsetWords(const std::uint64_t* sub, const std::uint64_t* super,
+                 std::size_t n);
+
+/// Batched SignatureDominates(sub, supers[i]) (graph.hpp): writes the
+/// indices i whose signature dominates `sub` to `survivors` (ascending)
+/// and returns how many survived. `survivors` must hold n entries.
+std::size_t SignatureDominanceScreen(std::uint64_t sub,
+                                     const std::uint64_t* supers,
+                                     std::size_t n,
+                                     std::uint32_t* survivors);
+
+}  // namespace gcp::simd
+
+#endif  // GCP_COMMON_SIMD_HPP_

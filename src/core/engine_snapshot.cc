@@ -37,7 +37,7 @@ void FillCommon(EngineSnapshot& snap, const GraphDataset& dataset,
   snap.watermark = dataset.log().LatestSeq();
   if (ftv != nullptr) {
     snap.has_ftv = true;
-    snap.ftv_summaries = ftv->summaries();
+    snap.ftv_summaries = ftv->shared_summaries();  // aliased, never copied
   }
 }
 

@@ -65,10 +65,12 @@ struct EngineSnapshot {
   /// the log was empty at snapshot time.
   std::shared_ptr<const LogSegment> log_tail;
 
-  /// FTV feature summaries exported at snapshot time (empty + false when
-  /// the engine runs without the FTV index).
+  /// FTV feature summaries at snapshot time, aliased from the index's
+  /// copy-on-write table (null + false when the engine runs without the
+  /// FTV index). Publishing shares the vector; only an FTV-mutating batch
+  /// makes the index clone it (FtvIndex::summary_copies).
   bool has_ftv = false;
-  std::vector<std::optional<GraphFeatures>> ftv_summaries;
+  std::shared_ptr<const FtvIndex::SummaryVec> ftv_summaries;
 
   /// Live graph accessor; `id` must be live in this snapshot.
   const Graph& graph(GraphId id) const { return *graphs[id]; }

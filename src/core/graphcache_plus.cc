@@ -168,8 +168,8 @@ bool GraphCachePlus::IsDuplicateAdmissionLocked(
   if (twins.empty()) return false;
   for (const CachedQuery* twin : twins) {
     if (twin->kind != entry.kind ||
-        twin->query.NumVertices() != entry.query.NumVertices() ||
-        twin->query.NumEdges() != entry.query.NumEdges()) {
+        twin->query->NumVertices() != entry.query->NumVertices() ||
+        twin->query->NumEdges() != entry.query->NumEdges()) {
       continue;
     }
     if (twin->valid.size() != live.size() || !live.IsSubsetOf(twin->valid)) {
@@ -177,7 +177,7 @@ bool GraphCachePlus::IsDuplicateAdmissionLocked(
     }
     // Equal counts + one-way containment ⇒ isomorphic (the §6.3 case-1
     // argument): the embedding is a bijection and edge counts match.
-    if (internal_matcher_->Contains(entry.query, twin->query)) return true;
+    if (internal_matcher_->Contains(*entry.query, *twin->query)) return true;
   }
   return false;
 }
@@ -487,6 +487,8 @@ StatisticsManager GraphCachePlus::CacheStatsSnapshot() const {
   stats.epochs_retired = epochs_.advances();
   stats.read_phase_engine_lock_acquisitions =
       engine_lock_acquisitions_.load(std::memory_order_relaxed);
+  stats.snapshot_summary_copies = ftv_ ? ftv_->summary_copies() : 0;
+  stats.shard_lock_graph_copies = discovery_.shard_lock_graph_copies();
   return stats;
 }
 
@@ -596,8 +598,8 @@ void GraphCachePlus::RetrospectiveRefreshShard(std::size_t s,
          i = unknown.FindNext(i + 1)) {
       const Graph& g = dataset_->graph(static_cast<GraphId>(i));
       const bool contained = e->kind == CachedQueryKind::kSubgraph
-                                 ? verifier.Contains(e->query, g)
-                                 : verifier.Contains(g, e->query);
+                                 ? verifier.Contains(*e->query, g)
+                                 : verifier.Contains(g, *e->query);
       e->answer.Set(i, contained);
       e->valid.Set(i, true);
       --*budget;
@@ -720,8 +722,10 @@ void GraphCachePlus::ExecuteReadSlice(
     // method-independent.
     DynamicBitset valid(id_horizon);
     valid.SetAll();
+    // One copy of g into shared storage (the caller keeps the original);
+    // from here on the admission path only moves the pointer.
     offer.entry = CacheManager::PrepareEntry(
-        g,
+        std::make_shared<const Graph>(g),
         kind == QueryKind::kSubgraph ? CachedQueryKind::kSubgraph
                                      : CachedQueryKind::kSupergraph,
         answer_bits, std::move(valid),
@@ -809,7 +813,7 @@ void GraphCachePlus::ReadPhaseEpoch(const Graph& g, QueryKind kind,
   if (snap->has_ftv) {
     ScopedTimer timer(&m.t_index_ns);
     csm = FtvIndex::CandidateSetOver(
-        snap->ftv_summaries, snap->live, GraphFeatures::Extract(g),
+        *snap->ftv_summaries, snap->live, GraphFeatures::Extract(g),
         kind == QueryKind::kSubgraph ? FtvQueryDirection::kSubgraph
                                      : FtvQueryDirection::kSupergraph);
   } else {

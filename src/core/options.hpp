@@ -71,6 +71,13 @@ struct GraphCachePlusOptions {
   /// legacy discovery path (kept for before/after benchmarking).
   bool use_discovery_index = true;
 
+  /// Deep-copy each discovery survivor's Graph under the shard lock
+  /// instead of sharing ownership of the resident graph (the pre-PR 6
+  /// behaviour). The deep-copy path is the equivalence oracle for shared
+  /// ownership; StatisticsManager::shard_lock_graph_copies counts these
+  /// copies, so it must be zero whenever this is off.
+  bool copy_discovery_survivors = false;
+
   /// Retrospective validation (the paper's §8 future-work optimisation),
   /// CON only: after Algorithm 2 fades validity bits, spend up to this
   /// many sub-iso re-verifications per dataset sync restoring them —

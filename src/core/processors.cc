@@ -95,8 +95,8 @@ void HitDiscovery::CollectShard(const Graph& g, const GraphFeatures& features,
     if (positive_role) {
       c.utility = PositiveUtility(*e, live);
       c.maybe_exact = options_.enable_exact_shortcut &&
-                      e->query.NumVertices() == g.NumVertices() &&
-                      e->query.NumEdges() == g.NumEdges();
+                      e->query->NumVertices() == g.NumVertices() &&
+                      e->query->NumEdges() == g.NumEdges();
       if (c.utility == 0 && !c.maybe_exact) return;
     } else {
       c.utility = PruningUtility(*e, live);
@@ -104,7 +104,16 @@ void HitDiscovery::CollectShard(const Graph& g, const GraphFeatures& features,
                          EmptyLiveAnswer(*e, live) && FullyValid(*e, live);
       if (c.utility == 0 && !c.empty_eligible) return;
     }
-    c.query = e->query;
+    // The graph is immutable after admission: survivors share ownership
+    // (a refcount bump under the shard lock) instead of deep-copying it.
+    // The bitsets ARE deep-copied — the validator rewrites them in place
+    // under the exclusive shard lock, so they cannot be shared.
+    if (options_.copy_discovery_survivors) {
+      c.query = std::make_shared<const Graph>(*e->query);  // oracle path
+      graph_copies_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      c.query = e->query;
+    }
     c.answer = e->answer;
     c.valid = e->valid;
     c.id = e->id;
@@ -173,9 +182,9 @@ DiscoveredHits HitDiscovery::ResolveHits(const Graph& g, QueryKind kind,
     const bool contained =
         positive_from_sub
             ? (options_.reuse_match_context
-                   ? matcher_.ContainsPrepared(prepared(), c.query)
-                   : matcher_.Contains(g, c.query))
-            : matcher_.Contains(c.query, g);
+                   ? matcher_.ContainsPrepared(prepared(), *c.query)
+                   : matcher_.Contains(g, *c.query))
+            : matcher_.Contains(*c.query, g);
     if (!contained) continue;
     // §6.3 case 1: equal counts + one-way containment ⇒ isomorphic; with
     // full validity the cached answer is final.
@@ -199,10 +208,10 @@ DiscoveredHits HitDiscovery::ResolveHits(const Graph& g, QueryKind kind,
     // queries verify g ⊆ g'.
     const bool contained =
         positive_from_sub
-            ? matcher_.Contains(c.query, g)
+            ? matcher_.Contains(*c.query, g)
             : (options_.reuse_match_context
-                   ? matcher_.ContainsPrepared(prepared(), c.query)
-                   : matcher_.Contains(g, c.query));
+                   ? matcher_.ContainsPrepared(prepared(), *c.query)
+                   : matcher_.Contains(g, *c.query));
     if (!contained) continue;
     if (useful_for_empty_proof) {
       hits.empty_proof = TakeHit(c);

@@ -16,17 +16,25 @@
 //
 // Discovery is shard-local (PR 5): CollectShard runs the per-shard
 // prescreen — candidate enumeration, kind filter, utility computation,
-// zero-utility drop — under ONE shard's lock and COPIES the survivors
-// (query graph + answer/valid bitsets), so no resident-entry pointer ever
-// escapes a shard lock. ResolveHits then merges the per-shard survivor
-// lists, applies the single global utility ordering (ties on WL digest,
-// then entry id — hit selection is shard-layout-independent), and runs
-// containment verification and the §6.3 shortcuts with no lock held at
-// all. The resulting DiscoveredHits own their data outright.
+// zero-utility drop — under ONE shard's lock. Survivors COPY the
+// answer/valid bitsets (the validator mutates those in place under the
+// exclusive shard lock, so sharing them would race) but SHARE ownership
+// of the immutable query graph — the shared_ptr grabbed under the shard
+// lock keeps the graph alive even if the entry is evicted before
+// verification runs, the same grace-period guarantee the EpochManager
+// gives snapshot graphs. No resident-entry pointer ever escapes a shard
+// lock. ResolveHits then merges the per-shard survivor lists, applies
+// the single global utility ordering (ties on WL digest, then entry id —
+// hit selection is shard-layout-independent), and runs containment
+// verification and the §6.3 shortcuts with no lock held at all. The
+// resulting DiscoveredHits own their data outright.
 
 #ifndef GCP_CORE_PROCESSORS_HPP_
 #define GCP_CORE_PROCESSORS_HPP_
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -72,10 +80,14 @@ struct DiscoveredHits {
 /// \brief Implements both processors over the cache index.
 class HitDiscovery {
  public:
-  /// One prescreen survivor: an owned copy of the entry slices that the
-  /// resolve stage (verification + shortcuts) consumes lock-free.
+  /// One prescreen survivor: the entry slices the resolve stage
+  /// (verification + shortcuts) consumes lock-free — bitsets owned,
+  /// query graph shared with the resident entry.
   struct Candidate {
-    Graph query;  ///< For containment verification after the merge.
+    /// For containment verification after the merge. Shared ownership of
+    /// the resident entry's immutable graph (deep-copied only on the
+    /// copy_discovery_survivors oracle path).
+    std::shared_ptr<const Graph> query;
     DynamicBitset answer;
     DynamicBitset valid;
     CacheEntryId id = 0;
@@ -134,9 +146,16 @@ class HitDiscovery {
                     live, metrics);
   }
 
+  /// Survivor graphs deep-copied under a shard lock so far — stays zero
+  /// unless options.copy_discovery_survivors turns the oracle path on.
+  std::uint64_t shard_lock_graph_copies() const {
+    return graph_copies_.load(std::memory_order_relaxed);
+  }
+
  private:
   const SubgraphMatcher& matcher_;
   const GraphCachePlusOptions& options_;
+  mutable std::atomic<std::uint64_t> graph_copies_{0};
 };
 
 }  // namespace gcp

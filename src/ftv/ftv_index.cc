@@ -5,16 +5,20 @@
 namespace gcp {
 
 FtvIndex::FtvIndex(const GraphDataset& dataset) : dataset_(&dataset) {
-  summaries_.resize(dataset_->IdHorizon());
+  // Initial build composes the vector in place and publishes it once —
+  // it is not a copy-on-write clone, so summary_copies() starts at 0.
+  auto built = std::make_shared<SummaryVec>();
+  built->resize(dataset_->IdHorizon());
   for (const GraphId id : dataset_->LiveIds()) {
-    IndexGraph(id);
+    IndexGraph(*built, id);
   }
+  summaries_ = std::move(built);
   watermark_ = dataset_->log().LatestSeq();
 }
 
-void FtvIndex::IndexGraph(GraphId id) {
-  if (id >= summaries_.size()) summaries_.resize(id + 1);
-  summaries_[id] = GraphFeatures::Extract(dataset_->graph(id));
+void FtvIndex::IndexGraph(SummaryVec& into, GraphId id) const {
+  if (id >= into.size()) into.resize(id + 1);
+  into[id] = GraphFeatures::Extract(dataset_->graph(id));
 }
 
 std::size_t FtvIndex::SyncWithDataset() {
@@ -30,18 +34,24 @@ std::size_t FtvIndex::SyncWithDataset() {
   std::sort(touched.begin(), touched.end());
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
 
+  // Copy-on-write: snapshots may alias the published vector, so mutate a
+  // clone and republish. One clone per mutating batch, independent of how
+  // many snapshots are published in between.
+  auto next = std::make_shared<SummaryVec>(*summaries_);
+  summary_copies_.fetch_add(1, std::memory_order_relaxed);
   std::size_t updates = 0;
-  if (dataset_->IdHorizon() > summaries_.size()) {
-    summaries_.resize(dataset_->IdHorizon());
+  if (dataset_->IdHorizon() > next->size()) {
+    next->resize(dataset_->IdHorizon());
   }
   for (const GraphId id : touched) {
     if (dataset_->IsLive(id)) {
-      IndexGraph(id);  // ADD or UA/UR: (re-)derive the local summary
+      IndexGraph(*next, id);  // ADD or UA/UR: (re-)derive the local summary
     } else {
-      if (id < summaries_.size()) summaries_[id].reset();  // DEL
+      if (id < next->size()) (*next)[id].reset();  // DEL
     }
     ++updates;
   }
+  summaries_ = std::move(next);
   watermark_ = dataset_->log().LatestSeq();
   return updates;
 }
@@ -49,10 +59,10 @@ std::size_t FtvIndex::SyncWithDataset() {
 DynamicBitset FtvIndex::CandidateSet(const GraphFeatures& query_features,
                                      FtvQueryDirection direction) const {
   DynamicBitset candidates(dataset_->IdHorizon());
-  const std::size_t limit =
-      std::min(summaries_.size(), dataset_->IdHorizon());
+  const SummaryVec& summaries = *summaries_;
+  const std::size_t limit = std::min(summaries.size(), dataset_->IdHorizon());
   for (std::size_t id = 0; id < limit; ++id) {
-    const auto& summary = summaries_[id];
+    const auto& summary = summaries[id];
     if (!summary.has_value() || !dataset_->IsLive(static_cast<GraphId>(id))) {
       continue;
     }
@@ -65,9 +75,8 @@ DynamicBitset FtvIndex::CandidateSet(const GraphFeatures& query_features,
 }
 
 DynamicBitset FtvIndex::CandidateSetOver(
-    const std::vector<std::optional<GraphFeatures>>& summaries,
-    const DynamicBitset& live, const GraphFeatures& query_features,
-    FtvQueryDirection direction) {
+    const SummaryVec& summaries, const DynamicBitset& live,
+    const GraphFeatures& query_features, FtvQueryDirection direction) {
   DynamicBitset candidates(live.size());
   const std::size_t limit = std::min(summaries.size(), live.size());
   for (std::size_t id = 0; id < limit; ++id) {
@@ -83,15 +92,16 @@ DynamicBitset FtvIndex::CandidateSetOver(
 
 std::size_t FtvIndex::IndexedCount() const {
   std::size_t count = 0;
-  for (const auto& s : summaries_) {
+  for (const auto& s : *summaries_) {
     if (s.has_value()) ++count;
   }
   return count;
 }
 
 const GraphFeatures* FtvIndex::SummaryOf(GraphId id) const {
-  if (id >= summaries_.size() || !summaries_[id].has_value()) return nullptr;
-  return &*summaries_[id];
+  const SummaryVec& summaries = *summaries_;
+  if (id >= summaries.size() || !summaries[id].has_value()) return nullptr;
+  return &*summaries[id];
 }
 
 }  // namespace gcp

@@ -18,7 +18,9 @@
 #ifndef GCP_FTV_FTV_INDEX_HPP_
 #define GCP_FTV_FTV_INDEX_HPP_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -36,8 +38,17 @@ enum class FtvQueryDirection {
 };
 
 /// \brief Incrementally-maintained feature index over a GraphDataset.
+///
+/// The summary table is copy-on-write: it lives behind a shared immutable
+/// vector that engine snapshots alias for free, and a mutating
+/// SyncWithDataset republishes a fresh vector (one clone per FTV-mutating
+/// batch — counted by summary_copies() and surfaced as the engine's
+/// snapshot_summary_copies statistic). Publishing a snapshot never copies
+/// summaries.
 class FtvIndex {
  public:
+  using SummaryVec = std::vector<std::optional<GraphFeatures>>;
+
   /// Builds summaries for every live graph and records the current log
   /// watermark. The dataset must outlive the index.
   explicit FtvIndex(const GraphDataset& dataset);
@@ -64,11 +75,21 @@ class FtvIndex {
   /// Summary accessor (nullptr when `id` is not live / not indexed).
   const GraphFeatures* SummaryOf(GraphId id) const;
 
-  /// The per-graph-id summaries (holes for deleted ids) — copied into the
-  /// engine's immutable snapshots so the epoch read path can filter
-  /// without touching the index or the dataset.
-  const std::vector<std::optional<GraphFeatures>>& summaries() const {
+  /// The per-graph-id summaries (holes for deleted ids).
+  const SummaryVec& summaries() const { return *summaries_; }
+
+  /// Shared immutable view of the summaries — aliased (not copied) into
+  /// the engine's snapshots so the epoch read path can filter without
+  /// touching the index or the dataset. Stable across non-mutating syncs.
+  std::shared_ptr<const SummaryVec> shared_summaries() const {
     return summaries_;
+  }
+
+  /// Number of copy-on-write clones of the summary vector performed so
+  /// far — exactly one per FTV-mutating SyncWithDataset batch, never one
+  /// per published snapshot. Readable without the engine lock.
+  std::uint64_t summary_copies() const {
+    return summary_copies_.load(std::memory_order_relaxed);
   }
 
   /// Candidate set over an exported summary view: same filter as
@@ -76,17 +97,18 @@ class FtvIndex {
   /// the backing dataset (lock-free snapshot path). Returns a bitset over
   /// [0, live.size()).
   static DynamicBitset CandidateSetOver(
-      const std::vector<std::optional<GraphFeatures>>& summaries,
-      const DynamicBitset& live, const GraphFeatures& query_features,
-      FtvQueryDirection direction);
+      const SummaryVec& summaries, const DynamicBitset& live,
+      const GraphFeatures& query_features, FtvQueryDirection direction);
 
  private:
-  void IndexGraph(GraphId id);
+  void IndexGraph(SummaryVec& into, GraphId id) const;
 
   const GraphDataset* dataset_;
   LogSeq watermark_ = 0;
-  /// Per-graph-id feature summaries; holes for deleted ids.
-  std::vector<std::optional<GraphFeatures>> summaries_;
+  /// Per-graph-id feature summaries; holes for deleted ids. Immutable
+  /// once published here; mutations clone (COW) and swap the pointer.
+  std::shared_ptr<const SummaryVec> summaries_;
+  std::atomic<std::uint64_t> summary_copies_{0};
 };
 
 }  // namespace gcp

@@ -116,6 +116,9 @@ void PrintTo(const NeighborRange& range, std::ostream* os);
 /// If pattern vertex u can map onto target vertex v (non-induced,
 /// label-preserving, injective) then SignatureDominates(sig(u), sig(v))
 /// holds — saturation keeps the test conservative, never unsound.
+/// simd::SignatureDominanceScreen (common/simd.hpp) batches this exact
+/// test over a whole candidate run with the same borrow trick widened to
+/// vector lanes; the two must stay bit-equivalent.
 inline bool SignatureDominates(std::uint64_t sub, std::uint64_t super) {
   // Split nibbles into even/odd byte lanes so each 4-bit count sits in its
   // own byte with headroom, then use the classic SWAR borrow test: for

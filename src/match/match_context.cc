@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <tuple>
 
+#include "common/arena.hpp"
+
 namespace gcp {
 
 namespace {
@@ -26,8 +28,12 @@ MatchContext MatchContext::Build(const Graph& pattern,
   // Greedy static order: most placed neighbours first, then rarest label,
   // then highest degree — the VF2+ ordering with the rarity table fixed up
   // front instead of re-derived per target.
-  std::vector<bool> placed(n, false);
-  std::vector<int> placed_neighbors(n, 0);
+  // Build scratch comes off the thread arena (heap fallback when arenas
+  // are disabled) — Prepare runs once per query but for every cached
+  // containment probe too, so its temporaries sit on the hot path.
+  Arena* const arena = ThreadArena();
+  ScratchArray<unsigned char> placed(arena, n, 0);
+  ScratchArray<int> placed_neighbors(arena, n, 0);
   for (std::size_t step = 0; step < n; ++step) {
     VertexId best = kUnplaced;
     for (VertexId u = 0; u < n; ++u) {
@@ -43,7 +49,7 @@ MatchContext MatchContext::Build(const Graph& pattern,
       };
       if (key(u) < key(best)) best = u;
     }
-    placed[best] = true;
+    placed[best] = 1;
     ctx.order.push_back(best);
     for (const VertexId w : pattern.neighbors(best)) ++placed_neighbors[w];
     // The frontier of a later vertex is its placed neighbourhood; collect
@@ -52,7 +58,7 @@ MatchContext MatchContext::Build(const Graph& pattern,
 
   // Second pass: for each depth, the pattern neighbours of order[d] placed
   // earlier — the only vertices whose images anchor candidate generation.
-  std::vector<std::uint32_t> placed_at(n, 0);
+  ScratchArray<std::uint32_t> placed_at(arena, n, 0);
   for (std::size_t d = 0; d < n; ++d) {
     placed_at[ctx.order[d]] = static_cast<std::uint32_t>(d);
   }

@@ -1,6 +1,10 @@
 #include "match/vf2_plus.hpp"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "common/arena.hpp"
+#include "common/simd.hpp"
 
 namespace gcp {
 
@@ -17,8 +21,11 @@ std::vector<VertexId> StaticOrder(const Graph& pattern,
   const std::size_t n = pattern.NumVertices();
   std::vector<VertexId> order;
   order.reserve(n);
-  std::vector<bool> placed(n, false);
-  std::vector<int> placed_neighbors(n, 0);
+  // Per-pair scratch: arena bumps instead of two heap round-trips per
+  // (pattern, target) pair (heap fallback when arenas are disabled).
+  Arena* const arena = ThreadArena();
+  ScratchArray<unsigned char> placed(arena, n, 0);
+  ScratchArray<int> placed_neighbors(arena, n, 0);
 
   auto rarity = [&](VertexId u) -> std::uint32_t {
     return HistogramCount(target_hist, pattern.label(u));
@@ -38,7 +45,7 @@ std::vector<VertexId> StaticOrder(const Graph& pattern,
       };
       if (key(u) < key(best)) best = u;
     }
-    placed[best] = true;
+    placed[best] = 1;
     order.push_back(best);
     for (const VertexId w : pattern.neighbors(best)) ++placed_neighbors[w];
   }
@@ -53,8 +60,8 @@ class Vf2PlusState {
         target_(target),
         order_(order),
         stats_(stats),
-        core_p_(pattern.NumVertices(), kUnmapped),
-        core_t_(target.NumVertices(), kUnmapped) {}
+        core_p_(ThreadArena(), pattern.NumVertices(), kUnmapped),
+        core_t_(ThreadArena(), target.NumVertices(), kUnmapped) {}
 
   bool Search(std::size_t depth) {
     if (depth == order_.size()) return true;
@@ -74,7 +81,9 @@ class Vf2PlusState {
     return false;
   }
 
-  const std::vector<VertexId>& mapping() const { return core_p_; }
+  void ExportMapping(std::vector<VertexId>* out) const {
+    out->assign(core_p_.data(), core_p_.data() + core_p_.size());
+  }
 
  private:
   bool TryPair(VertexId u, VertexId v, std::size_t depth) {
@@ -133,8 +142,10 @@ class Vf2PlusState {
   const Graph& target_;
   const std::vector<VertexId>& order_;
   MatchStats* stats_;
-  std::vector<VertexId> core_p_;
-  std::vector<VertexId> core_t_;
+  // Arena-backed (heap fallback when disabled); members release in
+  // reverse construction order, honouring the arena's LIFO contract.
+  ScratchArray<VertexId> core_p_;
+  ScratchArray<VertexId> core_t_;
 };
 
 // Search state over a prepared MatchContext: the static order and the
@@ -149,8 +160,8 @@ class Vf2PlusPreparedState {
         pattern_(*ctx.pattern),
         target_(target),
         stats_(stats),
-        core_p_(pattern_.NumVertices(), kUnmapped),
-        core_t_(target.NumVertices(), kUnmapped) {}
+        core_p_(ThreadArena(), pattern_.NumVertices(), kUnmapped),
+        core_t_(ThreadArena(), target.NumVertices(), kUnmapped) {}
 
   bool Search(std::size_t depth) {
     if (depth == ctx_.order.size()) return true;
@@ -170,14 +181,41 @@ class Vf2PlusPreparedState {
       // vertices carrying u's label are feasible — the label→vertices
       // index enumerates exactly those, ascending by id (the same
       // relative order the full scan would try feasible candidates in).
-      for (const VertexId v : target_.VerticesWithLabel(pattern_.label(u))) {
-        if (TryPair(u, v, depth)) return true;
+      // Batch signature prescreen over the whole label run: Feasible
+      // applies the same SignatureDominates test per pair, so the SIMD
+      // screen drops exactly the pairs Feasible would reject — survivors
+      // are tried in the same order, and each dropped pair is charged one
+      // expansion + one prune exactly when the unscreened loop would have
+      // reached it (so MatchStats stay bit-identical, early exit
+      // included).
+      const NeighborRange cands =
+          target_.VerticesWithLabel(pattern_.label(u));
+      const std::size_t m = cands.size();
+      Arena* const arena = ThreadArena();
+      ScratchArray<std::uint64_t> sigs(arena, m);
+      for (std::size_t i = 0; i < m; ++i) {
+        sigs[i] = target_.vertex_signature(cands[i]);
+      }
+      ScratchArray<std::uint32_t> survivors(arena, m);
+      const std::size_t kept = simd::SignatureDominanceScreen(
+          pattern_.vertex_signature(u), sigs.data(), m, survivors.data());
+      std::size_t next_survivor = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (next_survivor < kept && survivors[next_survivor] == i) {
+          ++next_survivor;
+          if (TryPair(u, cands[i], depth)) return true;
+        } else if (stats_ != nullptr) {
+          ++stats_->nodes_expanded;
+          ++stats_->pruned;
+        }
       }
     }
     return false;
   }
 
-  const std::vector<VertexId>& mapping() const { return core_p_; }
+  void ExportMapping(std::vector<VertexId>* out) const {
+    out->assign(core_p_.data(), core_p_.data() + core_p_.size());
+  }
 
  private:
   bool TryPair(VertexId u, VertexId v, std::size_t depth) {
@@ -245,8 +283,10 @@ class Vf2PlusPreparedState {
   const Graph& pattern_;
   const Graph& target_;
   MatchStats* stats_;
-  std::vector<VertexId> core_p_;
-  std::vector<VertexId> core_t_;
+  // Arena-backed (heap fallback when disabled); members release in
+  // reverse construction order, honouring the arena's LIFO contract.
+  ScratchArray<VertexId> core_p_;
+  ScratchArray<VertexId> core_t_;
 };
 
 // Prepared wrapper owning the reusable context.
@@ -282,7 +322,7 @@ bool Vf2PlusMatcher::FindEmbeddingPrepared(const PreparedPattern& prepared,
   if (ctx.CheapReject(target)) return false;
   Vf2PlusPreparedState state(ctx, target, stats);
   if (!state.Search(0)) return false;
-  if (embedding != nullptr) *embedding = state.mapping();
+  if (embedding != nullptr) state.ExportMapping(embedding);
   return true;
 }
 
@@ -310,7 +350,7 @@ bool Vf2PlusMatcher::FindEmbedding(const Graph& pattern, const Graph& target,
       StaticOrder(pattern, target.label_histogram());
   Vf2PlusState state(pattern, target, order, stats);
   if (!state.Search(0)) return false;
-  if (embedding != nullptr) *embedding = state.mapping();
+  if (embedding != nullptr) state.ExportMapping(embedding);
   return true;
 }
 

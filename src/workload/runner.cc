@@ -73,6 +73,7 @@ RunReport RunWorkload(const std::vector<Graph>& initial,
   opts.num_shards = config.shards;
   opts.maintenance_thread = config.maintenance_thread;
   opts.epoch_reads = config.epoch_reads;
+  opts.copy_discovery_survivors = config.copy_discovery_survivors;
   opts.max_sub_hits = config.max_sub_hits;
   opts.max_super_hits = config.max_super_hits;
   opts.retrospective_budget = config.retrospective_budget;

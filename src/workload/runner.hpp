@@ -62,6 +62,10 @@ struct RunnerConfig {
   /// dataset changes publish + retire instead of stopping the world. Off
   /// (default) is the PR 4 lock path — bit-exact, the equivalence oracle.
   bool epoch_reads = false;
+  /// Deep-copy each discovery survivor's Graph under the shard lock
+  /// instead of sharing ownership (the pre-PR 6 behaviour; the "before"
+  /// side of the copy-costs bench and the sharing equivalence oracle).
+  bool copy_discovery_survivors = false;
   std::size_t max_sub_hits = 16;
   std::size_t max_super_hits = 16;
   /// CON-only retrospective validation budget per sync (0 = off, §8).

@@ -18,7 +18,7 @@ CachedQuery MakeEntry(std::size_t horizon, std::vector<std::size_t> answer,
                       std::vector<std::size_t> invalid = {}) {
   CachedQuery e;
   e.id = 1;
-  e.query = testing::MakePath({0, 1});
+  e.query = std::make_shared<const Graph>(testing::MakePath({0, 1}));
   e.answer = DynamicBitset(horizon);
   for (const auto i : answer) e.answer.Set(i);
   e.valid = DynamicBitset(horizon, true);

@@ -23,7 +23,7 @@ std::unique_ptr<CachedQuery> MakeEntry(CacheEntryId id, Graph q) {
   e->id = id;
   e->features = GraphFeatures::Extract(q);
   e->digest = WlDigest(q);
-  e->query = std::move(q);
+  e->query = std::make_shared<const Graph>(std::move(q));
   return e;
 }
 

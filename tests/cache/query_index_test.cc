@@ -21,7 +21,7 @@ std::unique_ptr<CachedQuery> MakeIndexedEntry(CacheEntryId id, Graph q) {
   e->id = id;
   e->features = GraphFeatures::Extract(q);
   e->digest = WlDigest(q);
-  e->query = std::move(q);
+  e->query = std::make_shared<const Graph>(std::move(q));
   return e;
 }
 
@@ -167,12 +167,12 @@ TEST(QueryIndexTest, NoFalseDropsOnRandomCorpus) {
     const auto supers = index.SupergraphCandidates(pf);
     const auto subs = index.SubgraphCandidates(pf);
     for (const auto& e : entries) {
-      if (matcher->Contains(probe, e->query)) {
+      if (matcher->Contains(probe, *e->query)) {
         EXPECT_NE(std::find(supers.begin(), supers.end(), e.get()),
                   supers.end())
             << "probe ⊆ cached missed by SupergraphCandidates";
       }
-      if (matcher->Contains(e->query, probe)) {
+      if (matcher->Contains(*e->query, probe)) {
         EXPECT_NE(std::find(subs.begin(), subs.end(), e.get()), subs.end())
             << "cached ⊆ probe missed by SubgraphCandidates";
       }

@@ -14,7 +14,7 @@ CachedQuery MakeScoredEntry(CacheEntryId id, std::uint64_t tests_saved,
                             std::uint64_t admitted = 0) {
   CachedQuery e;
   e.id = id;
-  e.query = testing::MakePath({0, 1});
+  e.query = std::make_shared<const Graph>(testing::MakePath({0, 1}));
   e.tests_saved = tests_saved;
   e.est_test_cost_ms = cost;
   e.hits = hits;

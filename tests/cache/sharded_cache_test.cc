@@ -34,7 +34,8 @@ std::pair<std::size_t, CacheEntryId> AdmitPath(ShardedCache& cache,
   }
   Graph g = testing::MakeGraph(labels, edges);
   const std::size_t s = cache.ShardOfDigest(WlDigest(g));
-  auto entry = CacheManager::PrepareEntry(std::move(g),
+  auto entry = CacheManager::PrepareEntry(std::make_shared<const Graph>(
+                                              std::move(g)),
                                           CachedQueryKind::kSubgraph,
                                           DynamicBitset(4), DynamicBitset(4),
                                           1.0);

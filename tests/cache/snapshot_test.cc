@@ -21,7 +21,7 @@ CacheSnapshot SampleSnapshot() {
   s.id_horizon = 5;
   CachedQuery e;
   e.kind = CachedQueryKind::kSubgraph;
-  e.query = MakePath({0, 1, 2});
+  e.query = std::make_shared<const Graph>(MakePath({0, 1, 2}));
   e.answer = DynamicBitset(5);
   e.answer.Set(1);
   e.answer.Set(3);
@@ -38,7 +38,7 @@ CacheSnapshot SampleSnapshot() {
   s.entries.push_back(std::move(e));
   CachedQuery super;
   super.kind = CachedQueryKind::kSupergraph;
-  super.query = MakeCycle({5, 5, 5});
+  super.query = std::make_shared<const Graph>(MakeCycle({5, 5, 5}));
   super.answer = DynamicBitset(5);
   super.valid = DynamicBitset(5);
   s.entries.push_back(std::move(super));
@@ -58,7 +58,7 @@ TEST(SnapshotTest, StreamRoundTrip) {
   ASSERT_EQ(s.entries.size(), 2u);
   const CachedQuery& e = s.entries[0];
   EXPECT_EQ(e.kind, CachedQueryKind::kSubgraph);
-  EXPECT_EQ(e.query, original.entries[0].query);
+  EXPECT_EQ(*e.query, *original.entries[0].query);
   EXPECT_EQ(e.answer, original.entries[0].answer);
   EXPECT_EQ(e.valid, original.entries[0].valid);
   EXPECT_EQ(e.tests_saved, 42u);
@@ -175,7 +175,8 @@ TEST(SnapshotTest, RestoreEntriesCapsAtCapacity) {
   CacheManager cm(CacheManagerOptions{2, 2, ReplacementPolicy::kPin, 1});
   std::vector<CachedQuery> entries(5);
   for (std::size_t i = 0; i < entries.size(); ++i) {
-    entries[i].query = MakePath({static_cast<Label>(i), 0});
+    entries[i].query =
+        std::make_shared<const Graph>(MakePath({static_cast<Label>(i), 0}));
     entries[i].answer = DynamicBitset(3);
     entries[i].valid = DynamicBitset(3, true);
     entries[i].tests_saved = i;  // entry 4 is most valuable

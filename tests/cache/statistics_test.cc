@@ -52,7 +52,7 @@ TEST(StatisticsTest, StructuralCostGrowsWithQuerySize) {
 
 TEST(StatisticsTest, RecordBenefitUpdatesEntry) {
   CachedQuery e;
-  e.query = testing::MakePath({0, 1});
+  e.query = std::make_shared<const Graph>(testing::MakePath({0, 1}));
   StatisticsManager::RecordBenefit(e, 12, 77);
   EXPECT_EQ(e.tests_saved, 12u);
   EXPECT_EQ(e.hits, 1u);
@@ -65,7 +65,7 @@ TEST(StatisticsTest, RecordBenefitUpdatesEntry) {
 
 TEST(StatisticsTest, ZeroBenefitStillCountsHit) {
   CachedQuery e;
-  e.query = testing::MakePath({0, 1});
+  e.query = std::make_shared<const Graph>(testing::MakePath({0, 1}));
   StatisticsManager::RecordBenefit(e, 0, 5);
   EXPECT_EQ(e.tests_saved, 0u);
   EXPECT_EQ(e.hits, 1u);

@@ -1,0 +1,170 @@
+// Differential tests: every dispatchable SIMD level must agree bit for
+// bit with the scalar oracle on random and adversarial inputs, and the
+// level override must clamp/restore correctly.
+
+#include "common/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gcp {
+namespace {
+
+using simd::SimdLevel;
+
+std::vector<SimdLevel> DispatchableLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (simd::DetectedSimdLevel() >= SimdLevel::kPopcnt) {
+    levels.push_back(SimdLevel::kPopcnt);
+  }
+  if (simd::DetectedSimdLevel() >= SimdLevel::kAvx2) {
+    levels.push_back(SimdLevel::kAvx2);
+  }
+  return levels;
+}
+
+class SimdLevelGuard {
+ public:
+  ~SimdLevelGuard() { simd::SetSimdLevel(simd::DetectedSimdLevel()); }
+};
+
+std::vector<std::uint64_t> RandomWords(std::mt19937_64& rng, std::size_t n,
+                                       int density_shift) {
+  std::vector<std::uint64_t> w(n);
+  for (auto& x : w) {
+    x = rng();
+    // Thin or thicken the population to hit early-exit paths.
+    for (int s = 0; s < density_shift; ++s) x &= rng();
+  }
+  return w;
+}
+
+TEST(SimdTest, LevelOverrideClampsAndRestores) {
+  SimdLevelGuard guard;
+  simd::SetSimdLevel(SimdLevel::kScalar);
+  EXPECT_EQ(simd::ActiveSimdLevel(), SimdLevel::kScalar);
+  simd::SetSimdLevel(SimdLevel::kAvx2);
+  EXPECT_LE(simd::ActiveSimdLevel(), simd::DetectedSimdLevel());
+}
+
+TEST(SimdTest, WordKernelsMatchScalarAtEveryLevel) {
+  SimdLevelGuard guard;
+  std::mt19937_64 rng(20260808);
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                              std::size_t{4}, std::size_t{7}, std::size_t{8},
+                              std::size_t{33}, std::size_t{129}}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto a = RandomWords(rng, n, trial % 3);
+      const auto b = RandomWords(rng, n, trial % 4);
+
+      simd::SetSimdLevel(SimdLevel::kScalar);
+      auto and_ref = a;
+      simd::AndWords(and_ref.data(), b.data(), n);
+      auto or_ref = a;
+      simd::OrWords(or_ref.data(), b.data(), n);
+      auto andnot_ref = a;
+      simd::AndNotWords(andnot_ref.data(), b.data(), n);
+      const std::size_t pop_ref = simd::PopcountWords(a.data(), n);
+      const std::size_t popand_ref =
+          simd::PopcountAndWords(a.data(), b.data(), n);
+      const bool inter_ref = simd::IntersectsWords(a.data(), b.data(), n);
+      const bool any_ref = simd::AnyWord(a.data(), n);
+      const bool subset_ref = simd::SubsetWords(a.data(), b.data(), n);
+
+      for (const SimdLevel level : DispatchableLevels()) {
+        simd::SetSimdLevel(level);
+        auto and_got = a;
+        simd::AndWords(and_got.data(), b.data(), n);
+        EXPECT_EQ(and_got, and_ref) << simd::SimdLevelName(level);
+        auto or_got = a;
+        simd::OrWords(or_got.data(), b.data(), n);
+        EXPECT_EQ(or_got, or_ref) << simd::SimdLevelName(level);
+        auto andnot_got = a;
+        simd::AndNotWords(andnot_got.data(), b.data(), n);
+        EXPECT_EQ(andnot_got, andnot_ref) << simd::SimdLevelName(level);
+        EXPECT_EQ(simd::PopcountWords(a.data(), n), pop_ref)
+            << simd::SimdLevelName(level);
+        EXPECT_EQ(simd::PopcountAndWords(a.data(), b.data(), n), popand_ref)
+            << simd::SimdLevelName(level);
+        EXPECT_EQ(simd::IntersectsWords(a.data(), b.data(), n), inter_ref)
+            << simd::SimdLevelName(level);
+        EXPECT_EQ(simd::AnyWord(a.data(), n), any_ref)
+            << simd::SimdLevelName(level);
+        EXPECT_EQ(simd::SubsetWords(a.data(), b.data(), n), subset_ref)
+            << simd::SimdLevelName(level);
+      }
+    }
+  }
+}
+
+TEST(SimdTest, SubsetAndIntersectEdgeCases) {
+  SimdLevelGuard guard;
+  for (const SimdLevel level : DispatchableLevels()) {
+    simd::SetSimdLevel(level);
+    const std::vector<std::uint64_t> zero(9, 0);
+    std::vector<std::uint64_t> full(9, ~std::uint64_t{0});
+    EXPECT_TRUE(simd::SubsetWords(zero.data(), full.data(), 9));
+    EXPECT_TRUE(simd::SubsetWords(zero.data(), zero.data(), 9));
+    EXPECT_FALSE(simd::SubsetWords(full.data(), zero.data(), 9));
+    EXPECT_TRUE(simd::SubsetWords(full.data(), full.data(), 9));
+    // A single stray bit in the last word must flip subset/intersects.
+    auto almost = zero;
+    almost[8] = std::uint64_t{1} << 63;
+    EXPECT_FALSE(simd::SubsetWords(almost.data(), zero.data(), 9));
+    EXPECT_TRUE(simd::IntersectsWords(almost.data(), full.data(), 9));
+    EXPECT_FALSE(simd::IntersectsWords(almost.data(), zero.data(), 9));
+    EXPECT_TRUE(simd::AnyWord(almost.data(), 9));
+    EXPECT_FALSE(simd::AnyWord(zero.data(), 9));
+  }
+}
+
+// The batched screen must agree with graph.hpp's SignatureDominates —
+// the exact predicate VF2+ uses — at every level, on every lane position.
+TEST(SimdTest, SignatureScreenMatchesScalarDominance) {
+  SimdLevelGuard guard;
+  std::mt19937_64 rng(7);
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3},
+        std::size_t{4}, std::size_t{5}, std::size_t{8}, std::size_t{31},
+        std::size_t{64}}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      // Nibble-wise signatures: draw small per-nibble counts so both
+      // outcomes are common.
+      auto draw_sig = [&rng]() {
+        std::uint64_t sig = 0;
+        for (int nib = 0; nib < 16; ++nib) {
+          sig |= (rng() % 4) << (4 * nib);
+        }
+        return sig;
+      };
+      const std::uint64_t sub = draw_sig();
+      std::vector<std::uint64_t> supers(n);
+      for (auto& s : supers) s = draw_sig();
+
+      std::vector<std::uint32_t> expected;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (SignatureDominates(sub, supers[i])) {
+          expected.push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+      for (const SimdLevel level : DispatchableLevels()) {
+        simd::SetSimdLevel(level);
+        std::vector<std::uint32_t> got(n + 1, 0xFFFFFFFFu);
+        const std::size_t kept =
+            simd::SignatureDominanceScreen(sub, supers.data(), n, got.data());
+        ASSERT_EQ(kept, expected.size()) << simd::SimdLevelName(level);
+        for (std::size_t i = 0; i < kept; ++i) {
+          EXPECT_EQ(got[i], expected[i]) << simd::SimdLevelName(level);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gcp
