@@ -71,6 +71,13 @@ struct BenchConfig {
   /// Deep-copy discovery survivors under the shard lock instead of
   /// sharing ownership (--copy-survivors; the pre-PR 6 oracle path).
   bool copy_survivors = false;
+  /// Reconcile through the change-relevance index
+  /// (--relevance-index=false = the brute-force ValidateAll oracle, the
+  /// "before" side of bench_reconciliation).
+  bool relevance_index = true;
+  /// CON-only delta re-validation at reconcile time
+  /// (--delta-revalidation; default off = Algorithm 2 fade-only).
+  bool delta_revalidation = false;
   /// SIMD dispatch cap (--simd=off|scalar|popcnt|avx2|auto; empty/auto =
   /// use whatever the CPU supports). "off"/"scalar" is the bit-exact
   /// scalar oracle.
@@ -139,6 +146,9 @@ struct BenchConfig {
     c.epoch = flags.GetBool("epoch", c.epoch);
     c.legacy_hot_path = flags.GetBool("legacy", c.legacy_hot_path);
     c.copy_survivors = flags.GetBool("copy-survivors", c.copy_survivors);
+    c.relevance_index = flags.GetBool("relevance-index", c.relevance_index);
+    c.delta_revalidation =
+        flags.GetBool("delta-revalidation", c.delta_revalidation);
     c.simd = flags.GetString("simd", c.simd);
     c.arena = flags.GetBool("arena", c.arena);
     c.json_path = flags.GetString("json", c.json_path);
@@ -215,6 +225,8 @@ inline RunnerConfig MakeRunnerConfig(RunMode mode, MatcherKind method,
   rc.max_super_hits = cfg.max_super_hits;
   rc.legacy_hot_path = cfg.legacy_hot_path;
   rc.copy_discovery_survivors = cfg.copy_survivors;
+  rc.relevance_index = cfg.relevance_index;
+  rc.delta_revalidation = cfg.delta_revalidation;
   rc.plan_seed = cfg.seed + 404;
   return rc;
 }

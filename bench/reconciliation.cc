@@ -1,0 +1,274 @@
+// BENCH_07: reconciliation through the change-relevance index,
+// before/after in one run.
+//
+// "Before" reconciles every change batch brute-force: Algorithm 2 walks
+// every resident entry of every shard (ValidateAll), even when the batch
+// touched a handful of dataset graphs. "After" routes the batch through
+// the change-relevance index: only entries whose CGvalid footprint
+// intersects the batch run the counter loop, everything else keeps its
+// bits untouched by construction. A third CON row adds delta
+// re-validation (per-pair keep/re-verify instead of fade-only clears).
+//
+// The bench drives the engine directly (not through RunWorkload) so the
+// churn's *locality* is controlled: "localized" batches aim their edge
+// ops at a ≤1% band of the newest live graphs — the regime the index
+// exists for — while "uniform" batches spray ops across the whole id
+// space, the honest worst case where footprints rarely let anything
+// skip. Both run on the epoch read path, where reconciliation happens
+// inside ApplyDatasetChanges, so wall-clocking the mutation calls times
+// reconciliation itself.
+//
+// The run fails (exit 1) if any path's per-step answers diverge from the
+// brute-force oracle's (the equivalence suite pins this too), or if the
+// localized CON "after" row does not touch strictly fewer entries than
+// "before". Wall-clock deltas are reported, not gated.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/graphcache_plus.hpp"
+
+using namespace gcp;
+using namespace gcp::bench;
+
+namespace {
+
+struct PathToggles {
+  const char* path;  // "before" / "after" / "after+delta"
+  bool relevance;
+  bool delta;
+};
+
+struct RowResult {
+  std::uint64_t answers_digest = 0;
+  std::uint64_t touched = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t delta_keeps = 0;
+  std::uint64_t delta_fallbacks = 0;
+  double reconcile_ms = 0.0;  // total wall time inside ApplyDatasetChanges
+  double avg_query_ms = 0.0;
+  std::size_t resident = 0;
+};
+
+std::uint64_t HashCombine(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// Removes one deterministically chosen ring edge of `id`; reports which
+/// via `u`/`v`. False when the graph has no ring edge left.
+bool RemoveOneEdge(GraphDataset& ds, GraphId id, std::size_t salt,
+                   VertexId* u, VertexId* v) {
+  const Graph& g = ds.graph(id);
+  const std::size_t n = g.NumVertices();
+  if (n < 2) return false;
+  for (std::size_t off = 0; off < n; ++off) {
+    const auto a = static_cast<VertexId>((salt + off) % n);
+    const auto b = static_cast<VertexId>((a + 1) % n);
+    if (a != b && g.HasEdge(a, b)) {
+      *u = a;
+      *v = b;
+      return ds.RemoveEdge(id, a, b).ok();
+    }
+  }
+  return false;
+}
+
+/// One churn batch, deterministic in `step` so every path replays the
+/// exact same dataset evolution. Localized batches are pure edge churn
+/// inside the newest ≤1% of live ids — removal-leaning, so most batches
+/// are UR-exclusive per graph and Algorithm 2's polarity rules have
+/// something to preserve; every fourth batch re-adds the removed edges
+/// (mixed ops). Uniform batches also grow the corpus and spray the same
+/// edge churn across the whole live range.
+void ApplyChurn(GraphDataset& ds, const std::vector<Graph>& corpus,
+                std::size_t step, std::size_t batch, bool localized) {
+  if (!localized) ds.AddGraph(corpus[(5 * step + 2) % corpus.size()]);
+  const std::vector<GraphId> live = ds.LiveIds();
+  const std::size_t band =
+      localized ? std::max<std::size_t>(1, live.size() / 100) : live.size();
+  std::size_t mutated = 0;
+  for (std::size_t k = 0; k < 32 && mutated < 4; ++k) {
+    const std::size_t idx = live.size() - 1 - ((7 * step + 3 * k) % band);
+    const GraphId id = live[idx];
+    VertexId u = 0;
+    VertexId v = 0;
+    if (RemoveOneEdge(ds, id, step + 5 * k, &u, &v)) {
+      if (batch % 4 == 3) (void)ds.AddEdge(id, u, v);
+      ++mutated;
+    }
+  }
+}
+
+RowResult RunRow(const std::vector<Graph>& corpus, const Workload& w,
+                 const BenchConfig& cfg, CacheModel model,
+                 const PathToggles& path, bool localized) {
+  GraphDataset ds;
+  ds.Bootstrap(corpus);
+  GraphCachePlusOptions opts;
+  opts.model = model;
+  opts.cache_capacity = cfg.cache_capacity;
+  opts.window_capacity = cfg.window_capacity;
+  opts.num_shards = std::max<std::size_t>(1, cfg.shards);
+  opts.epoch_reads = true;  // reconcile inside ApplyDatasetChanges
+  opts.use_ftv_index = true;
+  opts.use_relevance_index = path.relevance;
+  opts.delta_revalidation = path.delta;
+  opts.max_sub_hits = cfg.max_sub_hits;
+  opts.max_super_hits = cfg.max_super_hits;
+  GraphCachePlus gc(&ds, opts);
+
+  const std::size_t interval =
+      std::max<std::size_t>(1, w.size() / std::max(1u, cfg.batches));
+  RowResult r;
+  std::int64_t query_ns = 0;
+  std::int64_t reconcile_ns = 0;
+  std::size_t queries = 0;
+  for (std::size_t step = 0; step < w.size(); ++step) {
+    if (step % interval == interval - 1) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::size_t batch = step / interval;
+      gc.ApplyDatasetChanges(
+          [&corpus, step, batch, localized](GraphDataset& d) {
+            ApplyChurn(d, corpus, step, batch, localized);
+          });
+      reconcile_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    }
+    const QueryKind kind =
+        step % 2 == 0 ? QueryKind::kSubgraph : QueryKind::kSupergraph;
+    const auto t0 = std::chrono::steady_clock::now();
+    const QueryResult res = gc.Query(w.queries[step].query, kind);
+    query_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    ++queries;
+    r.answers_digest = HashCombine(r.answers_digest, res.answer.size());
+    for (const GraphId id : res.answer) {
+      r.answers_digest = HashCombine(r.answers_digest, id);
+    }
+  }
+  gc.FlushMaintenance();
+  const StatisticsManager stats = gc.CacheStatsSnapshot();
+  r.touched = stats.reconcile_entries_touched;
+  r.skipped = stats.reconcile_entries_skipped;
+  r.delta_keeps = stats.delta_revalidations;
+  r.delta_fallbacks = stats.delta_fallback_full_checks;
+  r.reconcile_ms = static_cast<double>(reconcile_ns) / 1e6;
+  r.avg_query_ms =
+      queries == 0 ? 0.0
+                   : static_cast<double>(query_ns) / 1e6 /
+                         static_cast<double>(queries);
+  gc.cache_shards().ForEachEntry([&r](const CachedQuery&) { ++r.resident; });
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  const BenchConfig cfg = BenchConfig::FromFlags(flags);
+  PrintConfig(cfg, "BENCH 07: relevance-indexed reconciliation, before/after");
+  ApplyProcessToggles(cfg);
+
+  const std::vector<Graph> corpus = BuildCorpus(cfg);
+  const Workload w = BuildWorkload("ZU", corpus, cfg);
+
+  std::unique_ptr<JsonWriter> json;
+  if (!cfg.json_path.empty()) {
+    json = std::make_unique<JsonWriter>(cfg.json_path, "reconciliation", cfg);
+  }
+
+  const PathToggles kBefore{"before", false, false};
+  const PathToggles kAfter{"after", true, false};
+  const PathToggles kAfterDelta{"after+delta", true, true};
+
+  int failures = 0;
+  std::printf("\n%-10s %-12s %-4s %10s %10s %8s %8s %13s %11s\n", "churn",
+              "path", "sys", "touched", "skipped", "dkeep", "dfull",
+              "reconcile ms", "avg q ms");
+  for (const bool localized : {true, false}) {
+    const char* churn = localized ? "localized" : "uniform";
+    for (const CacheModel model : {CacheModel::kCon, CacheModel::kEvi}) {
+      const char* sys = model == CacheModel::kCon ? "CON" : "EVI";
+      std::vector<std::pair<PathToggles, RowResult>> rows;
+      rows.emplace_back(kBefore,
+                        RunRow(corpus, w, cfg, model, kBefore, localized));
+      rows.emplace_back(kAfter,
+                        RunRow(corpus, w, cfg, model, kAfter, localized));
+      if (model == CacheModel::kCon) {
+        rows.emplace_back(
+            kAfterDelta, RunRow(corpus, w, cfg, model, kAfterDelta, localized));
+      }
+      const RowResult& before = rows.front().second;
+      for (const auto& [path, r] : rows) {
+        std::printf("%-10s %-12s %-4s %10llu %10llu %8llu %8llu %13.3f "
+                    "%11.5f\n",
+                    churn, path.path, sys,
+                    static_cast<unsigned long long>(r.touched),
+                    static_cast<unsigned long long>(r.skipped),
+                    static_cast<unsigned long long>(r.delta_keeps),
+                    static_cast<unsigned long long>(r.delta_fallbacks),
+                    r.reconcile_ms, r.avg_query_ms);
+        std::fflush(stdout);
+        if (r.answers_digest != before.answers_digest) {
+          std::fprintf(stderr,
+                       "FAIL: %s/%s/%s answers diverged from the "
+                       "brute-force oracle\n",
+                       churn, path.path, sys);
+          ++failures;
+        }
+        if (json != nullptr) {
+          char buf[512];
+          std::snprintf(
+              buf, sizeof(buf),
+              "\"churn\": \"%s\", \"path\": \"%s\", \"system\": \"%s\", "
+              "\"reconcile_entries_touched\": %llu, "
+              "\"reconcile_entries_skipped\": %llu, "
+              "\"delta_revalidations\": %llu, "
+              "\"delta_fallback_full_checks\": %llu, "
+              "\"reconcile_ms\": %.3f, \"avg_query_ms\": %.5f, "
+              "\"resident\": %zu, \"answers_digest\": %llu",
+              churn, path.path, sys,
+              static_cast<unsigned long long>(r.touched),
+              static_cast<unsigned long long>(r.skipped),
+              static_cast<unsigned long long>(r.delta_keeps),
+              static_cast<unsigned long long>(r.delta_fallbacks),
+              r.reconcile_ms, r.avg_query_ms, r.resident,
+              static_cast<unsigned long long>(r.answers_digest));
+          json->Row(buf);
+        }
+      }
+      // The localized CON "after" row must actually skip work.
+      if (localized && model == CacheModel::kCon) {
+        const RowResult& after = rows[1].second;
+        if (after.touched >= before.touched || after.skipped == 0) {
+          std::fprintf(stderr,
+                       "FAIL: localized CON after touched %llu (before "
+                       "%llu), skipped %llu — the index screened nothing\n",
+                       static_cast<unsigned long long>(after.touched),
+                       static_cast<unsigned long long>(before.touched),
+                       static_cast<unsigned long long>(after.skipped));
+          ++failures;
+        }
+      }
+    }
+  }
+
+  std::printf(
+      "\n# Expected shape: identical answers on every row of a (churn, sys)\n"
+      "# group — the index and the delta hook never change results. On\n"
+      "# localized churn, CON after touches a small fraction of what\n"
+      "# before touches (skipped >> touched) and reconcile ms drops; on\n"
+      "# uniform churn the footprints intersect almost every batch, so\n"
+      "# touched stays near before — reported honestly, not gated. EVI\n"
+      "# purges are indiscriminate by definition: touched is identical\n"
+      "# across paths. after+delta trades reconcile-time containment\n"
+      "# checks (dfull) + pair-screen keeps (dkeep) for warmer caches.\n");
+  return failures == 0 ? 0 : 1;
+}

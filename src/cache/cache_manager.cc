@@ -56,6 +56,7 @@ CacheEntryId CacheManager::AdmitPrepared(std::unique_ptr<CachedQuery> entry,
   entry->in_window = true;
   const CacheEntryId id = entry->id;
   index_.Insert(entry.get());
+  if (options_.maintain_relevance_index) relevance_.Insert(entry.get());
   by_id_.emplace(id, entry.get());
   window_.push_back(std::move(entry));
   ++stats_.total_admissions;
@@ -92,6 +93,7 @@ void CacheManager::MergeWindowIntoCache() {
       kept.push_back(std::move(slot));
     } else {
       index_.Erase(slot->id);
+      relevance_.Erase(slot->id);
       by_id_.erase(slot->id);
       ++stats_.total_evictions;
     }
@@ -105,14 +107,57 @@ void CacheManager::Clear() {
   window_.clear();
   by_id_.clear();
   index_.Clear();
+  relevance_.Clear();
 }
 
-void CacheManager::ValidateAll(const ChangeCounters& counters,
-                               std::size_t id_horizon) {
-  for (auto& e : cache_) CacheValidator::RefreshEntry(*e, counters, id_horizon);
-  for (auto& e : window_) {
-    CacheValidator::RefreshEntry(*e, counters, id_horizon);
+void CacheManager::PurgeForReconcile() {
+  stats_.reconcile_entries_touched += resident();
+  Clear();
+}
+
+void CacheManager::ValidateAll(
+    const ChangeCounters& counters, std::size_t id_horizon,
+    const CacheValidator::DeltaRevalidateFn* delta) {
+  stats_.reconcile_entries_touched += resident();
+  for (auto& e : cache_) {
+    CacheValidator::RefreshEntry(*e, counters, id_horizon, delta, &stats_);
+    if (options_.maintain_relevance_index) relevance_.Refresh(e.get());
   }
+  for (auto& e : window_) {
+    CacheValidator::RefreshEntry(*e, counters, id_horizon, delta, &stats_);
+    if (options_.maintain_relevance_index) relevance_.Refresh(e.get());
+  }
+}
+
+void CacheManager::ValidateRelevant(
+    const ChangeCounters& counters, std::size_t id_horizon,
+    const CacheValidator::DeltaRevalidateFn* delta) {
+  // Indicator extension (Algorithm 2 lines 4-6) applies to every resident
+  // entry — new ids default to invalid and no existing bit can flip, so
+  // extension alone never makes an entry "touched".
+  for (auto& e : cache_) CacheValidator::ExtendEntry(*e, id_horizon);
+  for (auto& e : window_) CacheValidator::ExtendEntry(*e, id_horizon);
+
+  const RelevanceIndex::BatchFootprint batch =
+      RelevanceIndex::FootprintOf(counters);
+  const std::vector<const CachedQuery*> affected =
+      relevance_.CollectAffected(batch);
+  for (const CachedQuery* c : affected) {
+    CachedQuery* e = FindMutable(c->id);
+    if (e == nullptr) continue;  // defensive; affected ids are resident
+    CacheValidator::ApplyCounters(*e, counters, delta, &stats_);
+    // Re-tightens after clears and restores the superset invariant after
+    // a delta fallback re-set bits.
+    relevance_.Refresh(e);
+  }
+  stats_.reconcile_entries_touched += affected.size();
+  stats_.reconcile_entries_skipped += resident() - affected.size();
+}
+
+void CacheManager::RefreshRelevanceFootprint(CacheEntryId id) {
+  if (!options_.maintain_relevance_index) return;
+  const CachedQuery* e = Find(id);
+  if (e != nullptr) relevance_.Refresh(e);
 }
 
 void CacheManager::ExtendAll(std::size_t id_horizon) {
@@ -203,6 +248,7 @@ void CacheManager::RestoreEntries(std::vector<CachedQuery> entries) {
     owned->features = GraphFeatures::Extract(*owned->query);
     owned->digest = WlDigest(*owned->query);
     index_.Insert(owned.get());
+    if (options_.maintain_relevance_index) relevance_.Insert(owned.get());
     by_id_.emplace(owned->id, owned.get());
     cache_.push_back(std::move(owned));
   }

@@ -24,7 +24,9 @@
 #include <vector>
 
 #include "cache/cache_entry.hpp"
+#include "cache/cache_validator.hpp"
 #include "cache/query_index.hpp"
+#include "cache/relevance_index.hpp"
 #include "cache/replacement.hpp"
 #include "cache/statistics.hpp"
 #include "dataset/log_analyzer.hpp"
@@ -37,6 +39,10 @@ struct CacheManagerOptions {
   std::size_t window_capacity = 20;   ///< Paper default.
   ReplacementPolicy policy = ReplacementPolicy::kHybrid;
   std::uint64_t rng_seed = 7;         ///< For the RANDOM policy only.
+  /// Maintain the change-relevance index (footprints + postings) across
+  /// admissions/evictions so ValidateRelevant can screen reconciles. Off
+  /// on the brute-force oracle path so its cost stays visible in benches.
+  bool maintain_relevance_index = true;
 };
 
 /// How a cache entry contributed to a query — determines which per-entry
@@ -88,8 +94,34 @@ class CacheManager {
   /// EVI purge: drops every resident entry (cache and window).
   void Clear();
 
-  /// CON validation: applies Algorithm 2 to every resident entry.
-  void ValidateAll(const ChangeCounters& counters, std::size_t id_horizon);
+  /// EVI *reconcile* purge: Clear() plus reconcile accounting (every
+  /// resident entry counts as touched — an EVI purge is indiscriminate
+  /// by definition). Restore paths call Clear() directly so snapshot
+  /// loading never pollutes the reconciliation counters.
+  void PurgeForReconcile();
+
+  /// CON validation: applies Algorithm 2 to every resident entry — the
+  /// brute-force oracle. Every resident entry counts as touched; skipped
+  /// stays 0. `delta` optionally enables delta re-validation per
+  /// invalidated (entry, graph) pair.
+  void ValidateAll(const ChangeCounters& counters, std::size_t id_horizon,
+                   const CacheValidator::DeltaRevalidateFn* delta = nullptr);
+
+  /// CON validation through the change-relevance index: extends every
+  /// resident indicator to `id_horizon`, then runs Algorithm 2's counter
+  /// loop only over entries whose footprint intersects the batch —
+  /// bit-exact vs ValidateAll by construction (the screen only skips
+  /// entries no counter can mutate). Touched/skipped accounting per
+  /// call: touched + skipped == resident. Requires
+  /// options().maintain_relevance_index.
+  void ValidateRelevant(const ChangeCounters& counters, std::size_t id_horizon,
+                        const CacheValidator::DeltaRevalidateFn* delta =
+                            nullptr);
+
+  /// Recomputes `id`'s relevance footprint from its current bitsets.
+  /// Must be called after any path that SETS validity bits outside the
+  /// validator (retrospective refresh §8) so footprints stay supersets.
+  void RefreshRelevanceFootprint(CacheEntryId id);
 
   /// Aligns every resident indicator/answer to `id_horizon` without
   /// consuming counters (used when only ADDs happened — subsumed by
@@ -143,6 +175,10 @@ class CacheManager {
   /// Feature index over all resident entries.
   const QueryIndex& index() const { return index_; }
 
+  /// Change-relevance index over all resident entries (empty when
+  /// maintain_relevance_index is off).
+  const RelevanceIndex& relevance_index() const { return relevance_; }
+
   std::size_t cache_size() const { return cache_.size(); }
   std::size_t window_size() const { return window_.size(); }
   std::size_t resident() const { return cache_.size() + window_.size(); }
@@ -190,6 +226,7 @@ class CacheManager {
   /// Find/FindMutable on the per-hit RecordBenefit path.
   std::unordered_map<CacheEntryId, CachedQuery*> by_id_;
   QueryIndex index_;
+  RelevanceIndex relevance_;
   StatisticsManager stats_;
   Rng rng_;
   CacheEntryId next_id_ = 1;

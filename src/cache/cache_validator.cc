@@ -2,9 +2,7 @@
 
 namespace gcp {
 
-void CacheValidator::RefreshEntry(CachedQuery& entry,
-                                  const ChangeCounters& counters,
-                                  std::size_t id_horizon) {
+void CacheValidator::ExtendEntry(CachedQuery& entry, std::size_t id_horizon) {
   // Algorithm 2, lines 4-6: extend the indicator for newly added dataset
   // graphs; the relation towards them is unknown, hence invalid (false).
   if (id_horizon > entry.valid.size()) {
@@ -13,7 +11,12 @@ void CacheValidator::RefreshEntry(CachedQuery& entry,
   if (id_horizon > entry.answer.size()) {
     entry.answer.Resize(id_horizon, false);
   }
+}
 
+void CacheValidator::ApplyCounters(CachedQuery& entry,
+                                   const ChangeCounters& counters,
+                                   const DeltaRevalidateFn* delta,
+                                   StatisticsManager* stats) {
   // Lines 7-19: apply the counters to the touched graphs only.
   //
   // The polarity of the UA/UR optimisations depends on the entry's query
@@ -39,8 +42,21 @@ void CacheValidator::RefreshEntry(CachedQuery& entry,
     if (counters.IsUrExclusive(graph_id) && !ua_safe_polarity) {
       continue;  // line 14-15 (resp. its supergraph inverse)
     }
+    if (delta != nullptr && stats != nullptr &&
+        (*delta)(entry, graph_id, *stats)) {
+      continue;  // delta re-validation kept or rewrote the bit
+    }
     entry.valid.Set(graph_id, false);  // line 17
   }
+}
+
+void CacheValidator::RefreshEntry(CachedQuery& entry,
+                                  const ChangeCounters& counters,
+                                  std::size_t id_horizon,
+                                  const DeltaRevalidateFn* delta,
+                                  StatisticsManager* stats) {
+  ExtendEntry(entry, id_horizon);
+  ApplyCounters(entry, counters, delta, stats);
 }
 
 }  // namespace gcp

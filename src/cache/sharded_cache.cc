@@ -126,6 +126,10 @@ StatisticsManager ShardedCache::AggregateStats() const {
         st.read_phase_engine_lock_acquisitions;
     sum.snapshot_summary_copies += st.snapshot_summary_copies;
     sum.shard_lock_graph_copies += st.shard_lock_graph_copies;
+    sum.reconcile_entries_touched += st.reconcile_entries_touched;
+    sum.reconcile_entries_skipped += st.reconcile_entries_skipped;
+    sum.delta_revalidations += st.delta_revalidations;
+    sum.delta_fallback_full_checks += st.delta_fallback_full_checks;
   }
   return sum;
 }

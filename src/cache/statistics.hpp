@@ -74,6 +74,23 @@ class StatisticsManager {
   /// zero when survivors share ownership of the resident graph (the
   /// default), > 0 only on the copy_discovery_survivors oracle path.
   std::uint64_t shard_lock_graph_copies = 0;
+
+  // --- Reconciliation counters (change-relevance index + delta
+  // re-validation). Per reconcile event, touched + skipped == resident;
+  // with the relevance index off every resident entry is touched and
+  // skipped stays 0. ---------------------------------------------------
+  /// Resident entries Algorithm 2 actually ran over during CON
+  /// reconciliation (or purged by an EVI reconcile).
+  std::uint64_t reconcile_entries_touched = 0;
+  /// Resident entries the relevance index proved unaffected by the change
+  /// batch — their CGvalid bits were left untouched by construction.
+  std::uint64_t reconcile_entries_skipped = 0;
+  /// (entry, dataset-graph) bits Algorithm 2 would have cleared that the
+  /// delta screen proved unchanged and kept valid.
+  std::uint64_t delta_revalidations = 0;
+  /// Delta-screen fallbacks: full Method M containment re-checks of one
+  /// (entry, dataset-graph) pair whose delta was undecidable.
+  std::uint64_t delta_fallback_full_checks = 0;
 };
 
 }  // namespace gcp

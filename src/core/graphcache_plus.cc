@@ -40,7 +40,8 @@ GraphCachePlus::GraphCachePlus(GraphDataset* dataset,
       cache_(options.num_shards,
              CacheManagerOptions{options.cache_capacity,
                                  options.window_capacity, options.policy,
-                                 options.rng_seed}) {
+                                 options.rng_seed,
+                                 options.use_relevance_index}) {
   pending_.reserve(cache_.num_shards());
   for (std::size_t s = 0; s < cache_.num_shards(); ++s) {
     pending_.push_back(std::make_unique<BoundedMpscQueue<PendingMaintenance>>(
@@ -79,18 +80,44 @@ bool GraphCachePlus::NeedsSyncLocked() const {
 
 void GraphCachePlus::SyncWithDatasetLocked(QueryMetrics* metrics) {
   const ChangeLog& log = dataset_->log();
+  // FTV first: after its sync the summaries reflect the batch-target
+  // state, so the delta re-validation screen below may consult them.
+  if (ftv_ != nullptr && !ftv_->InSync()) {
+    ScopedTimer timer(&metrics->t_index_ns);
+    ftv_->SyncWithDataset();
+  }
   if (log.HasChangesSince(watermark_)) {
     ScopedTimer timer(&metrics->t_validate_ns);
     if (options_.model == CacheModel::kEvi) {
       // EVI: the Log Analyzer merely raises the changed flag; the Cache
       // Validator clears the stores indiscriminately (paper §5.1).
-      cache_.Clear();
+      for (std::size_t s = 0; s < cache_.num_shards(); ++s) {
+        cache_.shard(s).PurgeForReconcile();
+      }
     } else {
-      // CON: Algorithm 1 over the incremental records, then Algorithm 2 on
-      // every resident entry of every shard (paper §5.2).
+      // CON: Algorithm 1 over the incremental records, then Algorithm 2 —
+      // relevance-screened or brute-force — per shard (paper §5.2).
       const std::vector<ChangeRecord> records = log.ExtractSince(watermark_);
       const ChangeCounters counters = LogAnalyzer::Analyze(records);
-      cache_.ValidateAll(counters, dataset_->IdHorizon());
+      CacheValidator::DeltaRevalidateFn delta_fn;
+      const CacheValidator::DeltaRevalidateFn* delta = nullptr;
+      if (options_.delta_revalidation) {
+        delta_fn = MakeDeltaRevalidator(
+            records,
+            [this](GraphId id) -> const Graph* {
+              return dataset_->IsLive(id) ? &dataset_->graph(id) : nullptr;
+            },
+            [this](GraphId id) -> const GraphFeatures* {
+              // In sync after the block above — summaries are target-state.
+              return ftv_ != nullptr && ftv_->InSync() ? ftv_->SummaryOf(id)
+                                                       : nullptr;
+            });
+        delta = &delta_fn;
+      }
+      const std::size_t horizon = dataset_->IdHorizon();
+      for (std::size_t s = 0; s < cache_.num_shards(); ++s) {
+        ValidateShardStore(cache_.shard(s), counters, horizon, delta);
+      }
       if (options_.retrospective_budget > 0) {
         std::size_t budget = options_.retrospective_budget;
         const DynamicBitset live = dataset_->LiveMask();
@@ -106,10 +133,6 @@ void GraphCachePlus::SyncWithDatasetLocked(QueryMetrics* metrics) {
     for (std::size_t s = 0; s < cache_.num_shards(); ++s) {
       cache_.shard(s).set_watermark(watermark_);
     }
-  }
-  if (ftv_ != nullptr && !ftv_->InSync()) {
-    ScopedTimer timer(&metrics->t_index_ns);
-    ftv_->SyncWithDataset();
   }
 }
 
@@ -356,16 +379,102 @@ void GraphCachePlus::ReconcileShardLocked(std::size_t s,
   if (from == snap.watermark) return;
   if (options_.model == CacheModel::kEvi) {
     // EVI: any dataset change purges — shard-locally here.
-    shard.Clear();
+    shard.PurgeForReconcile();
   } else {
-    const ChangeCounters counters =
-        LogAnalyzer::Analyze(snap.RecordsBetween(from, snap.watermark));
-    shard.ValidateAll(counters, snap.id_horizon);
+    const std::vector<ChangeRecord> records =
+        snap.RecordsBetween(from, snap.watermark);
+    const ChangeCounters counters = LogAnalyzer::Analyze(records);
+    CacheValidator::DeltaRevalidateFn delta_fn;
+    const CacheValidator::DeltaRevalidateFn* delta = nullptr;
+    if (options_.delta_revalidation) {
+      delta_fn = MakeDeltaRevalidator(
+          records,
+          [&snap](GraphId id) -> const Graph* {
+            return id < snap.live.size() && snap.live.Test(id) &&
+                           snap.graphs[id] != nullptr
+                       ? &snap.graph(id)
+                       : nullptr;
+          },
+          [&snap](GraphId id) -> const GraphFeatures* {
+            if (!snap.has_ftv || snap.ftv_summaries == nullptr ||
+                id >= snap.ftv_summaries->size()) {
+              return nullptr;
+            }
+            const auto& slot = (*snap.ftv_summaries)[id];
+            return slot.has_value() ? &*slot : nullptr;
+          });
+      delta = &delta_fn;
+    }
+    ValidateShardStore(shard, counters, snap.id_horizon, delta);
     if (retro_budget != nullptr && *retro_budget > 0) {
       RetrospectiveRefreshShard(s, snap.live, retro_budget);
     }
   }
   shard.set_watermark(snap.watermark);
+}
+
+void GraphCachePlus::ValidateShardStore(
+    CacheManager& shard, const ChangeCounters& counters,
+    std::size_t id_horizon, const CacheValidator::DeltaRevalidateFn* delta) {
+  if (options_.use_relevance_index) {
+    shard.ValidateRelevant(counters, id_horizon, delta);
+  } else {
+    shard.ValidateAll(counters, id_horizon, delta);
+  }
+}
+
+CacheValidator::DeltaRevalidateFn GraphCachePlus::MakeDeltaRevalidator(
+    const std::vector<ChangeRecord>& records,
+    std::function<const Graph*(GraphId)> graph_of,
+    std::function<const GraphFeatures*(GraphId)> summary_of) const {
+  // One pass over the batch up front; the per-pair hook is then mask
+  // tests plus (rarely) one containment check.
+  ChangeBatchFootprint footprint =
+      LogAnalyzer::PairFootprint(records, graph_of);
+  const SubgraphMatcher& verifier = method_m_.matcher();
+  return [footprint = std::move(footprint), graph_of = std::move(graph_of),
+          summary_of = std::move(summary_of), &verifier](
+             CachedQuery& e, GraphId graph_id,
+             StatisticsManager& stats) -> bool {
+    const bool super = e.kind == CachedQueryKind::kSupergraph;
+    if (!super) {
+      // Pair screen (sub entries only): a positive bit (query ⊆ G) can
+      // only break when an edge whose label pair the query uses was
+      // REMOVED; a negative bit only when such a pair was ADDED. If the
+      // batch's per-graph delta is exact, non-structural and disjoint
+      // from the query's pair mask, the old bit provably still holds.
+      const GraphChangeDelta* d = footprint.Find(graph_id);
+      if (d != nullptr && d->pairs_exact && !d->structural) {
+        const std::uint64_t breaking = e.answer.Test(graph_id)
+                                           ? d->removed_pair_mask
+                                           : d->added_pair_mask;
+        if ((breaking & EdgeLabelPairMaskOf(e.features)) == 0) {
+          ++stats.delta_revalidations;
+          return true;  // keep the bit as-is
+        }
+      }
+    }
+    // Fallback: re-verify the pair against the batch-target graph state
+    // (exact — labels are immutable and ids never reused, so the target
+    // state is the state every surviving record left the graph in).
+    const Graph* g = graph_of(graph_id);
+    if (g == nullptr) return false;  // dead at target — plain clear
+    bool contained;
+    const GraphFeatures* summary =
+        summary_of != nullptr ? summary_of(graph_id) : nullptr;
+    if (summary != nullptr &&
+        (super ? !summary->CouldBeSubgraphOf(e.features)
+               : !e.features.CouldBeSubgraphOf(*summary))) {
+      contained = false;  // feature prescreen: containment impossible
+    } else {
+      contained = super ? verifier.Contains(*g, *e.query)
+                        : verifier.Contains(*e.query, *g);
+    }
+    e.answer.Set(graph_id, contained);
+    e.valid.Set(graph_id, true);
+    ++stats.delta_fallback_full_checks;
+    return true;
+  };
 }
 
 void GraphCachePlus::PublishAndReconcile(QueryMetrics* metrics) {
@@ -593,6 +702,7 @@ void GraphCachePlus::RetrospectiveRefreshShard(std::size_t s,
     // Unknown pairs: live graphs whose validity bit is off.
     DynamicBitset unknown = DynamicBitset::Not(e->valid);
     unknown.AndWith(live);
+    bool restored_any = false;
     for (std::size_t i = unknown.FindFirst();
          i != DynamicBitset::npos && *budget > 0;
          i = unknown.FindNext(i + 1)) {
@@ -602,9 +712,13 @@ void GraphCachePlus::RetrospectiveRefreshShard(std::size_t s,
                                  : verifier.Contains(g, *e->query);
       e->answer.Set(i, contained);
       e->valid.Set(i, true);
+      restored_any = true;
       --*budget;
       ++shard.stats().total_retro_refreshes;
     }
+    // Bits were SET outside the validator — re-widen the entry's
+    // relevance footprint so it stays a superset of the valid words.
+    if (restored_any) shard.RefreshRelevanceFootprint(id);
   }
 }
 

@@ -371,6 +371,27 @@ class GraphCachePlus {
   void RetrospectiveRefreshShard(std::size_t s, const DynamicBitset& live,
                                  std::size_t* budget);
 
+  /// Builds the per-batch delta re-validation hook (CON +
+  /// options_.delta_revalidation): for every (entry, graph) pair
+  /// Algorithm 2 would invalidate, keep the bit when the batch's
+  /// edge-label-pair delta proves the relation unchanged, else re-verify
+  /// the pair against the batch-target graph state (FTV-summary
+  /// prescreen, then one containment check) and rewrite answer/valid.
+  /// `graph_of` resolves ids to the target state (nullptr = dead there);
+  /// `summary_of` optionally resolves target-state FTV summaries.
+  CacheValidator::DeltaRevalidateFn MakeDeltaRevalidator(
+      const std::vector<ChangeRecord>& records,
+      std::function<const Graph*(GraphId)> graph_of,
+      std::function<const GraphFeatures*(GraphId)> summary_of) const;
+
+  /// CON-validates one shard's store against `counters`: through the
+  /// change-relevance index (options_.use_relevance_index) or the
+  /// brute-force ValidateAll oracle — bit-exact either way. Requires the
+  /// shard's exclusive lock.
+  void ValidateShardStore(CacheManager& shard, const ChangeCounters& counters,
+                          std::size_t id_horizon,
+                          const CacheValidator::DeltaRevalidateFn* delta);
+
   GraphDataset* dataset_;
   GraphCachePlusOptions options_;
   std::unique_ptr<ThreadPool> pool_;

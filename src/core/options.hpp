@@ -78,6 +78,25 @@ struct GraphCachePlusOptions {
   /// copies, so it must be zero whenever this is off.
   bool copy_discovery_survivors = false;
 
+  /// Reconcile CON/EVI change batches through the change-relevance index
+  /// (cache/relevance_index): Algorithm 2's counter loop runs only over
+  /// entries whose CGvalid footprint intersects the batch; everything
+  /// else provably keeps its bits and is skipped. Off is the brute-force
+  /// ValidateAll oracle (bit-exact by construction; kept for
+  /// before/after benchmarking and equivalence gates).
+  bool use_relevance_index = true;
+
+  /// Delta re-validation, CON only: for each (entry, dataset-graph) pair
+  /// Algorithm 2 would invalidate, first try to prove the cached
+  /// relation unchanged from the batch's edge-label-pair delta (the bit
+  /// stays valid), and otherwise re-verify the pair with one full
+  /// containment check against the batch-target graph state (the bit
+  /// becomes valid with a fresh answer) instead of fading it. Keeps
+  /// more of the cache hot under churn at reconcile-time verification
+  /// cost. Answers stay exact either way; off preserves Algorithm 2's
+  /// fade-only behaviour bit-exactly.
+  bool delta_revalidation = false;
+
   /// Retrospective validation (the paper's §8 future-work optimisation),
   /// CON only: after Algorithm 2 fades validity bits, spend up to this
   /// many sub-iso re-verifications per dataset sync restoring them —

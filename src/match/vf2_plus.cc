@@ -171,10 +171,33 @@ class Vf2PlusPreparedState {
       // Only target neighbours carrying u's label can be feasible; the
       // label-sorted CSR run enumerates exactly those, in ascending id
       // order (the same relative order the unfiltered scan would try
-      // feasible candidates in).
-      for (const VertexId v :
-           target_.NeighborsWithLabel(anchor_image, pattern_.label(u))) {
-        if (TryPair(u, v, depth)) return true;
+      // feasible candidates in). Batch signature prescreen over the
+      // neighbour run, mirroring the unanchored branch below: the SIMD
+      // screen drops exactly the pairs Feasible would reject on
+      // signature dominance, survivors are tried in the same order, and
+      // each drop is charged one expansion + one prune exactly when the
+      // unscreened loop would have reached it — MatchStats stay
+      // bit-identical, early exit included.
+      const NeighborRange cands =
+          target_.NeighborsWithLabel(anchor_image, pattern_.label(u));
+      const std::size_t m = cands.size();
+      Arena* const arena = ThreadArena();
+      ScratchArray<std::uint64_t> sigs(arena, m);
+      for (std::size_t i = 0; i < m; ++i) {
+        sigs[i] = target_.vertex_signature(cands[i]);
+      }
+      ScratchArray<std::uint32_t> survivors(arena, m);
+      const std::size_t kept = simd::SignatureDominanceScreen(
+          pattern_.vertex_signature(u), sigs.data(), m, survivors.data());
+      std::size_t next_survivor = 0;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (next_survivor < kept && survivors[next_survivor] == i) {
+          ++next_survivor;
+          if (TryPair(u, cands[i], depth)) return true;
+        } else if (stats_ != nullptr) {
+          ++stats_->nodes_expanded;
+          ++stats_->pruned;
+        }
       }
     } else {
       // Unanchored (depth 0, or a new connected component): only target

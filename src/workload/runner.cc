@@ -76,6 +76,8 @@ RunReport RunWorkload(const std::vector<Graph>& initial,
   opts.copy_discovery_survivors = config.copy_discovery_survivors;
   opts.max_sub_hits = config.max_sub_hits;
   opts.max_super_hits = config.max_super_hits;
+  opts.use_relevance_index = config.relevance_index;
+  opts.delta_revalidation = config.delta_revalidation;
   opts.retrospective_budget = config.retrospective_budget;
   opts.use_ftv_index = config.use_ftv;
   opts.reuse_match_context = !config.legacy_hot_path;

@@ -68,6 +68,13 @@ struct RunnerConfig {
   bool copy_discovery_survivors = false;
   std::size_t max_sub_hits = 16;
   std::size_t max_super_hits = 16;
+  /// Reconcile change batches through the change-relevance index (on,
+  /// the default) or the brute-force ValidateAll oracle (off) — bit-exact
+  /// either way; off is the "before" side of the reconciliation bench.
+  bool relevance_index = true;
+  /// CON-only delta re-validation at reconcile time (default off):
+  /// per-pair keep/re-verify instead of Algorithm 2's fade-only clears.
+  bool delta_revalidation = false;
   /// CON-only retrospective validation budget per sync (0 = off, §8).
   std::size_t retrospective_budget = 0;
   /// Equip Method M with the updatable FTV index (src/ftv).
