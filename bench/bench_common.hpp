@@ -85,6 +85,14 @@ struct BenchConfig {
   /// Thread arenas for per-query matcher scratch (--arena=off = the
   /// plain-heap oracle path).
   bool arena = true;
+  /// Durable checkpoint directory (--checkpoint-dir; empty = off).
+  std::string checkpoint_dir;
+  /// Background checkpoint period in µs (--checkpoint-interval; 0 = off;
+  /// needs --maintenance-thread to actually fire in the background).
+  std::size_t checkpoint_interval_us = 0;
+  /// Attempt a verified warm restart before the first query
+  /// (--warm-restart; degrades to cold start when nothing usable exists).
+  bool warm_restart = false;
   /// When non-empty, also emit machine-readable results here (--json=...).
   std::string json_path;
 
@@ -151,6 +159,10 @@ struct BenchConfig {
         flags.GetBool("delta-revalidation", c.delta_revalidation);
     c.simd = flags.GetString("simd", c.simd);
     c.arena = flags.GetBool("arena", c.arena);
+    c.checkpoint_dir = flags.GetString("checkpoint-dir", c.checkpoint_dir);
+    c.checkpoint_interval_us = static_cast<std::size_t>(
+        flags.GetInt("checkpoint-interval", c.checkpoint_interval_us));
+    c.warm_restart = flags.GetBool("warm-restart", c.warm_restart);
     c.json_path = flags.GetString("json", c.json_path);
     return c;
   }
@@ -227,6 +239,9 @@ inline RunnerConfig MakeRunnerConfig(RunMode mode, MatcherKind method,
   rc.copy_discovery_survivors = cfg.copy_survivors;
   rc.relevance_index = cfg.relevance_index;
   rc.delta_revalidation = cfg.delta_revalidation;
+  rc.checkpoint_dir = cfg.checkpoint_dir;
+  rc.checkpoint_interval_us = cfg.checkpoint_interval_us;
+  rc.warm_restart = cfg.warm_restart;
   rc.plan_seed = cfg.seed + 404;
   return rc;
 }

@@ -1,6 +1,7 @@
 #include "cache/cache_manager.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "cache/cache_validator.hpp"
 #include "graph/canonical.hpp"
@@ -112,6 +113,9 @@ void CacheManager::Clear() {
 
 void CacheManager::PurgeForReconcile() {
   stats_.reconcile_entries_touched += resident();
+  // An EVI purge touches everything; the post-restore balance holds
+  // trivially (skipped == 0).
+  restore_balance_check_pending_ = false;
   Clear();
 }
 
@@ -119,6 +123,8 @@ void CacheManager::ValidateAll(
     const ChangeCounters& counters, std::size_t id_horizon,
     const CacheValidator::DeltaRevalidateFn* delta) {
   stats_.reconcile_entries_touched += resident();
+  // Brute-force validation touches everything; balance holds trivially.
+  restore_balance_check_pending_ = false;
   for (auto& e : cache_) {
     CacheValidator::RefreshEntry(*e, counters, id_horizon, delta, &stats_);
     if (options_.maintain_relevance_index) relevance_.Refresh(e.get());
@@ -142,6 +148,7 @@ void CacheManager::ValidateRelevant(
       RelevanceIndex::FootprintOf(counters);
   const std::vector<const CachedQuery*> affected =
       relevance_.CollectAffected(batch);
+  std::size_t touched = 0;
   for (const CachedQuery* c : affected) {
     CachedQuery* e = FindMutable(c->id);
     if (e == nullptr) continue;  // defensive; affected ids are resident
@@ -149,9 +156,21 @@ void CacheManager::ValidateRelevant(
     // Re-tightens after clears and restores the superset invariant after
     // a delta fallback re-set bits.
     relevance_.Refresh(e);
+    ++touched;
   }
-  stats_.reconcile_entries_touched += affected.size();
-  stats_.reconcile_entries_skipped += resident() - affected.size();
+  if (restore_balance_check_pending_) {
+    // First reconcile over a restored population: the relevance screen
+    // must partition exactly the entries RestoreEntries re-admitted —
+    // every posting resolves to a resident entry and the touched/skipped
+    // split balances. A stale posting (entry restored without its
+    // footprint) would break both.
+    assert(touched == affected.size() &&
+           "post-restore reconcile hit a non-resident posting");
+    assert(touched + (resident() - touched) == resident());
+    restore_balance_check_pending_ = false;
+  }
+  stats_.reconcile_entries_touched += touched;
+  stats_.reconcile_entries_skipped += resident() - touched;
 }
 
 void CacheManager::RefreshRelevanceFootprint(CacheEntryId id) {
@@ -247,11 +266,27 @@ void CacheManager::RestoreEntries(std::vector<CachedQuery> entries) {
     owned->in_window = false;
     owned->features = GraphFeatures::Extract(*owned->query);
     owned->digest = WlDigest(*owned->query);
+    // Re-seed the replacement inputs instead of trusting the file: a
+    // snapshot from an older writer may carry no cost estimate, and PINC
+    // ranks on it.
+    if (owned->est_test_cost_ms <= 0.0) {
+      owned->est_test_cost_ms =
+          StatisticsManager::StructuralCostEstimateMs(*owned->query);
+    }
     index_.Insert(owned.get());
     if (options_.maintain_relevance_index) relevance_.Insert(owned.get());
     by_id_.emplace(owned->id, owned.get());
     cache_.push_back(std::move(owned));
+    // Footprints are rebuilt from the restored bitsets, never carried
+    // over from the file — the relevance screen's superset invariant must
+    // hold for whatever validity state actually landed in the store.
+    RefreshRelevanceFootprint(cache_.back()->id);
   }
+  stats_.restored_entries += cache_.size();
+  // RANDOM-policy replacement restarts from the configured seed, so a
+  // restore is deterministic regardless of pre-restore RNG consumption.
+  rng_ = Rng(options_.rng_seed);
+  restore_balance_check_pending_ = true;
 }
 
 std::vector<CacheEntryId> CacheManager::ResidentIdsByBenefit() const {

@@ -214,8 +214,18 @@ class CacheManager {
 
   /// Replaces the resident contents with `entries` (fresh ids are
   /// assigned; at most cache_capacity entries are kept, best R first; all
-  /// land in the cache store). Used when restoring a snapshot.
+  /// land in the cache store). Used when restoring a snapshot. Relevance
+  /// footprints are rebuilt from the restored bitsets, the replacement RNG
+  /// is re-seeded, and the first reconcile after the restore re-checks the
+  /// touched + skipped == resident balance over the restored population.
   void RestoreEntries(std::vector<CachedQuery> entries);
+
+  /// True between a RestoreEntries call and the first reconcile after it —
+  /// exposed so restart tests can confirm the post-restore balance check
+  /// actually ran.
+  bool restore_balance_check_pending() const {
+    return restore_balance_check_pending_;
+  }
 
  private:
   CacheManagerOptions options_;
@@ -232,6 +242,10 @@ class CacheManager {
   CacheEntryId next_id_ = 1;
   LogSeq watermark_ = 0;
   ReplacementPolicy last_effective_ = ReplacementPolicy::kHybrid;
+  /// Armed by RestoreEntries, consumed by the next reconcile: the first
+  /// post-restore drain re-verifies that the relevance screen's
+  /// touched/skipped split covers exactly the restored population.
+  bool restore_balance_check_pending_ = false;
 };
 
 }  // namespace gcp

@@ -126,6 +126,14 @@ StatisticsManager ShardedCache::AggregateStats() const {
         st.read_phase_engine_lock_acquisitions;
     sum.snapshot_summary_copies += st.snapshot_summary_copies;
     sum.shard_lock_graph_copies += st.shard_lock_graph_copies;
+    sum.checkpoints_written += st.checkpoints_written;
+    sum.checkpoints_failed += st.checkpoints_failed;
+    sum.checkpoints_retried += st.checkpoints_retried;
+    sum.checkpoint_bytes += st.checkpoint_bytes;
+    sum.t_checkpoint_ns += st.t_checkpoint_ns;
+    sum.warm_restarts += st.warm_restarts;
+    sum.warm_restart_rejected += st.warm_restart_rejected;
+    sum.restored_entries += st.restored_entries;
     sum.reconcile_entries_touched += st.reconcile_entries_touched;
     sum.reconcile_entries_skipped += st.reconcile_entries_skipped;
     sum.delta_revalidations += st.delta_revalidations;

@@ -13,11 +13,17 @@ constexpr char kMagic[] = "GCPCACHE";
 constexpr int kVersion = 1;
 
 // Bitsets are serialized as '0'/'1' strings (diff-friendly; snapshots are
-// maintenance artifacts, not a hot path).
-DynamicBitset ParseBits(const std::string& s) {
+// maintenance artifacts, not a hot path). Any character outside {0,1} is
+// corruption — a bit-flipped byte must fail the load, not silently parse
+// as a cleared bit.
+Result<DynamicBitset> ParseBits(const std::string& s) {
   DynamicBitset b(s.size());
   for (std::size_t i = 0; i < s.size(); ++i) {
-    if (s[i] == '1') b.Set(i);
+    if (s[i] == '1') {
+      b.Set(i);
+    } else if (s[i] != '0') {
+      return Status::Corruption("bitset holds a non-0/1 character");
+    }
   }
   return b;
 }
@@ -63,7 +69,10 @@ Result<CacheSnapshot> ReadCacheSnapshot(std::istream& is) {
   }
   std::string line;
   std::getline(is, line);  // consume end-of-line
-  snapshot.entries.reserve(entry_count);
+  // Cap the up-front reservation: a corrupt entry count must not turn
+  // into a multi-GB allocation before the first entry parse fails.
+  snapshot.entries.reserve(
+      entry_count < std::size_t{4096} ? entry_count : std::size_t{4096});
   for (std::size_t i = 0; i < entry_count; ++i) {
     if (!std::getline(is, line) || line.rfind("entry ", 0) != 0) {
       return Status::Corruption("expected entry header for entry " +
@@ -73,6 +82,7 @@ Result<CacheSnapshot> ReadCacheSnapshot(std::istream& is) {
     {
       std::istringstream hs(line.substr(6));
       std::string field;
+      std::size_t fields_seen = 0;
       while (hs >> field) {
         const auto eq = field.find('=');
         if (eq == std::string::npos) {
@@ -109,16 +119,28 @@ Result<CacheSnapshot> ReadCacheSnapshot(std::istream& is) {
         if (end == nullptr || *end != '\0') {
           return Status::Corruption("malformed entry value: " + field);
         }
+        ++fields_seen;
+      }
+      // A truncated header line must not yield a default-constructed
+      // entry: all 9 metadata fields are required.
+      if (fields_seen != 9) {
+        return Status::Corruption("entry header holds " +
+                                  std::to_string(fields_seen) +
+                                  " fields, expected 9");
       }
     }
     if (!std::getline(is, line) || line.rfind("answer ", 0) != 0) {
       return Status::Corruption("missing answer bits");
     }
-    e.answer = ParseBits(line.substr(7));
+    auto answer = ParseBits(line.substr(7));
+    if (!answer.ok()) return answer.status();
+    e.answer = std::move(answer).value();
     if (!std::getline(is, line) || line.rfind("valid ", 0) != 0) {
       return Status::Corruption("missing valid bits");
     }
-    e.valid = ParseBits(line.substr(6));
+    auto valid = ParseBits(line.substr(6));
+    if (!valid.ok()) return valid.status();
+    e.valid = std::move(valid).value();
     if (e.answer.size() != e.valid.size()) {
       return Status::Corruption("answer/valid width mismatch");
     }

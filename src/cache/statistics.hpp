@@ -75,6 +75,30 @@ class StatisticsManager {
   /// default), > 0 only on the copy_discovery_survivors oracle path.
   std::uint64_t shard_lock_graph_copies = 0;
 
+  // --- Durability counters (checkpointing + warm restart). The
+  // checkpoint_* group is engine-level (the engine overlays it onto
+  // aggregated snapshots, like the epoch counters); restored_entries is
+  // per-shard. ------------------------------------------------------------
+  /// Checkpoints durably committed (tmp → fsync → rename completed).
+  std::uint64_t checkpoints_written = 0;
+  /// Checkpoint attempts that failed on any I/O step (the tmp file, if
+  /// any, is left behind as a crash would leave it).
+  std::uint64_t checkpoints_failed = 0;
+  /// Background attempts made while recovering from a failure (backoff
+  /// retries; a first failure is counted in checkpoints_failed only).
+  std::uint64_t checkpoints_retried = 0;
+  /// Bytes of committed checkpoint files.
+  std::uint64_t checkpoint_bytes = 0;
+  /// Wall time spent exporting + writing checkpoints.
+  std::uint64_t t_checkpoint_ns = 0;
+  /// Successful warm restarts (a checkpoint was loaded and applied).
+  std::uint64_t warm_restarts = 0;
+  /// Checkpoint siblings rejected during restart (corrupt / truncated /
+  /// wrong lineage) before last-good or cold start was reached.
+  std::uint64_t warm_restart_rejected = 0;
+  /// Entries re-admitted into the stores by snapshot/checkpoint restores.
+  std::uint64_t restored_entries = 0;
+
   // --- Reconciliation counters (change-relevance index + delta
   // re-validation). Per reconcile event, touched + skipped == resident;
   // with the relevance index off every resident entry is touched and

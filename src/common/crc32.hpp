@@ -1,0 +1,28 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// checksum of the durable checkpoint format.
+//
+// Software table implementation on purpose: checkpoints are a background
+// maintenance artifact, not a hot path, and a dependency-free checksum
+// keeps the io layer self-contained. The value for the empty string is 0
+// and Crc32 composes incrementally: Crc32(b, n2, Crc32(a, n1)) ==
+// Crc32(a+b, n1+n2).
+
+#ifndef GCP_COMMON_CRC32_HPP_
+#define GCP_COMMON_CRC32_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gcp {
+
+/// CRC32 of `len` bytes at `data`, continuing from `seed` (0 to start).
+std::uint32_t Crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+inline std::uint32_t Crc32(std::string_view s, std::uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace gcp
+
+#endif  // GCP_COMMON_CRC32_HPP_

@@ -1,0 +1,275 @@
+#include "common/io.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace gcp {
+
+namespace {
+
+/// Chunk size of AtomicFileWriter::Append: small enough that a multi-KB
+/// checkpoint exposes several distinct write fault points, large enough
+/// that syscall count stays negligible.
+constexpr std::size_t kWriteChunk = 1 << 16;
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+/// Parent directory of `path` ("." when it has no slash).
+std::string ParentDir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+std::string_view FaultOpName(FaultInjector::Op op) {
+  switch (op) {
+    case FaultInjector::Op::kOpen:
+      return "open";
+    case FaultInjector::Op::kWrite:
+      return "write";
+    case FaultInjector::Op::kFsync:
+      return "fsync";
+    case FaultInjector::Op::kRename:
+      return "rename";
+  }
+  return "unknown";
+}
+
+// --- ScriptedFaultInjector ------------------------------------------------
+
+void ScriptedFaultInjector::FailAt(std::uint64_t index, Status status,
+                                   std::size_t torn_prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_index_ = index;
+  fail_kind_.reset();
+  fail_status_ = std::move(status);
+  torn_prefix_ = torn_prefix;
+  fired_ = false;
+}
+
+void ScriptedFaultInjector::FailAtKind(Op op, std::uint64_t nth, Status status,
+                                       std::size_t torn_prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_kind_ = std::make_pair(op, nth);
+  fail_index_.reset();
+  fail_status_ = std::move(status);
+  torn_prefix_ = torn_prefix;
+  fired_ = false;
+}
+
+FaultInjector::Decision ScriptedFaultInjector::OnOp(Op op,
+                                                    const std::string& path,
+                                                    std::size_t /*len*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t index = total_++;
+  const std::uint64_t kind_index = per_kind_[static_cast<int>(op)]++;
+  Decision d;
+  const bool hit =
+      (fail_index_.has_value() && *fail_index_ == index) ||
+      (fail_kind_.has_value() && fail_kind_->first == op &&
+       fail_kind_->second == kind_index);
+  if (hit && !fail_status_.ok()) {
+    fired_ = true;
+    fired_path_ = path;
+    d.status = fail_status_;
+    d.torn_prefix_bytes = torn_prefix_;
+  }
+  return d;
+}
+
+std::uint64_t ScriptedFaultInjector::ops_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::uint64_t ScriptedFaultInjector::ops_seen(Op op) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return per_kind_[static_cast<int>(op)];
+}
+
+bool ScriptedFaultInjector::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+std::string ScriptedFaultInjector::fired_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_path_;
+}
+
+// --- Plain helpers --------------------------------------------------------
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  if (is.bad()) return Status::IOError("read failed: " + path);
+  return std::move(buf).str();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<std::uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IOError(ErrnoMessage("stat", path));
+  }
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError(ErrnoMessage("unlink", path));
+  }
+  return Status::OK();
+}
+
+Status EnsureDirectory(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError(ErrnoMessage("mkdir", dir));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDirectory(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Status::IOError(ErrnoMessage("opendir", dir));
+  std::vector<std::string> names;
+  while (struct dirent* ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(d);
+  return names;
+}
+
+// --- AtomicFileWriter -----------------------------------------------------
+
+AtomicFileWriter::AtomicFileWriter(std::string final_path,
+                                   FaultInjector* fault)
+    : final_path_(std::move(final_path)),
+      tmp_path_(final_path_ + ".tmp"),
+      fault_(fault) {}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) Abandon();
+}
+
+Status AtomicFileWriter::Fail(Status st) {
+  if (first_error_.ok()) first_error_ = st;
+  return st;
+}
+
+Status AtomicFileWriter::Open() {
+  if (!first_error_.ok()) return first_error_;
+  if (fault_ != nullptr) {
+    const FaultInjector::Decision d = fault_->OnOp(FaultInjector::Op::kOpen, tmp_path_, 0);
+    if (!d.status.ok()) return Fail(d.status);
+  }
+  fd_ = ::open(tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) return Fail(Status::IOError(ErrnoMessage("open", tmp_path_)));
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Append(std::string_view data) {
+  if (!first_error_.ok()) return first_error_;
+  if (fd_ < 0) return Fail(Status::FailedPrecondition("writer not open"));
+  while (!data.empty()) {
+    const std::size_t chunk = data.size() < kWriteChunk ? data.size()
+                                                        : kWriteChunk;
+    if (fault_ != nullptr) {
+      const FaultInjector::Decision d = fault_->OnOp(FaultInjector::Op::kWrite, tmp_path_, chunk);
+      if (!d.status.ok()) {
+        // A torn write: the scripted prefix lands on disk, then the
+        // "crash" — exactly what a power cut mid-write leaves behind.
+        const std::size_t torn = d.torn_prefix_bytes < chunk
+                                     ? d.torn_prefix_bytes
+                                     : 0;
+        if (torn > 0) {
+          (void)::write(fd_, data.data(), torn);
+          bytes_written_ += torn;
+        }
+        return Fail(d.status);
+      }
+    }
+    const char* p = data.data();
+    std::size_t remaining = chunk;
+    while (remaining > 0) {
+      const ssize_t n = ::write(fd_, p, remaining);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Fail(Status::IOError(ErrnoMessage("write", tmp_path_)));
+      }
+      p += n;
+      remaining -= static_cast<std::size_t>(n);
+      bytes_written_ += static_cast<std::uint64_t>(n);
+    }
+    data.remove_prefix(chunk);
+  }
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Commit() {
+  if (!first_error_.ok()) return first_error_;
+  if (fd_ < 0) return Fail(Status::FailedPrecondition("writer not open"));
+  if (fault_ != nullptr) {
+    const FaultInjector::Decision d = fault_->OnOp(FaultInjector::Op::kFsync, tmp_path_, 0);
+    if (!d.status.ok()) return Fail(d.status);
+  }
+  if (::fsync(fd_) != 0) {
+    return Fail(Status::IOError(ErrnoMessage("fsync", tmp_path_)));
+  }
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    return Fail(Status::IOError(ErrnoMessage("close", tmp_path_)));
+  }
+  fd_ = -1;
+  if (fault_ != nullptr) {
+    const FaultInjector::Decision d = fault_->OnOp(FaultInjector::Op::kRename, final_path_, 0);
+    if (!d.status.ok()) return Fail(d.status);
+  }
+  if (::rename(tmp_path_.c_str(), final_path_.c_str()) != 0) {
+    return Fail(Status::IOError(ErrnoMessage("rename", tmp_path_)));
+  }
+  // Durable directory entry: without this, the rename itself may not
+  // survive a crash even though the data would.
+  const std::string dir = ParentDir(final_path_);
+  if (fault_ != nullptr) {
+    const FaultInjector::Decision d = fault_->OnOp(FaultInjector::Op::kFsync, dir, 0);
+    if (!d.status.ok()) return Fail(d.status);
+  }
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    (void)::fsync(dirfd);
+    ::close(dirfd);
+  }
+  committed_ = true;
+  return Status::OK();
+}
+
+void AtomicFileWriter::Abandon() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  // The tmp file is left in place on purpose — see the file comment.
+}
+
+}  // namespace gcp

@@ -1,0 +1,181 @@
+// Durable file I/O behind a Status-returning interface, with an
+// injectable fault hook on every operation.
+//
+// The checkpoint path (cache/checkpoint.*) must survive a crash at ANY
+// byte: it writes to a temporary sibling, fsyncs, and atomically renames
+// over the final name, so a reader only ever observes either the old
+// complete file or the new complete file — never a torn one. That claim
+// is only as good as its test coverage, which is why every syscall the
+// durable-write path performs funnels through a FaultInjector consult:
+// tests script "fail the nth write with EIO", "tear this write after k
+// bytes", "fail the fsync", "fail the rename" and prove recovery ends in
+// last-good or cold start, never UB.
+//
+// A failed write path deliberately LEAVES its temporary file behind —
+// that is what a crash would do — so recovery code is always exercised
+// against leftover garbage, and the next successful writer O_TRUNCs it.
+
+#ifndef GCP_COMMON_IO_HPP_
+#define GCP_COMMON_IO_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace gcp {
+
+/// \brief Hook consulted before each file operation of a durable write.
+///
+/// Implementations decide per operation whether it proceeds or fails (and
+/// for writes, how many bytes land on disk before the failure — a torn
+/// write). The default-constructed Decision lets the operation through.
+class FaultInjector {
+ public:
+  /// The operations the durable-write path performs, in the order a
+  /// checkpoint performs them: open tmp, write chunks, fsync file, rename
+  /// over the final name, fsync the directory.
+  enum class Op : std::uint8_t { kOpen, kWrite, kFsync, kRename };
+
+  struct Decision {
+    /// Non-OK: the operation fails with this status (errno-style EIO is
+    /// Status::IOError).
+    Status status = Status::OK();
+    /// For a failing kWrite only: bytes actually written before the
+    /// failure. Values >= the requested length clamp to a clean failure
+    /// with nothing written.
+    std::size_t torn_prefix_bytes = 0;
+  };
+
+  virtual ~FaultInjector() = default;
+
+  /// Consulted immediately before the operation executes. `len` is the
+  /// chunk size for kWrite, 0 otherwise.
+  virtual Decision OnOp(Op op, const std::string& path, std::size_t len) = 0;
+};
+
+std::string_view FaultOpName(FaultInjector::Op op);
+
+/// \brief Scriptable FaultInjector: counts operations and fails at most
+/// one scripted position. Thread-safe (the background checkpoint thread
+/// consults it while the test thread reads the counters).
+class ScriptedFaultInjector : public FaultInjector {
+ public:
+  /// Counts only; never fails.
+  ScriptedFaultInjector() = default;
+
+  /// Fails the `index`-th intercepted operation (0-based, across all
+  /// kinds) with `status`; if that operation is a write, `torn_prefix`
+  /// bytes land on disk first.
+  void FailAt(std::uint64_t index, Status status,
+              std::size_t torn_prefix = 0);
+
+  /// Fails the `nth` operation (0-based) of kind `op`.
+  void FailAtKind(Op op, std::uint64_t nth, Status status,
+                  std::size_t torn_prefix = 0);
+
+  Decision OnOp(Op op, const std::string& path, std::size_t len) override;
+
+  /// Operations intercepted so far (all kinds).
+  std::uint64_t ops_seen() const;
+  /// Operations of one kind intercepted so far.
+  std::uint64_t ops_seen(Op op) const;
+  /// True once the scripted fault has fired.
+  bool fired() const;
+  /// Path of the operation the fault fired on (empty until fired).
+  std::string fired_path() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t total_ = 0;
+  std::uint64_t per_kind_[4] = {0, 0, 0, 0};
+  // Scripted fault: by global index or by (kind, nth); at most one fires.
+  std::optional<std::uint64_t> fail_index_;
+  std::optional<std::pair<Op, std::uint64_t>> fail_kind_;
+  Status fail_status_;
+  std::size_t torn_prefix_ = 0;
+  bool fired_ = false;
+  std::string fired_path_;
+};
+
+// --- Plain file helpers (Status-returning, fault-injectable) -------------
+
+/// Reads the whole file. IOError when it cannot be opened or read.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// True when `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+/// File size in bytes; IOError when absent.
+Result<std::uint64_t> FileSize(const std::string& path);
+
+/// Deletes a file; OK when it does not exist (idempotent).
+Status RemoveFile(const std::string& path);
+
+/// Creates `dir` (single level); OK when it already exists.
+Status EnsureDirectory(const std::string& dir);
+
+/// Names of regular directory entries (not dotfiles' "." / ".."),
+/// unsorted. IOError when the directory cannot be opened.
+Result<std::vector<std::string>> ListDirectory(const std::string& dir);
+
+/// \brief Crash-safe file writer: tmp file → fsync → atomic rename.
+///
+/// Usage: Open(), Append() any number of times, Commit(). After a
+/// successful Commit the final path durably holds exactly the appended
+/// bytes. On any failure the writer stops (subsequent calls return the
+/// first error) and the temporary file is left on disk, as a crash would
+/// leave it; Abandon() (or the destructor before Commit) closes the
+/// descriptor without renaming.
+class AtomicFileWriter {
+ public:
+  /// Writes will target `final_path` + ".tmp" until Commit renames it.
+  /// `fault` (nullable, not owned) intercepts every operation.
+  explicit AtomicFileWriter(std::string final_path,
+                            FaultInjector* fault = nullptr);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Creates/truncates the temporary file.
+  Status Open();
+
+  /// Appends `data` (chunked so large payloads expose multiple write
+  /// fault points).
+  Status Append(std::string_view data);
+
+  /// fsync(tmp) → close → rename(tmp, final) → fsync(parent dir).
+  Status Commit();
+
+  /// Closes the descriptor without committing (keeps the tmp file — the
+  /// crash-shaped outcome; the next writer truncates it).
+  void Abandon();
+
+  /// Bytes appended so far (committed or not).
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+  const std::string& final_path() const { return final_path_; }
+  const std::string& tmp_path() const { return tmp_path_; }
+
+ private:
+  Status Fail(Status st);  ///< Records and returns the sticky error.
+
+  std::string final_path_;
+  std::string tmp_path_;
+  FaultInjector* fault_;
+  int fd_ = -1;
+  bool committed_ = false;
+  std::uint64_t bytes_written_ = 0;
+  Status first_error_;
+};
+
+}  // namespace gcp
+
+#endif  // GCP_COMMON_IO_HPP_

@@ -5,8 +5,10 @@
 #include <chrono>
 
 #include "cache/cache_validator.hpp"
+#include "cache/checkpoint.hpp"
 #include "cache/snapshot.hpp"
 #include "cache/statistics.hpp"
+#include "common/io.hpp"
 #include "common/stopwatch.hpp"
 #include "core/pruner.hpp"
 #include "dataset/log_analyzer.hpp"
@@ -369,6 +371,9 @@ void GraphCachePlus::MaintenanceDrainPass() {
     std::lock_guard<std::mutex> agg_lock(agg_mu_);
     aggregate_.t_maintenance_ns += drain_ns;
   }
+  // Background durability rides the drain loop; its cost is accounted in
+  // t_checkpoint_ns, not maintenance time.
+  MaybeBackgroundCheckpoint();
 }
 
 void GraphCachePlus::ReconcileShardLocked(std::size_t s,
@@ -598,18 +603,31 @@ StatisticsManager GraphCachePlus::CacheStatsSnapshot() const {
       engine_lock_acquisitions_.load(std::memory_order_relaxed);
   stats.snapshot_summary_copies = ftv_ ? ftv_->summary_copies() : 0;
   stats.shard_lock_graph_copies = discovery_.shard_lock_graph_copies();
+  // Durability counters are engine-level (per-shard stores report 0 for
+  // all but restored_entries, which AggregateStats already summed).
+  stats.checkpoints_written =
+      checkpoints_written_.load(std::memory_order_relaxed);
+  stats.checkpoints_failed =
+      checkpoints_failed_.load(std::memory_order_relaxed);
+  stats.checkpoints_retried =
+      checkpoints_retried_.load(std::memory_order_relaxed);
+  stats.checkpoint_bytes = checkpoint_bytes_.load(std::memory_order_relaxed);
+  stats.t_checkpoint_ns = t_checkpoint_ns_.load(std::memory_order_relaxed);
+  stats.warm_restarts = warm_restarts_.load(std::memory_order_relaxed);
+  stats.warm_restart_rejected =
+      warm_restart_rejected_.load(std::memory_order_relaxed);
   return stats;
 }
 
-Status GraphCachePlus::SaveCache(const std::string& path) const {
+CacheSnapshot GraphCachePlus::ExportSnapshot() const {
+  CacheSnapshot snapshot;
   if (!options_.epoch_reads) {
     std::shared_lock<std::shared_mutex> lock(mu_);
     const auto shard_locks = cache_.LockAllShared();
-    CacheSnapshot snapshot;
     snapshot.watermark = watermark_;
     snapshot.id_horizon = dataset_->IdHorizon();
     snapshot.entries = cache_.ExportEntries();
-    return WriteCacheSnapshotToFile(path, snapshot);
+    return snapshot;
   }
   // Epoch path: exclude publishes (mutation_mu_), then all shard locks
   // shared give a consistent export at the current snapshot's watermark.
@@ -617,17 +635,24 @@ Status GraphCachePlus::SaveCache(const std::string& path) const {
       const_cast<GraphCachePlus*>(this)->mutation_mu_);
   const EngineSnapshot* snap = snapshot_.load(std::memory_order_acquire);
   const auto shard_locks = cache_.LockAllShared();
-  CacheSnapshot snapshot;
   snapshot.watermark = snap->watermark;
   snapshot.id_horizon = snap->id_horizon;
   snapshot.entries = cache_.ExportEntries();
-  return WriteCacheSnapshotToFile(path, snapshot);
+  return snapshot;
+}
+
+Status GraphCachePlus::SaveCache(const std::string& path) const {
+  return WriteCacheSnapshotToFile(path, ExportSnapshot());
 }
 
 Status GraphCachePlus::LoadCache(const std::string& path) {
   auto snapshot = ReadCacheSnapshotFromFile(path);
   if (!snapshot.ok()) return snapshot.status();
-  CacheSnapshot& s = snapshot.value();
+  return ApplySnapshot(std::move(snapshot).value());
+}
+
+Status GraphCachePlus::ApplySnapshot(CacheSnapshot snapshot) {
+  CacheSnapshot& s = snapshot;
   auto validate = [this, &s]() -> Status {
     if (s.watermark > dataset_->log().LatestSeq()) {
       return Status::FailedPrecondition(
@@ -684,6 +709,126 @@ Status GraphCachePlus::LoadCache(const std::string& path) {
     ReconcileShardLocked(sh, *snap, nullptr);
   }
   return Status::OK();
+}
+
+std::uint64_t GraphCachePlus::NextCheckpointSeqLocked() {
+  if (checkpoint_seq_ == 0) {
+    const std::vector<std::uint64_t> seqs =
+        ListCheckpointSeqs(options_.checkpoint_dir);
+    if (!seqs.empty()) checkpoint_seq_ = seqs.front();
+  }
+  return ++checkpoint_seq_;
+}
+
+Status GraphCachePlus::CheckpointNow() {
+  if (options_.checkpoint_dir.empty()) {
+    return Status::FailedPrecondition(
+        "checkpointing requires options.checkpoint_dir");
+  }
+  std::int64_t ns = 0;
+  std::uint64_t bytes = 0;
+  Status st;
+  {
+    ScopedTimer timer(&ns);
+    // Export first (engine/shard locks, no I/O), then write under
+    // checkpoint_mu_ alone (I/O, no engine state locked) — a slow disk
+    // never extends any lock hold.
+    CacheSnapshot snapshot = ExportSnapshot();
+    std::lock_guard<std::mutex> lock(checkpoint_mu_);
+    st = EnsureDirectory(options_.checkpoint_dir);
+    if (st.ok()) {
+      const std::string path = options_.checkpoint_dir + "/" +
+                               CheckpointFileName(NextCheckpointSeqLocked());
+      st = WriteCheckpointFile(path, snapshot,
+                               options_.checkpoint_fault_injector, &bytes);
+    }
+    if (st.ok()) {
+      // Best-effort prune: an unremovable stale sibling must not fail the
+      // checkpoint that just committed.
+      PruneCheckpoints(options_.checkpoint_dir,
+                       std::max<std::size_t>(1, options_.checkpoint_keep));
+    }
+  }
+  t_checkpoint_ns_.fetch_add(static_cast<std::uint64_t>(ns),
+                             std::memory_order_relaxed);
+  if (!st.ok()) {
+    checkpoints_failed_.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+  checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+  checkpoint_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status GraphCachePlus::WarmRestart(WarmRestartReport* report) {
+  if (options_.checkpoint_dir.empty()) {
+    return Status::FailedPrecondition(
+        "warm restart requires options.checkpoint_dir");
+  }
+  WarmRestartReport local;
+  // Newest-first degradation ladder. `.tmp` files never appear here —
+  // ListCheckpointSeqs only accepts committed names — so a torn tmp from
+  // a mid-write crash is invisible by construction.
+  for (const std::uint64_t seq : ListCheckpointSeqs(options_.checkpoint_dir)) {
+    const std::string path =
+        options_.checkpoint_dir + "/" + CheckpointFileName(seq);
+    Result<CacheSnapshot> snapshot = ReadCheckpointFile(path);
+    Status st = snapshot.status();
+    std::size_t file_entries = 0;
+    LogSeq file_watermark = 0;
+    if (snapshot.ok()) {
+      file_entries = snapshot.value().entries.size();
+      file_watermark = snapshot.value().watermark;
+      st = ApplySnapshot(std::move(snapshot).value());
+    }
+    if (st.ok()) {
+      local.warm = true;
+      local.path = path;
+      local.entries = file_entries;
+      local.watermark = file_watermark;
+      warm_restarts_.fetch_add(1, std::memory_order_relaxed);
+      if (report != nullptr) *report = std::move(local);
+      return Status::OK();
+    }
+    // Corrupt, truncated, torn, or wrong lineage: reject this sibling and
+    // degrade to the next-older one. ApplySnapshot validates before it
+    // mutates, so a rejected file leaves the stores untouched.
+    ++local.rejected;
+    warm_restart_rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Cold start: no survivor. Not an error — the engine runs with what it
+  // has (empty stores at process start).
+  if (report != nullptr) *report = std::move(local);
+  return Status::OK();
+}
+
+void GraphCachePlus::MaybeBackgroundCheckpoint() {
+  if (options_.checkpoint_dir.empty() ||
+      options_.checkpoint_interval_us == 0) {
+    return;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (!checkpoint_clock_armed_) {
+    // First pass arms the clock; the first checkpoint lands one full
+    // interval later, not at startup when the cache is still cold.
+    checkpoint_clock_armed_ = true;
+    last_checkpoint_attempt_ = now;
+    return;
+  }
+  const auto due = std::chrono::microseconds(options_.checkpoint_interval_us) *
+                   checkpoint_backoff_;
+  if (now - last_checkpoint_attempt_ < due) return;
+  last_checkpoint_attempt_ = now;
+  if (checkpoint_recovering_) {
+    checkpoints_retried_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (CheckpointNow().ok()) {
+    checkpoint_backoff_ = 1;
+    checkpoint_recovering_ = false;
+  } else {
+    checkpoint_recovering_ = true;
+    checkpoint_backoff_ = std::min<std::uint32_t>(checkpoint_backoff_ * 2, 64);
+  }
 }
 
 void GraphCachePlus::RetrospectiveRefreshShard(std::size_t s,

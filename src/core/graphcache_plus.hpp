@@ -77,16 +77,19 @@
 #define GCP_CORE_GRAPHCACHE_PLUS_HPP_
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "cache/cache_manager.hpp"
 #include "cache/sharded_cache.hpp"
+#include "cache/snapshot.hpp"
 #include "common/epoch.hpp"
 #include "common/maintenance_thread.hpp"
 #include "common/mpsc_queue.hpp"
@@ -172,6 +175,47 @@ class GraphCachePlus {
   /// the next query (lock path) or immediately per shard (epoch path) —
   /// so stale snapshots remain exact.
   Status LoadCache(const std::string& path);
+
+  // --- Durability (crash-safe checkpoints + verified warm restart) --------
+
+  /// Copies the full warm-cache state (entries + the watermark and id
+  /// horizon they are consistent with) — the payload SaveCache and
+  /// CheckpointNow persist. Thread-safe; queries keep flowing (shard
+  /// locks are held shared, plus mutation_mu_ on the epoch path).
+  CacheSnapshot ExportSnapshot() const;
+
+  /// Installs `snapshot` as the resident cache state — the LoadCache body
+  /// after the file read: lineage-validated (FailedPrecondition when the
+  /// watermark or horizon outruns this dataset), entries re-routed to
+  /// their digest's home shard, then fast-forwarded from the snapshot's
+  /// watermark through CON replay / EVI purge. Thread-safe.
+  Status ApplySnapshot(CacheSnapshot snapshot);
+
+  /// Writes one durable checkpoint into options().checkpoint_dir — encode
+  /// with per-section CRCs, tmp file, fsync, atomic rename, fsync of the
+  /// directory — then prunes committed siblings beyond
+  /// options().checkpoint_keep. The export never stalls queries and file
+  /// I/O runs with no engine state locked. FailedPrecondition when
+  /// checkpoint_dir is empty; on I/O failure the torn tmp file is left
+  /// behind exactly as a crash would leave it.
+  Status CheckpointNow();
+
+  /// What WarmRestart did.
+  struct WarmRestartReport {
+    bool warm = false;         ///< A checkpoint was loaded and applied.
+    std::string path;          ///< Winning file (empty on cold start).
+    std::size_t entries = 0;   ///< Entries the winning checkpoint carried.
+    std::size_t rejected = 0;  ///< Siblings rejected before the outcome.
+    LogSeq watermark = 0;      ///< Winning checkpoint's watermark.
+  };
+
+  /// Verified warm restart with graceful degradation: checkpoints in
+  /// options().checkpoint_dir are tried newest-first; a corrupt,
+  /// truncated, torn or wrong-lineage file is rejected (counted) and the
+  /// next-older sibling is tried; when none survives the engine cold
+  /// starts with whatever it already holds. Returns OK for both warm and
+  /// cold outcomes — only an unconfigured checkpoint_dir is an error.
+  Status WarmRestart(WarmRestartReport* report = nullptr);
 
   /// Shard 0's store — the full cache when options().num_shards == 1 (the
   /// default), one slice otherwise. Sharded callers use cache_shards() /
@@ -326,8 +370,22 @@ class GraphCachePlus {
   void DrainAllShardsLocked();
 
   /// Maintenance-thread body: drain every shard with a non-empty queue,
-  /// one shard lock at a time.
+  /// one shard lock at a time, then give background checkpointing its
+  /// periodic chance.
   void MaintenanceDrainPass();
+
+  /// Background checkpoint driver (maintenance thread only): attempts a
+  /// checkpoint once per checkpoint_interval_us, stretched by a doubling
+  /// backoff (cap 64×) while attempts fail so a sick disk can't turn the
+  /// drain loop into a retry storm. No-op unless checkpoint_dir and a
+  /// nonzero interval are configured.
+  void MaybeBackgroundCheckpoint();
+
+  /// Allocates the next checkpoint sequence number, seeding from the
+  /// highest committed sibling already in checkpoint_dir (a restarted
+  /// process must never reuse — and thereby clobber — a live seq).
+  /// Requires checkpoint_mu_.
+  std::uint64_t NextCheckpointSeqLocked();
 
   /// Sums the hit credits of `batches` per entry, in first-credit order.
   static std::vector<CacheManager::EntryCreditSum> SumCredits(
@@ -425,6 +483,29 @@ class GraphCachePlus {
   std::unique_ptr<MaintenanceThread> maintenance_;
 
   std::atomic<std::uint64_t> query_counter_{0};
+
+  /// Serializes checkpoint writes and seq allocation — CheckpointNow may
+  /// be called from any thread while the maintenance thread runs its own
+  /// background attempts. Never held while engine or shard locks are
+  /// held (the export completes and releases them first).
+  mutable std::mutex checkpoint_mu_;
+  std::uint64_t checkpoint_seq_ = 0;  ///< Guarded by checkpoint_mu_; 0 = unseeded.
+
+  // Durability counters (engine-level; overlaid onto CacheStatsSnapshot).
+  std::atomic<std::uint64_t> checkpoints_written_{0};
+  std::atomic<std::uint64_t> checkpoints_failed_{0};
+  std::atomic<std::uint64_t> checkpoints_retried_{0};
+  std::atomic<std::uint64_t> checkpoint_bytes_{0};
+  std::atomic<std::uint64_t> t_checkpoint_ns_{0};
+  std::atomic<std::uint64_t> warm_restarts_{0};
+  std::atomic<std::uint64_t> warm_restart_rejected_{0};
+
+  /// Background scheduling state — touched only on the maintenance
+  /// thread, so plain members suffice.
+  std::chrono::steady_clock::time_point last_checkpoint_attempt_{};
+  std::uint32_t checkpoint_backoff_ = 1;
+  bool checkpoint_clock_armed_ = false;
+  bool checkpoint_recovering_ = false;
 
   /// Guards aggregate_ — per-thread QueryMetrics merge through here.
   mutable std::mutex agg_mu_;

@@ -5,12 +5,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 #include "cache/replacement.hpp"
 #include "match/matcher.hpp"
 
 namespace gcp {
+
+class FaultInjector;
 
 /// The two GC+ consistency models (paper §5).
 enum class CacheModel {
@@ -144,6 +147,26 @@ struct GraphCachePlusOptions {
   /// Timer period of the maintenance thread (also the staleness bound on
   /// a queued batch when no pressure wakeup fires).
   std::size_t maintenance_interval_us = 200;
+
+  /// Directory for durable cache checkpoints. Empty disables durability
+  /// entirely: no background checkpoints, CheckpointNow/WarmRestart return
+  /// FailedPrecondition.
+  std::string checkpoint_dir;
+
+  /// Background checkpoint period (µs), driven from the maintenance
+  /// thread's drain loop. 0 disables background checkpointing (explicit
+  /// CheckpointNow still works whenever checkpoint_dir is set). Requires
+  /// maintenance_thread for background operation.
+  std::size_t checkpoint_interval_us = 0;
+
+  /// Committed checkpoint siblings to keep in checkpoint_dir. At least 2
+  /// gives torn-write recovery a last-good file to degrade to.
+  std::size_t checkpoint_keep = 2;
+
+  /// Fault-injection hook threaded into every checkpoint file operation
+  /// (tests only; nullptr in production). Not owned; must outlive the
+  /// engine.
+  FaultInjector* checkpoint_fault_injector = nullptr;
 
   /// Seed for cache-internal randomness (RANDOM policy).
   std::uint64_t rng_seed = 7;

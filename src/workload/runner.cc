@@ -82,6 +82,8 @@ RunReport RunWorkload(const std::vector<Graph>& initial,
   opts.use_ftv_index = config.use_ftv;
   opts.reuse_match_context = !config.legacy_hot_path;
   opts.use_discovery_index = !config.legacy_hot_path;
+  opts.checkpoint_dir = config.checkpoint_dir;
+  opts.checkpoint_interval_us = config.checkpoint_interval_us;
   switch (config.mode) {
     case RunMode::kMethodM:
       // Bare Method M: no admission ⇒ the cache stays empty and every
@@ -107,6 +109,12 @@ RunReport RunWorkload(const std::vector<Graph>& initial,
                  std::string(MatcherKindName(config.method)) + "/" +
                  workload.name;
   if (config.record_answers) report.answers.resize(workload.size());
+
+  if (config.warm_restart && !config.checkpoint_dir.empty()) {
+    // Verified warm restart before the first query; a cold start (nothing
+    // usable on disk) is a valid outcome, not an error.
+    (void)gc.WarmRestart(&report.warm_restart_report);
+  }
 
   const std::size_t warmup =
       config.warmup_queries < workload.size() ? config.warmup_queries : 0;
@@ -141,6 +149,11 @@ RunReport RunWorkload(const std::vector<Graph>& initial,
   report.measured_queries = workload.size() - warmup;
   report.total_wall_ms = wall.ElapsedMillis();
   gc.FlushMaintenance();
+  if (config.checkpoint_at_end && !config.checkpoint_dir.empty()) {
+    // Persist the fully-settled warm cache (after the flush, so queued
+    // admissions make it in). Off the measured span by construction.
+    (void)gc.CheckpointNow();
+  }
   report.agg = gc.AggregateSnapshot();
   report.cache_stats = gc.CacheStatsSnapshot();
   return report;

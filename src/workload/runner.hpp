@@ -89,6 +89,20 @@ struct RunnerConfig {
   std::uint64_t plan_seed = 99;
   /// Record every query's answer ids (for equivalence oracles).
   bool record_answers = false;
+  /// Durable checkpoint directory (--checkpoint-dir; empty = durability
+  /// off). With checkpoint_interval_us and maintenance_thread the engine
+  /// checkpoints in the background while the workload runs.
+  std::string checkpoint_dir;
+  /// Background checkpoint period in µs (--checkpoint-interval; 0 = no
+  /// background checkpoints — explicit ones still work).
+  std::size_t checkpoint_interval_us = 0;
+  /// Attempt a verified warm restart from checkpoint_dir before the first
+  /// query (--warm-restart); degrades to cold start when no checkpoint
+  /// survives validation.
+  bool warm_restart = false;
+  /// Write one final checkpoint after the end-of-run flush, so a
+  /// follow-up warm_restart run restores the fully-warm cache.
+  bool checkpoint_at_end = false;
 };
 
 /// \brief Outcome of one experiment run.
@@ -100,6 +114,8 @@ struct RunReport {
   StatisticsManager cache_stats;
   /// Per-query answers (all queries, warm-up included) when requested.
   std::vector<std::vector<GraphId>> answers;
+  /// What the pre-run warm restart did (config.warm_restart only).
+  GraphCachePlus::WarmRestartReport warm_restart_report;
   /// Wall time of the whole run (ms).
   double total_wall_ms = 0.0;
   /// Wall time of the post-warm-up (measured) span (ms) — the throughput

@@ -1,0 +1,171 @@
+#include "common/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/crc32.hpp"
+
+namespace gcp {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // IEEE reflected polynomial check value for "123456789".
+  EXPECT_EQ(Crc32(std::string_view("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(std::string_view("")), 0u);
+  EXPECT_EQ(Crc32(std::string_view("a")), 0xE8B7BE43u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = Crc32(std::string_view(data));
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    const std::uint32_t first = Crc32(data.data(), split);
+    const std::uint32_t both =
+        Crc32(data.data() + split, data.size() - split, first);
+    EXPECT_EQ(both, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data = "checkpoint payload bytes";
+  const std::uint32_t clean = Crc32(std::string_view(data));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0x01;
+    EXPECT_NE(Crc32(std::string_view(data)), clean) << "flip at byte " << i;
+    data[i] ^= 0x01;
+  }
+}
+
+TEST(AtomicFileWriterTest, CommitIsReadableAndTmpGone) {
+  const std::string path = TempPath("awriter_commit.bin");
+  AtomicFileWriter w(path);
+  ASSERT_TRUE(w.Open().ok());
+  ASSERT_TRUE(w.Append("hello ").ok());
+  ASSERT_TRUE(w.Append("world").ok());
+  ASSERT_TRUE(w.Commit().ok());
+  EXPECT_EQ(w.bytes_written(), 11u);
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes.value(), "hello world");
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+}
+
+TEST(AtomicFileWriterTest, AbandonLeavesTornTmpAndNoFinalFile) {
+  const std::string path = TempPath("awriter_abandon.bin");
+  (void)RemoveFile(path);
+  {
+    AtomicFileWriter w(path);
+    ASSERT_TRUE(w.Open().ok());
+    ASSERT_TRUE(w.Append("partial").ok());
+    // Destructor abandons: crash-shaped, tmp stays behind.
+  }
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_TRUE(FileExists(path + ".tmp"));
+  // The next writer truncates the torn tmp and commits cleanly over it.
+  AtomicFileWriter w2(path);
+  ASSERT_TRUE(w2.Open().ok());
+  ASSERT_TRUE(w2.Append("fresh").ok());
+  ASSERT_TRUE(w2.Commit().ok());
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes.value(), "fresh");
+}
+
+TEST(AtomicFileWriterTest, InjectedWriteFailureIsSticky) {
+  const std::string path = TempPath("awriter_fail_write.bin");
+  ScriptedFaultInjector fault;
+  fault.FailAtKind(FaultInjector::Op::kWrite, 0, Status::IOError("boom"));
+  AtomicFileWriter w(path, &fault);
+  ASSERT_TRUE(w.Open().ok());
+  const Status st = w.Append("doomed");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(fault.fired());
+  // Every later call reports the first error; nothing was committed.
+  EXPECT_FALSE(w.Append("more").ok());
+  EXPECT_FALSE(w.Commit().ok());
+  EXPECT_FALSE(FileExists(path));
+}
+
+TEST(AtomicFileWriterTest, TornPrefixWritesExactlyKBytes) {
+  const std::string path = TempPath("awriter_torn.bin");
+  (void)RemoveFile(path + ".tmp");
+  ScriptedFaultInjector fault;
+  fault.FailAtKind(FaultInjector::Op::kWrite, 0, Status::IOError("torn"),
+                   /*torn_prefix=*/3);
+  AtomicFileWriter w(path, &fault);
+  ASSERT_TRUE(w.Open().ok());
+  EXPECT_FALSE(w.Append("abcdef").ok());
+  w.Abandon();
+  auto torn = ReadFileToString(path + ".tmp");
+  ASSERT_TRUE(torn.ok());
+  EXPECT_EQ(torn.value(), "abc");
+  EXPECT_FALSE(FileExists(path));
+}
+
+TEST(AtomicFileWriterTest, FsyncAndRenameFaults) {
+  for (const auto op : {FaultInjector::Op::kFsync, FaultInjector::Op::kRename}) {
+    const std::string path = TempPath("awriter_fault_commit.bin");
+    (void)RemoveFile(path);
+    ScriptedFaultInjector fault;
+    fault.FailAtKind(op, 0, Status::IOError("commit fault"));
+    AtomicFileWriter w(path, &fault);
+    ASSERT_TRUE(w.Open().ok());
+    ASSERT_TRUE(w.Append("payload").ok());
+    EXPECT_FALSE(w.Commit().ok());
+    EXPECT_FALSE(FileExists(path));
+    EXPECT_TRUE(FileExists(path + ".tmp"));
+    (void)RemoveFile(path + ".tmp");
+  }
+}
+
+TEST(AtomicFileWriterTest, OpenFaultSurfaces) {
+  ScriptedFaultInjector fault;
+  fault.FailAtKind(FaultInjector::Op::kOpen, 0,
+                   Status::IOError("no descriptor"));
+  AtomicFileWriter w(TempPath("awriter_fault_open.bin"), &fault);
+  EXPECT_FALSE(w.Open().ok());
+}
+
+TEST(ScriptedFaultInjectorTest, GlobalIndexCountsAcrossKinds) {
+  ScriptedFaultInjector fault;
+  fault.FailAt(2, Status::IOError("third op"));
+  EXPECT_TRUE(fault.OnOp(FaultInjector::Op::kOpen, "p", 0).status.ok());
+  EXPECT_TRUE(fault.OnOp(FaultInjector::Op::kWrite, "p", 8).status.ok());
+  EXPECT_FALSE(fault.OnOp(FaultInjector::Op::kFsync, "p", 0).status.ok());
+  EXPECT_TRUE(fault.fired());
+  EXPECT_EQ(fault.ops_seen(), 3u);
+  EXPECT_EQ(fault.ops_seen(FaultInjector::Op::kWrite), 1u);
+}
+
+TEST(IoHelpersTest, FileRoutines) {
+  const std::string dir = TempPath("io_helpers_dir");
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  ASSERT_TRUE(EnsureDirectory(dir).ok());  // EEXIST is OK
+  const std::string path = dir + "/file.txt";
+  {
+    AtomicFileWriter w(path);
+    ASSERT_TRUE(w.Open().ok());
+    ASSERT_TRUE(w.Append("xyz").ok());
+    ASSERT_TRUE(w.Commit().ok());
+  }
+  EXPECT_TRUE(FileExists(path));
+  auto size = FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), 3u);
+  auto names = ListDirectory(dir);
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names.value().size(), 1u);
+  EXPECT_EQ(names.value()[0], "file.txt");
+  EXPECT_TRUE(RemoveFile(path).ok());
+  EXPECT_TRUE(RemoveFile(path).ok());  // ENOENT is OK
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_FALSE(ReadFileToString(path).ok());
+}
+
+}  // namespace
+}  // namespace gcp
