@@ -78,6 +78,10 @@ struct BenchConfig {
   /// CON-only delta re-validation at reconcile time
   /// (--delta-revalidation; default off = Algorithm 2 fade-only).
   bool delta_revalidation = false;
+  /// Sub-pattern fragment cache (--fragments=off = the fragment-free
+  /// oracle, bit-exact on answers, resident whole-query state and
+  /// replacement decisions — the "before" side of bench_fragments).
+  bool fragments = true;
   /// SIMD dispatch cap (--simd=off|scalar|popcnt|avx2|auto; empty/auto =
   /// use whatever the CPU supports). "off"/"scalar" is the bit-exact
   /// scalar oracle.
@@ -127,6 +131,7 @@ struct BenchConfig {
         !flags.GetBool("paper", false)) {
       c.batches = std::max(1u, c.queries / 50);
     }
+    c.labels = static_cast<std::uint32_t>(flags.GetInt("labels", c.labels));
     c.mean_vertices = flags.GetDouble("mean-vertices", c.mean_vertices);
     c.max_vertices =
         static_cast<std::uint32_t>(flags.GetInt("max-vertices", c.max_vertices));
@@ -157,6 +162,7 @@ struct BenchConfig {
     c.relevance_index = flags.GetBool("relevance-index", c.relevance_index);
     c.delta_revalidation =
         flags.GetBool("delta-revalidation", c.delta_revalidation);
+    c.fragments = flags.GetBool("fragments", c.fragments);
     c.simd = flags.GetString("simd", c.simd);
     c.arena = flags.GetBool("arena", c.arena);
     c.checkpoint_dir = flags.GetString("checkpoint-dir", c.checkpoint_dir);
@@ -239,11 +245,42 @@ inline RunnerConfig MakeRunnerConfig(RunMode mode, MatcherKind method,
   rc.copy_discovery_survivors = cfg.copy_survivors;
   rc.relevance_index = cfg.relevance_index;
   rc.delta_revalidation = cfg.delta_revalidation;
+  rc.fragments = cfg.fragments;
   rc.checkpoint_dir = cfg.checkpoint_dir;
   rc.checkpoint_interval_us = cfg.checkpoint_interval_us;
   rc.warm_restart = cfg.warm_restart;
   rc.plan_seed = cfg.seed + 404;
   return rc;
+}
+
+/// Engine options for benches that construct GraphCachePlus directly
+/// (bypassing the workload runner). One place maps BenchConfig knobs —
+/// including every oracle toggle (--legacy, --relevance-index,
+/// --delta-revalidation, --fragments, --copy-survivors) — onto
+/// GraphCachePlusOptions, so a new flag lands once instead of once per
+/// bench. Callers override the handful of fields their experiment pins
+/// (model, epoch_reads, checkpoint knobs, ...) after the call.
+inline GraphCachePlusOptions MakeEngineOptions(CacheModel model,
+                                               const BenchConfig& cfg) {
+  GraphCachePlusOptions opts;
+  opts.model = model;
+  opts.cache_capacity = cfg.cache_capacity;
+  opts.window_capacity = cfg.window_capacity;
+  opts.verify_threads = cfg.verify_threads;
+  opts.num_shards = std::max<std::size_t>(1, cfg.shards);
+  opts.maintenance_thread = cfg.maintenance_thread;
+  opts.epoch_reads = cfg.epoch;
+  opts.copy_discovery_survivors = cfg.copy_survivors;
+  opts.max_sub_hits = cfg.max_sub_hits;
+  opts.max_super_hits = cfg.max_super_hits;
+  opts.use_relevance_index = cfg.relevance_index;
+  opts.use_fragment_cache = cfg.fragments;
+  opts.delta_revalidation = cfg.delta_revalidation;
+  opts.reuse_match_context = !cfg.legacy_hot_path;
+  opts.use_discovery_index = !cfg.legacy_hot_path;
+  opts.checkpoint_dir = cfg.checkpoint_dir;
+  opts.checkpoint_interval_us = cfg.checkpoint_interval_us;
+  return opts;
 }
 
 /// Applies the process-global oracle toggles (--simd, --arena) for this

@@ -109,17 +109,11 @@ RowResult RunRow(const std::vector<Graph>& corpus, const Workload& w,
                  const PathToggles& path, bool localized) {
   GraphDataset ds;
   ds.Bootstrap(corpus);
-  GraphCachePlusOptions opts;
-  opts.model = model;
-  opts.cache_capacity = cfg.cache_capacity;
-  opts.window_capacity = cfg.window_capacity;
-  opts.num_shards = std::max<std::size_t>(1, cfg.shards);
+  GraphCachePlusOptions opts = MakeEngineOptions(model, cfg);
   opts.epoch_reads = true;  // reconcile inside ApplyDatasetChanges
   opts.use_ftv_index = true;
   opts.use_relevance_index = path.relevance;
   opts.delta_revalidation = path.delta;
-  opts.max_sub_hits = cfg.max_sub_hits;
-  opts.max_super_hits = cfg.max_super_hits;
   GraphCachePlus gc(&ds, opts);
 
   const std::size_t interval =

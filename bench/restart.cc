@@ -45,15 +45,9 @@ std::uint64_t HashCombine(std::uint64_t h, std::uint64_t v) {
 GraphCachePlusOptions EngineOptions(const BenchConfig& cfg,
                                     const std::string& dir,
                                     std::size_t interval_us) {
-  GraphCachePlusOptions opts;
-  opts.model = CacheModel::kCon;
-  opts.cache_capacity = cfg.cache_capacity;
-  opts.window_capacity = cfg.window_capacity;
-  opts.num_shards = std::max<std::size_t>(1, cfg.shards);
+  GraphCachePlusOptions opts = MakeEngineOptions(CacheModel::kCon, cfg);
   opts.epoch_reads = true;
   opts.maintenance_thread = true;
-  opts.max_sub_hits = cfg.max_sub_hits;
-  opts.max_super_hits = cfg.max_super_hits;
   opts.checkpoint_dir = dir;
   opts.checkpoint_interval_us = interval_us;
   opts.checkpoint_keep = 4;  // siblings for the degradation ladder
@@ -204,11 +198,14 @@ int main(int argc, char** argv) {
     GraphDataset ds;
     ds.Bootstrap(corpus);
     ReplayEvolution(ds, corpus, plan, cfg, last_query);
-    GraphCachePlusOptions opts;
-    opts.model = CacheModel::kEvi;
+    GraphCachePlusOptions opts = MakeEngineOptions(CacheModel::kEvi, cfg);
+    // Bare Method M: no admission ⇒ empty cache, every query verified
+    // against the live dataset (fragments are gated on admission too).
     opts.enable_admission = false;
     opts.enable_exact_shortcut = false;
     opts.enable_empty_answer_shortcut = false;
+    opts.checkpoint_dir.clear();  // the oracle never persists
+    opts.checkpoint_interval_us = 0;
     GraphCachePlus oracle(&ds, opts);
     for (std::size_t i = 0; i < w.size(); ++i) {
       const QueryResult res =

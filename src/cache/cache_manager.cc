@@ -9,7 +9,9 @@
 namespace gcp {
 
 CacheManager::CacheManager(CacheManagerOptions options)
-    : options_(options), rng_(options.rng_seed) {}
+    : options_(options),
+      fragments_(options.fragment_capacity, options.maintain_relevance_index),
+      rng_(options.rng_seed) {}
 
 CacheEntryId CacheManager::Admit(Graph query, CachedQueryKind kind,
                                  DynamicBitset answer, DynamicBitset valid,
@@ -109,10 +111,12 @@ void CacheManager::Clear() {
   by_id_.clear();
   index_.Clear();
   relevance_.Clear();
+  fragments_.Clear();
 }
 
 void CacheManager::PurgeForReconcile() {
   stats_.reconcile_entries_touched += resident();
+  stats_.fragment_reconcile_touched += fragments_.size();
   // An EVI purge touches everything; the post-restore balance holds
   // trivially (skipped == 0).
   restore_balance_check_pending_ = false;
@@ -133,6 +137,9 @@ void CacheManager::ValidateAll(
     CacheValidator::RefreshEntry(*e, counters, id_horizon, delta, &stats_);
     if (options_.maintain_relevance_index) relevance_.Refresh(e.get());
   }
+  // Fragments reconcile with plain Algorithm 2 — the delta hook re-proves
+  // whole-query containments and is never needed for soundness here.
+  fragments_.ValidateAll(counters, id_horizon, stats_);
 }
 
 void CacheManager::ValidateRelevant(
@@ -171,6 +178,7 @@ void CacheManager::ValidateRelevant(
   }
   stats_.reconcile_entries_touched += touched;
   stats_.reconcile_entries_skipped += resident() - touched;
+  fragments_.ValidateRelevant(counters, id_horizon, stats_);
 }
 
 void CacheManager::RefreshRelevanceFootprint(CacheEntryId id) {
@@ -302,6 +310,17 @@ std::vector<CacheEntryId> CacheManager::ResidentIdsByBenefit() const {
   ids.reserve(all.size());
   for (const auto* e : all) ids.push_back(e->id);
   return ids;
+}
+
+ApproxByteFootprint CacheManager::ApproxBytes() const {
+  ApproxByteFootprint b;
+  ForEachEntry([&b](const CachedQuery& e) {
+    b.graph_bytes += ApproxGraphBytes(*e.query);
+    b.bitset_bytes += 8 * (e.answer.num_words() + e.valid.num_words());
+  });
+  b.posting_bytes = relevance_.ApproxBytes();
+  b.fragment_bytes = fragments_.ApproxBytes();
+  return b;
 }
 
 const CachedQuery* CacheManager::Find(CacheEntryId id) const {

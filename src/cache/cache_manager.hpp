@@ -21,10 +21,12 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cache/cache_entry.hpp"
 #include "cache/cache_validator.hpp"
+#include "cache/fragment_store.hpp"
 #include "cache/query_index.hpp"
 #include "cache/relevance_index.hpp"
 #include "cache/replacement.hpp"
@@ -43,6 +45,8 @@ struct CacheManagerOptions {
   /// admissions/evictions so ValidateRelevant can screen reconciles. Off
   /// on the brute-force oracle path so its cost stays visible in benches.
   bool maintain_relevance_index = true;
+  /// Capacity of the embedded one-hop fragment store (0 disables it).
+  std::size_t fragment_capacity = 256;
 };
 
 /// How a cache entry contributed to a query — determines which per-entry
@@ -179,6 +183,27 @@ class CacheManager {
   /// maintain_relevance_index is off).
   const RelevanceIndex& relevance_index() const { return relevance_; }
 
+  /// Embedded one-hop fragment store. Shares this store's lock discipline
+  /// and watermark; Clear/PurgeForReconcile/ValidateAll/ValidateRelevant
+  /// cover it automatically.
+  FragmentStore& fragments() { return fragments_; }
+  const FragmentStore& fragments() const { return fragments_; }
+
+  /// Copies of every resident fragment — the fragment payload of a v2
+  /// cache snapshot.
+  std::vector<CachedQuery> ExportFragments() const {
+    return fragments_.Export();
+  }
+
+  /// Replaces the fragment store's contents (restore path; call after
+  /// RestoreEntries, whose Clear() wipes fragments too).
+  void RestoreFragments(std::vector<CachedQuery> entries) {
+    fragments_.Restore(std::move(entries), stats_);
+  }
+
+  /// Approximate resident byte footprint of this store, by category.
+  ApproxByteFootprint ApproxBytes() const;
+
   std::size_t cache_size() const { return cache_.size(); }
   std::size_t window_size() const { return window_.size(); }
   std::size_t resident() const { return cache_.size() + window_.size(); }
@@ -237,6 +262,7 @@ class CacheManager {
   std::unordered_map<CacheEntryId, CachedQuery*> by_id_;
   QueryIndex index_;
   RelevanceIndex relevance_;
+  FragmentStore fragments_;
   StatisticsManager stats_;
   Rng rng_;
   CacheEntryId next_id_ = 1;

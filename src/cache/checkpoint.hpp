@@ -1,14 +1,18 @@
 // Crash-safe checkpoint container around the cache snapshot.
 //
-// A checkpoint file is the v1 text snapshot (cache/snapshot.*) wrapped in
-// a corruption-evident envelope:
+// A checkpoint file is the versioned text snapshot (cache/snapshot.*)
+// wrapped in a corruption-evident envelope:
 //
-//   GCPCHKPT v1\n                                  -- version header
+//   GCPCHKPT v2\n                                  -- version header
 //   section meta <len> <crc32>\n                   -- per-section framing
-//   <len bytes: "watermark W\nhorizon H\nentries N\n">
+//   <len bytes: "watermark W\nhorizon H\nentries N\nfragments F\n">
 //   section body <len> <crc32>\n
-//   <len bytes: the GCPCACHE v1 snapshot text>
+//   <len bytes: the GCPCACHE v2 snapshot text>
 //   footer <entries> <watermark> <horizon> <crc32>\n
+//
+// v1 envelopes (no fragments meta line, v1 snapshot body) are still
+// accepted on read: a v1 checkpoint warm-restarts with its whole-query
+// entries intact and the fragment store rebuilding cold.
 //
 // Every section carries its own length + CRC32, so a torn write, a
 // truncation at any byte, or a flipped bit in any region is detected at
@@ -43,11 +47,15 @@ std::string CheckpointFileName(std::uint64_t seq);
 /// non-checkpoint names (tmp files, foreign files).
 Result<std::uint64_t> ParseCheckpointSeq(const std::string& name);
 
-/// Serializes `snapshot` into the envelope format (in memory).
-std::string EncodeCheckpoint(const CacheSnapshot& snapshot);
+/// Serializes `snapshot` into the envelope format (in memory). `version`
+/// selects the format (1 or 2) so tests can author authentic v1 bytes;
+/// a v1 encode drops the fragment payload.
+std::string EncodeCheckpoint(const CacheSnapshot& snapshot,
+                             int version = kCacheSnapshotVersion);
 
 /// Validates the envelope (header, section CRCs, footer) and parses the
-/// embedded snapshot. Corruption pinpoints the failing section.
+/// embedded snapshot (v1 or v2). Corruption pinpoints the failing
+/// section.
 Result<CacheSnapshot> DecodeCheckpoint(const std::string& bytes);
 
 /// Writes `snapshot` to `path` crash-safely (tmp → fsync → rename), every

@@ -1,0 +1,175 @@
+#include "cache/fragment_store.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "cache/cache_validator.hpp"
+#include "graph/canonical.hpp"
+
+namespace gcp {
+
+const CachedQuery* FragmentStore::Probe(std::uint64_t digest,
+                                        const Graph& star) const {
+  const auto it = by_digest_.find(digest);
+  if (it == by_digest_.end() || !(*it->second->query == star)) return nullptr;
+  return it->second.get();
+}
+
+CachedQuery* FragmentStore::FindMutable(std::uint64_t digest) {
+  const auto it = by_digest_.find(digest);
+  return it == by_digest_.end() ? nullptr : it->second.get();
+}
+
+void FragmentStore::AdmitOrMerge(std::unique_ptr<CachedQuery> entry,
+                                 std::uint64_t now, StatisticsManager& stats) {
+  const auto it = by_digest_.find(entry->digest);
+  if (it != by_digest_.end()) {
+    CachedQuery& resident = *it->second;
+    if (!(*resident.query == *entry->query)) {
+      ++stats.fragment_digest_collisions;
+      return;
+    }
+    // Both sides are reconciled to the same watermark, so wherever both
+    // are valid they agree; the offer's knowledge overwrites its covered
+    // range and the valid sets union.
+    const std::size_t horizon =
+        std::max(resident.valid.size(), entry->valid.size());
+    CacheValidator::ExtendEntry(resident, horizon);
+    CacheValidator::ExtendEntry(*entry, horizon);
+    resident.answer.AndNotWith(entry->valid);
+    resident.answer.OrWith(DynamicBitset::And(entry->answer, entry->valid));
+    resident.valid.OrWith(entry->valid);
+    resident.last_used_at = now;
+    ++stats.fragment_merges;
+    // The merge can SET valid bits — the footprint must be recomputed to
+    // stay a superset.
+    if (maintain_relevance_index_) relevance_.Refresh(&resident);
+    return;
+  }
+  entry->id = next_id_++;
+  entry->admitted_at = now;
+  entry->last_used_at = now;
+  entry->in_window = false;
+  CachedQuery* raw = entry.get();
+  by_digest_.emplace(entry->digest, std::move(entry));
+  if (maintain_relevance_index_) relevance_.Insert(raw);
+  ++stats.fragment_admissions;
+  EvictOverCapacity(stats);
+}
+
+void FragmentStore::Credit(std::uint64_t digest, std::uint64_t pruned,
+                           std::uint64_t now, StatisticsManager& stats) {
+  CachedQuery* e = FindMutable(digest);
+  if (e == nullptr) return;  // Evicted between read phase and drain.
+  ++stats.fragment_hits;
+  stats.fragment_candidates_pruned += pruned;
+  StatisticsManager::RecordBenefit(*e, pruned, now);
+}
+
+void FragmentStore::Clear() {
+  by_digest_.clear();
+  relevance_.Clear();
+}
+
+void FragmentStore::ValidateAll(const ChangeCounters& counters,
+                                std::size_t id_horizon,
+                                StatisticsManager& stats) {
+  stats.fragment_reconcile_touched += by_digest_.size();
+  for (auto& [digest, e] : by_digest_) {
+    CacheValidator::RefreshEntry(*e, counters, id_horizon);
+    if (maintain_relevance_index_) relevance_.Refresh(e.get());
+  }
+}
+
+void FragmentStore::ValidateRelevant(const ChangeCounters& counters,
+                                     std::size_t id_horizon,
+                                     StatisticsManager& stats) {
+  if (!maintain_relevance_index_) {
+    ValidateAll(counters, id_horizon, stats);
+    return;
+  }
+  for (auto& [digest, e] : by_digest_) {
+    CacheValidator::ExtendEntry(*e, id_horizon);
+  }
+  const RelevanceIndex::BatchFootprint batch =
+      RelevanceIndex::FootprintOf(counters);
+  std::uint64_t touched = 0;
+  for (const CachedQuery* affected : relevance_.CollectAffected(batch)) {
+    CachedQuery* e = FindMutable(affected->digest);
+    if (e == nullptr) continue;
+    CacheValidator::ApplyCounters(*e, counters);
+    relevance_.Refresh(e);
+    ++touched;
+  }
+  stats.fragment_reconcile_touched += touched;
+  stats.fragment_reconcile_skipped += by_digest_.size() - touched;
+}
+
+void FragmentStore::PurgeForReconcile(StatisticsManager& stats) {
+  stats.fragment_reconcile_touched += by_digest_.size();
+  Clear();
+}
+
+std::vector<CachedQuery> FragmentStore::Export() const {
+  std::vector<CachedQuery> out;
+  out.reserve(by_digest_.size());
+  for (const auto& [digest, e] : by_digest_) out.push_back(*e);
+  return out;
+}
+
+void FragmentStore::Restore(std::vector<CachedQuery> entries,
+                            StatisticsManager& stats) {
+  Clear();
+  // Identity is recomputed from the restored graphs — a checkpoint cannot
+  // plant a digest its star does not hash to.
+  for (CachedQuery& e : entries) {
+    e.kind = CachedQueryKind::kSubgraph;
+    e.features = GraphFeatures::Extract(*e.query);
+    e.digest = WlDigest(*e.query);
+    if (e.est_test_cost_ms <= 0.0) {
+      e.est_test_cost_ms = StatisticsManager::StructuralCostEstimateMs(*e.query);
+    }
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const CachedQuery& a, const CachedQuery& b) {
+                     if (a.tests_saved != b.tests_saved) {
+                       return a.tests_saved > b.tests_saved;
+                     }
+                     return a.digest < b.digest;
+                   });
+  if (entries.size() > capacity_) entries.resize(capacity_);
+  for (CachedQuery& e : entries) {
+    if (by_digest_.count(e.digest) != 0) continue;  // Twin stars: keep best.
+    auto owned = std::make_unique<CachedQuery>(std::move(e));
+    owned->id = next_id_++;
+    owned->in_window = false;
+    CachedQuery* raw = owned.get();
+    by_digest_.emplace(owned->digest, std::move(owned));
+    if (maintain_relevance_index_) relevance_.Insert(raw);
+    ++stats.restored_fragments;
+  }
+}
+
+std::uint64_t FragmentStore::ApproxBytes() const {
+  std::uint64_t bytes = relevance_.ApproxBytes();
+  for (const auto& [digest, e] : by_digest_) {
+    bytes += ApproxGraphBytes(*e->query) +
+             8 * (e->answer.num_words() + e->valid.num_words());
+  }
+  return bytes;
+}
+
+void FragmentStore::EvictOverCapacity(StatisticsManager& stats) {
+  while (by_digest_.size() > capacity_) {
+    auto victim = by_digest_.begin();
+    for (auto it = std::next(by_digest_.begin()); it != by_digest_.end();
+         ++it) {
+      if (it->second->last_used_at < victim->second->last_used_at) victim = it;
+    }
+    relevance_.Erase(victim->second->id);
+    by_digest_.erase(victim);
+    ++stats.fragment_evictions;
+  }
+}
+
+}  // namespace gcp

@@ -99,6 +99,19 @@ class RelevanceIndex {
 
   std::size_t size() const { return entries_.size(); }
 
+  /// ~Bytes of the index's own state: per-entry polarity masks plus the
+  /// inverted postings (the posting_bytes category of ApproxByteFootprint).
+  std::uint64_t ApproxBytes() const {
+    std::uint64_t bytes = 0;
+    for (const auto& [id, fp] : entries_) {
+      bytes += sizeof(CacheEntryId) + 8 * (fp.pos.size() + fp.neg.size());
+    }
+    for (const auto& [block, ids] : postings_) {
+      bytes += sizeof(std::uint32_t) + sizeof(CacheEntryId) * ids.size();
+    }
+    return bytes;
+  }
+
   /// Introspection for tests: footprint of `id` (nullptr when absent) and
   /// the sorted posting list of word-block `block` (nullptr when empty).
   const Footprint* footprint(CacheEntryId id) const;

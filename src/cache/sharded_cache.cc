@@ -16,6 +16,11 @@ CacheManagerOptions SplitOptions(const CacheManagerOptions& total,
   per.window_capacity =
       std::max<std::size_t>(1, (total.window_capacity + num_shards - 1) /
                                    num_shards);
+  if (total.fragment_capacity != 0) {
+    per.fragment_capacity =
+        std::max<std::size_t>(1, (total.fragment_capacity + num_shards - 1) /
+                                     num_shards);
+  }
   return per;
 }
 
@@ -138,6 +143,22 @@ StatisticsManager ShardedCache::AggregateStats() const {
     sum.reconcile_entries_skipped += st.reconcile_entries_skipped;
     sum.delta_revalidations += st.delta_revalidations;
     sum.delta_fallback_full_checks += st.delta_fallback_full_checks;
+    sum.fragment_admissions += st.fragment_admissions;
+    sum.fragment_merges += st.fragment_merges;
+    sum.fragment_evictions += st.fragment_evictions;
+    sum.fragment_digest_collisions += st.fragment_digest_collisions;
+    sum.fragment_hits += st.fragment_hits;
+    sum.fragment_candidates_pruned += st.fragment_candidates_pruned;
+    sum.fragment_reconcile_touched += st.fragment_reconcile_touched;
+    sum.fragment_reconcile_skipped += st.fragment_reconcile_skipped;
+    sum.restored_fragments += st.restored_fragments;
+    // Byte gauges are recomputed from the live stores, not carried in the
+    // per-shard counter state.
+    const ApproxByteFootprint bytes = s->store.ApproxBytes();
+    sum.approx_graph_bytes += bytes.graph_bytes;
+    sum.approx_bitset_bytes += bytes.bitset_bytes;
+    sum.approx_posting_bytes += bytes.posting_bytes;
+    sum.approx_fragment_bytes += bytes.fragment_bytes;
   }
   return sum;
 }
@@ -168,6 +189,25 @@ void ShardedCache::RestoreEntries(std::vector<CachedQuery> entries) {
   }
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     shards_[s]->store.RestoreEntries(std::move(routed[s]));
+  }
+}
+
+std::vector<CachedQuery> ShardedCache::ExportFragments() const {
+  std::vector<CachedQuery> out;
+  for (const auto& s : shards_) {
+    std::vector<CachedQuery> part = s->store.ExportFragments();
+    for (CachedQuery& e : part) out.push_back(std::move(e));
+  }
+  return out;
+}
+
+void ShardedCache::RestoreFragments(std::vector<CachedQuery> fragments) {
+  std::vector<std::vector<CachedQuery>> routed(shards_.size());
+  for (CachedQuery& e : fragments) {
+    routed[ShardOfDigest(e.digest)].push_back(std::move(e));
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->store.RestoreFragments(std::move(routed[s]));
   }
 }
 

@@ -124,6 +124,15 @@ class ShardedCache {
   /// digest's home shard (per-shard capacity truncation applies).
   void RestoreEntries(std::vector<CachedQuery> entries);
 
+  /// Copies every resident fragment (shard 0 first) — the fragment
+  /// payload of a v2 snapshot.
+  std::vector<CachedQuery> ExportFragments() const;
+
+  /// Routes `fragments` to their digests' home shards. Must run after
+  /// RestoreEntries: each shard's RestoreEntries clears its fragment
+  /// store as part of the wipe.
+  void RestoreFragments(std::vector<CachedQuery> fragments);
+
  private:
   struct Shard {
     explicit Shard(const CacheManagerOptions& options) : store(options) {}

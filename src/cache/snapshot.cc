@@ -10,7 +10,6 @@ namespace gcp {
 namespace {
 
 constexpr char kMagic[] = "GCPCACHE";
-constexpr int kVersion = 1;
 
 // Bitsets are serialized as '0'/'1' strings (diff-friendly; snapshots are
 // maintenance artifacts, not a hot path). Any character outside {0,1} is
@@ -28,59 +27,58 @@ Result<DynamicBitset> ParseBits(const std::string& s) {
   return b;
 }
 
+// Entries and fragments share one block shape; only the leading keyword
+// differs ("entry" / "fragment"), so a reader can never confuse the
+// sections.
+void WriteEntryBlock(std::ostream& os, const CachedQuery& e,
+                     const char* keyword) {
+  os << keyword << " kind=" << static_cast<int>(e.kind)
+     << " admitted=" << e.admitted_at << " last_used=" << e.last_used_at
+     << " hits=" << e.hits << " tests_saved=" << e.tests_saved
+     << " exact=" << e.exact_hits << " sub=" << e.sub_hits
+     << " super=" << e.super_hits << " cost=" << e.est_test_cost_ms << "\n";
+  os << "answer " << e.answer.ToString() << "\n";
+  os << "valid " << e.valid.ToString() << "\n";
+  // Serializes through the shared graph reference — exporting a
+  // checkpoint never deep-copies resident graphs.
+  os << GraphToGSpan(*e.query);
+  os << "endentry\n";
+}
+
 }  // namespace
 
-void WriteCacheSnapshot(std::ostream& os, const CacheSnapshot& snapshot) {
-  os << kMagic << " v" << kVersion << "\n";
+void WriteCacheSnapshot(std::ostream& os, const CacheSnapshot& snapshot,
+                        int version) {
+  os << kMagic << " v" << version << "\n";
   os << "watermark " << snapshot.watermark << "\n";
   os << "horizon " << snapshot.id_horizon << "\n";
   os << "entries " << snapshot.entries.size() << "\n";
+  if (version >= 2) os << "fragments " << snapshot.fragments.size() << "\n";
   for (const CachedQuery& e : snapshot.entries) {
-    os << "entry kind=" << static_cast<int>(e.kind)
-       << " admitted=" << e.admitted_at << " last_used=" << e.last_used_at
-       << " hits=" << e.hits << " tests_saved=" << e.tests_saved
-       << " exact=" << e.exact_hits << " sub=" << e.sub_hits
-       << " super=" << e.super_hits << " cost=" << e.est_test_cost_ms << "\n";
-    os << "answer " << e.answer.ToString() << "\n";
-    os << "valid " << e.valid.ToString() << "\n";
-    // Serializes through the shared graph reference — exporting a
-    // checkpoint never deep-copies resident graphs.
-    os << GraphToGSpan(*e.query);
-    os << "endentry\n";
+    WriteEntryBlock(os, e, "entry");
+  }
+  if (version >= 2) {
+    for (const CachedQuery& e : snapshot.fragments) {
+      WriteEntryBlock(os, e, "fragment");
+    }
   }
 }
 
-Result<CacheSnapshot> ReadCacheSnapshot(std::istream& is) {
-  CacheSnapshot snapshot;
-  std::string magic, version;
-  if (!(is >> magic >> version) || magic != kMagic || version != "v1") {
-    return Status::Corruption("not a GCPCACHE v1 snapshot");
-  }
-  std::string key;
-  std::size_t entry_count = 0;
-  if (!(is >> key >> snapshot.watermark) || key != "watermark") {
-    return Status::Corruption("missing watermark record");
-  }
-  if (!(is >> key >> snapshot.id_horizon) || key != "horizon") {
-    return Status::Corruption("missing horizon record");
-  }
-  if (!(is >> key >> entry_count) || key != "entries") {
-    return Status::Corruption("missing entries record");
-  }
+namespace {
+
+/// Parses one "<keyword> ..." block (header + bitsets + graph) into `*out`.
+Status ParseEntryBlock(std::istream& is, const char* keyword, std::size_t i,
+                       CachedQuery* out) {
+  const std::string prefix = std::string(keyword) + " ";
   std::string line;
-  std::getline(is, line);  // consume end-of-line
-  // Cap the up-front reservation: a corrupt entry count must not turn
-  // into a multi-GB allocation before the first entry parse fails.
-  snapshot.entries.reserve(
-      entry_count < std::size_t{4096} ? entry_count : std::size_t{4096});
-  for (std::size_t i = 0; i < entry_count; ++i) {
-    if (!std::getline(is, line) || line.rfind("entry ", 0) != 0) {
-      return Status::Corruption("expected entry header for entry " +
-                                std::to_string(i));
-    }
-    CachedQuery e;
-    {
-      std::istringstream hs(line.substr(6));
+  if (!std::getline(is, line) || line.rfind(prefix, 0) != 0) {
+    return Status::Corruption(std::string("expected ") + keyword +
+                              " header for " + keyword + " " +
+                              std::to_string(i));
+  }
+  CachedQuery e;
+  {
+    std::istringstream hs(line.substr(prefix.size()));
       std::string field;
       std::size_t fields_seen = 0;
       while (hs >> field) {
@@ -129,36 +127,88 @@ Result<CacheSnapshot> ReadCacheSnapshot(std::istream& is) {
                                   " fields, expected 9");
       }
     }
-    if (!std::getline(is, line) || line.rfind("answer ", 0) != 0) {
-      return Status::Corruption("missing answer bits");
+  if (!std::getline(is, line) || line.rfind("answer ", 0) != 0) {
+    return Status::Corruption("missing answer bits");
+  }
+  auto answer = ParseBits(line.substr(7));
+  if (!answer.ok()) return answer.status();
+  e.answer = std::move(answer).value();
+  if (!std::getline(is, line) || line.rfind("valid ", 0) != 0) {
+    return Status::Corruption("missing valid bits");
+  }
+  auto valid = ParseBits(line.substr(6));
+  if (!valid.ok()) return valid.status();
+  e.valid = std::move(valid).value();
+  if (e.answer.size() != e.valid.size()) {
+    return Status::Corruption("answer/valid width mismatch");
+  }
+  // Graph block runs until "endentry".
+  std::ostringstream graph_text;
+  bool terminated = false;
+  while (std::getline(is, line)) {
+    if (line == "endentry") {
+      terminated = true;
+      break;
     }
-    auto answer = ParseBits(line.substr(7));
-    if (!answer.ok()) return answer.status();
-    e.answer = std::move(answer).value();
-    if (!std::getline(is, line) || line.rfind("valid ", 0) != 0) {
-      return Status::Corruption("missing valid bits");
+    graph_text << line << "\n";
+  }
+  if (!terminated) return Status::Corruption("unterminated entry block");
+  auto g = GraphFromGSpan(graph_text.str());
+  if (!g.ok()) return g.status();
+  e.query = std::make_shared<const Graph>(std::move(g).value());
+  *out = std::move(e);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<CacheSnapshot> ReadCacheSnapshot(std::istream& is) {
+  CacheSnapshot snapshot;
+  std::string magic, version;
+  if (!(is >> magic >> version) || magic != kMagic ||
+      (version != "v1" && version != "v2")) {
+    return Status::Corruption("not a GCPCACHE v1/v2 snapshot");
+  }
+  const bool v2 = version == "v2";
+  std::string key;
+  std::size_t entry_count = 0;
+  std::size_t fragment_count = 0;
+  if (!(is >> key >> snapshot.watermark) || key != "watermark") {
+    return Status::Corruption("missing watermark record");
+  }
+  if (!(is >> key >> snapshot.id_horizon) || key != "horizon") {
+    return Status::Corruption("missing horizon record");
+  }
+  if (!(is >> key >> entry_count) || key != "entries") {
+    return Status::Corruption("missing entries record");
+  }
+  if (v2 && (!(is >> key >> fragment_count) || key != "fragments")) {
+    return Status::Corruption("missing fragments record");
+  }
+  std::string line;
+  std::getline(is, line);  // consume end-of-line
+  // Cap the up-front reservations: a corrupt count must not turn into a
+  // multi-GB allocation before the first entry parse fails.
+  snapshot.entries.reserve(
+      entry_count < std::size_t{4096} ? entry_count : std::size_t{4096});
+  snapshot.fragments.reserve(
+      fragment_count < std::size_t{4096} ? fragment_count : std::size_t{4096});
+  for (std::size_t i = 0; i < entry_count; ++i) {
+    CachedQuery e;
+    if (const Status st = ParseEntryBlock(is, "entry", i, &e); !st.ok()) {
+      return st;
     }
-    auto valid = ParseBits(line.substr(6));
-    if (!valid.ok()) return valid.status();
-    e.valid = std::move(valid).value();
-    if (e.answer.size() != e.valid.size()) {
-      return Status::Corruption("answer/valid width mismatch");
-    }
-    // Graph block runs until "endentry".
-    std::ostringstream graph_text;
-    bool terminated = false;
-    while (std::getline(is, line)) {
-      if (line == "endentry") {
-        terminated = true;
-        break;
-      }
-      graph_text << line << "\n";
-    }
-    if (!terminated) return Status::Corruption("unterminated entry block");
-    auto g = GraphFromGSpan(graph_text.str());
-    if (!g.ok()) return g.status();
-    e.query = std::make_shared<const Graph>(std::move(g).value());
     snapshot.entries.push_back(std::move(e));
+  }
+  for (std::size_t i = 0; i < fragment_count; ++i) {
+    CachedQuery e;
+    if (const Status st = ParseEntryBlock(is, "fragment", i, &e); !st.ok()) {
+      return st;
+    }
+    if (e.kind != CachedQueryKind::kSubgraph) {
+      return Status::Corruption("fragment with non-subgraph kind");
+    }
+    snapshot.fragments.push_back(std::move(e));
   }
   return snapshot;
 }

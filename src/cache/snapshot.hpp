@@ -28,13 +28,22 @@ struct CacheSnapshot {
   /// Dataset id horizon at save time (sanity check on load).
   std::uint64_t id_horizon = 0;
   std::vector<CachedQuery> entries;
+  /// One-hop fragment entries (v2 payload; empty when restored from v1 —
+  /// the fragment store rebuilds cold, which only costs pruning power).
+  std::vector<CachedQuery> fragments;
 };
 
-/// Writes `snapshot` as a versioned text stream.
-void WriteCacheSnapshot(std::ostream& os, const CacheSnapshot& snapshot);
+/// Newest snapshot format: v2 = v1 plus a fragment section.
+inline constexpr int kCacheSnapshotVersion = 2;
 
-/// Parses a snapshot stream; rejects unknown versions and malformed
-/// records with Corruption.
+/// Writes `snapshot` as a versioned text stream. `version` selects the
+/// format (1 or 2); v1 drops the fragment section, which lets tests and
+/// downgrade tooling author authentic old-format bytes.
+void WriteCacheSnapshot(std::ostream& os, const CacheSnapshot& snapshot,
+                        int version = kCacheSnapshotVersion);
+
+/// Parses a snapshot stream (v1 or v2); rejects unknown versions and
+/// malformed records with Corruption.
 Result<CacheSnapshot> ReadCacheSnapshot(std::istream& is);
 
 /// File convenience wrappers.

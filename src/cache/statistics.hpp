@@ -115,7 +115,62 @@ class StatisticsManager {
   /// Delta-screen fallbacks: full Method M containment re-checks of one
   /// (entry, dataset-graph) pair whose delta was undecidable.
   std::uint64_t delta_fallback_full_checks = 0;
+
+  // --- Fragment-cache counters (one-hop sub-pattern store). Reconcile
+  // accounting is kept separate from the entry counters above so the
+  // touched + skipped == resident balance over *entries* stays exact. ----
+  /// Fragment entries admitted fresh into a fragment store.
+  std::uint64_t fragment_admissions = 0;
+  /// Offers merged into an already-resident fragment (valid/answer union).
+  std::uint64_t fragment_merges = 0;
+  /// Fragment entries evicted past fragment_capacity (oldest-used first).
+  std::uint64_t fragment_evictions = 0;
+  /// Offers dropped because a *different* star already owns the digest —
+  /// true WL collisions, expected to stay at (or very near) zero.
+  std::uint64_t fragment_digest_collisions = 0;
+  /// Drain-time credits: queries whose candidate set a resident fragment
+  /// actually shrank (one per contributing fragment per query).
+  std::uint64_t fragment_hits = 0;
+  /// Method M candidates removed by fragment-bitset intersection, summed.
+  std::uint64_t fragment_candidates_pruned = 0;
+  /// Fragment entries a reconcile ran Algorithm 2 over (or EVI-purged).
+  std::uint64_t fragment_reconcile_touched = 0;
+  /// Fragment entries the relevance screen proved unaffected.
+  std::uint64_t fragment_reconcile_skipped = 0;
+  /// Fragment entries re-admitted by snapshot/checkpoint restores.
+  std::uint64_t restored_fragments = 0;
+
+  // --- Approximate resident byte footprint (gauges, recomputed from the
+  // stores on every aggregated stats snapshot — groundwork for the
+  // bytes-accounted capacity model). -------------------------------------
+  /// CSR graph payloads of resident whole-query entries (~20n + 16m each).
+  std::uint64_t approx_graph_bytes = 0;
+  /// Answer + valid indicator words of resident whole-query entries.
+  std::uint64_t approx_bitset_bytes = 0;
+  /// Relevance-index footprints + postings over whole-query entries.
+  std::uint64_t approx_posting_bytes = 0;
+  /// Everything resident in the fragment store (graphs + bitsets +
+  /// postings).
+  std::uint64_t approx_fragment_bytes = 0;
 };
+
+/// Approximate resident byte footprint of one cache store, split by
+/// category — the per-shard source of the approx_*_bytes gauges.
+struct ApproxByteFootprint {
+  std::uint64_t graph_bytes = 0;
+  std::uint64_t bitset_bytes = 0;
+  std::uint64_t posting_bytes = 0;
+  std::uint64_t fragment_bytes = 0;
+};
+
+/// ~Bytes of one CSR graph: labels + offsets + two flat neighbour arrays +
+/// signatures + degree sequence. Deliberately a closed-form estimate (not
+/// sizeof walks) so the number is stable across allocator/container
+/// implementations.
+inline std::uint64_t ApproxGraphBytes(const Graph& g) {
+  return 20 * static_cast<std::uint64_t>(g.NumVertices()) +
+         16 * static_cast<std::uint64_t>(g.NumEdges());
+}
 
 }  // namespace gcp
 

@@ -13,6 +13,7 @@
 #include "core/pruner.hpp"
 #include "dataset/log_analyzer.hpp"
 #include "graph/canonical.hpp"
+#include "match/fragments.hpp"
 
 namespace gcp {
 
@@ -43,7 +44,10 @@ GraphCachePlus::GraphCachePlus(GraphDataset* dataset,
              CacheManagerOptions{options.cache_capacity,
                                  options.window_capacity, options.policy,
                                  options.rng_seed,
-                                 options.use_relevance_index}) {
+                                 options.use_relevance_index,
+                                 options.use_fragment_cache
+                                     ? options.fragment_capacity
+                                     : 0}) {
   pending_.reserve(cache_.num_shards());
   for (std::size_t s = 0; s < cache_.num_shards(); ++s) {
     pending_.push_back(std::make_unique<BoundedMpscQueue<PendingMaintenance>>(
@@ -210,6 +214,43 @@ bool GraphCachePlus::IsDuplicateAdmissionLocked(
 void GraphCachePlus::ApplyMaintenanceLocked(std::size_t s,
                                             PendingMaintenance& batch,
                                             const DrainEnv& env) {
+  CacheManager& shard = cache_.shard(s);
+  // Fragment credits first (credits-before-offers, as for entries):
+  // recency + benefit for the masks the read phase applied.
+  for (const FragmentCredit& c : batch.fragment_credits) {
+    shard.fragments().Credit(c.digest, c.pruned, batch.query_id,
+                             shard.stats());
+  }
+  // Fragment offers follow the admission staleness discipline verbatim:
+  // never admitted as fresher than computed, dropped under EVI staleness,
+  // forward-validated through Algorithms 1 + 2 under CON — so both sides
+  // of an AdmitOrMerge sit at the store's watermark.
+  for (AdmissionOffer& fo : batch.fragment_offers) {
+    if (fo.observed_watermark > env.watermark) continue;
+    const bool fo_stale = fo.observed_watermark != env.watermark;
+    if (fo_stale && options_.model == CacheModel::kEvi) continue;
+    if (fo_stale) {
+      std::vector<ChangeRecord> records;
+      if (env.snap != nullptr) {
+        records =
+            env.snap->RecordsBetween(fo.observed_watermark, env.watermark);
+      } else {
+        records = dataset_->log().ExtractSince(fo.observed_watermark);
+        records.erase(std::remove_if(records.begin(), records.end(),
+                                     [&env](const ChangeRecord& r) {
+                                       return r.seq > env.watermark;
+                                     }),
+                      records.end());
+      }
+      const ChangeCounters counters = LogAnalyzer::Analyze(records);
+      const std::size_t horizon = env.snap != nullptr
+                                      ? env.snap->id_horizon
+                                      : dataset_->IdHorizon();
+      CacheValidator::RefreshEntry(*fo.entry, counters, horizon);
+    }
+    shard.fragments().AdmitOrMerge(std::move(fo.entry), batch.query_id,
+                                   shard.stats());
+  }
   if (!batch.offer.has_value()) return;
   AdmissionOffer& offer = *batch.offer;
   if (offer.observed_watermark > env.watermark) {
@@ -238,10 +279,9 @@ void GraphCachePlus::ApplyMaintenanceLocked(std::size_t s,
     // Concurrent twin: an isomorphic, fully-valid resident landed between
     // this query's read phase and its drain. Admitting both would split
     // capacity and benefit statistics across identical knowledge.
-    ++cache_.shard(s).stats().total_admission_dedups;
+    ++shard.stats().total_admission_dedups;
     return;
   }
-  CacheManager& shard = cache_.shard(s);
   const CacheEntryId id =
       shard.AdmitPrepared(std::move(offer.entry), batch.query_id);
   if (stale) {
@@ -627,6 +667,7 @@ CacheSnapshot GraphCachePlus::ExportSnapshot() const {
     snapshot.watermark = watermark_;
     snapshot.id_horizon = dataset_->IdHorizon();
     snapshot.entries = cache_.ExportEntries();
+    snapshot.fragments = cache_.ExportFragments();
     return snapshot;
   }
   // Epoch path: exclude publishes (mutation_mu_), then all shard locks
@@ -638,6 +679,7 @@ CacheSnapshot GraphCachePlus::ExportSnapshot() const {
   snapshot.watermark = snap->watermark;
   snapshot.id_horizon = snap->id_horizon;
   snapshot.entries = cache_.ExportEntries();
+  snapshot.fragments = cache_.ExportFragments();
   return snapshot;
 }
 
@@ -668,6 +710,12 @@ Status GraphCachePlus::ApplySnapshot(CacheSnapshot snapshot) {
         return Status::Corruption("snapshot entry width != snapshot horizon");
       }
     }
+    for (const CachedQuery& e : s.fragments) {
+      if (e.valid.size() != s.id_horizon || e.answer.size() != s.id_horizon) {
+        return Status::Corruption(
+            "snapshot fragment width != snapshot horizon");
+      }
+    }
     return Status::OK();
   };
   if (!options_.epoch_reads) {
@@ -679,6 +727,9 @@ Status GraphCachePlus::ApplySnapshot(CacheSnapshot snapshot) {
     // pre-restore cache would duplicate restored entries).
     DrainAllShardsLocked();
     cache_.RestoreEntries(std::move(s.entries));
+    // After RestoreEntries — each shard's restore clears its fragment
+    // store along with everything else.
+    cache_.RestoreFragments(std::move(s.fragments));
     // Resume from the snapshot's watermark: the next query's sync replays
     // the incremental suffix, re-establishing consistency.
     watermark_ = s.watermark;
@@ -699,12 +750,18 @@ Status GraphCachePlus::ApplySnapshot(CacheSnapshot snapshot) {
   for (CachedQuery& e : s.entries) {
     routed[cache_.ShardOfDigest(e.digest)].push_back(std::move(e));
   }
+  std::vector<std::vector<CachedQuery>> frag_routed(cache_.num_shards());
+  for (CachedQuery& e : s.fragments) {
+    frag_routed[cache_.ShardOfDigest(e.digest)].push_back(std::move(e));
+  }
   for (std::size_t sh = 0; sh < cache_.num_shards(); ++sh) {
     ShardedCache::DrainScope scope(sh);
     auto shard_lock = cache_.LockExclusive(sh);
     CacheManager& shard = cache_.shard(sh);
     DrainShardLocked(sh, DrainEnv{shard.watermark(), &snap->live, snap});
     shard.RestoreEntries(std::move(routed[sh]));
+    // After RestoreEntries, whose Clear() wipes the fragment store too.
+    shard.RestoreFragments(std::move(frag_routed[sh]));
     shard.set_watermark(s.watermark);
     ReconcileShardLocked(sh, *snap, nullptr);
   }
@@ -883,6 +940,19 @@ void GraphCachePlus::ExecuteReadSlice(
 
   m.candidates_initial = csm.Count();
 
+  // --- Sub-pattern fragment tier, part 1: decompose the query into its
+  // canonical one-hop stars once. Subgraph queries only — star ⊆ g means
+  // g ⊆ G forces star ⊆ G, so a fragment's valid non-answers exclude
+  // candidates; supergraph queries have no such transfer. Gated with
+  // admission: a pass-through engine must not learn fragments either.
+  std::vector<Fragment> fragments;
+  if (options_.use_fragment_cache && options_.enable_admission &&
+      options_.fragment_capacity > 0 && kind == QueryKind::kSubgraph) {
+    fragments = DecomposeToFragments(g, options_.max_fragments_per_query);
+  }
+  std::vector<DynamicBitset> fragment_masks(fragments.size());
+  std::vector<char> fragment_resident(fragments.size(), 0);
+
   // --- Shard-local hit discovery: one shared shard lock at a time, held
   // only for that shard's prescreen; survivors are copied out, so the
   // merge, the utility ordering, containment verification, pruning and
@@ -907,6 +977,22 @@ void GraphCachePlus::ExecuteReadSlice(
       }
       discovery_.CollectShard(g, features, kind, cache_.shard(s), csm, &pool,
                               &m);
+      // Fragment probe rides the same shard lock (and the same epoch
+      // lag-skip: a lagging shard's fragment bits describe an older
+      // dataset version, so using them could prune a graph that since
+      // became an answer). Masks are copied out; intersection runs later
+      // with no lock held.
+      for (std::size_t i = 0; i < fragments.size(); ++i) {
+        if (cache_.ShardOfDigest(fragments[i].digest) != s) continue;
+        const CachedQuery* e = cache_.shard(s).fragments().Probe(
+            fragments[i].digest, fragments[i].star);
+        // A fragment not yet extended to this horizon contributes
+        // nothing this query (pruning is optional, never required).
+        if (e == nullptr || e->valid.size() != csm.size()) continue;
+        fragment_masks[i] = e->ValidNonAnswer();
+        fragment_resident[i] = 1;
+        ++m.fragment_hits;
+      }
     }
     hits = discovery_.ResolveHits(g, kind, std::move(pool), csm, &m);
   }
@@ -914,8 +1000,65 @@ void GraphCachePlus::ExecuteReadSlice(
 
   // --- Candidate-set pruning (formulas (1)-(5), §6.3 shortcuts). --------
   Stopwatch prune_watch;
-  const PruneOutcome pruned = CandidateSetPruner::Prune(hits, csm, &m);
+  PruneOutcome pruned = CandidateSetPruner::Prune(hits, csm, &m);
   m.t_prune_ns = prune_watch.ElapsedNanos();
+
+  // --- Sub-pattern fragment tier, part 2: between whole-query pruning
+  // and Method M. Each resident fragment's valid non-answer mask AND-NOTs
+  // straight out of the candidate set; each missing fragment is computed
+  // over CS_M here (it prunes this query too, and becomes an offer for
+  // the next). Only `pruned.candidates` is touched — answers, whole-query
+  // credits and the admission offer below never see fragment state, so
+  // the --fragments=off oracle stays bit-exact on everything but
+  // si_tests/candidates_final (the win being measured).
+  if (!fragments.empty() && !pruned.direct) {
+    Stopwatch fragment_watch;
+    for (std::size_t i = 0; i < fragments.size(); ++i) {
+      DynamicBitset computed;
+      if (!fragment_resident[i]) {
+        // Miss: verify the star against every CS_M member. Stars are
+        // tiny; the prepared path reuses the vertex order across targets.
+        const auto prepared = internal_matcher_->Prepare(fragments[i].star);
+        DynamicBitset star_answer(csm.size());
+        for (std::size_t id = csm.FindFirst(); id != DynamicBitset::npos;
+             id = csm.FindNext(id + 1)) {
+          const Graph& target =
+              snap != nullptr ? snap->graph(static_cast<GraphId>(id))
+                              : dataset_->graph(static_cast<GraphId>(id));
+          if (internal_matcher_->ContainsPrepared(*prepared, target)) {
+            star_answer.Set(id);
+          }
+        }
+        ++m.fragment_computed;
+        computed = DynamicBitset::AndNot(csm, star_answer);
+        // The fresh knowledge covers exactly the candidates checked:
+        // valid = CS_M, stamped with the watermark it was computed at.
+        AdmissionOffer offer;
+        offer.entry = CacheManager::PrepareEntry(
+            std::make_shared<const Graph>(fragments[i].star),
+            CachedQueryKind::kSubgraph, std::move(star_answer),
+            DynamicBitset(csm),
+            StatisticsManager::StructuralCostEstimateMs(fragments[i].star));
+        offer.observed_watermark = watermark;
+        batch_for(cache_.ShardOfDigest(fragments[i].digest))
+            .fragment_offers.push_back(std::move(offer));
+      }
+      const DynamicBitset& mask =
+          fragment_resident[i] ? fragment_masks[i] : computed;
+      if (mask.size() != pruned.candidates.size()) continue;
+      const std::uint64_t removed = mask.CountAnd(pruned.candidates);
+      pruned.candidates.AndNotWith(mask);
+      ++m.fragment_intersections;
+      m.fragment_candidates_pruned += removed;
+      if (fragment_resident[i]) {
+        batch_for(cache_.ShardOfDigest(fragments[i].digest))
+            .fragment_credits.push_back({fragments[i].digest, removed});
+      }
+    }
+    // candidates_final reports what Method M actually verifies.
+    m.candidates_final = pruned.candidates.Count();
+    m.t_fragment_ns = fragment_watch.ElapsedNanos();
+  }
 
   // --- Statistics Manager: defer credits for contributing entries,
   // routed to each entry's home shard. ----------------------------------

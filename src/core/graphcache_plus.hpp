@@ -276,13 +276,26 @@ class GraphCachePlus {
     LogSeq observed_watermark = 0;
   };
 
+  /// One deferred fragment hit credit: the read phase applied this
+  /// fragment's mask, removing `pruned` Method M candidates. Digest-keyed
+  /// (the fragment store has its own id space, and the fragment may be
+  /// evicted or merged before the drain lands).
+  struct FragmentCredit {
+    std::uint64_t digest = 0;
+    std::uint64_t pruned = 0;
+  };
+
   /// Everything one query defers to ONE shard: the credits for entries
   /// homed there plus (at most) the admission offer routed there by the
-  /// query's digest.
+  /// query's digest, plus fragment credits/offers for fragments homed
+  /// there (fragment offers follow the admission watermark-staleness
+  /// discipline verbatim).
   struct PendingMaintenance {
     std::uint64_t query_id = 0;
     std::vector<HitCredit> credits;
     std::optional<AdmissionOffer> offer;
+    std::vector<FragmentCredit> fragment_credits;
+    std::vector<AdmissionOffer> fragment_offers;
   };
 
   /// Context a drain applies batches under. Legacy (lock-path) drains

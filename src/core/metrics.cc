@@ -16,11 +16,16 @@ void AggregateMetrics::Add(const QueryMetrics& m) {
   if (m.empty_shortcut) ++empty_shortcuts;
   sub_hits += m.sub_hits;
   super_hits += m.super_hits;
+  fragment_hits += m.fragment_hits;
+  fragment_computed += m.fragment_computed;
+  fragment_intersections += m.fragment_intersections;
+  fragment_candidates_pruned += m.fragment_candidates_pruned;
   t_validate_ns += m.t_validate_ns;
   t_index_ns += m.t_index_ns;
   t_probe_ns += m.t_probe_ns;
   t_discover_ns += m.t_discover_ns;
   t_prune_ns += m.t_prune_ns;
+  t_fragment_ns += m.t_fragment_ns;
   t_verify_ns += m.t_verify_ns;
   t_maintenance_ns += m.t_maintenance_ns;
   t_query_ns += m.QueryTimeNs();
@@ -39,6 +44,8 @@ std::string AggregateMetrics::ToString() const {
      << " saved_sub=" << tests_saved_sub << " saved_super=" << tests_saved_super
      << " exact_hits=" << exact_hits << " empty_shortcuts=" << empty_shortcuts
      << " sub_hits=" << sub_hits << " super_hits=" << super_hits
+     << " fragment_hits=" << fragment_hits
+     << " fragment_pruned=" << fragment_candidates_pruned
      << " avg_query_ms=" << AvgQueryTimeMs()
      << " avg_overhead_ms=" << AvgOverheadMs();
   return os.str();

@@ -32,6 +32,12 @@ struct QueryMetrics {
   bool exact_hit = false;        ///< §6.3 optimal case 1 fired.
   bool empty_shortcut = false;   ///< §6.3 optimal case 2 fired.
 
+  // --- fragment cache ------------------------------------------------------
+  std::uint32_t fragment_hits = 0;      ///< Resident fragments intersected.
+  std::uint32_t fragment_computed = 0;  ///< Fragments computed on miss.
+  std::uint32_t fragment_intersections = 0;  ///< Mask AND-NOTs applied.
+  std::uint64_t fragment_candidates_pruned = 0;  ///< Candidates removed.
+
   // --- timings (ns) --------------------------------------------------------
   std::int64_t t_validate_ns = 0;     ///< CON: Algorithms 1 + 2 (EVI: purge).
   std::int64_t t_index_ns = 0;        ///< FTV index maintenance + filter.
@@ -41,6 +47,9 @@ struct QueryMetrics {
   /// utilities and containment verification.
   std::int64_t t_discover_ns = 0;
   std::int64_t t_prune_ns = 0;        ///< Bitset algebra of formulas (1)-(5).
+  /// Fragment mask intersection + on-miss fragment computation (the
+  /// shard-lock fragment probes ride t_probe_ns with discovery).
+  std::int64_t t_fragment_ns = 0;
   std::int64_t t_verify_ns = 0;       ///< Method M sub-iso testing.
   std::int64_t t_maintenance_ns = 0;  ///< Admission + replacement + indexing.
 
@@ -50,7 +59,7 @@ struct QueryMetrics {
   /// probe, prune, verify).
   std::int64_t QueryTimeNs() const {
     return t_validate_ns + t_index_ns + t_probe_ns + t_prune_ns +
-           t_verify_ns;
+           t_fragment_ns + t_verify_ns;
   }
   /// "Overhead" in the Figure 6 sense.
   std::int64_t OverheadNs() const { return t_maintenance_ns; }
@@ -67,11 +76,16 @@ struct AggregateMetrics {
   std::uint64_t empty_shortcuts = 0;
   std::uint64_t sub_hits = 0;
   std::uint64_t super_hits = 0;
+  std::uint64_t fragment_hits = 0;
+  std::uint64_t fragment_computed = 0;
+  std::uint64_t fragment_intersections = 0;
+  std::uint64_t fragment_candidates_pruned = 0;
   std::int64_t t_validate_ns = 0;
   std::int64_t t_index_ns = 0;
   std::int64_t t_probe_ns = 0;
   std::int64_t t_discover_ns = 0;
   std::int64_t t_prune_ns = 0;
+  std::int64_t t_fragment_ns = 0;
   std::int64_t t_verify_ns = 0;
   std::int64_t t_maintenance_ns = 0;
   std::int64_t t_query_ns = 0;

@@ -89,6 +89,25 @@ struct GraphCachePlusOptions {
   /// before/after benchmarking and equivalence gates).
   bool use_relevance_index = true;
 
+  /// Sub-pattern fragment cache: decompose each subgraph query into
+  /// canonical one-hop star fragments (match/fragments), cache
+  /// per-fragment candidate bitsets beside the whole-query entries, and
+  /// on a whole-query miss intersect the valid fragment non-answers out
+  /// of Method M's candidate set — a pruning tier between the FTV filter
+  /// and sub-iso verification. Pruning-only: a stale or missing fragment
+  /// can never change an answer, so off is the bit-exact oracle (same
+  /// answers, same resident whole-query state, same replacement
+  /// decisions; kept for before/after benchmarking).
+  bool use_fragment_cache = true;
+
+  /// Total fragment-store capacity across all shards (entries). 0
+  /// disables the store outright even when use_fragment_cache is set.
+  std::size_t fragment_capacity = 256;
+
+  /// Cap on star fragments decomposed per query (largest stars first;
+  /// the decomposition order is permutation-invariant).
+  std::size_t max_fragments_per_query = 8;
+
   /// Delta re-validation, CON only: for each (entry, dataset-graph) pair
   /// Algorithm 2 would invalidate, first try to prove the cached
   /// relation unchanged from the batch's edge-label-pair delta (the bit

@@ -27,8 +27,16 @@ GraphFeatures GraphFeatures::Extract(const Graph& g) {
 }
 
 bool GraphFeatures::CouldBeSubgraphOf(const GraphFeatures& other) const {
+  // Screens run cheapest-first: scalar comparisons, then the per-label
+  // count walk, then the edge-label-pair walk (pair-keyed map), and the
+  // degree-dominance loop — the only one that touches vectors — last.
+  // The distinct-key counts are scalars too: a subgraph cannot use more
+  // distinct labels (or label pairs) than its supergraph, so these reject
+  // before any map lookup happens.
   if (num_vertices > other.num_vertices || num_edges > other.num_edges ||
-      max_degree > other.max_degree) {
+      max_degree > other.max_degree ||
+      label_counts.size() > other.label_counts.size() ||
+      edge_label_counts.size() > other.edge_label_counts.size()) {
     return false;
   }
   for (const auto& [label, count] : label_counts) {

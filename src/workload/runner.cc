@@ -77,6 +77,7 @@ RunReport RunWorkload(const std::vector<Graph>& initial,
   opts.max_sub_hits = config.max_sub_hits;
   opts.max_super_hits = config.max_super_hits;
   opts.use_relevance_index = config.relevance_index;
+  opts.use_fragment_cache = config.fragments;
   opts.delta_revalidation = config.delta_revalidation;
   opts.retrospective_budget = config.retrospective_budget;
   opts.use_ftv_index = config.use_ftv;

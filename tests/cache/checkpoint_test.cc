@@ -12,6 +12,7 @@ namespace {
 
 using testing::MakeCycle;
 using testing::MakePath;
+using testing::MakeStar;
 
 CacheSnapshot SampleSnapshot() {
   CacheSnapshot s;
@@ -31,6 +32,19 @@ CacheSnapshot SampleSnapshot() {
   f.answer = DynamicBitset(6);
   f.valid = DynamicBitset(6);
   s.entries.push_back(std::move(f));
+  return s;
+}
+
+CacheSnapshot SampleSnapshotWithFragments() {
+  CacheSnapshot s = SampleSnapshot();
+  CachedQuery f;
+  f.kind = CachedQueryKind::kSubgraph;
+  f.query = std::make_shared<const Graph>(MakeStar({0, 1, 1}));
+  f.answer = DynamicBitset(6);
+  f.answer.Set(1);
+  f.valid = DynamicBitset(6, true);
+  f.tests_saved = 3;
+  s.fragments.push_back(std::move(f));
   return s;
 }
 
@@ -54,8 +68,41 @@ TEST(CheckpointFormatTest, EncodeDecodeRoundTrip) {
   EXPECT_EQ(s.entries[1].kind, CachedQueryKind::kSupergraph);
 }
 
+TEST(CheckpointFormatTest, FragmentsRoundTripInV2) {
+  const CacheSnapshot original = SampleSnapshotWithFragments();
+  const std::string bytes = EncodeCheckpoint(original);
+  auto decoded = DecodeCheckpoint(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const CacheSnapshot& s = decoded.value();
+  ASSERT_EQ(s.entries.size(), 2u);
+  ASSERT_EQ(s.fragments.size(), 1u);
+  EXPECT_EQ(*s.fragments[0].query, *original.fragments[0].query);
+  EXPECT_EQ(s.fragments[0].answer, original.fragments[0].answer);
+  EXPECT_EQ(s.fragments[0].valid, original.fragments[0].valid);
+  EXPECT_EQ(s.fragments[0].kind, CachedQueryKind::kSubgraph);
+}
+
+TEST(CheckpointFormatTest, V1CheckpointWarmRestartsWithFragmentsCold) {
+  // Encoding at version 1 produces authentic old-format bytes: v1
+  // envelope, no fragments meta line, v1 snapshot body. Decoding must
+  // still succeed — whole-query entries intact, fragment store cold —
+  // so checkpoints written before the fragment tier keep warm-restarting.
+  const CacheSnapshot original = SampleSnapshotWithFragments();
+  const std::string bytes = EncodeCheckpoint(original, /*version=*/1);
+  EXPECT_EQ(bytes.find("fragment"), std::string::npos);
+  auto decoded = DecodeCheckpoint(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const CacheSnapshot& s = decoded.value();
+  EXPECT_EQ(s.watermark, original.watermark);
+  EXPECT_EQ(s.id_horizon, original.id_horizon);
+  ASSERT_EQ(s.entries.size(), 2u);
+  EXPECT_TRUE(s.entries[0].answer.Test(2));
+  EXPECT_TRUE(s.fragments.empty());
+}
+
 TEST(CheckpointFormatTest, EveryTruncationIsRejectedNotUB) {
-  const std::string bytes = EncodeCheckpoint(SampleSnapshot());
+  // Fragment-bearing v2 bytes: the sweep covers the fragment section too.
+  const std::string bytes = EncodeCheckpoint(SampleSnapshotWithFragments());
   // Torn write at every byte k: each prefix must decode to a Corruption
   // (or similar) error — never crash, never a silently-wrong snapshot.
   for (std::size_t k = 0; k < bytes.size(); ++k) {
@@ -65,7 +112,7 @@ TEST(CheckpointFormatTest, EveryTruncationIsRejectedNotUB) {
 }
 
 TEST(CheckpointFormatTest, EveryBitFlipIsRejected) {
-  const std::string clean = EncodeCheckpoint(SampleSnapshot());
+  const std::string clean = EncodeCheckpoint(SampleSnapshotWithFragments());
   // Flip one bit in every byte — header, meta, body and footer sections
   // are all CRC- or cross-check-covered, so no flip may survive.
   for (std::size_t i = 0; i < clean.size(); ++i) {

@@ -100,6 +100,44 @@ TEST(SnapshotTest, RejectsGarbage) {
   }
 }
 
+TEST(SnapshotTest, FragmentSectionRoundTripsAndV1DropsIt) {
+  CacheSnapshot original = SampleSnapshot();
+  CachedQuery f;
+  f.kind = CachedQueryKind::kSubgraph;
+  f.query = std::make_shared<const Graph>(MakePath({0, 1}));
+  f.answer = DynamicBitset(5);
+  f.answer.Set(2);
+  f.valid = DynamicBitset(5, true);
+  f.tests_saved = 3;
+  original.fragments.push_back(std::move(f));
+  {
+    // v2 carries the fragment section.
+    std::ostringstream os;
+    WriteCacheSnapshot(os, original);
+    std::istringstream is(os.str());
+    auto parsed = ReadCacheSnapshot(is);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    ASSERT_EQ(parsed.value().fragments.size(), 1u);
+    const CachedQuery& g = parsed.value().fragments[0];
+    EXPECT_EQ(*g.query, *original.fragments[0].query);
+    EXPECT_EQ(g.answer, original.fragments[0].answer);
+    EXPECT_EQ(g.valid, original.fragments[0].valid);
+    EXPECT_EQ(g.tests_saved, 3u);
+  }
+  {
+    // A v1 stream of the same cache loads with the whole-query entries
+    // intact and the fragment store cold — the backward-compat contract.
+    std::ostringstream os;
+    WriteCacheSnapshot(os, original, /*version=*/1);
+    EXPECT_EQ(os.str().find("fragment"), std::string::npos);
+    std::istringstream is(os.str());
+    auto parsed = ReadCacheSnapshot(is);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed.value().entries.size(), 2u);
+    EXPECT_TRUE(parsed.value().fragments.empty());
+  }
+}
+
 std::vector<Graph> Molecules() {
   return {MakePath({0, 0, 1}), MakePath({0, 1}), MakeCycle({0, 0, 0}),
           MakePath({2, 0, 1}), MakeSingleton(2)};
@@ -125,6 +163,34 @@ TEST(SnapshotTest, WarmRestartSkipsColdStart) {
   EXPECT_TRUE(r.metrics.exact_hit);        // warm from the snapshot
   EXPECT_EQ(r.metrics.si_tests, 0u);
   EXPECT_EQ(r.answer, (std::vector<GraphId>{0, 1, 3}));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, WarmRestartRestoresFragments) {
+  const std::string path = ::testing::TempDir() + "/gcp_snapshot_frag.txt";
+  GraphCachePlusOptions opts;
+  opts.model = CacheModel::kCon;
+  {
+    GraphDataset ds;
+    ds.Bootstrap(Molecules());
+    GraphCachePlus gc(&ds, opts);
+    gc.SubgraphQuery(MakePath({0, 1}));  // miss → learns the 0–1 star
+    gc.FlushMaintenance();
+    ASSERT_GT(gc.CacheStatsSnapshot().fragment_admissions, 0u);
+    ASSERT_TRUE(gc.SaveCache(path).ok());
+  }
+  GraphDataset ds;
+  ds.Bootstrap(Molecules());
+  GraphCachePlus gc(&ds, opts);
+  ASSERT_TRUE(gc.LoadCache(path).ok());
+  const StatisticsManager stats = gc.CacheStatsSnapshot();
+  EXPECT_GT(stats.restored_fragments, 0u);
+  EXPECT_GT(stats.approx_fragment_bytes, 0u);
+  // A fresh pattern sharing the 0–1 one-hop star probes the restored
+  // fragment: the warm tier engages without ever recomputing the star.
+  const QueryResult r = gc.SubgraphQuery(MakePath({0, 1, 0}));
+  EXPECT_GT(r.metrics.fragment_hits, 0u);
+  EXPECT_TRUE(r.answer.empty());  // no molecule has a 0–1–0 path
   std::remove(path.c_str());
 }
 

@@ -34,7 +34,12 @@ GraphCachePlusOptions DefaultOptions(CacheModel model = CacheModel::kCon) {
 TEST(GraphCachePlusTest, ColdCacheAnswersCorrectly) {
   GraphDataset ds;
   ds.Bootstrap(SmallMolecules());
-  GraphCachePlus gc(&ds, DefaultOptions());
+  // This test pins the bare Method M path: every FTV candidate verified.
+  // The fragment tier would prune candidates even cold (its gates live in
+  // fragment_equivalence_test), so it is the oracle config here.
+  GraphCachePlusOptions opts = DefaultOptions();
+  opts.use_fragment_cache = false;
+  GraphCachePlus gc(&ds, opts);
   const QueryResult r = gc.SubgraphQuery(MakePath({0, 1}));
   EXPECT_EQ(r.answer, (std::vector<GraphId>{0, 1, 3}));
   EXPECT_EQ(r.metrics.si_tests, 5u);
@@ -142,7 +147,11 @@ TEST(GraphCachePlusTest, EviPurgesConRetains) {
   auto run = [&](CacheModel model) {
     GraphDataset ds;
     ds.Bootstrap(SmallMolecules());
-    GraphCachePlus gc(&ds, DefaultOptions(model));
+    // Fragment-free: the asserted si_tests counts are the whole-query
+    // CON-fade / EVI-purge story, not fragment pruning.
+    GraphCachePlusOptions opts = DefaultOptions(model);
+    opts.use_fragment_cache = false;
+    GraphCachePlus gc(&ds, opts);
     gc.SubgraphQuery(MakePath({0, 1}));
     // UR on graph 0 (a positive result of the cached query): CON must fade
     // exactly that bit; EVI throws the whole cache away.
@@ -281,8 +290,8 @@ TEST(GraphCachePlusTest, MetricsBreakdownSumsToQueryTime) {
   GraphCachePlus gc(&ds, DefaultOptions());
   const QueryResult r = gc.SubgraphQuery(MakePath({0, 1}));
   const auto& m = r.metrics;
-  EXPECT_EQ(m.QueryTimeNs(),
-            m.t_validate_ns + m.t_probe_ns + m.t_prune_ns + m.t_verify_ns);
+  EXPECT_EQ(m.QueryTimeNs(), m.t_validate_ns + m.t_probe_ns + m.t_prune_ns +
+                                 m.t_fragment_ns + m.t_verify_ns);
   EXPECT_GE(m.OverheadNs(), 0);
   EXPECT_EQ(m.answer_size, r.answer.size());
 }

@@ -43,6 +43,9 @@ class PaperExampleTest : public ::testing::Test {
     opts.model = CacheModel::kCon;
     opts.window_capacity = 100;  // keep everything in window; no merges
     opts.cache_capacity = 100;
+    // The paper's timeline has no fragment tier; keep its exact per-step
+    // si_tests counts (fragment pruning is gated elsewhere).
+    opts.use_fragment_cache = false;
     gc_ = std::make_unique<GraphCachePlus>(&dataset_, opts);
   }
 
