@@ -97,6 +97,9 @@ struct BenchConfig {
   /// Attempt a verified warm restart before the first query
   /// (--warm-restart; degrades to cold start when nothing usable exists).
   bool warm_restart = false;
+  /// Byte-accounted capacity cap (--byte-budget=off|N; 0/off = the
+  /// entry-count legacy model, bit-exact). Arms the pressure monitor.
+  std::size_t byte_budget = 0;
   /// When non-empty, also emit machine-readable results here (--json=...).
   std::string json_path;
 
@@ -169,6 +172,15 @@ struct BenchConfig {
     c.checkpoint_interval_us = static_cast<std::size_t>(
         flags.GetInt("checkpoint-interval", c.checkpoint_interval_us));
     c.warm_restart = flags.GetBool("warm-restart", c.warm_restart);
+    {
+      // --byte-budget accepts "off" (the entry-count oracle) or a byte
+      // count; anything else must parse as a non-negative integer.
+      const std::string budget = flags.GetString("byte-budget", "");
+      if (!budget.empty() && budget != "off") {
+        c.byte_budget = static_cast<std::size_t>(
+            flags.GetInt("byte-budget", c.byte_budget));
+      }
+    }
     c.json_path = flags.GetString("json", c.json_path);
     return c;
   }
@@ -249,6 +261,7 @@ inline RunnerConfig MakeRunnerConfig(RunMode mode, MatcherKind method,
   rc.checkpoint_dir = cfg.checkpoint_dir;
   rc.checkpoint_interval_us = cfg.checkpoint_interval_us;
   rc.warm_restart = cfg.warm_restart;
+  rc.byte_budget = cfg.byte_budget;
   rc.plan_seed = cfg.seed + 404;
   return rc;
 }
@@ -280,6 +293,7 @@ inline GraphCachePlusOptions MakeEngineOptions(CacheModel model,
   opts.use_discovery_index = !cfg.legacy_hot_path;
   opts.checkpoint_dir = cfg.checkpoint_dir;
   opts.checkpoint_interval_us = cfg.checkpoint_interval_us;
+  opts.byte_budget = cfg.byte_budget;
   return opts;
 }
 

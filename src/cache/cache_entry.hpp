@@ -81,6 +81,12 @@ struct CachedQuery {
   /// True while the entry still sits in the admission window.
   bool in_window = false;
 
+  /// Cached byte footprint (ApproxEntryBytes) as last accounted by the
+  /// owning store. Maintained by the store on admit/validate/restore so
+  /// the store's running byte gauge can be adjusted by exact deltas when
+  /// bitsets grow; 0 for entries not (yet) owned by a store.
+  std::uint64_t approx_bytes = 0;
+
   /// Answer bits restricted to currently-valid knowledge:
   /// valid ∩ answer — the sub-iso-test-free set of formula (1).
   DynamicBitset ValidAnswer() const {

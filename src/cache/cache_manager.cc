@@ -4,21 +4,44 @@
 #include <cassert>
 
 #include "cache/cache_validator.hpp"
+#include "common/alloc_fault.hpp"
 #include "graph/canonical.hpp"
 
 namespace gcp {
 
+namespace {
+
+/// Fragment-store slice of a shard's byte budget: 1/8 when both the budget
+/// and the fragment tier are on, 0 otherwise. The whole-query stores get
+/// the remainder.
+std::uint64_t FragmentByteSlice(const CacheManagerOptions& o) {
+  if (o.byte_budget == 0 || o.fragment_capacity == 0) return 0;
+  return static_cast<std::uint64_t>(o.byte_budget) / 8;
+}
+
+}  // namespace
+
 CacheManager::CacheManager(CacheManagerOptions options)
     : options_(options),
-      fragments_(options.fragment_capacity, options.maintain_relevance_index),
-      rng_(options.rng_seed) {}
+      fragments_(options.fragment_capacity, options.maintain_relevance_index,
+                 FragmentByteSlice(options), options.pressure),
+      rng_(options.rng_seed) {
+  entry_byte_budget_ =
+      options_.byte_budget == 0
+          ? 0
+          : static_cast<std::uint64_t>(options_.byte_budget) -
+                FragmentByteSlice(options_);
+}
 
-CacheEntryId CacheManager::Admit(Graph query, CachedQueryKind kind,
-                                 DynamicBitset answer, DynamicBitset valid,
-                                 std::uint64_t now, double est_test_cost_ms) {
-  const CacheEntryId id =
+Result<CacheEntryId> CacheManager::Admit(Graph query, CachedQueryKind kind,
+                                         DynamicBitset answer,
+                                         DynamicBitset valid,
+                                         std::uint64_t now,
+                                         double est_test_cost_ms) {
+  Result<CacheEntryId> id =
       AdmitDeferred(std::move(query), kind, std::move(answer),
                     std::move(valid), now, est_test_cost_ms);
+  if (!id.ok()) return id;
   MaybeMergeWindow();
   return id;
 }
@@ -38,11 +61,12 @@ std::unique_ptr<CachedQuery> CacheManager::PrepareEntry(
   return entry;
 }
 
-CacheEntryId CacheManager::AdmitDeferred(Graph query, CachedQueryKind kind,
-                                         DynamicBitset answer,
-                                         DynamicBitset valid,
-                                         std::uint64_t now,
-                                         double est_test_cost_ms) {
+Result<CacheEntryId> CacheManager::AdmitDeferred(Graph query,
+                                                 CachedQueryKind kind,
+                                                 DynamicBitset answer,
+                                                 DynamicBitset valid,
+                                                 std::uint64_t now,
+                                                 double est_test_cost_ms) {
   // The by-value Graph becomes shared storage in this one move; every
   // later stage passes the pointer.
   return AdmitPrepared(
@@ -51,23 +75,32 @@ CacheEntryId CacheManager::AdmitDeferred(Graph query, CachedQueryKind kind,
       now);
 }
 
-CacheEntryId CacheManager::AdmitPrepared(std::unique_ptr<CachedQuery> entry,
-                                         std::uint64_t now) {
+Result<CacheEntryId> CacheManager::AdmitPrepared(
+    std::unique_ptr<CachedQuery> entry, std::uint64_t now) {
+  if (AllocationFaultFires(AllocSite::kAdmission, ApproxEntryBytes(*entry))) {
+    ++stats_.alloc_failed_admissions;
+    return Status::ResourceExhausted("cache admission allocation failed");
+  }
   entry->id = next_id_++;
   entry->admitted_at = now;
   entry->last_used_at = now;
   entry->in_window = true;
   const CacheEntryId id = entry->id;
-  index_.Insert(entry.get());
-  if (options_.maintain_relevance_index) relevance_.Insert(entry.get());
-  by_id_.emplace(id, entry.get());
+  CachedQuery* raw = entry.get();
+  index_.Insert(raw);
+  if (options_.maintain_relevance_index) relevance_.Insert(raw);
+  by_id_.emplace(id, raw);
   window_.push_back(std::move(entry));
+  AccountAdmit(*raw);
   ++stats_.total_admissions;
   return id;
 }
 
 void CacheManager::MaybeMergeWindow() {
-  if (window_.size() >= options_.window_capacity) {
+  // The byte condition lets replacement run even on a half-full window —
+  // the budget bounds resident bytes per drain, not per window fill.
+  if (window_.size() >= options_.window_capacity ||
+      (entry_byte_budget_ != 0 && entry_bytes_ > entry_byte_budget_)) {
     MergeWindowIntoCache();
   }
 }
@@ -79,26 +112,61 @@ void CacheManager::MergeWindowIntoCache() {
     cache_.push_back(std::move(e));
   }
   window_.clear();
-  if (cache_.size() <= options_.cache_capacity) return;
+  if (cache_.size() > options_.cache_capacity) {
+    std::vector<const CachedQuery*> pool;
+    pool.reserve(cache_.size());
+    for (const auto& e : cache_) pool.push_back(e.get());
+    const ReplacementRanker ranker(options_.policy, &rng_);
+    const std::vector<std::size_t> order = ranker.RankBestFirst(pool);
+    last_effective_ = ranker.effective_policy();
 
+    std::vector<std::unique_ptr<CachedQuery>> kept;
+    kept.reserve(options_.cache_capacity);
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      auto& slot = cache_[order[rank]];
+      if (rank < options_.cache_capacity) {
+        kept.push_back(std::move(slot));
+      } else {
+        AccountEvict(*slot);
+        index_.Erase(slot->id);
+        relevance_.Erase(slot->id);
+        by_id_.erase(slot->id);
+        ++stats_.total_evictions;
+      }
+    }
+    cache_ = std::move(kept);
+  }
+  EnforceByteBudget();
+}
+
+void CacheManager::EnforceByteBudget() {
+  if (entry_byte_budget_ == 0 || entry_bytes_ <= entry_byte_budget_) return;
+  // Greedy knapsack over the utility-per-byte ranking: keep the best
+  // prefix that fits (a too-big entry is skipped, later smaller ones may
+  // still fit). Runs with the window empty (callers merge first), so
+  // entry_bytes_ covers exactly cache_.
   std::vector<const CachedQuery*> pool;
   pool.reserve(cache_.size());
   for (const auto& e : cache_) pool.push_back(e.get());
   const ReplacementRanker ranker(options_.policy, &rng_);
-  const std::vector<std::size_t> order = ranker.RankBestFirst(pool);
+  const std::vector<std::size_t> order = ranker.RankBestPerByteFirst(pool);
   last_effective_ = ranker.effective_policy();
 
   std::vector<std::unique_ptr<CachedQuery>> kept;
-  kept.reserve(options_.cache_capacity);
-  for (std::size_t rank = 0; rank < order.size(); ++rank) {
-    auto& slot = cache_[order[rank]];
-    if (rank < options_.cache_capacity) {
+  kept.reserve(cache_.size());
+  std::uint64_t kept_bytes = 0;
+  for (const std::size_t i : order) {
+    auto& slot = cache_[i];
+    if (kept_bytes + slot->approx_bytes <= entry_byte_budget_) {
+      kept_bytes += slot->approx_bytes;
       kept.push_back(std::move(slot));
     } else {
+      AccountEvict(*slot);
       index_.Erase(slot->id);
       relevance_.Erase(slot->id);
       by_id_.erase(slot->id);
       ++stats_.total_evictions;
+      ++stats_.byte_budget_evictions;
     }
   }
   cache_ = std::move(kept);
@@ -106,6 +174,10 @@ void CacheManager::MergeWindowIntoCache() {
 
 void CacheManager::Clear() {
   if (!cache_.empty() || !window_.empty()) ++stats_.total_cache_clears;
+  if (options_.pressure != nullptr && entry_bytes_ != 0) {
+    options_.pressure->AddBytes(-static_cast<std::int64_t>(entry_bytes_));
+  }
+  entry_bytes_ = 0;
   cache_.clear();
   window_.clear();
   by_id_.clear();
@@ -132,10 +204,12 @@ void CacheManager::ValidateAll(
   for (auto& e : cache_) {
     CacheValidator::RefreshEntry(*e, counters, id_horizon, delta, &stats_);
     if (options_.maintain_relevance_index) relevance_.Refresh(e.get());
+    AccountRefresh(*e);
   }
   for (auto& e : window_) {
     CacheValidator::RefreshEntry(*e, counters, id_horizon, delta, &stats_);
     if (options_.maintain_relevance_index) relevance_.Refresh(e.get());
+    AccountRefresh(*e);
   }
   // Fragments reconcile with plain Algorithm 2 — the delta hook re-proves
   // whole-query containments and is never needed for soundness here.
@@ -148,8 +222,14 @@ void CacheManager::ValidateRelevant(
   // Indicator extension (Algorithm 2 lines 4-6) applies to every resident
   // entry — new ids default to invalid and no existing bit can flip, so
   // extension alone never makes an entry "touched".
-  for (auto& e : cache_) CacheValidator::ExtendEntry(*e, id_horizon);
-  for (auto& e : window_) CacheValidator::ExtendEntry(*e, id_horizon);
+  for (auto& e : cache_) {
+    CacheValidator::ExtendEntry(*e, id_horizon);
+    AccountRefresh(*e);
+  }
+  for (auto& e : window_) {
+    CacheValidator::ExtendEntry(*e, id_horizon);
+    AccountRefresh(*e);
+  }
 
   const RelevanceIndex::BatchFootprint batch =
       RelevanceIndex::FootprintOf(counters);
@@ -189,8 +269,19 @@ void CacheManager::RefreshRelevanceFootprint(CacheEntryId id) {
 
 void CacheManager::ExtendAll(std::size_t id_horizon) {
   const ChangeCounters empty;
-  for (auto& e : cache_) CacheValidator::RefreshEntry(*e, empty, id_horizon);
-  for (auto& e : window_) CacheValidator::RefreshEntry(*e, empty, id_horizon);
+  for (auto& e : cache_) {
+    CacheValidator::RefreshEntry(*e, empty, id_horizon);
+    AccountRefresh(*e);
+  }
+  for (auto& e : window_) {
+    CacheValidator::RefreshEntry(*e, empty, id_horizon);
+    AccountRefresh(*e);
+  }
+}
+
+void CacheManager::NoteEntryBytesChanged(CacheEntryId id) {
+  CachedQuery* e = FindMutable(id);
+  if (e != nullptr) AccountRefresh(*e);
 }
 
 void CacheManager::RecordBenefit(CacheEntryId id, std::uint64_t tests_saved,
@@ -268,7 +359,43 @@ void CacheManager::RestoreEntries(std::vector<CachedQuery> entries) {
   if (entries.size() > options_.cache_capacity) {
     entries.resize(options_.cache_capacity);
   }
-  for (CachedQuery& e : entries) {
+  // Byte budget: a restored snapshot that exceeds the whole-query slice
+  // keeps the best tests_saved-per-byte subset that fits; the rest are
+  // dropped and counted. Survivors land in the legacy (tests_saved desc)
+  // insertion order.
+  std::vector<bool> keep(entries.size(), true);
+  if (entry_byte_budget_ > 0) {
+    std::vector<std::size_t> order(entries.size());
+    std::vector<std::uint64_t> bytes(entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      order[i] = i;
+      bytes[i] = ApproxEntryBytes(entries[i]);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const double sa =
+                           static_cast<double>(entries[a].tests_saved) /
+                           static_cast<double>(std::max<std::uint64_t>(
+                               std::uint64_t{1}, bytes[a]));
+                       const double sb =
+                           static_cast<double>(entries[b].tests_saved) /
+                           static_cast<double>(std::max<std::uint64_t>(
+                               std::uint64_t{1}, bytes[b]));
+                       return sa > sb;
+                     });
+    std::uint64_t kept_bytes = 0;
+    for (const std::size_t i : order) {
+      if (kept_bytes + bytes[i] <= entry_byte_budget_) {
+        kept_bytes += bytes[i];
+      } else {
+        keep[i] = false;
+        ++stats_.restore_budget_dropped;
+      }
+    }
+  }
+  for (std::size_t idx = 0; idx < entries.size(); ++idx) {
+    if (!keep[idx]) continue;
+    CachedQuery& e = entries[idx];
     auto owned = std::make_unique<CachedQuery>(std::move(e));
     owned->id = next_id_++;
     owned->in_window = false;
@@ -284,6 +411,7 @@ void CacheManager::RestoreEntries(std::vector<CachedQuery> entries) {
     index_.Insert(owned.get());
     if (options_.maintain_relevance_index) relevance_.Insert(owned.get());
     by_id_.emplace(owned->id, owned.get());
+    AccountAdmit(*owned);
     cache_.push_back(std::move(owned));
     // Footprints are rebuilt from the restored bitsets, never carried
     // over from the file — the relevance screen's superset invariant must
@@ -318,9 +446,37 @@ ApproxByteFootprint CacheManager::ApproxBytes() const {
     b.graph_bytes += ApproxGraphBytes(*e.query);
     b.bitset_bytes += 8 * (e.answer.num_words() + e.valid.num_words());
   });
+  assert(b.graph_bytes + b.bitset_bytes == entry_bytes_ &&
+         "entry byte gauge drifted from recompute");
   b.posting_bytes = relevance_.ApproxBytes();
   b.fragment_bytes = fragments_.ApproxBytes();
   return b;
+}
+
+void CacheManager::AccountAdmit(CachedQuery& e) {
+  e.approx_bytes = ApproxEntryBytes(e);
+  entry_bytes_ += e.approx_bytes;
+  if (options_.pressure != nullptr) {
+    options_.pressure->AddBytes(static_cast<std::int64_t>(e.approx_bytes));
+  }
+}
+
+void CacheManager::AccountEvict(const CachedQuery& e) {
+  entry_bytes_ -= e.approx_bytes;
+  if (options_.pressure != nullptr) {
+    options_.pressure->AddBytes(-static_cast<std::int64_t>(e.approx_bytes));
+  }
+}
+
+void CacheManager::AccountRefresh(CachedQuery& e) {
+  const std::uint64_t fresh = ApproxEntryBytes(e);
+  if (fresh == e.approx_bytes) return;
+  entry_bytes_ += fresh - e.approx_bytes;  // unsigned wrap-around is exact
+  if (options_.pressure != nullptr) {
+    options_.pressure->AddBytes(static_cast<std::int64_t>(fresh) -
+                                static_cast<std::int64_t>(e.approx_bytes));
+  }
+  e.approx_bytes = fresh;
 }
 
 const CachedQuery* CacheManager::Find(CacheEntryId id) const {

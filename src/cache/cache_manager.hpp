@@ -31,6 +31,8 @@
 #include "cache/relevance_index.hpp"
 #include "cache/replacement.hpp"
 #include "cache/statistics.hpp"
+#include "common/pressure.hpp"
+#include "common/status.hpp"
 #include "dataset/log_analyzer.hpp"
 
 namespace gcp {
@@ -47,6 +49,17 @@ struct CacheManagerOptions {
   bool maintain_relevance_index = true;
   /// Capacity of the embedded one-hop fragment store (0 disables it).
   std::size_t fragment_capacity = 256;
+  /// Byte-accounted capacity cap over this store's resident graph+bitset
+  /// footprint (0 = off: the entry-count model, bit-exact legacy). When
+  /// on, 1/8 of the budget is carved out for the fragment store (when
+  /// enabled) and the rest bounds the whole-query stores; evictions the
+  /// budget forces rank by utility-per-byte. The entry/window count caps
+  /// still apply — the budget only ever evicts *more*, so a budget that
+  /// never binds replays the entry-count engine bit-exactly.
+  std::size_t byte_budget = 0;
+  /// Optional pressure monitor mirroring this store's byte gauge (shared
+  /// across shards; not owned). Null = no pressure derivation.
+  PressureMonitor* pressure = nullptr;
 };
 
 /// How a cache entry contributed to a query — determines which per-entry
@@ -65,17 +78,20 @@ class CacheManager {
 
   /// Admits a freshly executed query into the window. May trigger a
   /// window→cache merge (replacement) when the window becomes full.
-  /// Returns the assigned entry id.
-  CacheEntryId Admit(Graph query, CachedQueryKind kind, DynamicBitset answer,
-                     DynamicBitset valid, std::uint64_t now,
-                     double est_test_cost_ms);
+  /// Returns the assigned entry id, or ResourceExhausted when the
+  /// allocation-fault injector refused the admission (the cache simply
+  /// doesn't learn the query; correctness is unaffected).
+  Result<CacheEntryId> Admit(Graph query, CachedQueryKind kind,
+                             DynamicBitset answer, DynamicBitset valid,
+                             std::uint64_t now, double est_test_cost_ms);
 
   /// Like Admit, but never merges: the concurrent engine batches queued
   /// admissions and runs replacement once per maintenance drain (via
   /// MaybeMergeWindow).
-  CacheEntryId AdmitDeferred(Graph query, CachedQueryKind kind,
-                             DynamicBitset answer, DynamicBitset valid,
-                             std::uint64_t now, double est_test_cost_ms);
+  Result<CacheEntryId> AdmitDeferred(Graph query, CachedQueryKind kind,
+                                     DynamicBitset answer, DynamicBitset valid,
+                                     std::uint64_t now,
+                                     double est_test_cost_ms);
 
   /// Builds an admission-ready entry (features and WL digest extracted,
   /// snapshots moved in) without touching any store — the part of
@@ -87,9 +103,11 @@ class CacheManager {
 
   /// Window-admits an entry from PrepareEntry; only id assignment,
   /// timestamps and index registration happen here. Never merges.
-  /// Returns the assigned id.
-  CacheEntryId AdmitPrepared(std::unique_ptr<CachedQuery> entry,
-                             std::uint64_t now);
+  /// Returns the assigned id, or ResourceExhausted when the
+  /// allocation-fault injector fired for this admission (the entry is
+  /// dropped; no store state changes).
+  Result<CacheEntryId> AdmitPrepared(std::unique_ptr<CachedQuery> entry,
+                                     std::uint64_t now);
 
   /// Runs the window→cache merge iff the window reached capacity — the
   /// once-per-drain replacement step paired with AdmitDeferred.
@@ -202,7 +220,23 @@ class CacheManager {
   }
 
   /// Approximate resident byte footprint of this store, by category.
+  /// In debug builds asserts the from-scratch graph+bitset sum against the
+  /// incrementally maintained gauge (drift = an accounting bug).
   ApproxByteFootprint ApproxBytes() const;
+
+  /// Incrementally maintained graph+bitset bytes of the whole-query stores
+  /// (cache + window). Always maintained, budget on or off.
+  std::uint64_t approx_entry_bytes() const { return entry_bytes_; }
+
+  /// The whole-query slice of the byte budget (0 = budget off). The
+  /// fragment slice lives in fragments().byte_budget().
+  std::uint64_t entry_byte_budget() const { return entry_byte_budget_; }
+
+  /// Re-accounts `id`'s byte footprint after an out-of-store mutation that
+  /// may have resized its bitsets (the engine validates stale admission
+  /// offers directly via CacheValidator::RefreshEntry). No-op for
+  /// non-resident ids.
+  void NoteEntryBytesChanged(CacheEntryId id);
 
   std::size_t cache_size() const { return cache_.size(); }
   std::size_t window_size() const { return window_.size(); }
@@ -253,6 +287,21 @@ class CacheManager {
   }
 
  private:
+  /// Sets `e.approx_bytes` from ApproxEntryBytes and adds it to the
+  /// running gauge (and the pressure monitor, when attached).
+  void AccountAdmit(CachedQuery& e);
+  /// Subtracts `e.approx_bytes` from the gauge (eviction / purge).
+  void AccountEvict(const CachedQuery& e);
+  /// Re-measures `e` and applies the delta (bitset growth on validate).
+  void AccountRefresh(CachedQuery& e);
+  /// Byte pass of the capacity model: while the whole-query stores exceed
+  /// their budget slice, evicts worst utility-per-byte residents. No-op
+  /// when the budget is off or not exceeded — in particular it consumes no
+  /// RNG state, so a never-binding budget replays the entry-count engine
+  /// bit-exactly even under the RANDOM policy. Callers run it right after
+  /// a merge, when the window is empty.
+  void EnforceByteBudget();
+
   CacheManagerOptions options_;
   std::vector<std::unique_ptr<CachedQuery>> cache_;
   std::vector<std::unique_ptr<CachedQuery>> window_;
@@ -266,6 +315,12 @@ class CacheManager {
   StatisticsManager stats_;
   Rng rng_;
   CacheEntryId next_id_ = 1;
+  /// Running graph+bitset bytes of cache_ + window_ (mirror of the sum of
+  /// resident approx_bytes; asserted against a recompute in ApproxBytes).
+  std::uint64_t entry_bytes_ = 0;
+  /// Whole-query slice of options_.byte_budget (budget minus the fragment
+  /// carve-out); 0 when the budget is off.
+  std::uint64_t entry_byte_budget_ = 0;
   LogSeq watermark_ = 0;
   ReplacementPolicy last_effective_ = ReplacementPolicy::kHybrid;
   /// Armed by RestoreEntries, consumed by the next reconcile: the first

@@ -1,9 +1,11 @@
 #include "cache/fragment_store.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 #include "cache/cache_validator.hpp"
+#include "common/alloc_fault.hpp"
 #include "graph/canonical.hpp"
 
 namespace gcp {
@@ -20,14 +22,15 @@ CachedQuery* FragmentStore::FindMutable(std::uint64_t digest) {
   return it == by_digest_.end() ? nullptr : it->second.get();
 }
 
-void FragmentStore::AdmitOrMerge(std::unique_ptr<CachedQuery> entry,
-                                 std::uint64_t now, StatisticsManager& stats) {
+Status FragmentStore::AdmitOrMerge(std::unique_ptr<CachedQuery> entry,
+                                   std::uint64_t now,
+                                   StatisticsManager& stats) {
   const auto it = by_digest_.find(entry->digest);
   if (it != by_digest_.end()) {
     CachedQuery& resident = *it->second;
     if (!(*resident.query == *entry->query)) {
       ++stats.fragment_digest_collisions;
-      return;
+      return Status::OK();
     }
     // Both sides are reconciled to the same watermark, so wherever both
     // are valid they agree; the offer's knowledge overwrites its covered
@@ -42,9 +45,16 @@ void FragmentStore::AdmitOrMerge(std::unique_ptr<CachedQuery> entry,
     resident.last_used_at = now;
     ++stats.fragment_merges;
     // The merge can SET valid bits — the footprint must be recomputed to
-    // stay a superset.
+    // stay a superset — and can grow the bitsets past the byte slice.
     if (maintain_relevance_index_) relevance_.Refresh(&resident);
-    return;
+    AccountRefresh(resident);
+    EvictOverCapacity(stats);
+    return Status::OK();
+  }
+  if (AllocationFaultFires(AllocSite::kFragmentAdmission,
+                           ApproxEntryBytes(*entry))) {
+    ++stats.alloc_failed_fragments;
+    return Status::ResourceExhausted("fragment admission allocation failed");
   }
   entry->id = next_id_++;
   entry->admitted_at = now;
@@ -53,8 +63,10 @@ void FragmentStore::AdmitOrMerge(std::unique_ptr<CachedQuery> entry,
   CachedQuery* raw = entry.get();
   by_digest_.emplace(entry->digest, std::move(entry));
   if (maintain_relevance_index_) relevance_.Insert(raw);
+  AccountAdmit(*raw);
   ++stats.fragment_admissions;
   EvictOverCapacity(stats);
+  return Status::OK();
 }
 
 void FragmentStore::Credit(std::uint64_t digest, std::uint64_t pruned,
@@ -67,6 +79,10 @@ void FragmentStore::Credit(std::uint64_t digest, std::uint64_t pruned,
 }
 
 void FragmentStore::Clear() {
+  if (pressure_ != nullptr && entry_bytes_ != 0) {
+    pressure_->AddBytes(-static_cast<std::int64_t>(entry_bytes_));
+  }
+  entry_bytes_ = 0;
   by_digest_.clear();
   relevance_.Clear();
 }
@@ -78,6 +94,7 @@ void FragmentStore::ValidateAll(const ChangeCounters& counters,
   for (auto& [digest, e] : by_digest_) {
     CacheValidator::RefreshEntry(*e, counters, id_horizon);
     if (maintain_relevance_index_) relevance_.Refresh(e.get());
+    AccountRefresh(*e);
   }
 }
 
@@ -90,6 +107,7 @@ void FragmentStore::ValidateRelevant(const ChangeCounters& counters,
   }
   for (auto& [digest, e] : by_digest_) {
     CacheValidator::ExtendEntry(*e, id_horizon);
+    AccountRefresh(*e);
   }
   const RelevanceIndex::BatchFootprint batch =
       RelevanceIndex::FootprintOf(counters);
@@ -138,7 +156,42 @@ void FragmentStore::Restore(std::vector<CachedQuery> entries,
                      return a.digest < b.digest;
                    });
   if (entries.size() > capacity_) entries.resize(capacity_);
-  for (CachedQuery& e : entries) {
+  // Byte slice: keep the best tests_saved-per-byte prefix that fits, drop
+  // the rest (counted). Selection is greedy over the per-byte ranking;
+  // insertion keeps the legacy tests_saved order among survivors.
+  std::vector<bool> keep(entries.size(), true);
+  if (byte_budget_ > 0) {
+    std::vector<std::size_t> order(entries.size());
+    std::vector<std::uint64_t> bytes(entries.size());
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      order[i] = i;
+      bytes[i] = ApproxEntryBytes(entries[i]);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const double sa =
+                           static_cast<double>(entries[a].tests_saved) /
+                           static_cast<double>(std::max<std::uint64_t>(
+                               std::uint64_t{1}, bytes[a]));
+                       const double sb =
+                           static_cast<double>(entries[b].tests_saved) /
+                           static_cast<double>(std::max<std::uint64_t>(
+                               std::uint64_t{1}, bytes[b]));
+                       return sa > sb;
+                     });
+    std::uint64_t kept_bytes = 0;
+    for (const std::size_t i : order) {
+      if (kept_bytes + bytes[i] <= byte_budget_) {
+        kept_bytes += bytes[i];
+      } else {
+        keep[i] = false;
+        ++stats.restore_budget_dropped;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (!keep[i]) continue;
+    CachedQuery& e = entries[i];
     if (by_digest_.count(e.digest) != 0) continue;  // Twin stars: keep best.
     auto owned = std::make_unique<CachedQuery>(std::move(e));
     owned->id = next_id_++;
@@ -146,17 +199,46 @@ void FragmentStore::Restore(std::vector<CachedQuery> entries,
     CachedQuery* raw = owned.get();
     by_digest_.emplace(owned->digest, std::move(owned));
     if (maintain_relevance_index_) relevance_.Insert(raw);
+    AccountAdmit(*raw);
     ++stats.restored_fragments;
   }
 }
 
 std::uint64_t FragmentStore::ApproxBytes() const {
-  std::uint64_t bytes = relevance_.ApproxBytes();
+  std::uint64_t bytes = 0;
   for (const auto& [digest, e] : by_digest_) {
     bytes += ApproxGraphBytes(*e->query) +
              8 * (e->answer.num_words() + e->valid.num_words());
   }
-  return bytes;
+  assert(bytes == entry_bytes_ &&
+         "fragment byte gauge drifted from recompute");
+  return bytes + relevance_.ApproxBytes();
+}
+
+void FragmentStore::AccountAdmit(CachedQuery& e) {
+  e.approx_bytes = ApproxEntryBytes(e);
+  entry_bytes_ += e.approx_bytes;
+  if (pressure_ != nullptr) {
+    pressure_->AddBytes(static_cast<std::int64_t>(e.approx_bytes));
+  }
+}
+
+void FragmentStore::AccountEvict(const CachedQuery& e) {
+  entry_bytes_ -= e.approx_bytes;
+  if (pressure_ != nullptr) {
+    pressure_->AddBytes(-static_cast<std::int64_t>(e.approx_bytes));
+  }
+}
+
+void FragmentStore::AccountRefresh(CachedQuery& e) {
+  const std::uint64_t fresh = ApproxEntryBytes(e);
+  if (fresh == e.approx_bytes) return;
+  entry_bytes_ += fresh - e.approx_bytes;  // unsigned wrap-around is exact
+  if (pressure_ != nullptr) {
+    pressure_->AddBytes(static_cast<std::int64_t>(fresh) -
+                        static_cast<std::int64_t>(e.approx_bytes));
+  }
+  e.approx_bytes = fresh;
 }
 
 void FragmentStore::EvictOverCapacity(StatisticsManager& stats) {
@@ -166,9 +248,36 @@ void FragmentStore::EvictOverCapacity(StatisticsManager& stats) {
          ++it) {
       if (it->second->last_used_at < victim->second->last_used_at) victim = it;
     }
+    AccountEvict(*victim->second);
     relevance_.Erase(victim->second->id);
     by_digest_.erase(victim);
     ++stats.fragment_evictions;
+  }
+  if (byte_budget_ == 0) return;
+  // Byte pass: evict the worst tests_saved-per-byte fragment until the
+  // slice fits. Ties break least-recently-used first, then map (digest)
+  // order — deterministic across runs and shard counts.
+  while (entry_bytes_ > byte_budget_ && !by_digest_.empty()) {
+    const auto score = [](const CachedQuery& e) {
+      return static_cast<double>(e.tests_saved) /
+             static_cast<double>(
+                 std::max<std::uint64_t>(std::uint64_t{1}, e.approx_bytes));
+    };
+    auto victim = by_digest_.begin();
+    for (auto it = std::next(by_digest_.begin()); it != by_digest_.end();
+         ++it) {
+      const double s = score(*it->second);
+      const double v = score(*victim->second);
+      if (s < v ||
+          (s == v && it->second->last_used_at < victim->second->last_used_at)) {
+        victim = it;
+      }
+    }
+    AccountEvict(*victim->second);
+    relevance_.Erase(victim->second->id);
+    by_digest_.erase(victim);
+    ++stats.fragment_evictions;
+    ++stats.fragment_byte_evictions;
   }
 }
 

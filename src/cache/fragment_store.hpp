@@ -34,6 +34,8 @@
 #include "cache/cache_entry.hpp"
 #include "cache/relevance_index.hpp"
 #include "cache/statistics.hpp"
+#include "common/pressure.hpp"
+#include "common/status.hpp"
 #include "dataset/log_analyzer.hpp"
 
 namespace gcp {
@@ -41,9 +43,16 @@ namespace gcp {
 /// \brief Digest-keyed store of fragment entries with LRU bounding.
 class FragmentStore {
  public:
-  explicit FragmentStore(std::size_t capacity, bool maintain_relevance_index)
+  /// `byte_budget` is this store's slice of the engine byte budget (0 =
+  /// off); `pressure` optionally mirrors the byte gauge into the shared
+  /// pressure monitor (not owned).
+  explicit FragmentStore(std::size_t capacity, bool maintain_relevance_index,
+                         std::uint64_t byte_budget = 0,
+                         PressureMonitor* pressure = nullptr)
       : capacity_(capacity),
-        maintain_relevance_index_(maintain_relevance_index) {}
+        maintain_relevance_index_(maintain_relevance_index),
+        byte_budget_(byte_budget),
+        pressure_(pressure) {}
 
   /// Resident entry for `digest` whose canonical star equals `star`;
   /// nullptr on miss or digest collision. Does not touch recency — reads
@@ -53,9 +62,12 @@ class FragmentStore {
   /// Admits a freshly computed fragment entry, or merges it into the
   /// resident twin. The entry must be forward-validated to the store's
   /// watermark by the caller (the same discipline as admission offers).
-  /// Evicts least-recently-used entries beyond capacity.
-  void AdmitOrMerge(std::unique_ptr<CachedQuery> entry, std::uint64_t now,
-                    StatisticsManager& stats);
+  /// Evicts least-recently-used entries beyond capacity, then entries
+  /// beyond the byte slice (worst utility-per-byte first). Returns
+  /// ResourceExhausted when the allocation-fault injector refused a fresh
+  /// admission (a merge never allocates entry storage and cannot fail).
+  Status AdmitOrMerge(std::unique_ptr<CachedQuery> entry, std::uint64_t now,
+                      StatisticsManager& stats);
 
   /// Drain-time hit credit: `pruned` Method M candidates were removed by
   /// the fragment with `digest`. Bumps recency + benefit so restores can
@@ -95,6 +107,13 @@ class FragmentStore {
 
   std::size_t size() const { return by_digest_.size(); }
 
+  /// Incrementally maintained graph+bitset bytes of resident fragments
+  /// (asserted against a recompute in ApproxBytes).
+  std::uint64_t approx_entry_bytes() const { return entry_bytes_; }
+
+  /// This store's slice of the byte budget (0 = off).
+  std::uint64_t byte_budget() const { return byte_budget_; }
+
   /// Calls `fn(const CachedQuery&)` for every fragment, ascending digest.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
@@ -102,13 +121,24 @@ class FragmentStore {
   }
 
  private:
-  /// Evicts ascending (last_used_at, digest) until size() <= capacity_.
+  /// Evicts ascending (last_used_at, digest) until size() <= capacity_,
+  /// then — when the byte slice is on and exceeded — worst
+  /// tests_saved-per-byte first until the slice fits.
   void EvictOverCapacity(StatisticsManager& stats);
+
+  /// Byte-gauge maintenance (see CacheManager's accounting helpers).
+  void AccountAdmit(CachedQuery& e);
+  void AccountEvict(const CachedQuery& e);
+  void AccountRefresh(CachedQuery& e);
 
   CachedQuery* FindMutable(std::uint64_t digest);
 
   std::size_t capacity_;
   bool maintain_relevance_index_;
+  std::uint64_t byte_budget_ = 0;
+  PressureMonitor* pressure_ = nullptr;
+  /// Running graph+bitset bytes of resident fragments.
+  std::uint64_t entry_bytes_ = 0;
   /// digest → entry; ordered so iteration (export, eviction scans) is
   /// deterministic across runs and shard counts.
   std::map<std::uint64_t, std::unique_ptr<CachedQuery>> by_digest_;

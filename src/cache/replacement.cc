@@ -44,7 +44,7 @@ double ReplacementRanker::Score(const CachedQuery& e,
   return 0.0;
 }
 
-std::vector<std::size_t> ReplacementRanker::RankBestFirst(
+ReplacementPolicy ReplacementRanker::ResolvePolicy(
     const std::vector<const CachedQuery*>& entries) const {
   ReplacementPolicy p = policy_;
   if (p == ReplacementPolicy::kHybrid) {
@@ -58,12 +58,12 @@ std::vector<std::size_t> ReplacementRanker::RankBestFirst(
             ? ReplacementPolicy::kPin
             : ReplacementPolicy::kPinc;
   }
-  effective_ = p;
+  return p;
+}
 
-  std::vector<double> scores(entries.size());
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    scores[i] = Score(*entries[i], p);
-  }
+std::vector<std::size_t> ReplacementRanker::SortByScore(
+    const std::vector<const CachedQuery*>& entries,
+    const std::vector<double>& scores) const {
   std::vector<std::size_t> order(entries.size());
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(),
@@ -73,6 +73,30 @@ std::vector<std::size_t> ReplacementRanker::RankBestFirst(
                      return entries[a]->admitted_at > entries[b]->admitted_at;
                    });
   return order;
+}
+
+std::vector<std::size_t> ReplacementRanker::RankBestFirst(
+    const std::vector<const CachedQuery*>& entries) const {
+  const ReplacementPolicy p = ResolvePolicy(entries);
+  effective_ = p;
+  std::vector<double> scores(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    scores[i] = Score(*entries[i], p);
+  }
+  return SortByScore(entries, scores);
+}
+
+std::vector<std::size_t> ReplacementRanker::RankBestPerByteFirst(
+    const std::vector<const CachedQuery*>& entries) const {
+  const ReplacementPolicy p = ResolvePolicy(entries);
+  effective_ = p;
+  std::vector<double> scores(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const std::uint64_t bytes = std::max<std::uint64_t>(
+        std::uint64_t{1}, ApproxEntryBytes(*entries[i]));
+    scores[i] = Score(*entries[i], p) / static_cast<double>(bytes);
+  }
+  return SortByScore(entries, scores);
 }
 
 }  // namespace gcp

@@ -44,12 +44,25 @@ class ReplacementRanker {
   std::vector<std::size_t> RankBestFirst(
       const std::vector<const CachedQuery*>& entries) const;
 
+  /// Utility-per-byte ranking for the byte-budgeted capacity model: the
+  /// policy score divided by the entry's approximate byte footprint
+  /// (paper R ÷ footprint under PIN/PINC/HD), best-first. Used only for
+  /// evictions the byte budget forces, so `--byte-budget=off` replays the
+  /// plain RankBestFirst decisions bit-exactly.
+  std::vector<std::size_t> RankBestPerByteFirst(
+      const std::vector<const CachedQuery*>& entries) const;
+
   /// The policy actually applied on the last RankBestFirst call (HD
   /// resolves to PIN or PINC; others return themselves).
   ReplacementPolicy effective_policy() const { return effective_; }
 
  private:
   double Score(const CachedQuery& e, ReplacementPolicy p) const;
+  ReplacementPolicy ResolvePolicy(
+      const std::vector<const CachedQuery*>& entries) const;
+  std::vector<std::size_t> SortByScore(
+      const std::vector<const CachedQuery*>& entries,
+      const std::vector<double>& scores) const;
 
   ReplacementPolicy policy_;
   Rng* rng_;

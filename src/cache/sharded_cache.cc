@@ -7,8 +7,10 @@ namespace {
 /// Thread-local shard being drained by this thread; -1 = none.
 thread_local int tls_drain_shard = -1;
 
-CacheManagerOptions SplitOptions(const CacheManagerOptions& total,
-                                 std::size_t num_shards) {
+}  // namespace
+
+CacheManagerOptions ShardedCache::SplitOptions(const CacheManagerOptions& total,
+                                               std::size_t num_shards) {
   CacheManagerOptions per = total;
   per.cache_capacity =
       std::max<std::size_t>(1, (total.cache_capacity + num_shards - 1) /
@@ -21,10 +23,13 @@ CacheManagerOptions SplitOptions(const CacheManagerOptions& total,
         std::max<std::size_t>(1, (total.fragment_capacity + num_shards - 1) /
                                      num_shards);
   }
+  if (total.byte_budget != 0) {
+    // Ceil split mirrors the capacity split: the per-shard budgets sum to
+    // at most total + (num_shards - 1) bytes and never starve a shard.
+    per.byte_budget = (total.byte_budget + num_shards - 1) / num_shards;
+  }
   return per;
 }
-
-}  // namespace
 
 ShardedCache::ShardedCache(std::size_t num_shards,
                            const CacheManagerOptions& total) {
@@ -152,6 +157,11 @@ StatisticsManager ShardedCache::AggregateStats() const {
     sum.fragment_reconcile_touched += st.fragment_reconcile_touched;
     sum.fragment_reconcile_skipped += st.fragment_reconcile_skipped;
     sum.restored_fragments += st.restored_fragments;
+    sum.byte_budget_evictions += st.byte_budget_evictions;
+    sum.fragment_byte_evictions += st.fragment_byte_evictions;
+    sum.alloc_failed_admissions += st.alloc_failed_admissions;
+    sum.alloc_failed_fragments += st.alloc_failed_fragments;
+    sum.restore_budget_dropped += st.restore_budget_dropped;
     // Byte gauges are recomputed from the live stores, not carried in the
     // per-shard counter state.
     const ApproxByteFootprint bytes = s->store.ApproxBytes();

@@ -48,6 +48,13 @@ class ShardedCache {
   /// zero shard count is clamped to 1.
   ShardedCache(std::size_t num_shards, const CacheManagerOptions& total);
 
+  /// The per-shard options derived from engine-total options: entry,
+  /// window, fragment capacities and the byte budget are all ceil-split so
+  /// per-shard sums stay within total + (num_shards - 1). Exposed for the
+  /// split-invariant unit tests.
+  static CacheManagerOptions SplitOptions(const CacheManagerOptions& total,
+                                          std::size_t num_shards);
+
   std::size_t num_shards() const { return shards_.size(); }
 
   /// Home shard of an entry: fixed by the query's WL digest at admission,

@@ -140,6 +140,36 @@ class StatisticsManager {
   /// Fragment entries re-admitted by snapshot/checkpoint restores.
   std::uint64_t restored_fragments = 0;
 
+  // --- Overload / byte-budget counters (PR 10). The shed, drain and
+  // pressure groups are engine-level (overlaid like the epoch counters);
+  // the byte-eviction, alloc-failure and restore-drop groups are
+  // per-shard. ----------------------------------------------------------
+  /// Admission offers shed at ELEVATED/CRITICAL pressure — counted at the
+  /// read phase and never queued (whole-query and fragment offers both).
+  std::uint64_t admission_offers_shed = 0;
+  /// MPSC TryPush failures that fell back to an inline backpressure drain
+  /// of the full shard queue on the producer thread.
+  std::uint64_t backpressure_inline_drains = 0;
+  /// Overall pressure-tier ascents into ELEVATED (from NORMAL).
+  std::uint64_t pressure_elevated_transitions = 0;
+  /// Overall pressure-tier ascents into CRITICAL.
+  std::uint64_t pressure_critical_transitions = 0;
+  /// Queries served straight through uncached Method M because the read
+  /// phase sampled CRITICAL pressure (discovery + fragment tier skipped).
+  std::uint64_t pressure_bypassed_queries = 0;
+  /// Whole-query evictions forced by the byte budget (the utility-per-byte
+  /// pass, beyond any entry-count-cap evictions).
+  std::uint64_t byte_budget_evictions = 0;
+  /// Fragment evictions forced by the fragment slice of the byte budget.
+  std::uint64_t fragment_byte_evictions = 0;
+  /// Whole-query admissions refused by an injected allocation fault.
+  std::uint64_t alloc_failed_admissions = 0;
+  /// Fragment admissions refused by an injected allocation fault.
+  std::uint64_t alloc_failed_fragments = 0;
+  /// Snapshot entries dropped at restore time because the restored set
+  /// exceeded the byte budget (worst utility-per-byte first).
+  std::uint64_t restore_budget_dropped = 0;
+
   // --- Approximate resident byte footprint (gauges, recomputed from the
   // stores on every aggregated stats snapshot — groundwork for the
   // bytes-accounted capacity model). -------------------------------------
@@ -170,6 +200,18 @@ struct ApproxByteFootprint {
 inline std::uint64_t ApproxGraphBytes(const Graph& g) {
   return 20 * static_cast<std::uint64_t>(g.NumVertices()) +
          16 * static_cast<std::uint64_t>(g.NumEdges());
+}
+
+/// Per-entry byte footprint the byte budget accounts against: the CSR
+/// query graph plus the answer/valid indicator words. (Relevance postings
+/// are store-level and excluded — they are bounded by the entry count and
+/// small next to graphs and bitsets.) The stores maintain this
+/// incrementally in `CachedQuery::approx_bytes` and assert the running
+/// sum against a from-scratch recompute.
+inline std::uint64_t ApproxEntryBytes(const CachedQuery& e) {
+  return ApproxGraphBytes(*e.query) +
+         8 * static_cast<std::uint64_t>(e.answer.num_words() +
+                                        e.valid.num_words());
 }
 
 }  // namespace gcp

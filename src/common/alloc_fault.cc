@@ -1,0 +1,36 @@
+#include "common/alloc_fault.hpp"
+
+#include <atomic>
+
+namespace gcp {
+
+namespace {
+
+std::atomic<AllocationFaultInjector*> g_alloc_fault_injector{nullptr};
+
+}  // namespace
+
+const char* AllocSiteName(AllocSite site) {
+  switch (site) {
+    case AllocSite::kArenaBlock:
+      return "ArenaBlock";
+    case AllocSite::kAdmission:
+      return "Admission";
+    case AllocSite::kFragmentAdmission:
+      return "FragmentAdmission";
+    case AllocSite::kSnapshotExport:
+      return "SnapshotExport";
+  }
+  return "Unknown";
+}
+
+AllocationFaultInjector* ExchangeAllocationFaultInjector(
+    AllocationFaultInjector* injector) {
+  return g_alloc_fault_injector.exchange(injector, std::memory_order_acq_rel);
+}
+
+AllocationFaultInjector* CurrentAllocationFaultInjector() {
+  return g_alloc_fault_injector.load(std::memory_order_acquire);
+}
+
+}  // namespace gcp

@@ -1,0 +1,172 @@
+// Allocation-fault injection for the overload torture harness.
+//
+// The durable-cache work (io.hpp) proved the checkpoint pipeline against
+// scripted I/O faults; this is the same pattern aimed at memory: a
+// process-global hook consulted at the engine's discretionary allocation
+// sites — arena block growth, whole-query admission, fragment admission,
+// snapshot export. Each site has a graceful-degradation path (heap
+// fallback, skipped admission, failed checkpoint) so an injected failure
+// must never change answers, only shed cache state. The OOM-matrix test
+// fails the Nth consult for every N, like crash_matrix_test does for I/O.
+//
+// The hook is process-global (an atomic pointer) because the arena is a
+// thread-local singleton with no engine back-pointer. Injectors must be
+// thread-safe; ScriptedAllocationFaultInjector serializes on a mutex.
+// Production runs leave the hook null: the cost is one relaxed atomic
+// load per consult.
+
+#ifndef GCP_COMMON_ALLOC_FAULT_HPP_
+#define GCP_COMMON_ALLOC_FAULT_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+
+namespace gcp {
+
+/// Discretionary allocation sites that consult the injector.
+enum class AllocSite : std::uint8_t {
+  kArenaBlock = 0,         ///< Arena fresh-block growth (matcher scratch).
+  kAdmission = 1,          ///< CacheManager whole-query admission.
+  kFragmentAdmission = 2,  ///< FragmentStore one-hop star admission.
+  kSnapshotExport = 3,     ///< Checkpoint ExportSnapshot deep copy.
+};
+inline constexpr std::size_t kNumAllocSites = 4;
+
+/// Human-readable site name (e.g. "ArenaBlock").
+const char* AllocSiteName(AllocSite site);
+
+/// \brief Decides whether a discretionary allocation "fails". Implementations
+/// must be thread-safe: consults come from client threads, the maintenance
+/// thread and checkpoint writers concurrently.
+class AllocationFaultInjector {
+ public:
+  virtual ~AllocationFaultInjector() = default;
+
+  /// True = the allocation at `site` (of roughly `bytes` bytes) must be
+  /// treated as failed. Called once per discretionary allocation.
+  virtual bool ShouldFail(AllocSite site, std::size_t bytes) = 0;
+};
+
+/// Installs `injector` as the process-global hook (nullptr = none) and
+/// returns the previous hook. The injector must outlive its installation.
+AllocationFaultInjector* ExchangeAllocationFaultInjector(
+    AllocationFaultInjector* injector);
+
+/// The currently installed hook, or nullptr.
+AllocationFaultInjector* CurrentAllocationFaultInjector();
+
+/// Convenience: true when a hook is installed and fails this consult.
+inline bool AllocationFaultFires(AllocSite site, std::size_t bytes) {
+  AllocationFaultInjector* injector = CurrentAllocationFaultInjector();
+  return injector != nullptr && injector->ShouldFail(site, bytes);
+}
+
+/// \brief Deterministic scripted injector for the OOM matrix and torture
+/// suites. Consults are numbered globally in arrival order; a script fails
+/// either one index (FailAt), a half-open range (FailRange), or every
+/// consult at one site (FailSite). Counters expose what actually ran so a
+/// matrix can stop once the script stops firing.
+class ScriptedAllocationFaultInjector : public AllocationFaultInjector {
+ public:
+  ScriptedAllocationFaultInjector() = default;
+
+  /// Fails exactly the `index`-th consult (0-based).
+  void FailAt(std::uint64_t index) { FailRange(index, index + 1); }
+
+  /// Fails every consult with begin <= index < end.
+  void FailRange(std::uint64_t begin, std::uint64_t end) {
+    std::lock_guard<std::mutex> lock(mu_);
+    begin_ = begin;
+    end_ = end;
+  }
+
+  /// Additionally fails every consult at `site` while enabled.
+  void FailSite(AllocSite site, bool fail) {
+    std::lock_guard<std::mutex> lock(mu_);
+    site_fail_[static_cast<std::size_t>(site)] = fail;
+  }
+
+  /// Clears the script (nothing fails; counters keep accumulating).
+  void DisarmScript() {
+    std::lock_guard<std::mutex> lock(mu_);
+    begin_ = end_ = 0;
+    for (bool& f : site_fail_) f = false;
+  }
+
+  bool ShouldFail(AllocSite site, std::size_t bytes) override {
+    (void)bytes;
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t index = ops_seen_++;
+    ++per_site_seen_[static_cast<std::size_t>(site)];
+    const bool fail = (index >= begin_ && index < end_) ||
+                      site_fail_[static_cast<std::size_t>(site)];
+    if (fail) {
+      ++fired_;
+      fired_site_ = site;
+    }
+    return fail;
+  }
+
+  /// Total consults observed (all sites).
+  std::uint64_t ops_seen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ops_seen_;
+  }
+  /// Consults observed at one site.
+  std::uint64_t ops_seen(AllocSite site) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return per_site_seen_[static_cast<std::size_t>(site)];
+  }
+  /// Number of consults the script failed.
+  std::uint64_t fired() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fired_;
+  }
+  /// Site of the most recent failed consult (meaningful when fired() > 0).
+  AllocSite fired_site() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fired_site_;
+  }
+
+  /// Resets counters and script.
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ops_seen_ = fired_ = 0;
+    begin_ = end_ = 0;
+    for (auto& n : per_site_seen_) n = 0;
+    for (bool& f : site_fail_) f = false;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t ops_seen_ = 0;
+  std::uint64_t fired_ = 0;
+  std::uint64_t begin_ = 0;
+  std::uint64_t end_ = 0;  ///< Empty range = nothing fails by index.
+  std::uint64_t per_site_seen_[kNumAllocSites] = {0, 0, 0, 0};
+  bool site_fail_[kNumAllocSites] = {false, false, false, false};
+  AllocSite fired_site_ = AllocSite::kArenaBlock;
+};
+
+/// RAII installer: installs on construction, restores the previous hook on
+/// destruction. Keeps tests exception-safe and un-leaky.
+class ScopedAllocationFaultInjector {
+ public:
+  explicit ScopedAllocationFaultInjector(AllocationFaultInjector* injector)
+      : previous_(ExchangeAllocationFaultInjector(injector)) {}
+  ~ScopedAllocationFaultInjector() {
+    ExchangeAllocationFaultInjector(previous_);
+  }
+  ScopedAllocationFaultInjector(const ScopedAllocationFaultInjector&) = delete;
+  ScopedAllocationFaultInjector& operator=(
+      const ScopedAllocationFaultInjector&) = delete;
+
+ private:
+  AllocationFaultInjector* previous_;
+};
+
+}  // namespace gcp
+
+#endif  // GCP_COMMON_ALLOC_FAULT_HPP_

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "common/alloc_fault.hpp"
+
 namespace gcp {
 
 namespace {
@@ -14,7 +16,8 @@ std::atomic<bool> g_arena_enabled{true};
 
 }  // namespace
 
-void* Arena::Allocate(std::size_t bytes, std::size_t align) {
+void* Arena::AllocateImpl(std::size_t bytes, std::size_t align,
+                          bool may_fail) {
   assert(align != 0 && (align & (align - 1)) == 0);
   assert(align <= alignof(std::max_align_t));
   // Try the active block, then any retained (empty) successor, then a
@@ -33,6 +36,13 @@ void* Arena::Allocate(std::size_t bytes, std::size_t align) {
         assert(blocks_[current_].used == 0);
         continue;
       }
+    }
+    // Fresh-block growth is the arena's only discretionary allocation;
+    // TryAllocate callers degrade to plain heap when it is injected to
+    // fail, Allocate callers keep the never-null contract.
+    if (may_fail &&
+        AllocationFaultFires(AllocSite::kArenaBlock, bytes + align)) {
+      return nullptr;
     }
     Block fresh;
     fresh.size = std::max(block_bytes_, bytes + align);

@@ -54,13 +54,29 @@ class Arena {
   /// Returns `bytes` of storage aligned to `align` (a power of two,
   /// at most alignof(std::max_align_t)). Never returns nullptr (zero-byte
   /// requests yield a valid, possibly shared, pointer).
-  void* Allocate(std::size_t bytes, std::size_t align);
+  void* Allocate(std::size_t bytes, std::size_t align) {
+    return AllocateImpl(bytes, align, /*may_fail=*/false);
+  }
+
+  /// Like Allocate, but consults the allocation-fault injector when a
+  /// fresh block would have to be allocated; returns nullptr on an
+  /// injected failure. Callers (ScratchArray) degrade to plain heap.
+  void* TryAllocate(std::size_t bytes, std::size_t align) {
+    return AllocateImpl(bytes, align, /*may_fail=*/true);
+  }
 
   template <typename T>
   T* AllocateArray(std::size_t n) {
     static_assert(std::is_trivially_destructible_v<T>,
                   "arena storage is reclaimed without running destructors");
     return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  template <typename T>
+  T* TryAllocateArray(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is reclaimed without running destructors");
+    return static_cast<T*>(TryAllocate(n * sizeof(T), alignof(T)));
   }
 
   /// Captures the current bump position.
@@ -83,6 +99,8 @@ class Arena {
   std::size_t NumBlocks() const { return blocks_.size(); }
 
  private:
+  void* AllocateImpl(std::size_t bytes, std::size_t align, bool may_fail);
+
   struct Block {
     std::unique_ptr<std::byte[]> data;
     std::size_t size = 0;
@@ -116,8 +134,16 @@ class ScratchArray {
   ScratchArray(Arena* arena, std::size_t n) : arena_(arena), size_(n) {
     if (arena_ != nullptr) {
       mark_ = arena_->Mark();
-      data_ = arena_->AllocateArray<T>(n);
-    } else {
+      data_ = arena_->TryAllocateArray<T>(n);
+      if (data_ == nullptr && n != 0) {
+        // Injected block-growth failure: degrade this scratch to plain
+        // heap. The arena position is untouched (the failed request
+        // allocated nothing past the mark).
+        arena_->Rewind(mark_);
+        arena_ = nullptr;
+      }
+    }
+    if (arena_ == nullptr) {
       data_ = n == 0 ? nullptr : new T[n];
     }
   }

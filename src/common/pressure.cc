@@ -1,0 +1,82 @@
+#include "common/pressure.hpp"
+
+#include <algorithm>
+
+namespace gcp {
+
+const char* PressureTierName(PressureTier tier) {
+  switch (tier) {
+    case PressureTier::kNormal:
+      return "NORMAL";
+    case PressureTier::kElevated:
+      return "ELEVATED";
+    case PressureTier::kCritical:
+      return "CRITICAL";
+  }
+  return "UNKNOWN";
+}
+
+PressureMonitor::PressureMonitor(const PressureConfig& config)
+    : config_(config) {}
+
+int PressureMonitor::StepChannel(int current, double frac,
+                                 const PressureChannelConfig& cfg) {
+  // Escalation is immediate; de-escalation honors the exit thresholds so
+  // the tier does not flap around a boundary.
+  if (frac > cfg.critical_enter) return 2;
+  if (current == 2) {
+    if (frac > cfg.critical_exit) return 2;
+    return frac > cfg.elevated_exit ? 1 : 0;
+  }
+  if (frac > cfg.elevated_enter) return std::max(current, 1);
+  if (current == 1) return frac > cfg.elevated_exit ? 1 : 0;
+  return 0;
+}
+
+void PressureMonitor::AddBytes(std::int64_t delta) {
+  std::uint64_t now;
+  if (delta >= 0) {
+    now = bytes_.fetch_add(static_cast<std::uint64_t>(delta),
+                           std::memory_order_relaxed) +
+          static_cast<std::uint64_t>(delta);
+  } else {
+    const std::uint64_t dec = static_cast<std::uint64_t>(-delta);
+    const std::uint64_t prev = bytes_.fetch_sub(dec, std::memory_order_relaxed);
+    // Underflow would mean an accounting bug; clamp defensively so a
+    // racing reader never sees a wrapped gauge drive the tier.
+    now = prev >= dec ? prev - dec : 0;
+  }
+  if (config_.byte_budget == 0) return;
+  const double frac =
+      static_cast<double>(now) / static_cast<double>(config_.byte_budget);
+  byte_tier_.store(StepChannel(byte_tier_.load(std::memory_order_relaxed),
+                               frac, config_.bytes),
+                   std::memory_order_relaxed);
+  RecomputeOverall();
+}
+
+void PressureMonitor::NoteQueueDepth(std::size_t depth, std::size_t capacity) {
+  const double frac = capacity == 0 ? 0.0
+                                    : static_cast<double>(depth) /
+                                          static_cast<double>(capacity);
+  queue_tier_.store(StepChannel(queue_tier_.load(std::memory_order_relaxed),
+                                frac, config_.queue),
+                    std::memory_order_relaxed);
+  RecomputeOverall();
+}
+
+void PressureMonitor::RecomputeOverall() {
+  const int next = std::max(byte_tier_.load(std::memory_order_relaxed),
+                            queue_tier_.load(std::memory_order_relaxed));
+  const int prev = tier_.exchange(next, std::memory_order_relaxed);
+  if (next > prev) {
+    if (prev < 1 && next >= 1) {
+      elevated_transitions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (prev < 2 && next == 2) {
+      critical_transitions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace gcp

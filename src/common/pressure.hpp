@@ -1,0 +1,134 @@
+// Pressure tiers for overload-hardened serving.
+//
+// The engine degrades gracefully instead of failing when memory or the
+// maintenance pipeline saturates. A PressureMonitor folds two load
+// signals into one tier:
+//
+//   - byte occupancy: resident cache bytes (whole-query entries +
+//     fragments, graph + bitset footprint) relative to the configured
+//     byte budget. Steady-state occupancy sits at or under the budget
+//     (merges evict down to it), so the byte channel keys on the
+//     *transient overshoot* of unmerged window admissions — a flood of
+//     large admissions between merges is the memory-pressure signal.
+//   - MPSC queue depth: how far behind the maintenance drains are,
+//     as a fraction of queue capacity.
+//
+// Tier semantics (enforced by the engine, not here):
+//   NORMAL    — full caching.
+//   ELEVATED  — new admission offers are shed (counted, never queued);
+//               reads, hits and reconciliation unaffected.
+//   CRITICAL  — additionally the fragment tier is disabled and discovery
+//               misses are served straight through uncached Method M.
+//
+// Every shed path has a cache-bypass equivalent, so answers stay
+// bit-exact by construction. Recovery is automatic: each channel uses
+// enter/exit hysteresis (enter strictly above, exit at-or-below), and
+// the overall tier is the max of the channels, so the tier falls back to
+// NORMAL as soon as merges/drains catch up.
+//
+// The monitor is lock-free (relaxed atomics): tiers are heuristics, a
+// momentarily stale read only delays a shed or a recovery by one query.
+
+#ifndef GCP_COMMON_PRESSURE_HPP_
+#define GCP_COMMON_PRESSURE_HPP_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace gcp {
+
+enum class PressureTier : int {
+  kNormal = 0,
+  kElevated = 1,
+  kCritical = 2,
+};
+
+/// Human-readable tier name ("NORMAL"/"ELEVATED"/"CRITICAL").
+const char* PressureTierName(PressureTier tier);
+
+/// Enter/exit thresholds for one hysteresis channel, as fractions of the
+/// channel's reference (byte budget or queue capacity). Enter is strict
+/// (frac > enter), exit is inclusive (frac <= exit), so a channel parked
+/// exactly on its reference recovers.
+struct PressureChannelConfig {
+  double elevated_enter;
+  double elevated_exit;
+  double critical_enter;
+  double critical_exit;
+};
+
+struct PressureConfig {
+  /// Byte budget the occupancy fraction is measured against. 0 disables
+  /// the byte channel (the monitor then reacts to queue depth only).
+  std::uint64_t byte_budget = 0;
+
+  /// Byte channel: merges evict back down to the budget, so occupancy
+  /// beyond it is unmerged-window overshoot. The default window:cache
+  /// ratio is 1:5 (~20% overshoot when every window slot admits), so
+  /// ELEVATED starts beyond that and CRITICAL at near-double occupancy.
+  PressureChannelConfig bytes{1.35, 1.10, 1.75, 1.35};
+
+  /// Queue channel: depth/capacity. A full queue (1.0) is CRITICAL —
+  /// producers are already paying inline backpressure drains.
+  PressureChannelConfig queue{0.60, 0.30, 0.999, 0.75};
+};
+
+/// \brief Derives NORMAL/ELEVATED/CRITICAL from byte occupancy and MPSC
+/// queue depth with per-channel hysteresis. Thread-safe; all methods are
+/// wait-free atomic updates.
+class PressureMonitor {
+ public:
+  explicit PressureMonitor(const PressureConfig& config);
+
+  /// Adjusts the resident-byte gauge (admission +, eviction -) and
+  /// re-evaluates the byte channel.
+  void AddBytes(std::int64_t delta);
+
+  /// Current resident-byte gauge.
+  std::uint64_t bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Reports an observed queue depth and re-evaluates the queue channel.
+  /// `capacity` 0 is treated as an idle queue.
+  void NoteQueueDepth(std::size_t depth, std::size_t capacity);
+
+  /// Current overall tier (max of the channels).
+  PressureTier tier() const {
+    return static_cast<PressureTier>(tier_.load(std::memory_order_relaxed));
+  }
+
+  /// Times the overall tier rose into ELEVATED from NORMAL.
+  std::uint64_t elevated_transitions() const {
+    return elevated_transitions_.load(std::memory_order_relaxed);
+  }
+  /// Times the overall tier rose into CRITICAL.
+  std::uint64_t critical_transitions() const {
+    return critical_transitions_.load(std::memory_order_relaxed);
+  }
+
+  const PressureConfig& config() const { return config_; }
+
+ private:
+  /// One hysteresis step for a channel currently at `current` observing
+  /// fraction `frac`.
+  static int StepChannel(int current, double frac,
+                         const PressureChannelConfig& cfg);
+
+  /// Folds the channel tiers into the overall tier, counting upward
+  /// transitions.
+  void RecomputeOverall();
+
+  const PressureConfig config_;
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<int> byte_tier_{0};
+  std::atomic<int> queue_tier_{0};
+  std::atomic<int> tier_{0};
+  std::atomic<std::uint64_t> elevated_transitions_{0};
+  std::atomic<std::uint64_t> critical_transitions_{0};
+};
+
+}  // namespace gcp
+
+#endif  // GCP_COMMON_PRESSURE_HPP_

@@ -27,6 +27,7 @@ enum class StatusCode {
   kCorruption,
   kUnimplemented,
   kInternal,
+  kResourceExhausted,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -68,6 +69,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

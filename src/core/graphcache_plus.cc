@@ -8,6 +8,7 @@
 #include "cache/checkpoint.hpp"
 #include "cache/snapshot.hpp"
 #include "cache/statistics.hpp"
+#include "common/alloc_fault.hpp"
 #include "common/io.hpp"
 #include "common/stopwatch.hpp"
 #include "core/pruner.hpp"
@@ -16,6 +17,33 @@
 #include "match/fragments.hpp"
 
 namespace gcp {
+
+namespace {
+
+/// Engine-total store options (per-shard splitting happens inside
+/// ShardedCache). Named assignment on purpose: a positional brace init
+/// here silently misbinds when CacheManagerOptions grows a field.
+CacheManagerOptions MakeStoreOptions(const GraphCachePlusOptions& o,
+                                     PressureMonitor* pressure) {
+  CacheManagerOptions c;
+  c.cache_capacity = o.cache_capacity;
+  c.window_capacity = o.window_capacity;
+  c.policy = o.policy;
+  c.rng_seed = o.rng_seed;
+  c.maintain_relevance_index = o.use_relevance_index;
+  c.fragment_capacity = o.use_fragment_cache ? o.fragment_capacity : 0;
+  c.byte_budget = o.byte_budget;
+  c.pressure = pressure;
+  return c;
+}
+
+PressureConfig MakePressureConfig(std::uint64_t byte_budget) {
+  PressureConfig cfg;
+  cfg.byte_budget = byte_budget;
+  return cfg;
+}
+
+}  // namespace
 
 std::string_view CacheModelName(CacheModel model) {
   switch (model) {
@@ -40,14 +68,12 @@ GraphCachePlus::GraphCachePlus(GraphDataset* dataset,
                 options.reuse_match_context),
       internal_matcher_(MakeMatcher(options.internal_matcher)),
       discovery_(*internal_matcher_, options_),
+      pressure_(options.byte_budget > 0
+                    ? std::make_unique<PressureMonitor>(
+                          MakePressureConfig(options.byte_budget))
+                    : nullptr),
       cache_(options.num_shards,
-             CacheManagerOptions{options.cache_capacity,
-                                 options.window_capacity, options.policy,
-                                 options.rng_seed,
-                                 options.use_relevance_index,
-                                 options.use_fragment_cache
-                                     ? options.fragment_capacity
-                                     : 0}) {
+             MakeStoreOptions(options, pressure_.get())) {
   pending_.reserve(cache_.num_shards());
   for (std::size_t s = 0; s < cache_.num_shards(); ++s) {
     pending_.push_back(std::make_unique<BoundedMpscQueue<PendingMaintenance>>(
@@ -282,8 +308,10 @@ void GraphCachePlus::ApplyMaintenanceLocked(std::size_t s,
     ++shard.stats().total_admission_dedups;
     return;
   }
-  const CacheEntryId id =
+  const Result<CacheEntryId> admitted =
       shard.AdmitPrepared(std::move(offer.entry), batch.query_id);
+  if (!admitted.ok()) return;  // Injected allocation failure: offer dropped.
+  const CacheEntryId id = admitted.value();
   if (stale) {
     // CON: forward-validate the snapshot through Algorithms 1 + 2 over
     // exactly the records the store has already reconciled, so the new
@@ -309,6 +337,9 @@ void GraphCachePlus::ApplyMaintenanceLocked(std::size_t s,
                                       ? env.snap->id_horizon
                                       : dataset_->IdHorizon();
       CacheValidator::RefreshEntry(*e, counters, horizon);
+      // The forward validation can resize the entry's bitsets behind the
+      // store's back — re-account its byte footprint.
+      shard.NoteEntryBytesChanged(id);
     }
   }
 }
@@ -656,10 +687,27 @@ StatisticsManager GraphCachePlus::CacheStatsSnapshot() const {
   stats.warm_restarts = warm_restarts_.load(std::memory_order_relaxed);
   stats.warm_restart_rejected =
       warm_restart_rejected_.load(std::memory_order_relaxed);
+  // Overload counters are engine-level too; tier transitions live in the
+  // pressure monitor.
+  stats.admission_offers_shed =
+      admission_offers_shed_.load(std::memory_order_relaxed);
+  stats.backpressure_inline_drains =
+      backpressure_inline_drains_.load(std::memory_order_relaxed);
+  stats.pressure_bypassed_queries =
+      pressure_bypassed_queries_.load(std::memory_order_relaxed);
+  if (pressure_ != nullptr) {
+    stats.pressure_elevated_transitions = pressure_->elevated_transitions();
+    stats.pressure_critical_transitions = pressure_->critical_transitions();
+  }
   return stats;
 }
 
-CacheSnapshot GraphCachePlus::ExportSnapshot() const {
+Result<CacheSnapshot> GraphCachePlus::ExportSnapshot() const {
+  // The export allocates copies of every resident entry — the injector
+  // consult models that allocation failing before anything is copied.
+  if (AllocationFaultFires(AllocSite::kSnapshotExport, 0)) {
+    return Status::ResourceExhausted("snapshot export allocation failed");
+  }
   CacheSnapshot snapshot;
   if (!options_.epoch_reads) {
     std::shared_lock<std::shared_mutex> lock(mu_);
@@ -684,7 +732,9 @@ CacheSnapshot GraphCachePlus::ExportSnapshot() const {
 }
 
 Status GraphCachePlus::SaveCache(const std::string& path) const {
-  return WriteCacheSnapshotToFile(path, ExportSnapshot());
+  Result<CacheSnapshot> snapshot = ExportSnapshot();
+  if (!snapshot.ok()) return snapshot.status();
+  return WriteCacheSnapshotToFile(path, std::move(snapshot).value());
 }
 
 Status GraphCachePlus::LoadCache(const std::string& path) {
@@ -789,21 +839,26 @@ Status GraphCachePlus::CheckpointNow() {
     ScopedTimer timer(&ns);
     // Export first (engine/shard locks, no I/O), then write under
     // checkpoint_mu_ alone (I/O, no engine state locked) — a slow disk
-    // never extends any lock hold.
-    CacheSnapshot snapshot = ExportSnapshot();
-    std::lock_guard<std::mutex> lock(checkpoint_mu_);
-    st = EnsureDirectory(options_.checkpoint_dir);
+    // never extends any lock hold. A refused export (injected allocation
+    // failure) fails the attempt like any I/O error would.
+    Result<CacheSnapshot> exported = ExportSnapshot();
+    st = exported.status();
     if (st.ok()) {
-      const std::string path = options_.checkpoint_dir + "/" +
-                               CheckpointFileName(NextCheckpointSeqLocked());
-      st = WriteCheckpointFile(path, snapshot,
-                               options_.checkpoint_fault_injector, &bytes);
-    }
-    if (st.ok()) {
-      // Best-effort prune: an unremovable stale sibling must not fail the
-      // checkpoint that just committed.
-      PruneCheckpoints(options_.checkpoint_dir,
-                       std::max<std::size_t>(1, options_.checkpoint_keep));
+      const CacheSnapshot snapshot = std::move(exported).value();
+      std::lock_guard<std::mutex> lock(checkpoint_mu_);
+      st = EnsureDirectory(options_.checkpoint_dir);
+      if (st.ok()) {
+        const std::string path = options_.checkpoint_dir + "/" +
+                                 CheckpointFileName(NextCheckpointSeqLocked());
+        st = WriteCheckpointFile(path, snapshot,
+                                 options_.checkpoint_fault_injector, &bytes);
+      }
+      if (st.ok()) {
+        // Best-effort prune: an unremovable stale sibling must not fail
+        // the checkpoint that just committed.
+        PruneCheckpoints(options_.checkpoint_dir,
+                         std::max<std::size_t>(1, options_.checkpoint_keep));
+      }
     }
   }
   t_checkpoint_ns_.fetch_add(static_cast<std::uint64_t>(ns),
@@ -940,6 +995,21 @@ void GraphCachePlus::ExecuteReadSlice(
 
   m.candidates_initial = csm.Count();
 
+  // --- Pressure gate: the tier is sampled ONCE per read slice so one
+  // query sees one consistent degradation level. ELEVATED sheds this
+  // query's admission offers (whole-query and fragment — counted, never
+  // queued); CRITICAL additionally disables the fragment tier and skips
+  // hit discovery entirely, serving the miss straight through uncached
+  // Method M. Every shed path is pruning/transfer-only, so answers stay
+  // bit-exact by construction.
+  const PressureTier tier =
+      pressure_ == nullptr ? PressureTier::kNormal : pressure_->tier();
+  const bool shed_offers = tier != PressureTier::kNormal;
+  const bool bypass_cache = tier == PressureTier::kCritical;
+  if (bypass_cache) {
+    pressure_bypassed_queries_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   // --- Sub-pattern fragment tier, part 1: decompose the query into its
   // canonical one-hop stars once. Subgraph queries only — star ⊆ g means
   // g ⊆ G forces star ⊆ G, so a fragment's valid non-answers exclude
@@ -947,7 +1017,8 @@ void GraphCachePlus::ExecuteReadSlice(
   // admission: a pass-through engine must not learn fragments either.
   std::vector<Fragment> fragments;
   if (options_.use_fragment_cache && options_.enable_admission &&
-      options_.fragment_capacity > 0 && kind == QueryKind::kSubgraph) {
+      options_.fragment_capacity > 0 && kind == QueryKind::kSubgraph &&
+      !bypass_cache) {
     fragments = DecomposeToFragments(g, options_.max_fragments_per_query);
   }
   std::vector<DynamicBitset> fragment_masks(fragments.size());
@@ -961,7 +1032,7 @@ void GraphCachePlus::ExecuteReadSlice(
   // prescreen it contends with.
   Stopwatch probe_watch;
   DiscoveredHits hits;
-  {
+  if (!bypass_cache) {
     const GraphFeatures features = GraphFeatures::Extract(g);
     std::vector<HitDiscovery::Candidate> pool;
     for (std::size_t s = 0; s < cache_.num_shards(); ++s) {
@@ -1031,17 +1102,23 @@ void GraphCachePlus::ExecuteReadSlice(
         }
         ++m.fragment_computed;
         computed = DynamicBitset::AndNot(csm, star_answer);
-        // The fresh knowledge covers exactly the candidates checked:
-        // valid = CS_M, stamped with the watermark it was computed at.
-        AdmissionOffer offer;
-        offer.entry = CacheManager::PrepareEntry(
-            std::make_shared<const Graph>(fragments[i].star),
-            CachedQueryKind::kSubgraph, std::move(star_answer),
-            DynamicBitset(csm),
-            StatisticsManager::StructuralCostEstimateMs(fragments[i].star));
-        offer.observed_watermark = watermark;
-        batch_for(cache_.ShardOfDigest(fragments[i].digest))
-            .fragment_offers.push_back(std::move(offer));
+        if (shed_offers) {
+          // ELEVATED: the freshly computed knowledge still prunes THIS
+          // query (below), but is not offered to the store.
+          admission_offers_shed_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // The fresh knowledge covers exactly the candidates checked:
+          // valid = CS_M, stamped with the watermark it was computed at.
+          AdmissionOffer offer;
+          offer.entry = CacheManager::PrepareEntry(
+              std::make_shared<const Graph>(fragments[i].star),
+              CachedQueryKind::kSubgraph, std::move(star_answer),
+              DynamicBitset(csm),
+              StatisticsManager::StructuralCostEstimateMs(fragments[i].star));
+          offer.observed_watermark = watermark;
+          batch_for(cache_.ShardOfDigest(fragments[i].digest))
+              .fragment_offers.push_back(std::move(offer));
+        }
       }
       const DynamicBitset& mask =
           fragment_resident[i] ? fragment_masks[i] : computed;
@@ -1112,7 +1189,11 @@ void GraphCachePlus::ExecuteReadSlice(
   // watermark the answer snapshot is consistent with and routed to the
   // query digest's home shard. Exact hits carry no new knowledge — the
   // isomorphic entry is already resident. ------------------------------
-  if (options_.enable_admission && !had_exact) {
+  if (options_.enable_admission && !had_exact && shed_offers) {
+    // ELEVATED/CRITICAL: the answer was produced normally, but the store
+    // is not offered the new entry — no queue traffic, no bytes.
+    admission_offers_shed_.fetch_add(1, std::memory_order_relaxed);
+  } else if (options_.enable_admission && !had_exact) {
     // Entry preparation is admission work executed early (off any
     // exclusive lock), so it bills to maintenance, not query time.
     ScopedTimer timer(&m.t_maintenance_ns);
@@ -1261,6 +1342,11 @@ QueryResult GraphCachePlus::Query(const Graph& g, QueryKind kind) {
     for (auto& [s, batch] : deferred) {
       std::size_t size_after = 0;
       if (pending_[s]->TryPush(std::move(batch), &size_after)) {
+        if (pressure_ != nullptr) {
+          // Feed the queue channel: depth after a successful push is how
+          // far behind the drains are.
+          pressure_->NoteQueueDepth(size_after, pending_[s]->capacity());
+        }
         if (maintenance_ != nullptr) {
           // Queue-pressure wakeup: don't let a half-full queue wait for
           // the timer. Below the threshold the timer tick picks it up.
@@ -1280,8 +1366,18 @@ QueryResult GraphCachePlus::Query(const Graph& g, QueryKind kind) {
       } else {
         // Backpressure: shard s's bounded queue is full — drain inline,
         // then apply this query's own rejected batch under the same env.
+        backpressure_inline_drains_.fetch_add(1, std::memory_order_relaxed);
+        if (pressure_ != nullptr) {
+          // A full queue is the strongest queue-pressure signal.
+          pressure_->NoteQueueDepth(pending_[s]->capacity(),
+                                    pending_[s]->capacity());
+        }
         ScopedTimer timer(&m.t_maintenance_ns);
         DrainShard(s, /*try_lock=*/false, &batch);
+        if (pressure_ != nullptr) {
+          // The inline drain emptied the queue; let the channel recover.
+          pressure_->NoteQueueDepth(0, pending_[s]->capacity());
+        }
       }
     }
   }

@@ -182,7 +182,9 @@ class GraphCachePlus {
   /// horizon they are consistent with) — the payload SaveCache and
   /// CheckpointNow persist. Thread-safe; queries keep flowing (shard
   /// locks are held shared, plus mutation_mu_ on the epoch path).
-  CacheSnapshot ExportSnapshot() const;
+  /// ResourceExhausted when the allocation-fault injector refused the
+  /// export (nothing is copied; the resident state is untouched).
+  Result<CacheSnapshot> ExportSnapshot() const;
 
   /// Installs `snapshot` as the resident cache state — the LoadCache body
   /// after the file read: lineage-validated (FailedPrecondition when the
@@ -249,6 +251,17 @@ class GraphCachePlus {
   }
   /// The epoch manager (grace-period counters; introspection for tests).
   const EpochManager& epoch_manager() const { return epochs_; }
+
+  /// The overload pressure monitor, or nullptr when options().byte_budget
+  /// is 0. Exposed mutable so torture tests can drive deterministic tier
+  /// transitions (AddBytes / NoteQueueDepth) around real queries.
+  PressureMonitor* pressure_monitor() { return pressure_.get(); }
+  const PressureMonitor* pressure_monitor() const { return pressure_.get(); }
+
+  /// Current overall pressure tier (NORMAL when no monitor is armed).
+  PressureTier pressure_tier() const {
+    return pressure_ == nullptr ? PressureTier::kNormal : pressure_->tier();
+  }
 
   const GraphCachePlusOptions& options() const { return options_; }
   const GraphDataset& dataset() const { return *dataset_; }
@@ -475,6 +488,10 @@ class GraphCachePlus {
   /// dataset. Read phases hold it shared; sync/dataset changes exclusive.
   /// Always taken before any shard lock. Unused on the epoch path.
   mutable std::shared_mutex mu_;
+  /// Overload pressure monitor — created iff options.byte_budget > 0, fed
+  /// by every shard store's byte accounting and the queue hand-off.
+  /// Declared before cache_: the shard stores hold the raw pointer.
+  std::unique_ptr<PressureMonitor> pressure_;
   ShardedCache cache_;
   LogSeq watermark_ = 0;
 
@@ -512,6 +529,11 @@ class GraphCachePlus {
   std::atomic<std::uint64_t> t_checkpoint_ns_{0};
   std::atomic<std::uint64_t> warm_restarts_{0};
   std::atomic<std::uint64_t> warm_restart_rejected_{0};
+
+  // Overload counters (engine-level; overlaid onto CacheStatsSnapshot).
+  std::atomic<std::uint64_t> admission_offers_shed_{0};
+  std::atomic<std::uint64_t> backpressure_inline_drains_{0};
+  std::atomic<std::uint64_t> pressure_bypassed_queries_{0};
 
   /// Background scheduling state — touched only on the maintenance
   /// thread, so plain members suffice.

@@ -187,6 +187,18 @@ struct GraphCachePlusOptions {
   /// engine.
   FaultInjector* checkpoint_fault_injector = nullptr;
 
+  /// Byte-accounted capacity model: a cap on the approximate resident
+  /// graph+bitset bytes of the cache (summed across shards; ceil-split
+  /// per shard, with 1/8 of each shard's slice carved out for its
+  /// fragment store when fragments are on). Evictions the budget forces
+  /// rank by utility-per-byte (paper R ÷ footprint); the entry-count caps
+  /// above still apply first, so a budget that never binds reproduces the
+  /// entry-count engine bit-exactly. Also arms the pressure monitor:
+  /// ELEVATED pressure sheds new admission offers, CRITICAL additionally
+  /// serves queries straight through uncached Method M. 0 = off (the
+  /// legacy entry-count model, no monitor).
+  std::size_t byte_budget = 0;
+
   /// Seed for cache-internal randomness (RANDOM policy).
   std::uint64_t rng_seed = 7;
 };

@@ -85,6 +85,7 @@ RunReport RunWorkload(const std::vector<Graph>& initial,
   opts.use_discovery_index = !config.legacy_hot_path;
   opts.checkpoint_dir = config.checkpoint_dir;
   opts.checkpoint_interval_us = config.checkpoint_interval_us;
+  opts.byte_budget = config.byte_budget;
   switch (config.mode) {
     case RunMode::kMethodM:
       // Bare Method M: no admission ⇒ the cache stays empty and every

@@ -108,6 +108,9 @@ struct RunnerConfig {
   /// Write one final checkpoint after the end-of-run flush, so a
   /// follow-up warm_restart run restores the fully-warm cache.
   bool checkpoint_at_end = false;
+  /// Byte-accounted capacity cap (--byte-budget; 0 = off, the entry-count
+  /// legacy model). See GraphCachePlusOptions::byte_budget.
+  std::size_t byte_budget = 0;
 };
 
 /// \brief Outcome of one experiment run.

@@ -25,7 +25,8 @@ CacheEntryId AdmitQuery(CacheManager& cm, Label tag, std::size_t horizon,
   DynamicBitset answer(horizon);
   DynamicBitset valid(horizon, true);
   return cm.Admit(MakePath({tag, tag}), CachedQueryKind::kSubgraph,
-                  std::move(answer), std::move(valid), now, cost);
+                  std::move(answer), std::move(valid), now, cost)
+      .value();
 }
 
 TEST(CacheManagerTest, AdmitEntersWindow) {

@@ -227,7 +227,8 @@ TEST(RelevanceIndexManagerTest, AdmitEvictPurgeRestoreKeepIndexInSync) {
     DynamicBitset answer(horizon);
     DynamicBitset valid(horizon, true);
     return cm.Admit(MakePath({tag, tag}), CachedQueryKind::kSubgraph,
-                    std::move(answer), std::move(valid), now, 1.0);
+                    std::move(answer), std::move(valid), now, 1.0)
+        .value();
   };
   const CacheEntryId a = admit(0, 0);
   EXPECT_EQ(cm.relevance_index().size(), 1u);

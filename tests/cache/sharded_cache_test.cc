@@ -39,7 +39,8 @@ std::pair<std::size_t, CacheEntryId> AdmitPath(ShardedCache& cache,
                                           CachedQueryKind::kSubgraph,
                                           DynamicBitset(4), DynamicBitset(4),
                                           1.0);
-  const CacheEntryId id = cache.shard(s).AdmitPrepared(std::move(entry), now);
+  const CacheEntryId id =
+      cache.shard(s).AdmitPrepared(std::move(entry), now).value();
   return {s, id};
 }
 

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <vector>
 
+#include "common/alloc_fault.hpp"
+
 namespace gcp {
 namespace {
 
@@ -91,6 +93,51 @@ TEST(ArenaTest, ThreadArenaHonoursEnableToggle) {
   EXPECT_EQ(ThreadArena(), nullptr);
   SetArenaEnabled(true);
   EXPECT_EQ(ThreadArena(), a);
+}
+
+TEST(ArenaTest, TryAllocateFailsOnlyOnInjectedBlockGrowth) {
+  Arena arena(128);
+  ScriptedAllocationFaultInjector injector;
+  ScopedAllocationFaultInjector scope(&injector);
+  injector.FailSite(AllocSite::kArenaBlock, true);
+  // No fresh block needed yet on the never-failing path.
+  void* warm = arena.Allocate(32, 8);
+  ASSERT_NE(warm, nullptr);
+  // Bumping within the existing block never consults the injector.
+  EXPECT_NE(arena.TryAllocate(32, 8), nullptr);
+  const std::size_t in_use = arena.BytesInUse();
+  // Growth would need a new block: the injected failure surfaces as
+  // nullptr and leaves the bump position untouched.
+  EXPECT_EQ(arena.TryAllocate(4096, 8), nullptr);
+  EXPECT_EQ(arena.BytesInUse(), in_use);
+  EXPECT_EQ(injector.fired_site(), AllocSite::kArenaBlock);
+  injector.DisarmScript();
+  EXPECT_NE(arena.TryAllocate(4096, 8), nullptr);
+}
+
+TEST(ArenaTest, PlainAllocateNeverFailsUnderInjection) {
+  Arena arena(128);
+  ScriptedAllocationFaultInjector injector;
+  ScopedAllocationFaultInjector scope(&injector);
+  injector.FailSite(AllocSite::kArenaBlock, true);
+  // The never-null contract of Allocate is unaffected by the injector.
+  EXPECT_NE(arena.Allocate(4096, 8), nullptr);
+}
+
+TEST(ArenaTest, ScratchArrayDegradesToHeapOnInjectedOom) {
+  Arena arena(128);
+  ScriptedAllocationFaultInjector injector;
+  ScopedAllocationFaultInjector scope(&injector);
+  injector.FailSite(AllocSite::kArenaBlock, true);
+  const std::size_t in_use = arena.BytesInUse();
+  {
+    // Needs a fresh block → injected failure → silent heap fallback.
+    ScratchArray<int> scratch(&arena, 1000, 9);
+    EXPECT_EQ(scratch[999], 9);
+    EXPECT_EQ(arena.BytesInUse(), in_use);
+  }
+  EXPECT_GT(injector.fired(), 0u);
+  EXPECT_EQ(arena.BytesInUse(), in_use);
 }
 
 TEST(ArenaTest, ArenaAllocatorWorksWithVector) {

@@ -1,0 +1,167 @@
+#include "common/pressure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/alloc_fault.hpp"
+
+namespace gcp {
+namespace {
+
+PressureConfig BudgetConfig(std::uint64_t budget) {
+  PressureConfig cfg;
+  cfg.byte_budget = budget;
+  return cfg;
+}
+
+TEST(PressureMonitorTest, StartsNormalAndNamesTiers) {
+  PressureMonitor mon(BudgetConfig(1000));
+  EXPECT_EQ(mon.tier(), PressureTier::kNormal);
+  EXPECT_EQ(mon.bytes(), 0u);
+  EXPECT_STREQ(PressureTierName(PressureTier::kNormal), "NORMAL");
+  EXPECT_STREQ(PressureTierName(PressureTier::kElevated), "ELEVATED");
+  EXPECT_STREQ(PressureTierName(PressureTier::kCritical), "CRITICAL");
+}
+
+TEST(PressureMonitorTest, ByteChannelEntersStrictlyAboveThreshold) {
+  PressureMonitor mon(BudgetConfig(1000));
+  // Steady-state occupancy (at or just past the budget) is NOT pressure:
+  // the byte channel keys on unmerged-window overshoot beyond it.
+  mon.AddBytes(1000);
+  EXPECT_EQ(mon.tier(), PressureTier::kNormal);
+  mon.AddBytes(350);  // exactly 1.35 — enter is strict
+  EXPECT_EQ(mon.tier(), PressureTier::kNormal);
+  mon.AddBytes(1);  // 1.351 > 1.35
+  EXPECT_EQ(mon.tier(), PressureTier::kElevated);
+  EXPECT_EQ(mon.elevated_transitions(), 1u);
+  mon.AddBytes(400);  // 1.751 > 1.75
+  EXPECT_EQ(mon.tier(), PressureTier::kCritical);
+  EXPECT_EQ(mon.critical_transitions(), 1u);
+}
+
+TEST(PressureMonitorTest, ByteChannelRecoversWithHysteresis) {
+  PressureMonitor mon(BudgetConfig(1000));
+  mon.AddBytes(1800);  // CRITICAL
+  ASSERT_EQ(mon.tier(), PressureTier::kCritical);
+  // Falling below the enter threshold is not enough; exit is <= 1.35.
+  mon.AddBytes(-400);  // 1.40
+  EXPECT_EQ(mon.tier(), PressureTier::kCritical);
+  mon.AddBytes(-50);  // 1.35 — exit is inclusive
+  EXPECT_EQ(mon.tier(), PressureTier::kElevated);
+  mon.AddBytes(-200);  // 1.15 — still above the 1.10 elevated exit
+  EXPECT_EQ(mon.tier(), PressureTier::kElevated);
+  mon.AddBytes(-50);  // 1.10
+  EXPECT_EQ(mon.tier(), PressureTier::kNormal);
+  // One full excursion = one transition per tier, not one per sample.
+  EXPECT_EQ(mon.elevated_transitions(), 1u);
+  EXPECT_EQ(mon.critical_transitions(), 1u);
+}
+
+TEST(PressureMonitorTest, ZeroBudgetDisablesByteChannel) {
+  PressureMonitor mon(BudgetConfig(0));
+  mon.AddBytes(1'000'000'000);
+  EXPECT_EQ(mon.tier(), PressureTier::kNormal);
+  // The queue channel still works.
+  mon.NoteQueueDepth(61, 100);
+  EXPECT_EQ(mon.tier(), PressureTier::kElevated);
+}
+
+TEST(PressureMonitorTest, QueueChannelFullQueueIsCritical) {
+  PressureMonitor mon(BudgetConfig(1000));
+  mon.NoteQueueDepth(30, 100);
+  EXPECT_EQ(mon.tier(), PressureTier::kNormal);
+  mon.NoteQueueDepth(61, 100);
+  EXPECT_EQ(mon.tier(), PressureTier::kElevated);
+  mon.NoteQueueDepth(100, 100);  // full = producers already draining inline
+  EXPECT_EQ(mon.tier(), PressureTier::kCritical);
+  mon.NoteQueueDepth(75, 100);  // 0.75 — critical exit is inclusive
+  EXPECT_EQ(mon.tier(), PressureTier::kElevated);
+  mon.NoteQueueDepth(0, 100);
+  EXPECT_EQ(mon.tier(), PressureTier::kNormal);
+  // Zero capacity reads as an idle queue, not a division by zero.
+  mon.NoteQueueDepth(0, 0);
+  EXPECT_EQ(mon.tier(), PressureTier::kNormal);
+}
+
+TEST(PressureMonitorTest, OverallTierIsMaxOfChannels) {
+  PressureMonitor mon(BudgetConfig(1000));
+  mon.AddBytes(1400);  // byte channel ELEVATED
+  mon.NoteQueueDepth(100, 100);  // queue channel CRITICAL
+  EXPECT_EQ(mon.tier(), PressureTier::kCritical);
+  mon.NoteQueueDepth(0, 100);  // queue recovers; bytes still elevated
+  EXPECT_EQ(mon.tier(), PressureTier::kElevated);
+  mon.AddBytes(-400);
+  EXPECT_EQ(mon.tier(), PressureTier::kNormal);
+}
+
+TEST(PressureMonitorTest, ConcurrentUpdatesKeepGaugeConsistent) {
+  PressureMonitor mon(BudgetConfig(1 << 20));
+  constexpr int kThreads = 4;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&mon] {
+      for (int i = 0; i < kIters; ++i) {
+        mon.AddBytes(64);
+        mon.NoteQueueDepth(static_cast<std::size_t>(i % 50), 100);
+        mon.AddBytes(-64);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(mon.bytes(), 0u);
+  EXPECT_EQ(mon.tier(), PressureTier::kNormal);
+}
+
+TEST(PressureAllocFaultTest, NoInjectorMeansNothingFires) {
+  ASSERT_EQ(CurrentAllocationFaultInjector(), nullptr);
+  EXPECT_FALSE(AllocationFaultFires(AllocSite::kAdmission, 128));
+}
+
+TEST(PressureAllocFaultTest, ScriptedIndexAndSiteRules) {
+  ScriptedAllocationFaultInjector injector;
+  ScopedAllocationFaultInjector scope(&injector);
+  injector.FailAt(1);
+  EXPECT_FALSE(AllocationFaultFires(AllocSite::kArenaBlock, 8));
+  EXPECT_TRUE(AllocationFaultFires(AllocSite::kAdmission, 8));
+  EXPECT_FALSE(AllocationFaultFires(AllocSite::kAdmission, 8));
+  EXPECT_EQ(injector.ops_seen(), 3u);
+  EXPECT_EQ(injector.ops_seen(AllocSite::kAdmission), 2u);
+  EXPECT_EQ(injector.fired(), 1u);
+  EXPECT_EQ(injector.fired_site(), AllocSite::kAdmission);
+
+  injector.FailSite(AllocSite::kSnapshotExport, true);
+  EXPECT_TRUE(AllocationFaultFires(AllocSite::kSnapshotExport, 0));
+  EXPECT_FALSE(AllocationFaultFires(AllocSite::kFragmentAdmission, 0));
+  injector.DisarmScript();
+  EXPECT_FALSE(AllocationFaultFires(AllocSite::kSnapshotExport, 0));
+
+  injector.Reset();
+  EXPECT_EQ(injector.ops_seen(), 0u);
+  EXPECT_EQ(injector.fired(), 0u);
+}
+
+TEST(PressureAllocFaultTest, ScopedInstallerRestoresPreviousHook) {
+  ScriptedAllocationFaultInjector outer;
+  ScopedAllocationFaultInjector outer_scope(&outer);
+  {
+    ScriptedAllocationFaultInjector inner;
+    ScopedAllocationFaultInjector inner_scope(&inner);
+    EXPECT_EQ(CurrentAllocationFaultInjector(), &inner);
+  }
+  EXPECT_EQ(CurrentAllocationFaultInjector(), &outer);
+}
+
+TEST(PressureAllocFaultTest, SiteNamesAreStable) {
+  EXPECT_STREQ(AllocSiteName(AllocSite::kArenaBlock), "ArenaBlock");
+  EXPECT_STREQ(AllocSiteName(AllocSite::kAdmission), "Admission");
+  EXPECT_STREQ(AllocSiteName(AllocSite::kFragmentAdmission),
+               "FragmentAdmission");
+  EXPECT_STREQ(AllocSiteName(AllocSite::kSnapshotExport), "SnapshotExport");
+}
+
+}  // namespace
+}  // namespace gcp

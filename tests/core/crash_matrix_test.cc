@@ -379,6 +379,75 @@ TEST(CrashMatrixTest, PostRestoreReconcileBalancesTouchedPlusSkipped) {
   EXPECT_EQ(touched + skipped, resident);
 }
 
+TEST(CrashMatrixTest, WarmRestartUnderByteBudgetKeepsWhatFits) {
+  const std::vector<std::vector<GraphId>> oracle = OracleAnswers();
+  const std::string dir = FreshDir("crash_byte_budget");
+  SeedRun(dir, nullptr);  // the donor cut its checkpoints with no budget
+
+  // Measure the unconstrained restore so the budgeted run below is
+  // guaranteed to be over budget regardless of entry sizes.
+  std::uint64_t full_bytes = 0;
+  std::uint64_t full_resident = 0;
+  {
+    GraphDataset ds;
+    ReplayLineage(ds, kMutationSteps);
+    GraphCachePlus gc(&ds, EngineOptions(dir, nullptr, /*epoch=*/false));
+    ASSERT_TRUE(gc.WarmRestart(nullptr).ok());
+    for (std::size_t s = 0; s < gc.cache_shards().num_shards(); ++s) {
+      full_bytes += gc.cache_shards().shard(s).approx_entry_bytes();
+    }
+    full_resident = gc.CacheStatsSnapshot().restored_entries;
+    ASSERT_GT(full_resident, 1u);
+    ASSERT_GT(full_bytes, 0u);
+  }
+
+  GraphDataset ds;
+  ReplayLineage(ds, kMutationSteps);
+  GraphCachePlusOptions opts = EngineOptions(dir, nullptr, /*epoch=*/false);
+  // Half the measured footprint: the summed per-shard slices are below
+  // what the full restore holds, so at least one shard must drop.
+  opts.byte_budget = full_bytes / 2;
+  // No admissions after restart: the resident population stays exactly
+  // the restored survivors, pinning the first-drain balance below.
+  opts.enable_admission = false;
+  GraphCachePlus gc(&ds, opts);
+  GraphCachePlus::WarmRestartReport report;
+  ASSERT_TRUE(gc.WarmRestart(&report).ok());
+  ASSERT_TRUE(report.warm);
+
+  const StatisticsManager before = gc.CacheStatsSnapshot();
+  EXPECT_GT(before.restore_budget_dropped, 0u);
+  const std::uint64_t resident = before.restored_entries;
+  EXPECT_GT(resident, 0u);
+  EXPECT_LT(resident, full_resident);
+  // Survivors respect the per-shard slice, and the incremental gauge the
+  // restore rebuilt matches a from-scratch recompute of the footprints.
+  for (std::size_t s = 0; s < gc.cache_shards().num_shards(); ++s) {
+    const CacheManager& shard = gc.cache_shards().shard(s);
+    EXPECT_LE(shard.approx_entry_bytes(), shard.entry_byte_budget());
+    std::uint64_t recomputed = 0;
+    shard.ForEachEntry([&recomputed](const CachedQuery& e) {
+      EXPECT_EQ(e.approx_bytes, ApproxEntryBytes(e));
+      recomputed += ApproxEntryBytes(e);
+    });
+    EXPECT_EQ(shard.approx_entry_bytes(), recomputed);
+  }
+  // A budget-trimmed warm cache still answers bit-exactly.
+  EXPECT_EQ(RunQueries(gc), oracle);
+  gc.FlushMaintenance();
+  // First post-restore reconcile accounts for the full trimmed
+  // population: touched + skipped == resident.
+  const StatisticsManager pre_drain = gc.CacheStatsSnapshot();
+  ds.AddGraph(MakeSingleton(1));
+  (void)gc.SubgraphQuery(MakePath({0, 1}));
+  const StatisticsManager after = gc.CacheStatsSnapshot();
+  const std::uint64_t touched =
+      after.reconcile_entries_touched - pre_drain.reconcile_entries_touched;
+  const std::uint64_t skipped =
+      after.reconcile_entries_skipped - pre_drain.reconcile_entries_skipped;
+  EXPECT_EQ(touched + skipped, resident);
+}
+
 TEST(CrashMatrixTest, EpochModeWarmRestartNeverTakesEngineLockOnReads) {
   const std::vector<std::vector<GraphId>> oracle = OracleAnswers();
   const std::string dir = FreshDir("crash_epoch");

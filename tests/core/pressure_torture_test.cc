@@ -1,0 +1,291 @@
+// Pressure-tier torture (PR 10): graceful degradation under memory and
+// queue pressure. The deterministic suites drive the engine's pressure
+// monitor directly — ELEVATED must shed admission offers (counted, never
+// queued), CRITICAL must additionally serve discovery misses straight
+// through uncached Method M, and recovery back to full caching must be
+// automatic once the pressure lifts. The concurrent suites hammer one
+// engine with closed-loop clients, queue backpressure and allocation-
+// fault chaos, demanding exact answers throughout (sanitizer-gated: the
+// suite name matches the ASan torture label and the TSan CI shard).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "../test_util.hpp"
+#include "common/alloc_fault.hpp"
+#include "core/graphcache_plus.hpp"
+#include "dataset/aids_like.hpp"
+#include "workload/type_a.hpp"
+
+namespace gcp {
+namespace {
+
+using testing::MakePath;
+
+constexpr std::size_t kBudget = std::size_t{1} << 20;
+
+std::vector<Graph> TortureCorpus() {
+  AidsLikeOptions opts;
+  opts.num_graphs = 60;
+  opts.mean_vertices = 8.0;
+  opts.stddev_vertices = 2.0;
+  opts.min_vertices = 4;
+  opts.max_vertices = 12;
+  opts.num_labels = 6;
+  opts.seed = 97;
+  return AidsLikeGenerator(opts).Generate();
+}
+
+GraphCachePlusOptions TortureOptions() {
+  GraphCachePlusOptions opts;
+  opts.model = CacheModel::kCon;
+  opts.cache_capacity = 16;
+  opts.window_capacity = 4;
+  opts.fragment_capacity = 24;
+  opts.byte_budget = kBudget;
+  return opts;
+}
+
+/// Ground truth on the same (static) dataset: uncached Method M.
+std::vector<std::vector<GraphId>> Truth(const std::vector<Graph>& corpus,
+                                        const Workload& w, std::size_t n) {
+  GraphDataset ds;
+  ds.Bootstrap(corpus);
+  GraphCachePlusOptions opts;
+  opts.model = CacheModel::kCon;
+  opts.enable_admission = false;
+  opts.enable_exact_shortcut = false;
+  opts.enable_empty_answer_shortcut = false;
+  GraphCachePlus gc(&ds, opts);
+  std::vector<std::vector<GraphId>> truth;
+  for (std::size_t i = 0; i < n; ++i) {
+    truth.push_back(gc.SubgraphQuery(w.queries[i].query).answer);
+  }
+  return truth;
+}
+
+TEST(PressureTortureTest, CriticalPressureBypassesCacheAndRecovers) {
+  const std::vector<Graph> corpus = TortureCorpus();
+  const Workload w =
+      GenerateTypeAByName(corpus, "ZU", 40, /*seed=*/5, /*zipf_alpha=*/1.3);
+  const std::vector<std::vector<GraphId>> truth = Truth(corpus, w, 40);
+
+  GraphDataset ds;
+  ds.Bootstrap(corpus);
+  GraphCachePlus gc(&ds, TortureOptions());
+  ASSERT_NE(gc.pressure_monitor(), nullptr);
+  // Warm: queries 0..19 admitted and servable as hits.
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(gc.SubgraphQuery(w.queries[i].query).answer, truth[i]);
+  }
+  gc.FlushMaintenance();
+  const StatisticsManager warm = gc.CacheStatsSnapshot();
+  ASSERT_GT(warm.total_admissions, 0u);
+  EXPECT_EQ(warm.pressure_bypassed_queries, 0u);
+
+  // Synthetic memory flood → CRITICAL: every query bypasses discovery and
+  // the fragment tier and is served through uncached Method M, bit-exact.
+  gc.pressure_monitor()->AddBytes(static_cast<std::int64_t>(2 * kBudget));
+  ASSERT_EQ(gc.pressure_tier(), PressureTier::kCritical);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(gc.SubgraphQuery(w.queries[i].query).answer, truth[i])
+        << "CRITICAL bypass changed an answer at query " << i;
+  }
+  gc.FlushMaintenance();
+  const StatisticsManager critical = gc.CacheStatsSnapshot();
+  EXPECT_EQ(critical.pressure_bypassed_queries, 40u);
+  // Nothing was admitted while shedding; the offers were counted instead.
+  EXPECT_EQ(critical.total_admissions, warm.total_admissions);
+  EXPECT_GT(critical.admission_offers_shed, 0u);
+  // Bypassed queries never probe the cache, so no new hits either.
+  EXPECT_EQ(critical.total_exact_hits, warm.total_exact_hits);
+  EXPECT_GE(critical.pressure_critical_transitions, 1u);
+
+  // Pressure lifts → NORMAL: hits and admissions resume on the same
+  // engine instance.
+  gc.pressure_monitor()->AddBytes(-static_cast<std::int64_t>(2 * kBudget));
+  ASSERT_EQ(gc.pressure_tier(), PressureTier::kNormal);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(gc.SubgraphQuery(w.queries[i].query).answer, truth[i]);
+  }
+  gc.FlushMaintenance();
+  const StatisticsManager recovered = gc.CacheStatsSnapshot();
+  EXPECT_GT(recovered.total_exact_hits, critical.total_exact_hits);
+  EXPECT_GT(recovered.total_admissions, critical.total_admissions);
+  EXPECT_EQ(recovered.pressure_bypassed_queries,
+            critical.pressure_bypassed_queries);
+}
+
+TEST(PressureTortureTest, ElevatedPressureShedsOffersButStillProbes) {
+  const std::vector<Graph> corpus = TortureCorpus();
+  const Workload w =
+      GenerateTypeAByName(corpus, "ZU", 40, /*seed=*/6, /*zipf_alpha=*/1.3);
+  const std::vector<std::vector<GraphId>> truth = Truth(corpus, w, 40);
+
+  GraphDataset ds;
+  ds.Bootstrap(corpus);
+  GraphCachePlus gc(&ds, TortureOptions());
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(gc.SubgraphQuery(w.queries[i].query).answer, truth[i]);
+  }
+  gc.FlushMaintenance();
+  const StatisticsManager warm = gc.CacheStatsSnapshot();
+
+  // ~1.5× the budget: ELEVATED, not CRITICAL.
+  gc.pressure_monitor()->AddBytes(static_cast<std::int64_t>(kBudget * 3 / 2));
+  ASSERT_EQ(gc.pressure_tier(), PressureTier::kElevated);
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(gc.SubgraphQuery(w.queries[i].query).answer, truth[i]);
+  }
+  gc.FlushMaintenance();
+  const StatisticsManager elevated = gc.CacheStatsSnapshot();
+  // ELEVATED only sheds offers — discovery still serves hits.
+  EXPECT_EQ(elevated.pressure_bypassed_queries, 0u);
+  EXPECT_GT(elevated.total_exact_hits, warm.total_exact_hits);
+  EXPECT_EQ(elevated.total_admissions, warm.total_admissions);
+  EXPECT_GT(elevated.admission_offers_shed, 0u);
+  EXPECT_GE(elevated.pressure_elevated_transitions, 1u);
+
+  gc.pressure_monitor()->AddBytes(-static_cast<std::int64_t>(kBudget * 3 / 2));
+  EXPECT_EQ(gc.pressure_tier(), PressureTier::kNormal);
+  for (std::size_t i = 20; i < 40; ++i) {
+    EXPECT_EQ(gc.SubgraphQuery(w.queries[i].query).answer, truth[i]);
+  }
+  gc.FlushMaintenance();
+  EXPECT_GT(gc.CacheStatsSnapshot().total_admissions, warm.total_admissions);
+}
+
+TEST(PressureTortureTest, QueueBackpressureInlineDrainsAreCounted) {
+  const std::vector<Graph> corpus = TortureCorpus();
+  const Workload w = GenerateTypeAByName(corpus, "UU", 400, /*seed=*/7,
+                                         /*zipf_alpha=*/1.0);
+  const std::vector<std::vector<GraphId>> truth = Truth(corpus, w, 400);
+
+  GraphCachePlusOptions opts = TortureOptions();
+  // One shard with a single-slot queue: any two in-flight batches collide
+  // and the loser must drain inline (counted, never dropped). The byte
+  // budget is off here — with a single-slot queue even one successful
+  // push reads as a full queue, and an armed monitor would go CRITICAL
+  // and shed every later offer, leaving nothing to collide.
+  opts.byte_budget = 0;
+  opts.maintenance_queue_capacity = 1;
+
+  // A collision needs two clients in the push window at once — on a
+  // loaded machine one round of 400 queries can serialize cleanly, so
+  // retry with a fresh engine until the counter moves. The answers and
+  // lock-discipline checks hold on every round regardless.
+  constexpr std::size_t kThreads = 4;
+  constexpr int kMaxRounds = 25;
+  std::uint64_t inline_drains = 0;
+  for (int round = 0; round < kMaxRounds && inline_drains == 0; ++round) {
+    GraphDataset ds;
+    ds.Bootstrap(corpus);
+    GraphCachePlus gc(&ds, opts);
+    std::atomic<std::size_t> next{0};
+    std::atomic<int> mismatches{0};
+    std::atomic<std::size_t> ready{0};
+    std::vector<std::thread> clients;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      clients.emplace_back([&] {
+        // Spin-start barrier: release all clients into the engine at
+        // once to maximize hand-off overlap.
+        ready.fetch_add(1, std::memory_order_acq_rel);
+        while (ready.load(std::memory_order_acquire) < kThreads) {
+        }
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= 400) return;
+          if (gc.SubgraphQuery(w.queries[i].query).answer != truth[i]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+    gc.FlushMaintenance();
+    EXPECT_EQ(mismatches.load(), 0) << "mismatch in round " << round;
+    EXPECT_EQ(gc.cache_shards().lock_violations(), 0u);
+    inline_drains = gc.CacheStatsSnapshot().backpressure_inline_drains;
+  }
+  EXPECT_GT(inline_drains, 0u)
+      << "a single-slot queue under 4 clients never overflowed in "
+      << kMaxRounds << " rounds";
+}
+
+TEST(PressureTortureTest, ChaosFaultsAndPressureSwingsStayExact) {
+  const std::vector<Graph> corpus = TortureCorpus();
+  const Workload w = GenerateTypeAByName(corpus, "ZU", 600, /*seed=*/8,
+                                         /*zipf_alpha=*/1.2);
+  const std::vector<std::vector<GraphId>> truth = Truth(corpus, w, 600);
+
+  GraphDataset ds;
+  ds.Bootstrap(corpus);
+  GraphCachePlusOptions opts = TortureOptions();
+  opts.num_shards = 4;
+  opts.maintenance_thread = true;
+  GraphCachePlus gc(&ds, opts);
+
+  ScriptedAllocationFaultInjector injector;
+  ScopedAllocationFaultInjector scope(&injector);
+
+  constexpr std::size_t kThreads = 4;
+  std::atomic<std::size_t> next{0};
+  std::atomic<int> mismatches{0};
+  std::atomic<bool> chaos_on{true};
+  // Chaos: swing the byte gauge across every tier boundary and strobe
+  // admission/fragment faults while the clients hammer the engine.
+  std::thread chaos([&] {
+    std::int64_t injected = 0;
+    for (int round = 0; chaos_on.load(std::memory_order_relaxed); ++round) {
+      const std::int64_t delta =
+          (round % 3 == 0) ? static_cast<std::int64_t>(2 * kBudget)
+                           : static_cast<std::int64_t>(kBudget / 2);
+      gc.pressure_monitor()->AddBytes(delta);
+      injected += delta;
+      injector.FailSite(AllocSite::kAdmission, round % 2 == 0);
+      injector.FailSite(AllocSite::kFragmentAdmission, round % 3 == 0);
+      std::this_thread::yield();
+      if (round % 4 == 3) {
+        gc.pressure_monitor()->AddBytes(-injected);
+        injected = 0;
+      }
+    }
+    gc.pressure_monitor()->AddBytes(-injected);
+    injector.DisarmScript();
+  });
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= 600) return;
+        if (gc.SubgraphQuery(w.queries[i].query).answer != truth[i]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  chaos_on.store(false, std::memory_order_relaxed);
+  chaos.join();
+  gc.FlushMaintenance();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(gc.cache_shards().lock_violations(), 0u);
+  // The synthetic bytes are all withdrawn: the byte channel recovers (the
+  // queue channel may need one more observation, so tier is not pinned).
+  EXPECT_LE(gc.pressure_monitor()->bytes(), kBudget);
+  // Post-chaos serving is fully functional.
+  const StatisticsManager before = gc.CacheStatsSnapshot();
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(gc.SubgraphQuery(w.queries[i].query).answer, truth[i]);
+  }
+  gc.FlushMaintenance();
+  EXPECT_GE(gc.CacheStatsSnapshot().total_admissions,
+            before.total_admissions);
+}
+
+}  // namespace
+}  // namespace gcp

@@ -27,8 +27,10 @@ class ProcessorsTest : public ::testing::Test {
     for (const auto i : answer) a.Set(i);
     DynamicBitset v(horizon, true);
     for (const auto i : valid_off) v.Set(i, false);
-    return cache_.Admit(std::move(q), kind, std::move(a), std::move(v),
-                        /*now=*/0, /*cost=*/1.0);
+    return cache_
+        .Admit(std::move(q), kind, std::move(a), std::move(v),
+               /*now=*/0, /*cost=*/1.0)
+        .value();
   }
 
   std::unique_ptr<SubgraphMatcher> matcher_;
